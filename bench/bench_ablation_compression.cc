@@ -1,0 +1,98 @@
+// Ablation: CP-IDs compression (paper Section VI-A) — memory saved and
+// access cost across ID-locality regimes, plus the end-to-end effect on
+// a whole topology store (complementing Table IV's w/o-CP rows).
+//
+// Expected shape: the tighter the ID locality (more shared prefix
+// bytes), the bigger the saving — up to ~85% of ID bytes at z=7 — while
+// decode stays O(1) and even speeds scans up via smaller cache
+// footprints. Adversarial (uniform 64-bit) IDs compress to z=0 with no
+// saving and no meaningful penalty.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/samtree_store.h"
+#include "bench_util.h"
+#include "common/memory.h"
+#include "common/random.h"
+#include "core/compressed_ids.h"
+
+using namespace platod2gl;
+using namespace platod2gl::bench;
+
+namespace {
+
+struct Regime {
+  const char* name;
+  VertexId base;
+  VertexId spread;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: CP-IDs compression ===\n\n");
+  constexpr std::size_t kIds = 1u << 16;
+
+  const Regime regimes[] = {
+      {"1-byte suffix (z=7)", 0x0102030405060700ULL, 1u << 8},
+      {"2-byte suffix (z=6)", 0x0102030405060000ULL, 1u << 16},
+      {"4-byte suffix (z=4)", 0x0102030400000000ULL, 1ULL << 32},
+      {"uniform 64-bit (z=0)", 0, ~0ULL >> 1},
+  };
+
+  std::printf("%-24s %6s %12s %12s %9s %14s\n", "regime", "z", "compressed",
+              "raw", "saving", "scan (ns/el)");
+  PrintRule();
+  for (const Regime& r : regimes) {
+    Xoshiro256 rng(5);
+    CompressedIdList compressed(true), raw(false);
+    std::vector<VertexId> ids;
+    for (std::size_t i = 0; i < kIds; ++i) {
+      ids.push_back(r.base + rng.NextUint64(r.spread));
+    }
+    for (VertexId v : ids) {
+      compressed.Append(v);
+      raw.Append(v);
+    }
+    // Scan cost: decode every element many times (the leaf Find path).
+    Timer t;
+    VertexId sink = 0;
+    constexpr int kReps = 50;
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (std::size_t i = 0; i < compressed.size(); ++i) {
+        sink ^= compressed.Get(i);
+      }
+    }
+    const double ns_per =
+        t.ElapsedSeconds() * 1e9 / (kReps * static_cast<double>(kIds));
+    const double saving =
+        100.0 * (1.0 - static_cast<double>(compressed.MemoryUsage()) /
+                           raw.MemoryUsage());
+    std::printf("%-24s %6u %12s %12s %8.1f%% %11.2f  (sink %llu)\n", r.name,
+                compressed.prefix_bytes(),
+                HumanBytes(compressed.MemoryUsage()).c_str(),
+                HumanBytes(raw.MemoryUsage()).c_str(), saving, ns_per,
+                static_cast<unsigned long long>(sink & 1));
+  }
+
+  // End-to-end: whole-store effect on the dominant WeChat relation
+  // (User-Live). One store per relation, as deployed — mixing ID
+  // namespaces in one store would artificially cap the shared prefix.
+  std::printf("\n--- whole-store effect (wechat-mini User-Live relation) "
+              "---\n");
+  Dataset ds = MakeWeChatMini();
+  std::erase_if(ds.edges, [](const Edge& e) { return e.type != kUserLive; });
+  SamtreeStore with_cp(SamtreeConfig{.compress_ids = true});
+  SamtreeStore without_cp(SamtreeConfig{.compress_ids = false});
+  const double t_cp = BuildSamtreeStore(with_cp, ds.edges);
+  const double t_nocp = BuildSamtreeStore(without_cp, ds.edges);
+  const std::size_t m_cp = with_cp.MemoryUsage();
+  const std::size_t m_nocp = without_cp.MemoryUsage();
+  std::printf("with CP:    %10s  build %.3fs\n", HumanBytes(m_cp).c_str(),
+              t_cp);
+  std::printf("without CP: %10s  build %.3fs\n", HumanBytes(m_nocp).c_str(),
+              t_nocp);
+  std::printf("memory saving from CP: %.1f%% (paper: 18.0-48.6%%)\n",
+              100.0 * (1.0 - static_cast<double>(m_cp) / m_nocp));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation: alpha-Split vs sort-based leaf splitting (paper Algorithm 1,
+// Theorem 1, Fig. 11(d)'s mechanism).
+//
+// Expected shape: sort-based splitting is O(n log n); alpha-Split is O(n)
+// average, and larger alpha shaves constants further by accepting the
+// first pivot that lands inside the slack window.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "core/alpha_split.h"
+
+namespace platod2gl {
+namespace {
+
+std::pair<std::vector<VertexId>, std::vector<Weight>> RandomLeaf(
+    std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<VertexId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  // Fisher-Yates shuffle: unordered leaf, unique IDs.
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.NextUint64(i)]);
+  }
+  std::vector<Weight> weights;
+  weights.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) weights.push_back(0.05 + rng.NextDouble());
+  return {std::move(ids), std::move(weights)};
+}
+
+void BM_SortBasedSplit(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const auto [ids0, weights0] = RandomLeaf(n, 11);
+  for (auto _ : state) {
+    auto ids = ids0;
+    auto weights = weights0;
+    // The greedy method the paper rejects: sort pairs, cut at the middle.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return ids[a] < ids[b]; });
+    benchmark::DoNotOptimize(order[n / 2]);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SortBasedSplit)
+    ->RangeMultiplier(4)
+    ->Range(256, 1 << 14)
+    ->Complexity(benchmark::oNLogN);
+
+template <int kAlpha>
+void BM_AlphaSplit(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const auto [ids0, weights0] = RandomLeaf(n, 11);
+  for (auto _ : state) {
+    auto ids = ids0;
+    auto weights = weights0;
+    benchmark::DoNotOptimize(AlphaSplit(ids, weights, n / 2, kAlpha));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AlphaSplit<0>)
+    ->RangeMultiplier(4)
+    ->Range(256, 1 << 14)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_AlphaSplit<8>)->RangeMultiplier(4)->Range(256, 1 << 14);
+BENCHMARK(BM_AlphaSplit<64>)->RangeMultiplier(4)->Range(256, 1 << 14);
+
+}  // namespace
+}  // namespace platod2gl
+
+BENCHMARK_MAIN();

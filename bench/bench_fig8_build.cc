@@ -1,0 +1,40 @@
+// Figure 8 reproduction: time cost of dynamic graph building.
+//
+// Paper result: PlatoD2GL builds every dataset fastest — up to 6.3x
+// faster than the slowest baseline and ~2.5x faster than PlatoGL on
+// WeChat. Building is *dynamic*: edges stream in 2^16-edge ingest
+// batches and every system must be sample-ready after each batch, which
+// is what makes AliGraph's eager alias tables expensive.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace platod2gl;
+using namespace platod2gl::bench;
+
+int main() {
+  std::printf("=== Figure 8: time cost of graph building (seconds) ===\n");
+  std::printf("(scale factor %.2f; set PLATOD2GL_SCALE to adjust)\n\n",
+              DatasetScale());
+  std::printf("%-14s %12s %12s %12s %14s\n", "dataset", "AliGraph",
+              "PlatoGL", "PlatoD2GL", "w/o CP");
+  PrintRule();
+
+  for (const Dataset& ds : MakeAllDatasets()) {
+    auto systems = MakeAllSystems(ds.num_relations);
+    std::printf("%-14s", ds.name.c_str());
+    std::vector<double> secs;
+    for (auto& sys : systems) {
+      secs.push_back(BuildSystem(sys, ds.edges));
+    }
+    std::printf(" %12.3f %12.3f %12.3f %14.3f\n", secs[0], secs[1], secs[2],
+                secs[3]);
+    const double d2gl = secs[2];
+    std::printf("%-14s   speedup of PlatoD2GL: %.2fx vs AliGraph, "
+                "%.2fx vs PlatoGL (%zu edges)\n",
+                "", secs[0] / d2gl, secs[1] / d2gl, ds.edges.size());
+  }
+  std::printf("\npaper shape: PlatoD2GL fastest on all datasets "
+              "(up to 6.3x overall, ~2.5x vs PlatoGL on WeChat)\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Table II reproduction: time complexity of FTS (FSTable) vs ITS
+// (CSTable) for dynamic updates and sampling inside one samtree leaf.
+//
+//   method | new insertion | in-place | deletion | sampling
+//   ITS    | O(1)          | O(n)     | O(n)     | O(log n)
+//   FTS    | O(log n)      | O(log n) | O(log n) | O(log n)
+//
+// Run with google-benchmark across n = 2^6 .. 2^16: the ITS in-place /
+// deletion rows must grow linearly with n while every FTS row stays
+// ~flat (logarithmic), which is the entire point of the FSTable.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "index/cstable.h"
+#include "index/fstable.h"
+
+namespace platod2gl {
+namespace {
+
+std::vector<Weight> RandomWeights(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Weight> w;
+  w.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) w.push_back(0.05 + rng.NextDouble());
+  return w;
+}
+
+// --- new insertion (append) -------------------------------------------
+
+void BM_ITS_Insertion(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  CSTable table(RandomWeights(n, 1));
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    table.Append(0.5);
+    state.PauseTiming();
+    table.Remove(table.size() - 1);  // keep size fixed at n
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ITS_Insertion)->RangeMultiplier(4)->Range(64, 1 << 16);
+
+void BM_FTS_Insertion(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  FSTable table(RandomWeights(n, 1));
+  for (auto _ : state) {
+    table.Append(0.5);
+    state.PauseTiming();
+    table.RemoveSwapLast(table.size() - 1);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_FTS_Insertion)->RangeMultiplier(4)->Range(64, 1 << 16);
+
+// --- in-place weight update --------------------------------------------
+
+void BM_ITS_InPlaceUpdate(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  CSTable table(RandomWeights(n, 3));
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    table.UpdateWeight(rng.NextUint64(n), 0.05 + rng.NextDouble());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ITS_InPlaceUpdate)
+    ->RangeMultiplier(4)
+    ->Range(64, 1 << 16)
+    ->Complexity(benchmark::oN);
+
+void BM_FTS_InPlaceUpdate(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  FSTable table(RandomWeights(n, 3));
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    table.UpdateWeight(rng.NextUint64(n), 0.05 + rng.NextDouble());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FTS_InPlaceUpdate)
+    ->RangeMultiplier(4)
+    ->Range(64, 1 << 16)
+    ->Complexity(benchmark::oLogN);
+
+// --- deletion ------------------------------------------------------------
+
+void BM_ITS_Deletion(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  CSTable table(RandomWeights(n, 5));
+  Xoshiro256 rng(6);
+  for (auto _ : state) {
+    table.Remove(rng.NextUint64(table.size()));  // O(n)
+    state.PauseTiming();
+    table.Append(0.5);  // restore size
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ITS_Deletion)->RangeMultiplier(4)->Range(64, 1 << 16);
+
+void BM_FTS_Deletion(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  FSTable table(RandomWeights(n, 5));
+  Xoshiro256 rng(6);
+  for (auto _ : state) {
+    table.RemoveSwapLast(rng.NextUint64(table.size()));  // O(log n)
+    table.Append(0.5);  // restore size, also O(log n)
+  }
+}
+BENCHMARK(BM_FTS_Deletion)->RangeMultiplier(4)->Range(64, 1 << 16);
+
+// --- sampling ------------------------------------------------------------
+
+void BM_ITS_Sampling(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  CSTable table(RandomWeights(n, 7));
+  Xoshiro256 rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+}
+BENCHMARK(BM_ITS_Sampling)->RangeMultiplier(4)->Range(64, 1 << 16);
+
+void BM_FTS_Sampling(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  FSTable table(RandomWeights(n, 7));
+  Xoshiro256 rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+}
+BENCHMARK(BM_FTS_Sampling)->RangeMultiplier(4)->Range(64, 1 << 16);
+
+}  // namespace
+}  // namespace platod2gl
+
+BENCHMARK_MAIN();

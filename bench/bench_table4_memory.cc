@@ -1,0 +1,54 @@
+// Table IV reproduction: memory cost after graph building.
+//
+// Paper result (per dataset): PlatoD2GL uses the least memory —
+// 66.8-79.8% below the second-best system — and compression (CP-IDs)
+// alone saves 18-48.6% (the "w/o CP" ablation row). AliGraph is o.o.m.
+// on WeChat because of its duplicated sampling structures; PlatoGL pays
+// per-block key indexing and whole-block allocation.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/memory.h"
+
+using namespace platod2gl;
+using namespace platod2gl::bench;
+
+int main() {
+  std::printf("=== Table IV: memory cost after graph building ===\n");
+  std::printf("(scale factor %.2f)\n\n", DatasetScale());
+  std::printf("%-14s %12s %12s %12s %14s %10s %9s\n", "dataset", "AliGraph",
+              "PlatoGL", "PlatoD2GL", "w/o CP", "vs 2nd", "vs noCP");
+  PrintRule();
+
+  for (const Dataset& ds : MakeAllDatasets()) {
+    auto systems = MakeAllSystems(ds.num_relations);
+    for (auto& sys : systems) BuildSystem(sys, ds.edges);
+
+    std::vector<std::size_t> bytes;
+    for (auto& sys : systems) bytes.push_back(sys.MemoryUsage());
+
+    // "Second best" compares against the real baselines only, as the
+    // paper does — the w/o-CP ablation is reported separately.
+    const std::size_t d2gl = bytes[2];
+    const std::size_t second_best = std::min(bytes[0], bytes[1]);
+    const double vs_second =
+        100.0 * (1.0 - static_cast<double>(d2gl) / second_best);
+    const double vs_nocp =
+        100.0 * (1.0 - static_cast<double>(d2gl) / bytes[3]);
+
+    std::printf("%-14s %12s %12s %12s %14s %9.1f%% %8.1f%%\n",
+                ds.name.c_str(), HumanBytes(bytes[0]).c_str(),
+                HumanBytes(bytes[1]).c_str(), HumanBytes(bytes[2]).c_str(),
+                HumanBytes(bytes[3]).c_str(), vs_second, vs_nocp);
+
+    // Breakdown of where PlatoD2GL's saving comes from.
+    const MemoryBreakdown d2 = systems[2].Memory();
+    const MemoryBreakdown pg = systems[1].Memory();
+    std::printf("%-14s   key/index overhead: PlatoD2GL %s vs PlatoGL %s\n",
+                "", HumanBytes(d2.key_bytes).c_str(),
+                HumanBytes(pg.key_bytes).c_str());
+  }
+  std::printf("\npaper shape: PlatoD2GL lowest everywhere (66.8-79.8%% "
+              "below 2nd best); CP saves 18-48.6%%\n");
+  return 0;
+}

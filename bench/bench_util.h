@@ -1,0 +1,169 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every comparative bench drives the same four systems through the
+// NeighborStore interface: PlatoD2GL, PlatoD2GL w/o CP (compression
+// ablation), PlatoGL and AliGraph. Output is printed as the paper's
+// tables/figures report it (one row per dataset/batch-size, one column
+// per system) so EXPERIMENTS.md can quote it directly.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/aligraph_store.h"
+#include "baselines/platogl_store.h"
+#include "baselines/samtree_store.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "gen/datasets.h"
+#include "gen/generators.h"
+
+namespace platod2gl::bench {
+
+/// One system under test: a heterogeneous deployment keeps one topology
+/// store per edge relation (exactly as the paper's storage layer does),
+/// routed by EdgeType. Mixing relations into one store would, among other
+/// things, destroy CP-IDs prefix sharing across ID namespaces.
+struct SystemUnderTest {
+  std::string name;
+  std::vector<std::unique_ptr<NeighborStore>> relations;
+
+  NeighborStore& rel(EdgeType t) { return *relations[t]; }
+
+  void FinishBatch() {
+    for (auto& r : relations) r->FinishBatch();
+  }
+
+  MemoryBreakdown Memory() const {
+    MemoryBreakdown total;
+    for (const auto& r : relations) {
+      const MemoryBreakdown m = r->Memory();
+      total.topology_bytes += m.topology_bytes;
+      total.index_bytes += m.index_bytes;
+      total.key_bytes += m.key_bytes;
+      total.other_bytes += m.other_bytes;
+    }
+    return total;
+  }
+  std::size_t MemoryUsage() const { return Memory().Total(); }
+};
+
+/// The paper's system line-up, in its column order.
+inline std::vector<SystemUnderTest> MakeAllSystems(
+    std::size_t num_relations = 1, std::uint32_t node_capacity = 256) {
+  std::vector<SystemUnderTest> systems(4);
+  systems[0].name = "AliGraph";
+  systems[1].name = "PlatoGL";
+  systems[2].name = "PlatoD2GL";
+  systems[3].name = "PlatoD2GL w/o CP";
+  for (std::size_t r = 0; r < num_relations; ++r) {
+    systems[0].relations.push_back(std::make_unique<AliGraphStore>());
+    systems[1].relations.push_back(std::make_unique<PlatoGLStore>(
+        PlatoGLStore::Config{.block_capacity = node_capacity}));
+    systems[2].relations.push_back(
+        std::make_unique<SamtreeStore>(SamtreeConfig{
+            .node_capacity = node_capacity,
+            .alpha = 0,
+            .compress_ids = true}));
+    systems[3].relations.push_back(
+        std::make_unique<SamtreeStore>(SamtreeConfig{
+            .node_capacity = node_capacity,
+            .alpha = 0,
+            .compress_ids = false}));
+  }
+  return systems;
+}
+
+/// Stream-insert a duplicate-free edge list as a *dynamic* build: edges
+/// arrive in ingest batches and the system must be sample-ready after
+/// each one (FinishBatch), as the online deployment requires. Returns
+/// seconds.
+inline double BuildSystem(SystemUnderTest& sys, const std::vector<Edge>& edges,
+                          std::size_t ingest_batch = 1u << 16) {
+  Timer t;
+  std::size_t in_batch = 0;
+  for (const Edge& e : edges) {
+    sys.rel(e.type).AddEdgeFast(e.src, e.dst, e.weight);
+    if (++in_batch == ingest_batch) {
+      sys.FinishBatch();
+      in_batch = 0;
+    }
+  }
+  sys.FinishBatch();
+  return t.ElapsedSeconds();
+}
+
+/// Apply a slice of a dynamic update stream and restore sample-readiness
+/// (FinishBatch — this is where AliGraph pays its deferred alias-table
+/// rebuilds); returns milliseconds.
+inline double ApplyUpdates(SystemUnderTest& sys,
+                           const std::vector<EdgeUpdate>& ops,
+                           std::size_t begin, std::size_t count) {
+  Timer t;
+  for (std::size_t i = begin; i < begin + count && i < ops.size(); ++i) {
+    sys.rel(ops[i].edge.type).Apply(ops[i]);
+  }
+  sys.FinishBatch();
+  return t.ElapsedMillis();
+}
+
+/// Unique source vertices of one relation, in first-appearance order.
+inline std::vector<VertexId> SourcesOf(const std::vector<Edge>& edges,
+                                       EdgeType type = 0) {
+  std::set<VertexId> seen;
+  std::vector<VertexId> sources;
+  for (const Edge& e : edges) {
+    if (e.type == type && seen.insert(e.src).second) {
+      sources.push_back(e.src);
+    }
+  }
+  return sources;
+}
+
+/// A batch of sampling seeds cycled from the source list.
+inline std::vector<VertexId> SeedBatch(const std::vector<VertexId>& sources,
+                                       std::size_t n) {
+  std::vector<VertexId> seeds;
+  seeds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seeds.push_back(sources[i % sources.size()]);
+  }
+  return seeds;
+}
+
+inline void PrintRule() {
+  std::printf(
+      "--------------------------------------------------------------------"
+      "----\n");
+}
+
+}  // namespace platod2gl::bench
+
+namespace platod2gl::bench {
+
+/// Build a single SamtreeStore from a (possibly multi-relation) edge list.
+/// Single-system sweeps (Table V, Fig. 11) measure the samtree layer in
+/// isolation, so all relations share one store — fine for timing, and the
+/// mixed ID namespaces simply exercise the CP-IDs re-encode path.
+inline double BuildSamtreeStore(SamtreeStore& store,
+                                const std::vector<Edge>& edges) {
+  Timer t;
+  for (const Edge& e : edges) store.AddEdgeFast(e.src, e.dst, e.weight);
+  return t.ElapsedSeconds();
+}
+
+/// Same, through the *checked* insertion path (paper Algorithm 2, with
+/// the duplicate scan) — this is the cost Fig. 11(b) sweeps: large leaf
+/// capacities pay an O(n_L) scan per insert, which is what bends the
+/// curve back up past the optimum.
+inline double BuildSamtreeStoreChecked(SamtreeStore& store,
+                                       const std::vector<Edge>& edges) {
+  Timer t;
+  for (const Edge& e : edges) store.AddEdge(e.src, e.dst, e.weight);
+  return t.ElapsedSeconds();
+}
+
+}  // namespace platod2gl::bench

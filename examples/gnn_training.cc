@@ -1,0 +1,116 @@
+// GNN training scenario: end-to-end GraphSAGE training on a dynamic
+// graph (paper Figure 1's full loop).
+//
+// Trains a 2-layer GraphSAGE node classifier on a synthetic community
+// graph while the topology keeps evolving between epochs, showing loss
+// and accuracy improving on held-out vertices.
+#include <cstdio>
+#include <vector>
+
+#include "platod2gl.h"
+
+using namespace platod2gl;
+
+int main() {
+  std::printf("Dynamic GNN training with GraphSAGE\n");
+  std::printf("===================================\n\n");
+
+  // Synthetic task: 4 communities of 300 vertices, intra-community edges,
+  // noisy community indicator features, community id as the label.
+  constexpr std::size_t kCommunities = 4;
+  constexpr std::size_t kSize = 300;
+  constexpr std::size_t kDim = 16;
+  GraphStore graph;
+  Xoshiro256 rng(7);
+  std::vector<VertexId> train_seeds, test_seeds;
+  for (VertexId v = 0; v < kCommunities * kSize; ++v) {
+    const std::size_t comm = v / kSize;
+    for (int k = 0; k < 10; ++k) {
+      const VertexId u = comm * kSize + rng.NextUint64(kSize);
+      if (u != v) graph.AddEdge({v, u, 1.0, 0});
+    }
+    std::vector<float> f(kDim);
+    for (auto& x : f) x = static_cast<float>(rng.NextDouble() - 0.5);
+    f[comm] += 1.5f;
+    graph.attributes().SetFeatures(v, std::move(f));
+    graph.attributes().SetLabel(v, static_cast<std::int64_t>(comm));
+    (v % 5 == 0 ? test_seeds : train_seeds).push_back(v);
+  }
+  std::printf("graph: %zu vertices, %zu edges, %zu train / %zu test seeds\n\n",
+              kCommunities * kSize, graph.NumEdges(), train_seeds.size(),
+              test_seeds.size());
+
+  GraphSageModel model(
+      GraphSageConfig{.in_dim = kDim, .hidden_dim = 32, .num_classes = 4},
+      /*seed=*/3);
+  Trainer trainer(&graph, &model,
+                  TrainerConfig{.batch_size = 128,
+                                .fanout_hop1 = 10,
+                                .fanout_hop2 = 10,
+                                .learning_rate = 0.01f});
+
+  std::printf("%-8s %12s %12s %14s\n", "epoch", "train loss", "test loss",
+              "test accuracy");
+  for (int epoch = 0; epoch <= 30; ++epoch) {
+    if (epoch % 5 == 0) {
+      const auto eval = trainer.Evaluate(test_seeds, rng);
+      double train_loss = 0.0;
+      if (epoch > 0) {
+        const auto tr = trainer.Evaluate(train_seeds, rng);
+        train_loss = tr.loss;
+      }
+      std::printf("%-8d %12.4f %12.4f %13.1f%%\n", epoch, train_loss,
+                  eval.loss, 100.0 * eval.accuracy);
+    }
+    trainer.TrainStepSampled(rng);
+
+    // The graph keeps evolving while we train: fresh intra-community
+    // interactions arrive every epoch and are picked up by the samplers
+    // immediately — no re-partitioning, no rebuild.
+    for (int k = 0; k < 50; ++k) {
+      const VertexId v = rng.NextUint64(kCommunities * kSize);
+      const VertexId u = (v / kSize) * kSize + rng.NextUint64(kSize);
+      if (u != v) graph.AddEdge({v, u, 1.0, 0});
+    }
+  }
+
+  const auto final_eval = trainer.Evaluate(test_seeds, rng);
+  std::printf("\nfinal test accuracy: %.1f%% (random baseline: 25%%)\n",
+              100.0 * final_eval.accuracy);
+
+  // The GCN variant (one shared weight matrix per layer — half the
+  // parameters) on the same task, driven by the same samplers.
+  GcnModel gcn(
+      GraphSageConfig{.in_dim = kDim, .hidden_dim = 32, .num_classes = 4},
+      5);
+  SubgraphSampler sampler(&graph);
+  NodeSampler nodes(&graph.topology(0));
+  auto gcn_batch = [&](const std::vector<VertexId>& seeds, bool train) {
+    const SampledSubgraph sg =
+        sampler.Sample(seeds, {{.fanout = 10}, {.fanout = 10}}, rng);
+    GraphSageModel::Inputs in;
+    in.sg = &sg;
+    std::vector<float> buf;
+    for (const auto& layer : sg.layers) {
+      graph.attributes().GatherFeatures(layer, kDim, &buf);
+      Tensor t(layer.size(), kDim);
+      std::copy(buf.begin(), buf.end(), t.data());
+      in.features.push_back(std::move(t));
+    }
+    std::vector<std::int64_t> labels;
+    for (VertexId v : seeds) {
+      labels.push_back(graph.attributes().GetLabel(v).value_or(-1));
+    }
+    return train ? gcn.TrainStep(in, labels, 0.01f)
+                 : gcn.Evaluate(in, labels);
+  };
+  for (int step = 0; step < 30; ++step) {
+    gcn_batch(nodes.SampleUniform(128, rng), /*train=*/true);
+  }
+  const auto gcn_eval = gcn_batch(test_seeds, /*train=*/false);
+  std::printf("GCN variant after 30 minibatches: %.1f%% test accuracy\n",
+              100.0 * gcn_eval.accuracy);
+
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "analytics/graph_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <iterator>
+
+namespace platod2gl {
+
+DegreeStats ComputeDegreeStats(const TopologyStore& store) {
+  DegreeStats stats;
+  store.ForEachSource([&](VertexId, const Samtree& tree) {
+    const std::size_t deg = tree.size();
+    if (deg == 0) return;
+    ++stats.num_sources;
+    stats.num_edges += deg;
+    stats.max_degree = std::max(stats.max_degree, deg);
+    std::size_t bucket = 0;
+    while ((std::size_t{1} << (bucket + 1)) <= deg) ++bucket;
+    if (stats.log2_histogram.size() <= bucket) {
+      stats.log2_histogram.resize(bucket + 1, 0);
+    }
+    ++stats.log2_histogram[bucket];
+  });
+  stats.mean_degree =
+      stats.num_sources == 0
+          ? 0.0
+          : static_cast<double>(stats.num_edges) / stats.num_sources;
+  return stats;
+}
+
+std::unordered_map<VertexId, double> PageRank(const TopologyStore& store,
+                                              double damping,
+                                              int iterations) {
+  // Collect the vertex universe: sources plus every destination.
+  std::unordered_map<VertexId, double> rank;
+  store.ForEachSource([&](VertexId src, const Samtree& tree) {
+    rank.emplace(src, 0.0);
+    tree.ForEachNeighbor(
+        [&](VertexId dst, Weight) { rank.emplace(dst, 0.0); });
+  });
+  if (rank.empty()) return rank;
+
+  const double n = static_cast<double>(rank.size());
+  for (auto& [v, r] : rank) r = 1.0 / n;
+
+  std::unordered_map<VertexId, double> next;
+  next.reserve(rank.size());
+  for (int iter = 0; iter < iterations; ++iter) {
+    next.clear();
+    for (const auto& [v, r] : rank) next.emplace(v, 0.0);
+
+    double dangling_mass = 0.0;
+    for (const auto& [v, r] : rank) {
+      const Samtree* tree = store.FindTree(v);
+      if (!tree || tree->empty()) {
+        dangling_mass += r;
+        continue;
+      }
+      const Weight total = tree->TotalWeight();
+      tree->ForEachNeighbor([&, r = r](VertexId dst, Weight w) {
+        next[dst] += r * (w / total);
+      });
+    }
+    const double teleport =
+        (1.0 - damping) / n + damping * dangling_mass / n;
+    for (auto& [v, r] : next) r = damping * r + teleport;
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::unordered_map<VertexId, VertexId> ConnectedComponents(
+    const TopologyStore& store) {
+  // Union-find over the undirected view.
+  std::unordered_map<VertexId, VertexId> parent;
+  std::function<VertexId(VertexId)> find = [&](VertexId v) {
+    auto it = parent.find(v);
+    if (it == parent.end()) {
+      parent.emplace(v, v);
+      return v;
+    }
+    // Path halving.
+    while (it->second != v) {
+      auto up = parent.find(it->second);
+      it->second = up->second;
+      v = it->second;
+      it = parent.find(v);
+    }
+    return v;
+  };
+  auto unite = [&](VertexId a, VertexId b) {
+    VertexId ra = find(a), rb = find(b);
+    if (ra == rb) return;
+    if (rb < ra) std::swap(ra, rb);  // smaller ID becomes the root
+    parent[rb] = ra;
+  };
+
+  store.ForEachSource([&](VertexId src, const Samtree& tree) {
+    find(src);
+    tree.ForEachNeighbor([&](VertexId dst, Weight) { unite(src, dst); });
+  });
+
+  std::unordered_map<VertexId, VertexId> out;
+  out.reserve(parent.size());
+  for (const auto& [v, p] : parent) {
+    (void)p;
+    out.emplace(v, find(v));
+  }
+  return out;
+}
+
+std::size_t NumComponents(
+    const std::unordered_map<VertexId, VertexId>& components) {
+  std::size_t roots = 0;
+  for (const auto& [v, root] : components) roots += (v == root);
+  return roots;
+}
+
+std::vector<VertexId> CommonNeighbors(const TopologyStore& store, VertexId a,
+                                      VertexId b) {
+  std::vector<VertexId> out;
+  const Samtree* ta = store.FindTree(a);
+  const Samtree* tb = store.FindTree(b);
+  if (!ta || !tb) return out;
+  const std::vector<VertexId> na = ta->SortedIds();
+  const std::vector<VertexId> nb = tb->SortedIds();
+  std::set_intersection(na.begin(), na.end(), nb.begin(), nb.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+double JaccardSimilarity(const TopologyStore& store, VertexId a, VertexId b) {
+  const std::size_t da = store.Degree(a);
+  const std::size_t db = store.Degree(b);
+  if (da == 0 || db == 0) return 0.0;
+  const std::size_t common = CommonNeighbors(store, a, b).size();
+  return static_cast<double>(common) /
+         static_cast<double>(da + db - common);
+}
+
+double EstimateTriangles(const TopologyStore& store, std::size_t samples,
+                         Xoshiro256& rng) {
+  // Total wedge count: sum over v of deg(v) * (deg(v) - 1) / 2.
+  double total_wedges = 0.0;
+  std::vector<VertexId> centers;
+  std::vector<double> wedge_cdf;
+  store.ForEachSource([&](VertexId v, const Samtree& tree) {
+    const double d = static_cast<double>(tree.size());
+    if (d < 2) return;
+    total_wedges += d * (d - 1) / 2.0;
+    centers.push_back(v);
+    wedge_cdf.push_back(total_wedges);
+  });
+  if (total_wedges == 0.0 || samples == 0) return 0.0;
+
+  std::size_t closed = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    // Pick a wedge center proportional to its wedge count.
+    const double r = rng.NextDouble(total_wedges);
+    const std::size_t idx = static_cast<std::size_t>(
+        std::lower_bound(wedge_cdf.begin(), wedge_cdf.end(), r) -
+        wedge_cdf.begin());
+    const Samtree* tree = store.FindTree(centers[idx]);
+    // Two distinct uniform neighbours.
+    const VertexId a = tree->SampleUniform(rng);
+    VertexId b = tree->SampleUniform(rng);
+    for (int retry = 0; retry < 16 && b == a; ++retry) {
+      b = tree->SampleUniform(rng);
+    }
+    if (b == a) continue;  // degenerate (all samples identical)
+    if (store.HasEdge(a, b)) ++closed;
+  }
+  // Each triangle closes 3 wedges (on a bi-directed graph).
+  return total_wedges * (static_cast<double>(closed) / samples) / 3.0;
+}
+
+}  // namespace platod2gl

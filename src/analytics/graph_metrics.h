@@ -1,0 +1,68 @@
+// Offline graph analytics over the dynamic store.
+//
+// Production graph platforms ship basic whole-graph analytics next to the
+// training stack (the Plato engine the paper's storage descends from is
+// exactly that). These run single-pass or iterative algorithms over the
+// store's enumeration APIs; they treat the store as read-only and are
+// meant for offline/maintenance windows, not the serving path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "storage/topology_store.h"
+
+namespace platod2gl {
+
+/// Degree-distribution summary of a relation's source vertices.
+struct DegreeStats {
+  std::size_t num_sources = 0;
+  std::size_t num_edges = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  /// log2-bucketed histogram: bucket[i] counts sources with degree in
+  /// [2^i, 2^{i+1}).
+  std::vector<std::size_t> log2_histogram;
+};
+DegreeStats ComputeDegreeStats(const TopologyStore& store);
+
+/// Weighted PageRank by power iteration (damping d, `iterations` sweeps).
+/// Dangling mass is redistributed uniformly. Returns vertex -> score;
+/// scores sum to ~1 over all vertices that appear as a source or a
+/// destination.
+std::unordered_map<VertexId, double> PageRank(const TopologyStore& store,
+                                              double damping = 0.85,
+                                              int iterations = 20);
+
+/// Connected components of the *undirected view* (an edge connects both
+/// endpoints regardless of direction). Returns vertex -> component
+/// representative (the smallest vertex ID in the component).
+std::unordered_map<VertexId, VertexId> ConnectedComponents(
+    const TopologyStore& store);
+
+/// Number of distinct components in a ConnectedComponents() result.
+std::size_t NumComponents(
+    const std::unordered_map<VertexId, VertexId>& components);
+
+/// Common out-neighbours of a and b (ascending), by merge-joining the
+/// samtrees' sorted ID streams — O(deg_a log n_L + deg_b log n_L).
+/// The co-engagement primitive of item-item similarity.
+std::vector<VertexId> CommonNeighbors(const TopologyStore& store, VertexId a,
+                                      VertexId b);
+
+/// Jaccard similarity |N(a) ∩ N(b)| / |N(a) ∪ N(b)| of out-neighbourhoods
+/// (0 when either is empty).
+double JaccardSimilarity(const TopologyStore& store, VertexId a, VertexId b);
+
+/// Monte-Carlo global triangle estimate on a *bi-directed* graph: sample
+/// `samples` wedges (v, a, b) with a, b distinct uniform neighbours of v
+/// and test whether edge a->b closes the triangle; scale by the total
+/// wedge count. Exact enumeration is O(sum deg^2); this is O(samples).
+double EstimateTriangles(const TopologyStore& store, std::size_t samples,
+                         Xoshiro256& rng);
+
+}  // namespace platod2gl

@@ -1,0 +1,93 @@
+#include "baselines/aligraph_store.h"
+
+#include <algorithm>
+
+namespace platod2gl {
+
+void AliGraphStore::AddEdge(VertexId src, VertexId dst, Weight w) {
+  AdjList& adj = adj_[src];
+  auto it = std::find(adj.ids.begin(), adj.ids.end(), dst);
+  if (it != adj.ids.end()) {
+    adj.weights[static_cast<std::size_t>(it - adj.ids.begin())] = w;
+  } else {
+    adj.ids.push_back(dst);
+    adj.weights.push_back(w);
+    ++num_edges_;
+  }
+  adj.dirty = true;
+}
+
+void AliGraphStore::AddEdgeFast(VertexId src, VertexId dst, Weight w) {
+  AdjList& adj = adj_[src];
+  adj.ids.push_back(dst);
+  adj.weights.push_back(w);
+  adj.dirty = true;
+  ++num_edges_;
+}
+
+bool AliGraphStore::UpdateEdge(VertexId src, VertexId dst, Weight w) {
+  auto mit = adj_.find(src);
+  if (mit == adj_.end()) return false;
+  AdjList& adj = mit->second;
+  auto it = std::find(adj.ids.begin(), adj.ids.end(), dst);
+  if (it == adj.ids.end()) return false;
+  adj.weights[static_cast<std::size_t>(it - adj.ids.begin())] = w;
+  adj.dirty = true;
+  return true;
+}
+
+bool AliGraphStore::RemoveEdge(VertexId src, VertexId dst) {
+  auto mit = adj_.find(src);
+  if (mit == adj_.end()) return false;
+  AdjList& adj = mit->second;
+  auto it = std::find(adj.ids.begin(), adj.ids.end(), dst);
+  if (it == adj.ids.end()) return false;
+  const std::size_t pos = static_cast<std::size_t>(it - adj.ids.begin());
+  adj.ids.erase(adj.ids.begin() + static_cast<std::ptrdiff_t>(pos));
+  adj.weights.erase(adj.weights.begin() + static_cast<std::ptrdiff_t>(pos));
+  adj.dirty = true;
+  --num_edges_;
+  if (adj.ids.empty()) adj_.erase(mit);
+  return true;
+}
+
+std::size_t AliGraphStore::Degree(VertexId src) const {
+  auto it = adj_.find(src);
+  return it == adj_.end() ? 0 : it->second.ids.size();
+}
+
+bool AliGraphStore::SampleNeighbors(VertexId src, std::size_t k,
+                                    Xoshiro256& rng,
+                                    std::vector<VertexId>* out) {
+  auto it = adj_.find(src);
+  if (it == adj_.end() || it->second.ids.empty()) return false;
+  AdjList& adj = it->second;
+  if (adj.dirty) Rebuild(adj);  // O(n) rebuild after any mutation
+  out->reserve(out->size() + k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out->push_back(adj.ids[adj.alias.Sample(rng)]);
+  }
+  return true;
+}
+
+void AliGraphStore::FinalizeSamplingIndexes() {
+  for (auto& [src, adj] : adj_) {
+    (void)src;
+    if (adj.dirty && !adj.ids.empty()) Rebuild(adj);
+  }
+}
+
+MemoryBreakdown AliGraphStore::Memory() const {
+  MemoryBreakdown mem;
+  constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+  for (const auto& [src, adj] : adj_) {
+    (void)src;
+    mem.topology_bytes += VectorBytes(adj.ids) + VectorBytes(adj.weights);
+    mem.index_bytes += adj.alias.MemoryUsage();
+    mem.key_bytes += sizeof(VertexId) + sizeof(AdjList) + kNodeOverhead;
+  }
+  mem.key_bytes += adj_.bucket_count() * sizeof(void*);
+  return mem;
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,80 @@
+// NeighborStore: the common interface the benchmark harness drives.
+//
+// The paper compares three topology-storage designs under identical
+// workloads — PlatoD2GL (samtrees), PlatoGL (block-based key-value store)
+// and AliGraph (hash-by-source adjacency with alias tables). Each is
+// implemented behind this interface so every bench (Fig. 8/9/10, Table IV)
+// runs the exact same driver loop against all systems.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/memory.h"
+#include "common/random.h"
+#include "common/types.h"
+
+namespace platod2gl {
+
+class NeighborStore {
+ public:
+  virtual ~NeighborStore() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Insert (src, dst, w); refresh the weight if the edge exists.
+  virtual void AddEdge(VertexId src, VertexId dst, Weight w) = 0;
+
+  /// Bulk-load insert: the caller guarantees (src, dst) is not already
+  /// present, letting stores whose duplicate check is O(degree) skip it —
+  /// this is how PlatoGL's and AliGraph's bulk loaders behave. Defaults
+  /// to AddEdge for stores (like the samtree) whose check is inherent and
+  /// cheap.
+  virtual void AddEdgeFast(VertexId src, VertexId dst, Weight w) {
+    AddEdge(src, dst, w);
+  }
+
+  /// In-place weight update; false if the edge is absent.
+  virtual bool UpdateEdge(VertexId src, VertexId dst, Weight w) = 0;
+
+  /// Delete an edge; false if absent.
+  virtual bool RemoveEdge(VertexId src, VertexId dst) = 0;
+
+  /// Apply one dynamic update by kind.
+  void Apply(const EdgeUpdate& u) {
+    switch (u.kind) {
+      case UpdateKind::kInsert:
+        AddEdge(u.edge.src, u.edge.dst, u.edge.weight);
+        break;
+      case UpdateKind::kInPlaceUpdate:
+        UpdateEdge(u.edge.src, u.edge.dst, u.edge.weight);
+        break;
+      case UpdateKind::kDelete:
+        RemoveEdge(u.edge.src, u.edge.dst);
+        break;
+    }
+  }
+
+  /// Called after each ingest batch of a *dynamic* build: the store must
+  /// return to a sample-ready state before the next queries arrive.
+  /// No-op for stores whose indexes are maintained online (samtree,
+  /// PlatoGL); AliGraph rebuilds the alias tables of every vertex the
+  /// batch touched — the recurring cost that makes eager-index systems
+  /// slow on dynamic graphs (paper Section I / Fig. 8).
+  virtual void FinishBatch() {}
+
+  virtual std::size_t Degree(VertexId src) const = 0;
+  virtual std::size_t NumEdges() const = 0;
+
+  /// Draw k weighted samples with replacement from src's out-neighbours;
+  /// false when src has none.
+  virtual bool SampleNeighbors(VertexId src, std::size_t k, Xoshiro256& rng,
+                               std::vector<VertexId>* out) = 0;
+
+  /// Table IV accounting.
+  virtual MemoryBreakdown Memory() const = 0;
+  std::size_t MemoryUsage() const { return Memory().Total(); }
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,98 @@
+// PlatoGLStore: re-implementation of the PlatoGL (CIKM'22) block-based
+// key-value topology store — the paper's state-of-the-art baseline.
+//
+// Edges of a source vertex are sharded into fixed-capacity *blocks*; each
+// block lives under its own serialized key in a key-value store. The key
+// carries "various information except the unique identifier" (paper
+// Section I): source ID, block sequence number, vertex type and reserved
+// metadata — 24 serialized bytes per block key, hashed and compared as an
+// opaque string the way a generic KV store does. That per-block key
+// construction, hashing and indexing is exactly the memory and CPU cost
+// Table IV / Fig. 8 charge PlatoGL with, and what the samtree's
+// non-key-value layout removes.
+//
+// Sampling is PlatoGL's two-level ITS: a per-source CSTable over block
+// weight sums picks a block, a per-block CSTable picks the neighbour.
+// Mutating a weight therefore rewrites the block CSTable suffix (O(B))
+// and the source-level CSTable suffix (O(#blocks)) — the O(n_L)
+// maintenance cost FSTable eliminates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/neighbor_store.h"
+#include "index/cstable.h"
+
+namespace platod2gl {
+
+class PlatoGLStore : public NeighborStore {
+ public:
+  struct Config {
+    std::size_t block_capacity = 256;  ///< neighbours per block
+  };
+
+  /// Sub-block allocation granularity (entries): blocks grow in fixed
+  /// chunks, never byte-exactly.
+  static constexpr std::size_t kAllocChunk = 64;
+
+  PlatoGLStore();
+  explicit PlatoGLStore(Config config);
+
+  std::string Name() const override { return "PlatoGL"; }
+
+  void AddEdge(VertexId src, VertexId dst, Weight w) override;
+  void AddEdgeFast(VertexId src, VertexId dst, Weight w) override;
+  bool UpdateEdge(VertexId src, VertexId dst, Weight w) override;
+  bool RemoveEdge(VertexId src, VertexId dst) override;
+
+  std::size_t Degree(VertexId src) const override;
+  std::size_t NumEdges() const override { return num_edges_; }
+
+  bool SampleNeighbors(VertexId src, std::size_t k, Xoshiro256& rng,
+                       std::vector<VertexId>* out) override;
+
+  MemoryBreakdown Memory() const override;
+
+  /// Serialized block key: src(8) | block_id(4) | vertex_type(2) |
+  /// reserved metadata(10) = 24 bytes, the paper's "key with various
+  /// information".
+  static std::string MakeBlockKey(VertexId src, std::uint32_t block_id);
+  /// Serialized per-source metadata key: tag(1) | src(8) = 9 bytes.
+  static std::string MakeMetaKey(VertexId src);
+
+ private:
+  struct Block {
+    std::vector<VertexId> ids;
+    CSTable cstable;  // per-block ITS index (stores the weights implicitly)
+  };
+
+  struct SourceMeta {
+    std::uint32_t num_blocks = 0;
+    std::uint64_t degree = 0;
+    CSTable block_cstable;  // per-source ITS index over block sums
+  };
+
+  Block* FindBlock(VertexId src, std::uint32_t block_id);
+  const Block* FindBlock(VertexId src, std::uint32_t block_id) const;
+  SourceMeta* FindMeta(VertexId src);
+  const SourceMeta* FindMeta(VertexId src) const;
+
+  /// Locate dst within src's blocks; returns false when absent.
+  bool Locate(const SourceMeta& meta, VertexId src, VertexId dst,
+              std::uint32_t* block_id, std::size_t* pos) const;
+
+  void AppendEdge(SourceMeta& meta, VertexId src, VertexId dst, Weight w);
+
+  Config config_;
+  // The generic string-keyed KV store both metadata and blocks live in,
+  // as in the production system (two maps = two column families).
+  std::unordered_map<std::string, SourceMeta> meta_;
+  std::unordered_map<std::string, Block> blocks_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,57 @@
+// SamtreeStore: PlatoD2GL's own topology layer behind the NeighborStore
+// interface, so the comparative benches drive it with the same loop as the
+// baselines. Construct with compress_ids=false to get the paper's
+// "w/o CP" ablation system.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/neighbor_store.h"
+#include "storage/topology_store.h"
+
+namespace platod2gl {
+
+class SamtreeStore : public NeighborStore {
+ public:
+  explicit SamtreeStore(SamtreeConfig config = {}, std::string name = "")
+      : store_(config),
+        name_(!name.empty() ? std::move(name)
+                            : (config.compress_ids ? "PlatoD2GL"
+                                                   : "PlatoD2GL w/o CP")) {}
+
+  std::string Name() const override { return name_; }
+
+  void AddEdge(VertexId src, VertexId dst, Weight w) override {
+    store_.AddEdge(src, dst, w);
+  }
+  void AddEdgeFast(VertexId src, VertexId dst, Weight w) override {
+    store_.AddEdgeUnchecked(src, dst, w);
+  }
+  bool UpdateEdge(VertexId src, VertexId dst, Weight w) override {
+    return store_.UpdateEdge(src, dst, w);
+  }
+  bool RemoveEdge(VertexId src, VertexId dst) override {
+    return store_.RemoveEdge(src, dst);
+  }
+  std::size_t Degree(VertexId src) const override {
+    return store_.Degree(src);
+  }
+  std::size_t NumEdges() const override { return store_.NumEdges(); }
+
+  bool SampleNeighbors(VertexId src, std::size_t k, Xoshiro256& rng,
+                       std::vector<VertexId>* out) override {
+    return store_.SampleNeighbors(src, k, /*weighted=*/true, rng, out);
+  }
+
+  MemoryBreakdown Memory() const override { return store_.Memory(); }
+
+  TopologyStore& topology() { return store_; }
+  const TopologyStore& topology() const { return store_; }
+
+ private:
+  TopologyStore store_;
+  std::string name_;
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,22 @@
+#include "common/histogram.h"
+
+namespace platod2gl {
+
+std::uint64_t LatencyHistogram::PercentileNanos(double pct) const {
+  const std::uint64_t total = Count();
+  if (total == 0) return 0;
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      (pct / 100.0) * static_cast<double>(total) + 0.5);
+
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    if (running >= target) {
+      // Upper edge of bucket i: 2^i - 1 (bucket 0 holds the zeros).
+      return i == 0 ? 0 : (1ULL << i) - 1;
+    }
+  }
+  return ~0ULL;
+}
+
+}  // namespace platod2gl

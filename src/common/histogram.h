@@ -1,0 +1,56 @@
+// LatencyHistogram: lock-free log-bucketed latency tracking.
+//
+// Production graph servers report per-request latency percentiles; the
+// cluster simulation records its per-RPC service times here. Buckets are
+// powers of two in nanoseconds, so Record() is one CLZ plus one relaxed
+// atomic increment, safe from any thread.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace platod2gl {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  LatencyHistogram() = default;
+
+  /// Record one sample. Thread-safe.
+  void Record(std::uint64_t nanos) {
+    buckets_[BucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordMicros(double micros) {
+    Record(static_cast<std::uint64_t>(micros * 1e3));
+  }
+
+  std::uint64_t Count() const {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Approximate percentile (pct in (0, 100]) in nanoseconds, using the
+  /// upper edge of the containing bucket. 0 when empty.
+  std::uint64_t PercentileNanos(double pct) const;
+  double PercentileMicros(double pct) const {
+    return static_cast<double>(PercentileNanos(pct)) / 1e3;
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::size_t BucketOf(std::uint64_t nanos) {
+    if (nanos == 0) return 0;
+    return 64 - static_cast<std::size_t>(__builtin_clzll(nanos));
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,86 @@
+// LruCache: a fixed-capacity least-recently-used cache.
+//
+// Training servers cache the vertex features they fetch from the remote
+// attribute store (hot vertices recur across minibatches on skewed
+// graphs), trading a bounded amount of trainer memory for most of the
+// fetch RPCs. Single-threaded by design: each trainer worker owns one.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace platod2gl {
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  /// Pointer to the cached value (refreshing its recency), or nullptr.
+  V* Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);  // move to front
+    return &it->second->second;
+  }
+
+  /// Insert or overwrite; evicts the least-recently-used entry at
+  /// capacity. Returns the cached value.
+  V* Put(const K& key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return &it->second->second;
+    }
+    if (index_.size() >= capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    return &order_.front().second;
+  }
+
+  bool Contains(const K& key) const { return index_.count(key) > 0; }
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  double HitRate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = most recent
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator>
+      index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace platod2gl

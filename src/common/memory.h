@@ -1,0 +1,43 @@
+// Explicit, deterministic memory accounting.
+//
+// Table IV of the paper compares the memory footprint of the topology
+// stores after graph building. Rather than relying on allocator hooks
+// (which are noisy and platform-dependent), every storage structure in
+// this library implements `MemoryUsage()` which walks the structure and
+// sums the bytes of payload plus container overhead. The helpers here
+// keep that accounting uniform.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace platod2gl {
+
+/// Bytes held by a std::vector's heap buffer (capacity, not size —
+/// capacity is what the process actually pays for).
+template <typename T>
+std::size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Bytes held by a std::string, accounting for the small-string
+/// optimisation (no heap allocation below the SSO threshold).
+std::size_t StringBytes(const std::string& s);
+
+/// Pretty-print a byte count, e.g. "1.23 GB".
+std::string HumanBytes(std::size_t bytes);
+
+/// Aggregated memory report for a storage system.
+struct MemoryBreakdown {
+  std::size_t topology_bytes = 0;  ///< adjacency payloads (IDs + weights)
+  std::size_t index_bytes = 0;     ///< sampling indexes (CSTable/FSTable/alias)
+  std::size_t key_bytes = 0;       ///< key/indexing overhead of the map layer
+  std::size_t other_bytes = 0;     ///< everything else (node headers, ...)
+
+  std::size_t Total() const {
+    return topology_bytes + index_bytes + key_bytes + other_bytes;
+  }
+};
+
+}  // namespace platod2gl

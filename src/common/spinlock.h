@@ -1,0 +1,46 @@
+// A test-and-test-and-set spinlock used for short critical sections
+// (cuckoo hash buckets, per-tree latches in the latch-based reference
+// mode). After a bounded spin it yields to the scheduler, so contention
+// on over-subscribed machines (threads > cores) degrades gracefully
+// instead of burning whole quanta.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace platod2gl {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() {
+    int spins = 0;
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Spin on a relaxed load to avoid cache-line ping-pong.
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins >= kSpinLimit) {
+          std::this_thread::yield();
+          spins = 0;
+        } else {
+#if defined(__x86_64__) || defined(__i386__)
+          __builtin_ia32_pause();
+#endif
+        }
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,47 @@
+// Fixed-size worker pool used by the batch updater, the distributed-shard
+// simulation and the parallel samplers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace platod2gl {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void Wait();
+
+  /// Convenience: run fn(i) for i in [0, n) across the pool and wait.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signalled when a task is available
+  std::condition_variable done_cv_;   // signalled when all work drained
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace platod2gl

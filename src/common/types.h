@@ -1,0 +1,58 @@
+// Core identifier and edge types shared by every PlatoD2GL module.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace platod2gl {
+
+/// Unique 64-bit identifier of a vertex in the graph.
+using VertexId = std::uint64_t;
+
+/// Identifier of an edge relation (type) in a heterogeneous graph,
+/// e.g. User-Live vs. Live-Tag in the WeChat dataset.
+using EdgeType = std::uint32_t;
+
+/// Edge weight. The paper assumes W : E -> R+.
+using Weight = double;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// A directed weighted edge e(src, dst, weight) of a given relation.
+struct Edge {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  Weight weight = 1.0;
+  EdgeType type = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Kind of a dynamic topology mutation.
+enum class UpdateKind : std::uint8_t {
+  kInsert,         ///< insert a new edge (or refresh weight if it exists)
+  kInPlaceUpdate,  ///< overwrite the weight of an existing edge
+  kDelete,         ///< remove an edge
+};
+
+/// One entry in a dynamic update batch.
+struct EdgeUpdate {
+  UpdateKind kind = UpdateKind::kInsert;
+  Edge edge;
+};
+
+/// A sampled neighbour: destination vertex plus the weight of the edge
+/// that was traversed.
+struct SampledNeighbor {
+  VertexId vertex = kInvalidVertex;
+  Weight weight = 0.0;
+
+  friend bool operator==(const SampledNeighbor&,
+                         const SampledNeighbor&) = default;
+};
+
+}  // namespace platod2gl

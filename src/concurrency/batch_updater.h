@@ -1,0 +1,50 @@
+// BatchUpdater: the batch-based latch-free concurrent update mechanism of
+// PlatoD2GL (paper Section VI-B and Appendix B), modelled on PALM.
+//
+// The latch-free flow works in two phases:
+//   1. sort  — the batch is stably sorted by source vertex, so all
+//              updates touching one samtree become contiguous and their
+//              original order (insert-then-delete etc.) is preserved;
+//   2. apply — source groups are partitioned across worker threads; each
+//              group's samtree is looked up (or created) once under its
+//              map-shard lock — samtree values are heap-pinned, so the
+//              pointer survives rehashes — and then, because every tree
+//              is owned by exactly one thread for the whole phase, the
+//              group is applied bottom-up with no latches at all.
+//
+// The latch-based reference mode (Fig. 11(c)'s implicit baseline) skips
+// the sort/partition and lets threads race over the raw batch, taking the
+// per-shard latch for every single update.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "storage/topology_store.h"
+
+namespace platod2gl {
+
+class BatchUpdater {
+ public:
+  /// The updater borrows the store and the pool; both must outlive it.
+  BatchUpdater(TopologyStore* store, ThreadPool* pool);
+
+  /// Latch-free batch application (phases 1-3 above). The batch is taken
+  /// by value because phase 1 sorts it.
+  void ApplyBatch(std::vector<EdgeUpdate> batch);
+
+  /// Latch-based reference: threads contend on per-shard spinlocks for
+  /// every update.
+  void ApplyBatchLatchBased(const std::vector<EdgeUpdate>& batch);
+
+  /// Single-threaded application, for measuring parallel speedup.
+  void ApplySequential(const std::vector<EdgeUpdate>& batch);
+
+ private:
+  TopologyStore* store_;
+  ThreadPool* pool_;
+};
+
+}  // namespace platod2gl

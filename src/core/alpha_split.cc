@@ -1,0 +1,63 @@
+#include "core/alpha_split.h"
+
+#include <cassert>
+#include <utility>
+
+namespace platod2gl {
+namespace {
+
+/// Partition [lo, hi) around the element at the median position of the
+/// range (paper Algorithm 1 lines 1-3): after the call the pivot sits at
+/// the returned index, smaller IDs before it, larger IDs after it.
+std::size_t PartitionAroundMedianPos(std::vector<VertexId>& ids,
+                                     std::vector<Weight>& weights,
+                                     std::size_t lo, std::size_t hi) {
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::swap(ids[mid], ids[lo]);
+  std::swap(weights[mid], weights[lo]);
+  const VertexId pivot = ids[lo];
+
+  // Lomuto-style sweep that leaves the pivot at its exact sorted position,
+  // which is the property lines 4-11 of Algorithm 1 rely on.
+  std::size_t store = lo;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    if (ids[i] < pivot) {
+      ++store;
+      std::swap(ids[i], ids[store]);
+      std::swap(weights[i], weights[store]);
+    }
+  }
+  std::swap(ids[lo], ids[store]);
+  std::swap(weights[lo], weights[store]);
+  return store;
+}
+
+}  // namespace
+
+std::size_t AlphaSplit(std::vector<VertexId>& ids,
+                       std::vector<Weight>& weights, std::size_t target,
+                       std::size_t alpha) {
+  assert(ids.size() == weights.size());
+  assert(!ids.empty());
+  assert(target < ids.size());
+
+  std::size_t lo = 0;
+  std::size_t hi = ids.size();
+  while (true) {
+    const std::size_t pos = PartitionAroundMedianPos(ids, weights, lo, hi);
+    // α-relaxed acceptance (Eq. 3): any pivot within `alpha` of the target
+    // is good enough — but never accept a degenerate split that would leave
+    // one side empty.
+    const std::size_t dist = pos > target ? pos - target : target - pos;
+    if (dist <= alpha && pos > 0 && pos < ids.size() - 1) return pos;
+    if (pos == target) return pos;  // exact hit at a boundary target
+    if (target < pos) {
+      hi = pos;
+    } else {
+      lo = pos + 1;
+    }
+    if (lo >= hi) return pos;  // range exhausted: pos is the closest pivot
+  }
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,29 @@
+// α-Split (paper Algorithm 1): quickselect-style approximate-median
+// partitioning of a leaf node's unordered (id, weight) pairs.
+//
+// A sort-based leaf split costs O(n log n). α-Split instead recursively
+// Hoare-partitions around median-position pivots until a pivot lands within
+// `alpha` positions of the requested split point, giving an O(n) average
+// split (paper Theorem 1). With alpha == 0 this degenerates to exact
+// QuickSelect; larger alpha trades balance for speed (Fig. 11(d)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace platod2gl {
+
+/// Partition `ids` (with `weights` permuted in lockstep) around an
+/// approximate pivot: on return there is a position p with
+/// |p - target| <= alpha such that ids[j] < ids[p] for all j < p and
+/// ids[j] > ids[p] for all j > p (IDs are unique within a neighbour list).
+///
+/// Returns p. Requires ids.size() == weights.size() and
+/// 0 < target < ids.size().
+std::size_t AlphaSplit(std::vector<VertexId>& ids,
+                       std::vector<Weight>& weights, std::size_t target,
+                       std::size_t alpha);
+
+}  // namespace platod2gl

@@ -1,0 +1,205 @@
+// Samtree: the per-vertex dynamic neighbourhood store of PlatoD2GL
+// (paper Section IV).
+//
+// A samtree with node capacity c is a B-tree-like structure (Definition 1):
+// every node has at most c children, internal nodes at least ceil(c/2), the
+// root at least two unless it is a leaf, and all leaves sit on one level.
+//
+//  * Leaves hold the neighbours of the source vertex: an *unordered*
+//    CP-ID list plus an FSTable over the edge weights, so in-place weight
+//    changes and swap-deletes cost O(log n_L) (Section V).
+//  * Internal nodes hold an *ordered* list of each child's minimum ID (for
+//    routing) plus a CSTable over per-child subtree weight sums (for the
+//    ITS descent during sampling) and per-child element counts (for uniform
+//    sampling).
+//  * Leaf overflow triggers the α-Split partition (Algorithm 1); leaf
+//    underflow merges with the nearest sibling and re-splits if the merge
+//    overflows, preserving Definition 1.
+//  * Weighted sampling runs ITS over the CSTables down the internal levels
+//    and FTS inside the leaf (Section V-C).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/memory.h"
+#include "common/random.h"
+#include "common/types.h"
+#include "core/compressed_ids.h"
+#include "index/cstable.h"
+#include "index/fstable.h"
+
+namespace platod2gl {
+
+/// Tunables of a samtree (paper defaults: capacity 256, alpha 0,
+/// compression on).
+struct SamtreeConfig {
+  std::uint32_t node_capacity = 256;  ///< c in the paper
+  std::uint32_t alpha = 0;            ///< α-Split slackness
+  bool compress_ids = true;           ///< CP-IDs compression (Section VI-A)
+};
+
+/// Counters for Table V: how many structural node modifications the
+/// dynamic updates performed, split by node kind.
+struct SamtreeOpStats {
+  std::uint64_t leaf_ops = 0;      ///< leaf appends / removals / splits
+  std::uint64_t internal_ops = 0;  ///< internal child-list changes / splits
+  std::uint64_t leaf_splits = 0;
+  std::uint64_t internal_splits = 0;
+  std::uint64_t merges = 0;
+};
+
+class Samtree {
+ public:
+  // Node layout — an implementation detail, exposed so the translation
+  // unit's file-local helpers (and white-box tests) can traverse the tree.
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+  explicit Samtree(SamtreeConfig config = {});
+  ~Samtree();
+
+  /// Construct a samtree from a whole neighbourhood at once: neighbours
+  /// are sorted by ID (O(n log n)), packed into evenly-filled leaves and
+  /// assembled bottom-up in O(n), skipping the per-insert descent/split
+  /// work entirely. Duplicate IDs keep their last weight. This is what
+  /// checkpoint restore and re-partitioning use.
+  static Samtree BulkBuild(std::vector<std::pair<VertexId, Weight>> neighbors,
+                           SamtreeConfig config = {});
+
+  /// Deep copy (Samtree is move-only; copies are explicit). Built via
+  /// BulkBuild, so the clone is freshly balanced.
+  Samtree Clone() const { return BulkBuild(Neighbors(), config_); }
+
+  Samtree(Samtree&&) noexcept;
+  Samtree& operator=(Samtree&&) noexcept;
+  Samtree(const Samtree&) = delete;
+  Samtree& operator=(const Samtree&) = delete;
+
+  /// Insert neighbour v with weight w; if v is already present its weight
+  /// is overwritten (paper Algorithm 2).
+  void Insert(VertexId v, Weight w);
+
+  /// Bulk-load insert: the caller guarantees v is not present, so the
+  /// O(n_L) duplicate scan in the leaf is skipped. Inserting a duplicate
+  /// through this path corrupts the tree — use only on deduplicated
+  /// streams (see NeighborStore::AddEdgeFast).
+  void InsertUnchecked(VertexId v, Weight w);
+
+  /// In-place weight update; returns false if v is absent.
+  bool Update(VertexId v, Weight w);
+
+  /// Delete neighbour v; returns false if v is absent.
+  bool Remove(VertexId v);
+
+  bool Contains(VertexId v) const;
+
+  /// Edge weight to v, or nullopt if absent.
+  std::optional<Weight> GetWeight(VertexId v) const;
+
+  /// Number of neighbours stored.
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Sum of all edge weights.
+  Weight TotalWeight() const;
+
+  /// Height of the tree (number of levels; 0 when empty, 1 for a lone
+  /// leaf).
+  std::size_t Height() const;
+
+  /// Draw one neighbour with probability w / W (ITS over internal
+  /// CSTables + FTS in the leaf). Tree must be non-empty.
+  VertexId SampleWeighted(Xoshiro256& rng) const;
+
+  /// Draw one neighbour uniformly at random. Tree must be non-empty.
+  VertexId SampleUniform(Xoshiro256& rng) const;
+
+  /// Draw k neighbours with replacement (weighted or uniform).
+  void SampleWeighted(std::size_t k, Xoshiro256& rng,
+                      std::vector<VertexId>* out) const;
+  void SampleUniform(std::size_t k, Xoshiro256& rng,
+                     std::vector<VertexId>* out) const;
+
+  /// Draw up to k *distinct* neighbours, weighted, without replacement:
+  /// each draw temporarily zeroes the drawn edge's weight (an O(log n)
+  /// FSTable delta — the operation that makes this affordable at all;
+  /// a CSTable-based store would pay O(n) per draw) and every weight is
+  /// restored before returning. May return fewer than k when the
+  /// remaining weight mass is zero. Non-const because of the temporary
+  /// mutation; the tree is bit-identical afterwards up to floating-point
+  /// rounding.
+  std::vector<VertexId> SampleWeightedDistinct(std::size_t k,
+                                               Xoshiro256& rng);
+
+  /// Number of neighbours with ID in [lo, hi] — O(H + n_L) thanks to the
+  /// ID-partitioned internal nodes and per-child counts.
+  std::size_t CountInRange(VertexId lo, VertexId hi) const;
+
+  /// All (neighbour, weight) pairs with ID in [lo, hi].
+  std::vector<std::pair<VertexId, Weight>> NeighborsInRange(
+      VertexId lo, VertexId hi) const;
+
+  /// All (neighbour, weight) pairs, in arbitrary order — O(n).
+  std::vector<std::pair<VertexId, Weight>> Neighbors() const;
+
+  /// Visit every (neighbour, weight) pair without materialising the
+  /// whole neighbourhood — O(n) time, O(n_L) transient space (one leaf's
+  /// decoded weights at a time).
+  void ForEachNeighbor(
+      const std::function<void(VertexId, Weight)>& fn) const;
+
+  /// All neighbour IDs in ascending order. Leaves are ID-disjoint
+  /// intervals, so only each leaf's n_L entries need sorting:
+  /// O(n log n_L) instead of O(n log n). Feeds merge-join set operations
+  /// (common neighbours, intersections).
+  std::vector<VertexId> SortedIds() const;
+
+  /// Bytes used, split into topology / index / other.
+  MemoryBreakdown Memory() const;
+  std::size_t MemoryUsage() const { return Memory().Total(); }
+
+  const SamtreeOpStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+  const SamtreeConfig& config() const { return config_; }
+
+  /// Verify every Definition-1 / ordering / aggregation invariant.
+  /// Returns true when consistent; otherwise fills *error. Used by the
+  /// property-test suites.
+  bool CheckInvariants(std::string* error) const;
+
+ private:
+  struct InsertOutcome;
+  struct RemoveOutcome;
+
+  void InsertImpl(VertexId v, Weight w, bool check_existing);
+  InsertOutcome InsertRec(Node* node, VertexId v, Weight w,
+                          bool check_existing);
+  /// Single-descent in-place update; returns the weight delta or nullopt
+  /// when v is absent.
+  std::optional<Weight> UpdateRec(Node* node, VertexId v, Weight w);
+  RemoveOutcome RemoveRec(Node* node, VertexId v);
+
+  std::unique_ptr<LeafNode> SplitLeaf(LeafNode* leaf, VertexId* sibling_min);
+  std::unique_ptr<InternalNode> SplitInternal(InternalNode* node,
+                                              VertexId* sibling_min);
+  void MergeChildInto(InternalNode* parent, std::size_t child_idx);
+  void RebuildParentAggregates(InternalNode* node);
+
+  std::size_t MinFill() const;
+
+  SamtreeConfig config_;
+  std::unique_ptr<Node> root_;
+  std::size_t count_ = 0;
+  SamtreeOpStats stats_;
+};
+
+}  // namespace platod2gl

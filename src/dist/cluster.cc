@@ -1,0 +1,115 @@
+#include "dist/cluster.h"
+
+#include "common/timer.h"
+
+#include <algorithm>
+
+namespace platod2gl {
+
+GraphCluster::GraphCluster(ClusterConfig config)
+    : config_(config),
+      partitioner_(config.num_shards),
+      pool_(config.num_client_threads) {
+  shards_.reserve(partitioner_.num_shards());
+  for (std::size_t i = 0; i < partitioner_.num_shards(); ++i) {
+    shards_.push_back(std::make_unique<GraphShard>(config_.shard_config));
+  }
+}
+
+void GraphCluster::Apply(const EdgeUpdate& update) {
+  ++stats_.rpcs;
+  stats_.virtual_network_us += config_.rpc_latency_us;
+  shards_[partitioner_.ShardOf(update.edge.src)]->Apply(update);
+}
+
+void GraphCluster::ApplyBatch(const std::vector<EdgeUpdate>& batch) {
+  std::vector<std::vector<EdgeUpdate>> per_shard(shards_.size());
+  for (const EdgeUpdate& u : batch) {
+    per_shard[partitioner_.ShardOf(u.edge.src)].push_back(u);
+  }
+  pool_.ParallelFor(shards_.size(), [&](std::size_t s) {
+    if (per_shard[s].empty()) return;
+    Timer rpc;
+    for (const EdgeUpdate& u : per_shard[s]) shards_[s]->Apply(u);
+    rpc_latency_.RecordMicros(rpc.ElapsedMicros());
+  });
+  for (const auto& group : per_shard) {
+    if (group.empty()) continue;
+    ++stats_.rpcs;
+    stats_.virtual_network_us += config_.rpc_latency_us;
+    // UpdateBatch wire size (dist/wire.h): tag + count + 29 B per update.
+    stats_.bytes_sent += 5 + group.size() * 29;
+    stats_.bytes_received += 1;  // ack
+  }
+}
+
+NeighborBatch GraphCluster::SampleNeighbors(const std::vector<VertexId>& seeds,
+                                            std::size_t fanout, bool weighted,
+                                            std::uint64_t seed,
+                                            EdgeType type) {
+  // Group seed positions by owning shard.
+  std::vector<std::vector<std::size_t>> shard_seeds(shards_.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    shard_seeds[partitioner_.ShardOf(seeds[i])].push_back(i);
+  }
+
+  // One parallel RPC per non-empty shard.
+  std::vector<std::vector<VertexId>> results(seeds.size());
+  pool_.ParallelFor(shards_.size(), [&](std::size_t s) {
+    if (shard_seeds[s].empty()) return;
+    Timer rpc;
+    Xoshiro256 rng(seed ^ (0xD1B54A32D192ED03ULL * (s + 1)));
+    for (std::size_t pos : shard_seeds[s]) {
+      shards_[s]->SampleNeighbors(seeds[pos], fanout, weighted, rng,
+                                  &results[pos], type);
+    }
+    rpc_latency_.RecordMicros(rpc.ElapsedMicros());
+  });
+  for (const auto& group : shard_seeds) {
+    if (group.empty()) continue;
+    ++stats_.rpcs;
+    stats_.virtual_network_us += config_.rpc_latency_us;
+    // SampleRequest wire size (dist/wire.h): header + 8 B per seed;
+    // SampleResponse: header + per seed (4 B length + 8 B per neighbour).
+    stats_.bytes_sent += 14 + group.size() * sizeof(VertexId);
+    std::uint64_t resp = 5;
+    for (std::size_t pos : group) {
+      resp += 4 + results[pos].size() * sizeof(VertexId);
+    }
+    stats_.bytes_received += resp;
+  }
+
+  // Re-assemble in seed order.
+  NeighborBatch batch;
+  batch.offsets.reserve(seeds.size() + 1);
+  batch.offsets.push_back(0);
+  for (const auto& r : results) {
+    batch.neighbors.insert(batch.neighbors.end(), r.begin(), r.end());
+    batch.offsets.push_back(batch.neighbors.size());
+  }
+  return batch;
+}
+
+std::size_t GraphCluster::Degree(VertexId src, EdgeType type) const {
+  return shards_[partitioner_.ShardOf(src)]->store().Degree(src, type);
+}
+
+std::size_t GraphCluster::NumEdges() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->store().NumEdges();
+  return n;
+}
+
+double GraphCluster::LoadImbalance() const {
+  std::size_t max_edges = 0;
+  std::size_t min_edges = static_cast<std::size_t>(-1);
+  for (const auto& s : shards_) {
+    const std::size_t e = s->store().NumEdges();
+    max_edges = std::max(max_edges, e);
+    min_edges = std::min(min_edges, e);
+  }
+  if (min_edges == 0) return static_cast<double>(max_edges);
+  return static_cast<double>(max_edges) / static_cast<double>(min_edges);
+}
+
+}  // namespace platod2gl

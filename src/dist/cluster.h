@@ -1,0 +1,86 @@
+// GraphCluster: the distributed graph-storage simulation.
+//
+// Routes every request to the shard owning its source vertex
+// (hash-by-source, like the production deployment), fans batched requests
+// out across shards on a thread pool (one simulated RPC per shard per
+// batch), and keeps virtual-time accounting of the network cost so
+// experiments can report "what a real cluster would have paid" without
+// sleeping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "dist/partitioner.h"
+#include "dist/shard.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace platod2gl {
+
+struct ClusterConfig {
+  std::size_t num_shards = 4;
+  GraphStoreConfig shard_config;
+  /// Virtual per-RPC latency (accounted, never slept).
+  std::uint64_t rpc_latency_us = 150;
+  std::size_t num_client_threads = 4;
+};
+
+struct ClusterStats {
+  std::uint64_t rpcs = 0;
+  std::uint64_t virtual_network_us = 0;
+  /// Wire-format sizes (see dist/wire.h) the RPCs would have shipped,
+  /// computed arithmetically from the same layout the codec pins.
+  std::uint64_t bytes_sent = 0;      ///< client -> shards (requests)
+  std::uint64_t bytes_received = 0;  ///< shards -> client (responses)
+};
+
+class GraphCluster {
+ public:
+  explicit GraphCluster(ClusterConfig config = {});
+
+  /// Route one update to its owning shard.
+  void Apply(const EdgeUpdate& update);
+
+  /// Apply a batch: updates are grouped per shard and shipped as one RPC
+  /// per non-empty shard, executed in parallel.
+  void ApplyBatch(const std::vector<EdgeUpdate>& batch);
+
+  /// Batched neighbour sampling across shards: seeds are grouped by owner,
+  /// one RPC per shard, results re-assembled in seed order.
+  NeighborBatch SampleNeighbors(const std::vector<VertexId>& seeds,
+                                std::size_t fanout, bool weighted,
+                                std::uint64_t seed, EdgeType type = 0);
+
+  std::size_t Degree(VertexId src, EdgeType type = 0) const;
+  std::size_t NumEdges() const;
+
+  GraphShard& shard(std::size_t i) { return *shards_.at(i); }
+  const GraphShard& shard(std::size_t i) const { return *shards_.at(i); }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  const Partitioner& partitioner() const { return partitioner_; }
+  const ClusterStats& stats() const { return stats_; }
+
+  /// Per-RPC compute-latency distribution (excludes the virtual network
+  /// cost). Thread-safe.
+  const LatencyHistogram& rpc_latency() const { return rpc_latency_; }
+
+  /// Max/min shard load ratio — the balance metric hash-by-source is
+  /// chosen for.
+  double LoadImbalance() const;
+
+ private:
+  ClusterConfig config_;
+  HashBySourcePartitioner partitioner_;
+  std::vector<std::unique_ptr<GraphShard>> shards_;
+  ThreadPool pool_;
+  ClusterStats stats_;
+  LatencyHistogram rpc_latency_;
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,25 @@
+#include "dist/partitioner.h"
+
+#include <algorithm>
+
+#include "storage/cuckoo_map.h"  // HashVertexId
+
+namespace platod2gl {
+
+HashBySourcePartitioner::HashBySourcePartitioner(std::size_t num_shards)
+    : num_shards_(std::max<std::size_t>(1, num_shards)) {}
+
+std::size_t HashBySourcePartitioner::ShardOf(VertexId v) const {
+  return HashVertexId(v, 0x2545F4914F6CDD1DULL) % num_shards_;
+}
+
+RangePartitioner::RangePartitioner(std::size_t num_shards, VertexId max_id)
+    : num_shards_(std::max<std::size_t>(1, num_shards)),
+      range_size_(std::max<VertexId>(1, max_id / num_shards_ + 1)) {}
+
+std::size_t RangePartitioner::ShardOf(VertexId v) const {
+  return std::min<std::size_t>(num_shards_ - 1,
+                               static_cast<std::size_t>(v / range_size_));
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,49 @@
+// Graph partitioning for the distributed storage simulation.
+//
+// The paper stores the graph across "graph servers"; PlatoD2GL (like
+// PlatoGL and AliGraph's default mode) partitions hash-by-source, which is
+// the only strategy that keeps single-edge updates local — METIS-style
+// offline partitioning would force a re-partition on every insert
+// (paper Section I). A contiguous range partitioner is included as the
+// static-baseline comparison point.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace platod2gl {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual std::size_t ShardOf(VertexId v) const = 0;
+  virtual std::size_t num_shards() const = 0;
+};
+
+/// shard = hash(src) mod S: uniform load, update-local, no re-partitioning.
+class HashBySourcePartitioner : public Partitioner {
+ public:
+  explicit HashBySourcePartitioner(std::size_t num_shards);
+  std::size_t ShardOf(VertexId v) const override;
+  std::size_t num_shards() const override { return num_shards_; }
+
+ private:
+  std::size_t num_shards_;
+};
+
+/// shard = v / range_size over a fixed ID universe: preserves ID locality
+/// (good for CP-IDs compression) but skews load on clustered workloads.
+class RangePartitioner : public Partitioner {
+ public:
+  RangePartitioner(std::size_t num_shards, VertexId max_id);
+  std::size_t ShardOf(VertexId v) const override;
+  std::size_t num_shards() const override { return num_shards_; }
+
+ private:
+  std::size_t num_shards_;
+  VertexId range_size_;
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,35 @@
+// RemoteSubgraphSampler: K-hop subgraph sampling against a GraphCluster —
+// the training-server side of the paper's deployment (Figure 1: training
+// servers issue batched sampling RPCs to the graph servers).
+//
+// Each hop is ONE batched RPC round (one request per shard holding any
+// frontier vertex), not one RPC per vertex; the cluster's virtual-network
+// accounting makes the difference measurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "dist/cluster.h"
+#include "sampling/subgraph_sampler.h"
+
+namespace platod2gl {
+
+class RemoteSubgraphSampler {
+ public:
+  explicit RemoteSubgraphSampler(GraphCluster* cluster)
+      : cluster_(cluster) {}
+
+  /// Same semantics as SubgraphSampler::Sample, executed via batched
+  /// cluster RPCs. `seed` derives the per-shard RNG streams, so results
+  /// are deterministic for a fixed shard count.
+  SampledSubgraph Sample(const std::vector<VertexId>& seeds,
+                         const std::vector<SubgraphSampler::Hop>& hops,
+                         std::uint64_t seed);
+
+ private:
+  GraphCluster* cluster_;
+};
+
+}  // namespace platod2gl

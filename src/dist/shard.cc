@@ -1,0 +1,19 @@
+#include "dist/shard.h"
+
+namespace platod2gl {
+
+GraphShard::GraphShard(GraphStoreConfig config) : store_(config) {}
+
+void GraphShard::Apply(const EdgeUpdate& update) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  store_.Apply(update);
+}
+
+bool GraphShard::SampleNeighbors(VertexId src, std::size_t k, bool weighted,
+                                 Xoshiro256& rng, std::vector<VertexId>* out,
+                                 EdgeType type) const {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return store_.SampleNeighbors(src, k, weighted, rng, out, type);
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,41 @@
+// GraphShard: one simulated graph server.
+//
+// The paper's evaluation cluster dedicates 54 machines to graph storage;
+// this repo substitutes in-process shards (see DESIGN.md, substitutions).
+// A shard owns a full GraphStore for the vertices hashed onto it and
+// counts the requests it served so the cluster can report load balance.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+
+class GraphShard {
+ public:
+  explicit GraphShard(GraphStoreConfig config = {});
+
+  GraphStore& store() { return store_; }
+  const GraphStore& store() const { return store_; }
+
+  void Apply(const EdgeUpdate& update);
+
+  bool SampleNeighbors(VertexId src, std::size_t k, bool weighted,
+                       Xoshiro256& rng, std::vector<VertexId>* out,
+                       EdgeType type = 0) const;
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  GraphStore store_;
+  mutable std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,125 @@
+#include "dist/wire.h"
+
+#include <cstring>
+
+namespace platod2gl::wire {
+namespace {
+
+template <typename T>
+void Put(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool Get(const std::string& in, std::size_t* pos, T* value) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeSampleRequest(const SampleRequest& req) {
+  std::string out;
+  out.reserve(14 + req.seeds.size() * sizeof(VertexId));
+  out.push_back('S');
+  Put(&out, req.edge_type);
+  Put(&out, req.fanout);
+  Put(&out, static_cast<std::uint8_t>(req.weighted ? 1 : 0));
+  Put(&out, static_cast<std::uint32_t>(req.seeds.size()));
+  for (VertexId s : req.seeds) Put(&out, s);
+  return out;
+}
+
+bool DecodeSampleRequest(const std::string& bytes, SampleRequest* req) {
+  std::size_t pos = 0;
+  if (bytes.empty() || bytes[pos++] != 'S') return false;
+  std::uint8_t weighted;
+  std::uint32_t count;
+  if (!Get(bytes, &pos, &req->edge_type) || !Get(bytes, &pos, &req->fanout) ||
+      !Get(bytes, &pos, &weighted) || !Get(bytes, &pos, &count)) {
+    return false;
+  }
+  req->weighted = weighted != 0;
+  req->seeds.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!Get(bytes, &pos, &req->seeds[i])) return false;
+  }
+  return pos == bytes.size();
+}
+
+std::string EncodeSampleResponse(const NeighborBatch& batch) {
+  std::string out;
+  out.push_back('R');
+  Put(&out, static_cast<std::uint32_t>(batch.NumSeeds()));
+  for (std::size_t i = 0; i + 1 < batch.offsets.size(); ++i) {
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(batch.offsets[i + 1] - batch.offsets[i]);
+    Put(&out, len);
+    for (std::size_t j = batch.offsets[i]; j < batch.offsets[i + 1]; ++j) {
+      Put(&out, batch.neighbors[j]);
+    }
+  }
+  return out;
+}
+
+bool DecodeSampleResponse(const std::string& bytes, NeighborBatch* batch) {
+  std::size_t pos = 0;
+  if (bytes.empty() || bytes[pos++] != 'R') return false;
+  std::uint32_t seeds;
+  if (!Get(bytes, &pos, &seeds)) return false;
+  batch->neighbors.clear();
+  batch->offsets.assign(1, 0);
+  for (std::uint32_t i = 0; i < seeds; ++i) {
+    std::uint32_t len;
+    if (!Get(bytes, &pos, &len)) return false;
+    for (std::uint32_t j = 0; j < len; ++j) {
+      VertexId v;
+      if (!Get(bytes, &pos, &v)) return false;
+      batch->neighbors.push_back(v);
+    }
+    batch->offsets.push_back(batch->neighbors.size());
+  }
+  return pos == bytes.size();
+}
+
+std::string EncodeUpdateBatch(const std::vector<EdgeUpdate>& batch) {
+  std::string out;
+  out.reserve(5 + batch.size() * 29);
+  out.push_back('U');
+  Put(&out, static_cast<std::uint32_t>(batch.size()));
+  for (const EdgeUpdate& u : batch) {
+    Put(&out, static_cast<std::uint8_t>(u.kind));
+    Put(&out, u.edge.type);
+    Put(&out, u.edge.src);
+    Put(&out, u.edge.dst);
+    Put(&out, u.edge.weight);
+  }
+  return out;
+}
+
+bool DecodeUpdateBatch(const std::string& bytes,
+                       std::vector<EdgeUpdate>* batch) {
+  std::size_t pos = 0;
+  if (bytes.empty() || bytes[pos++] != 'U') return false;
+  std::uint32_t count;
+  if (!Get(bytes, &pos, &count)) return false;
+  batch->clear();
+  batch->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint8_t kind;
+    EdgeUpdate u;
+    if (!Get(bytes, &pos, &kind) || !Get(bytes, &pos, &u.edge.type) ||
+        !Get(bytes, &pos, &u.edge.src) || !Get(bytes, &pos, &u.edge.dst) ||
+        !Get(bytes, &pos, &u.edge.weight)) {
+      return false;
+    }
+    if (kind > static_cast<std::uint8_t>(UpdateKind::kDelete)) return false;
+    u.kind = static_cast<UpdateKind>(kind);
+    batch->push_back(u);
+  }
+  return pos == bytes.size();
+}
+
+}  // namespace platod2gl::wire

@@ -1,0 +1,48 @@
+// Wire format for the graph-server RPCs.
+//
+// The in-process cluster simulation executes requests as function calls;
+// a real deployment serialises them. This codec defines the byte layout
+// so the simulation can account for bytes-on-the-wire (and tests pin the
+// format), keeping the virtual-network model honest:
+//
+//   SampleRequest:  tag 'S' | edge_type u32 | fanout u32 | weighted u8 |
+//                   count u32 | count x seed u64
+//   SampleResponse: tag 'R' | count u32 | count x (len u32, len x u64)
+//   UpdateBatch:    tag 'U' | count u32 | count x
+//                   (kind u8, type u32, src u64, dst u64, weight f64)
+//
+// All integers little-endian (the deployment is homogeneous x86).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace platod2gl::wire {
+
+struct SampleRequest {
+  EdgeType edge_type = 0;
+  std::uint32_t fanout = 0;
+  bool weighted = true;
+  std::vector<VertexId> seeds;
+
+  friend bool operator==(const SampleRequest&,
+                         const SampleRequest&) = default;
+};
+
+std::string EncodeSampleRequest(const SampleRequest& req);
+bool DecodeSampleRequest(const std::string& bytes, SampleRequest* req);
+
+/// The response reuses NeighborBatch (per-seed ranges).
+std::string EncodeSampleResponse(const NeighborBatch& batch);
+bool DecodeSampleResponse(const std::string& bytes, NeighborBatch* batch);
+
+std::string EncodeUpdateBatch(const std::vector<EdgeUpdate>& batch);
+bool DecodeUpdateBatch(const std::string& bytes,
+                       std::vector<EdgeUpdate>* batch);
+
+}  // namespace platod2gl::wire

@@ -1,0 +1,129 @@
+#include "gen/datasets.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "gen/generators.h"
+
+namespace platod2gl {
+
+double DatasetScale() {
+  const char* env = std::getenv("PLATOD2GL_SCALE");
+  if (!env) return 1.0;
+  const double s = std::atof(env);
+  return std::clamp(s, 0.01, 100.0);
+}
+
+namespace {
+
+std::size_t Scaled(std::size_t n) {
+  return std::max<std::size_t>(1, static_cast<std::size_t>(
+                                      static_cast<double>(n) *
+                                      DatasetScale()));
+}
+
+}  // namespace
+
+Dataset MakeOgbnMini() {
+  RmatParams p;
+  p.scale = 17;                    // ~131K ID space, ~96K touched
+  p.num_edges = Scaled(1250000);   // x2 after MakeBidirected => avg deg ~26
+  p.seed = 101;
+  Dataset d{.name = "ogbn-mini", .edges = GenerateRmat(p)};
+  MakeBidirected(&d.edges);
+  DedupEdges(&d.edges);
+  return d;
+}
+
+Dataset MakeRedditMini() {
+  RmatParams p;
+  p.scale = 14;                    // ~16K vertices
+  p.num_edges = Scaled(2000000);   // x2 => avg degree ~250: the dense one
+  p.a = 0.45;
+  p.b = 0.22;
+  p.c = 0.22;
+  p.d = 0.11;                      // flatter matrix: Reddit is less skewed
+  p.seed = 202;
+  Dataset d{.name = "reddit-mini", .edges = GenerateRmat(p)};
+  MakeBidirected(&d.edges);
+  DedupEdges(&d.edges);
+  return d;
+}
+
+Dataset MakeWeChatMini() {
+  // Disjoint 64-bit ID namespaces per vertex type, mirroring production
+  // ID allocation (and exercising CP-IDs compression the same way).
+  constexpr VertexId kUserBase = 0x0001000000000000ULL;
+  constexpr VertexId kLiveBase = 0x0002000000000000ULL;
+  constexpr VertexId kAttrBase = 0x0003000000000000ULL;
+  constexpr VertexId kTagBase = 0x0004000000000000ULL;
+
+  Dataset d{.name = "wechat-mini", .num_relations = 4};
+
+  {  // User-Live: the dominant relation (99% of paper edges, density 62).
+    BipartiteParams p;
+    p.num_sources = Scaled(32768);
+    p.num_targets = Scaled(2048);
+    p.num_edges = Scaled(2000000);
+    p.zipf_exponent = 0.9;  // live-room popularity is heavily skewed
+    p.source_base = kUserBase;
+    p.target_base = kLiveBase;
+    p.type = kUserLive;
+    p.seed = 303;
+    auto edges = GenerateBipartite(p);
+    d.edges.insert(d.edges.end(), edges.begin(), edges.end());
+  }
+  {  // User-Attr: sparse (paper density 1.96).
+    BipartiteParams p;
+    p.num_sources = Scaled(32768);
+    p.num_targets = Scaled(4096);
+    p.num_edges = Scaled(65536);
+    p.zipf_exponent = 0.5;
+    p.source_base = kUserBase;
+    p.target_base = kAttrBase;
+    p.type = kUserAttr;
+    p.seed = 304;
+    auto edges = GenerateBipartite(p);
+    d.edges.insert(d.edges.end(), edges.begin(), edges.end());
+  }
+  {  // Live-Live: medium density (paper 49.6).
+    BipartiteParams p;
+    p.num_sources = Scaled(2048);
+    p.num_targets = Scaled(2048);
+    p.num_edges = Scaled(100000);
+    p.zipf_exponent = 0.7;
+    p.source_base = kLiveBase;
+    p.target_base = kLiveBase;
+    p.type = kLiveLive;
+    p.seed = 305;
+    auto edges = GenerateBipartite(p);
+    d.edges.insert(d.edges.end(), edges.begin(), edges.end());
+  }
+  {  // Live-Tag: sparse (paper 1.99).
+    BipartiteParams p;
+    p.num_sources = Scaled(2048);
+    p.num_targets = Scaled(512);
+    p.num_edges = Scaled(4096);
+    p.zipf_exponent = 0.6;
+    p.source_base = kLiveBase;
+    p.target_base = kTagBase;
+    p.type = kLiveTag;
+    p.seed = 306;
+    auto edges = GenerateBipartite(p);
+    d.edges.insert(d.edges.end(), edges.begin(), edges.end());
+  }
+
+  MakeBidirected(&d.edges);
+  DedupEdges(&d.edges);
+  return d;
+}
+
+std::vector<Dataset> MakeAllDatasets() {
+  std::vector<Dataset> out;
+  out.push_back(MakeOgbnMini());
+  out.push_back(MakeRedditMini());
+  out.push_back(MakeWeChatMini());
+  return out;
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,57 @@
+// Dataset presets: scaled-down synthetic stand-ins for the paper's
+// evaluation graphs (Table III), keeping each relation's density and
+// shape while shrinking vertex counts so the full experiment suite runs
+// on one machine.
+//
+//   paper                      this repo (default scale)
+//   ------------------------   --------------------------------------
+//   OGBN   2.4M x2.4M, 61.9M   ogbn-mini   RMAT,      ~96K,   ~2.5M
+//   Reddit 233K x233K, 114M    reddit-mini RMAT,      ~16K,   ~4.0M
+//   WeChat 2.1B nodes, 63.9B   wechat-mini 4 bipartite relations, ~5M
+//
+// Every dataset is bi-directed, as in the paper. Sizes scale linearly
+// with the PLATOD2GL_SCALE environment variable (default 1.0) so quick
+// smoke runs and larger sweeps share one code path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace platod2gl {
+
+struct Dataset {
+  std::string name;
+  std::vector<Edge> edges;      ///< bi-directed edge stream, insert order
+  std::size_t num_relations = 1;
+};
+
+/// Scale multiplier from PLATOD2GL_SCALE (clamped to [0.01, 100]).
+double DatasetScale();
+
+/// RMAT stand-in for OGBN-Products: ~96K vertices, avg degree ~26.
+Dataset MakeOgbnMini();
+
+/// RMAT stand-in for Reddit: small vertex set, very dense (avg degree
+/// ~250 at default scale — Reddit's 489 halved to keep runtimes sane;
+/// still an order denser than OGBN, which is the property that matters).
+Dataset MakeRedditMini();
+
+/// Heterogeneous stand-in for the WeChat production graph: four bipartite
+/// relations (User-Live, User-Attr, Live-Live, Live-Tag) with the paper's
+/// relative densities, IDs drawn from disjoint 64-bit namespaces.
+Dataset MakeWeChatMini();
+
+/// The WeChat relation IDs, for readability at call sites.
+enum WeChatRelation : EdgeType {
+  kUserLive = 0,
+  kUserAttr = 1,
+  kLiveLive = 2,
+  kLiveTag = 3,
+};
+
+/// All three presets, in the order the paper's figures list them.
+std::vector<Dataset> MakeAllDatasets();
+
+}  // namespace platod2gl

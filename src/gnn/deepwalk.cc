@@ -1,0 +1,78 @@
+#include "gnn/deepwalk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace platod2gl {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+DeepWalkTrainer::DeepWalkTrainer(const GraphStore* graph,
+                                 std::vector<VertexId> vocabulary,
+                                 DeepWalkConfig config, std::uint64_t seed)
+    : graph_(graph),
+      vocabulary_(std::move(vocabulary)),
+      config_(config),
+      walker_(graph),
+      embeddings_(config.dim, seed),
+      neg_rng_(seed ^ 0xA5A5A5A5ULL),
+      grad_scratch_(config.dim) {
+  assert(!vocabulary_.empty());
+}
+
+double DeepWalkTrainer::PairStep(VertexId center, VertexId other,
+                                 bool positive) {
+  float* c = embeddings_.Row(center);
+  float* o = embeddings_.Row(other);
+  double dot = 0.0;
+  for (std::size_t d = 0; d < config_.dim; ++d) dot += c[d] * o[d];
+  const double prob = Sigmoid(dot);
+  const double target = positive ? 1.0 : 0.0;
+  const float g =
+      static_cast<float>(target - prob) * config_.learning_rate;
+  // d loss / d c = (target - p) * o  (and symmetrically for o); the
+  // scratch keeps c's old value so the two updates don't feed each other.
+  for (std::size_t d = 0; d < config_.dim; ++d) grad_scratch_[d] = c[d];
+  for (std::size_t d = 0; d < config_.dim; ++d) c[d] += g * o[d];
+  for (std::size_t d = 0; d < config_.dim; ++d) {
+    o[d] += g * grad_scratch_[d];
+  }
+  return positive ? -std::log(std::max(1e-9, prob))
+                  : -std::log(std::max(1e-9, 1.0 - prob));
+}
+
+double DeepWalkTrainer::TrainEpoch(const std::vector<VertexId>& seeds,
+                                   Xoshiro256& rng) {
+  const WalkBatch walks = walker_.Walk(
+      seeds,
+      {.walk_length = config_.walk_length,
+       .edge_type = config_.edge_type,
+       .p = config_.p,
+       .q = config_.q},
+      rng);
+
+  double loss = 0.0;
+  std::size_t terms = 0;
+  for (const auto& walk : walks) {
+    for (std::size_t i = 0; i < walk.size(); ++i) {
+      const std::size_t hi = std::min(walk.size(), i + config_.window);
+      for (std::size_t j = i + 1; j < hi; ++j) {
+        loss += PairStep(walk[i], walk[j], /*positive=*/true);
+        ++terms;
+        for (int n = 0; n < config_.negatives; ++n) {
+          const VertexId neg =
+              vocabulary_[neg_rng_.NextUint64(vocabulary_.size())];
+          loss += PairStep(walk[i], neg, /*positive=*/false);
+          ++terms;
+        }
+      }
+    }
+  }
+  return terms == 0 ? 0.0 : loss / static_cast<double>(terms);
+}
+
+}  // namespace platod2gl

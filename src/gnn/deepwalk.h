@@ -1,0 +1,65 @@
+// DeepWalkTrainer: skip-gram-with-negative-sampling representation
+// learning over the dynamic graph's random walks (DeepWalk when
+// p = q = 1, node2vec otherwise).
+//
+// This is the classic graph-embedding workload the weighted-sampling
+// machinery serves: every walk transition is a weighted neighbour draw,
+// and embeddings train directly against the live topology — vertices
+// inserted mid-training get rows on first touch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "gnn/embedding.h"
+#include "storage/graph_store.h"
+#include "walk/random_walk.h"
+
+namespace platod2gl {
+
+struct DeepWalkConfig {
+  std::size_t dim = 32;
+  std::size_t walk_length = 12;
+  std::size_t window = 3;      ///< skip-gram context radius (in walk steps)
+  int negatives = 4;           ///< negative samples per positive pair
+  float learning_rate = 0.05f;
+  double p = 1.0;              ///< node2vec return parameter
+  double q = 1.0;              ///< node2vec in-out parameter
+  EdgeType edge_type = 0;
+};
+
+class DeepWalkTrainer {
+ public:
+  /// The graph is borrowed and must outlive the trainer. Negative samples
+  /// are drawn uniformly from `vocabulary` (usually every vertex).
+  DeepWalkTrainer(const GraphStore* graph, std::vector<VertexId> vocabulary,
+                  DeepWalkConfig config, std::uint64_t seed = 11);
+
+  /// One epoch: walk from each seed, then run skip-gram SGD over all
+  /// (center, context) pairs inside the window. Returns the mean
+  /// per-pair loss (positive + negatives averaged).
+  double TrainEpoch(const std::vector<VertexId>& seeds, Xoshiro256& rng);
+
+  /// Embedding similarity (dot product) of two vertices.
+  float Similarity(VertexId a, VertexId b) { return embeddings_.Dot(a, b); }
+
+  EmbeddingTable& embeddings() { return embeddings_; }
+  const DeepWalkConfig& config() const { return config_; }
+
+ private:
+  /// One positive-or-negative SGD step; returns its loss contribution.
+  double PairStep(VertexId center, VertexId other, bool positive);
+
+  const GraphStore* graph_;
+  std::vector<VertexId> vocabulary_;
+  DeepWalkConfig config_;
+  RandomWalker walker_;
+  EmbeddingTable embeddings_;
+  Xoshiro256 neg_rng_;
+  std::vector<float> grad_scratch_;
+};
+
+}  // namespace platod2gl

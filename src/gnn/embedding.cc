@@ -1,0 +1,50 @@
+#include "gnn/embedding.h"
+
+namespace platod2gl {
+
+EmbeddingTable::EmbeddingTable(std::size_t dim, std::uint64_t seed)
+    : dim_(dim), seed_(seed) {}
+
+float* EmbeddingTable::Row(VertexId v) {
+  RowData* row = rows_.GetOrCreate(v);
+  if (row->values.empty()) {
+    // Deterministic per-vertex init so training runs are reproducible
+    // regardless of the order vertices are first touched in.
+    Xoshiro256 rng(seed_ ^ (v * 0x9E3779B97F4A7C15ULL));
+    row->values.resize(dim_);
+    const float scale = 1.0f / static_cast<float>(dim_);
+    for (float& x : row->values) {
+      x = (static_cast<float>(rng.NextDouble()) - 0.5f) * scale;
+    }
+  }
+  return row->values.data();
+}
+
+const float* EmbeddingTable::RowIfExists(VertexId v) const {
+  const RowData* row = rows_.FindUnsafe(v);
+  if (!row || row->values.empty()) return nullptr;
+  return row->values.data();
+}
+
+float EmbeddingTable::Dot(VertexId a, VertexId b) {
+  const float* ra = Row(a);
+  const float* rb = Row(b);
+  float s = 0.0f;
+  for (std::size_t d = 0; d < dim_; ++d) s += ra[d] * rb[d];
+  return s;
+}
+
+void EmbeddingTable::Accumulate(VertexId v, const float* grad, float lr) {
+  float* row = Row(v);
+  for (std::size_t d = 0; d < dim_; ++d) row[d] += lr * grad[d];
+}
+
+std::size_t EmbeddingTable::MemoryUsage() const {
+  std::size_t bytes = rows_.MemoryUsage();
+  rows_.ForEach([&](VertexId, const RowData& r) {
+    bytes += sizeof(RowData) + r.values.capacity() * sizeof(float);
+  });
+  return bytes;
+}
+
+}  // namespace platod2gl

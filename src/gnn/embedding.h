@@ -1,0 +1,55 @@
+// EmbeddingTable: a dynamic per-vertex embedding store.
+//
+// Vertex embeddings are the other model-side artefact of graph learning
+// (DeepWalk / node2vec / two-tower retrieval). Unlike a dense matrix, a
+// dynamic graph needs create-on-first-touch rows — new vertices appear
+// mid-training — so rows live in the same concurrent cuckoo map the
+// topology uses and are initialised lazily.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "storage/cuckoo_map.h"
+
+namespace platod2gl {
+
+class EmbeddingTable {
+ public:
+  EmbeddingTable(std::size_t dim, std::uint64_t seed = 0x5EED);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t size() const { return rows_.Size(); }
+
+  /// The row of v, created (uniform in [-0.5/dim, 0.5/dim], word2vec
+  /// style) on first touch. The pointer is heap-pinned: stable until the
+  /// table is destroyed. Thread-safe creation; concurrent *writes to the
+  /// same row* are the caller's problem (hogwild-style training accepts
+  /// them).
+  float* Row(VertexId v);
+
+  /// Read-only row or nullptr when the vertex has no embedding yet.
+  const float* RowIfExists(VertexId v) const;
+
+  /// Dot product of two rows (both created on demand).
+  float Dot(VertexId a, VertexId b);
+
+  /// SGD step: row(v) += lr * grad.
+  void Accumulate(VertexId v, const float* grad, float lr);
+
+  std::size_t MemoryUsage() const;
+
+ private:
+  struct RowData {
+    std::vector<float> values;
+  };
+
+  std::size_t dim_;
+  std::uint64_t seed_;
+  CuckooMap<RowData> rows_;
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,117 @@
+#include "gnn/gcn_model.h"
+
+#include <cassert>
+
+namespace platod2gl {
+
+struct GcnModel::Cache {
+  GcnLayer::Cache g1_seed, g1_hop1, g2;
+  SegmentMeanResult agg_x1, agg_x2, agg_h1;
+  Tensor h1_seed, h1_hop1, h0;
+};
+
+GcnModel::GcnModel(GraphSageConfig config, std::uint64_t seed)
+    : config_(config) {
+  Xoshiro256 rng(seed);
+  gcn1_ = GcnLayer(config_.in_dim, config_.hidden_dim, rng);
+  gcn2_ = GcnLayer(config_.hidden_dim, config_.hidden_dim, rng);
+  classifier_ = Dense(config_.hidden_dim, config_.num_classes, rng);
+}
+
+Tensor GcnModel::ForwardImpl(const GraphSageModel::Inputs& in,
+                             Cache* cache) const {
+  assert(in.sg && in.sg->layers.size() == 3 && in.features.size() == 3);
+  const SampledSubgraph& sg = *in.sg;
+
+  // Layer 1 on the seeds: aggregate hop-1 raw features per seed.
+  SegmentMeanResult agg_x1 =
+      SegmentMean(in.features[1], sg.parents[0], sg.layers[0].size());
+  GcnLayer::Cache c1_seed;
+  Tensor h1_seed =
+      gcn1_.Forward(in.features[0], agg_x1.mean, agg_x1.counts, &c1_seed);
+
+  // Layer 1 on hop-1: aggregate hop-2 raw features per hop-1 vertex.
+  SegmentMeanResult agg_x2 =
+      SegmentMean(in.features[2], sg.parents[1], sg.layers[1].size());
+  GcnLayer::Cache c1_hop1;
+  Tensor h1_hop1 =
+      gcn1_.Forward(in.features[1], agg_x2.mean, agg_x2.counts, &c1_hop1);
+
+  // Layer 2 on the seeds: aggregate hop-1 hidden states per seed.
+  SegmentMeanResult agg_h1 =
+      SegmentMean(h1_hop1, sg.parents[0], sg.layers[0].size());
+  GcnLayer::Cache c2;
+  Tensor h0 = gcn2_.Forward(h1_seed, agg_h1.mean, agg_h1.counts, &c2);
+
+  Tensor logits = classifier_.Forward(h0);
+  if (cache) {
+    cache->g1_seed = std::move(c1_seed);
+    cache->g1_hop1 = std::move(c1_hop1);
+    cache->g2 = std::move(c2);
+    cache->agg_x1 = std::move(agg_x1);
+    cache->agg_x2 = std::move(agg_x2);
+    cache->agg_h1 = std::move(agg_h1);
+    cache->h1_seed = std::move(h1_seed);
+    cache->h1_hop1 = std::move(h1_hop1);
+    cache->h0 = std::move(h0);
+  }
+  return logits;
+}
+
+Tensor GcnModel::Forward(const GraphSageModel::Inputs& in) const {
+  return ForwardImpl(in, nullptr);
+}
+
+GraphSageModel::StepResult GcnModel::TrainStep(
+    const GraphSageModel::Inputs& in,
+    const std::vector<std::int64_t>& seed_labels, float lr) {
+  Cache cache;
+  const Tensor logits = ForwardImpl(in, &cache);
+  SoftmaxCEResult ce = SoftmaxCrossEntropy(logits, seed_labels);
+
+  gcn1_.ZeroGrad();
+  gcn2_.ZeroGrad();
+  classifier_.ZeroGrad();
+
+  const Tensor grad_h0 = classifier_.Backward(cache.h0, ce.grad_logits);
+
+  Tensor grad_h1_seed, grad_agg_h1;
+  gcn2_.Backward(cache.g2, grad_h0, &grad_h1_seed, &grad_agg_h1);
+
+  const Tensor grad_h1_hop1 =
+      SegmentMeanGrad(grad_agg_h1, in.sg->parents[0], cache.agg_h1.counts,
+                      in.sg->layers[1].size());
+
+  // Shared layer-1 weights: both applications accumulate into gcn1_.
+  Tensor sink_self, sink_neigh;
+  gcn1_.Backward(cache.g1_seed, grad_h1_seed, &sink_self, &sink_neigh);
+  gcn1_.Backward(cache.g1_hop1, grad_h1_hop1, &sink_self, &sink_neigh);
+
+  gcn1_.AdamStep(lr);
+  gcn2_.AdamStep(lr);
+  classifier_.AdamStep(lr);
+
+  GraphSageModel::StepResult r;
+  r.loss = ce.loss;
+  r.labelled = ce.labelled;
+  r.accuracy = ce.labelled == 0 ? 0.0
+                                : static_cast<double>(ce.correct) /
+                                      static_cast<double>(ce.labelled);
+  return r;
+}
+
+GraphSageModel::StepResult GcnModel::Evaluate(
+    const GraphSageModel::Inputs& in,
+    const std::vector<std::int64_t>& seed_labels) const {
+  const SoftmaxCEResult ce =
+      SoftmaxCrossEntropy(Forward(in), seed_labels);
+  GraphSageModel::StepResult r;
+  r.loss = ce.loss;
+  r.labelled = ce.labelled;
+  r.accuracy = ce.labelled == 0 ? 0.0
+                                : static_cast<double>(ce.correct) /
+                                      static_cast<double>(ce.labelled);
+  return r;
+}
+
+}  // namespace platod2gl

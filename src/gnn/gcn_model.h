@@ -1,0 +1,49 @@
+// GcnModel: a two-layer GCN node classifier over sampled subgraphs — the
+// half-parameter alternative to GraphSageModel (one shared weight matrix
+// per layer; the self vertex joins its own mean aggregation).
+//
+// Minibatch GCN needs layer-1 representations for the seeds AND the hop-1
+// vertices (both feed layer 2), so the first GcnLayer is applied twice
+// with shared weights; gradients from both applications accumulate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "gnn/layers.h"
+#include "gnn/model.h"
+#include "gnn/tensor.h"
+#include "sampling/subgraph_sampler.h"
+
+namespace platod2gl {
+
+class GcnModel {
+ public:
+  GcnModel(GraphSageConfig config, std::uint64_t seed = 1234);
+
+  /// Same input contract as GraphSageModel: a 2-hop SampledSubgraph plus
+  /// per-layer feature tensors.
+  Tensor Forward(const GraphSageModel::Inputs& in) const;
+
+  GraphSageModel::StepResult TrainStep(
+      const GraphSageModel::Inputs& in,
+      const std::vector<std::int64_t>& seed_labels, float lr);
+
+  GraphSageModel::StepResult Evaluate(
+      const GraphSageModel::Inputs& in,
+      const std::vector<std::int64_t>& seed_labels) const;
+
+  const GraphSageConfig& config() const { return config_; }
+
+ private:
+  struct Cache;
+  Tensor ForwardImpl(const GraphSageModel::Inputs& in, Cache* cache) const;
+
+  GraphSageConfig config_;
+  GcnLayer gcn1_;     // in_dim -> hidden, applied to seeds and hop-1
+  GcnLayer gcn2_;     // hidden -> hidden
+  Dense classifier_;  // hidden -> num_classes
+};
+
+}  // namespace platod2gl

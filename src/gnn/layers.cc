@@ -1,0 +1,157 @@
+#include "gnn/layers.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace platod2gl {
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, Xoshiro256& rng)
+    : w_(Tensor::Glorot(in_dim, out_dim, rng)),
+      gw_(in_dim, out_dim),
+      b_(out_dim, 0.0f),
+      gb_(out_dim, 0.0f) {}
+
+Tensor Dense::Forward(const Tensor& x) const {
+  Tensor y = MatMul(x, w_);
+  AddBiasRows(&y, b_);
+  return y;
+}
+
+Tensor Dense::Backward(const Tensor& x, const Tensor& grad_out) {
+  gw_ += MatMulATB(x, grad_out);
+  const std::vector<float> gb = ColumnSums(grad_out);
+  for (std::size_t i = 0; i < gb_.size(); ++i) gb_[i] += gb[i];
+  return MatMulABT(grad_out, w_);
+}
+
+void Dense::ZeroGrad() {
+  gw_ *= 0.0f;
+  std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+void Dense::SgdStep(float lr) {
+  for (std::size_t r = 0; r < w_.rows(); ++r) {
+    for (std::size_t c = 0; c < w_.cols(); ++c) {
+      w_(r, c) -= lr * gw_(r, c);
+    }
+  }
+  for (std::size_t i = 0; i < b_.size(); ++i) b_[i] -= lr * gb_[i];
+}
+
+void Dense::AdamStep(float lr, float beta1, float beta2, float eps) {
+  if (mw_.empty()) {
+    mw_ = Tensor(w_.rows(), w_.cols());
+    vw_ = Tensor(w_.rows(), w_.cols());
+    mb_.assign(b_.size(), 0.0f);
+    vb_.assign(b_.size(), 0.0f);
+  }
+  ++adam_t_;
+  const float bc1 = 1.0f - std::pow(beta1, static_cast<float>(adam_t_));
+  const float bc2 = 1.0f - std::pow(beta2, static_cast<float>(adam_t_));
+
+  for (std::size_t r = 0; r < w_.rows(); ++r) {
+    for (std::size_t c = 0; c < w_.cols(); ++c) {
+      const float g = gw_(r, c);
+      float& m = mw_(r, c);
+      float& v = vw_(r, c);
+      m = beta1 * m + (1 - beta1) * g;
+      v = beta2 * v + (1 - beta2) * g * g;
+      w_(r, c) -= lr * (m / bc1) / (std::sqrt(v / bc2) + eps);
+    }
+  }
+  for (std::size_t i = 0; i < b_.size(); ++i) {
+    const float g = gb_[i];
+    mb_[i] = beta1 * mb_[i] + (1 - beta1) * g;
+    vb_[i] = beta2 * vb_[i] + (1 - beta2) * g * g;
+    b_[i] -= lr * (mb_[i] / bc1) / (std::sqrt(vb_[i] / bc2) + eps);
+  }
+}
+
+SageLayer::SageLayer(std::size_t self_in_dim, std::size_t neigh_in_dim,
+                     std::size_t out_dim, Xoshiro256& rng)
+    : self_fc_(self_in_dim, out_dim, rng),
+      neigh_fc_(neigh_in_dim, out_dim, rng) {}
+
+Tensor SageLayer::Forward(const Tensor& x_self, const Tensor& neigh_mean,
+                          Cache* cache) const {
+  assert(x_self.rows() == neigh_mean.rows());
+  Tensor pre = self_fc_.Forward(x_self);
+  pre += neigh_fc_.Forward(neigh_mean);
+  if (cache) {
+    cache->x_self = x_self;
+    cache->neigh_mean = neigh_mean;
+    cache->pre = pre;
+  }
+  return Relu(pre);
+}
+
+void SageLayer::Backward(const Cache& cache, const Tensor& grad_out,
+                         Tensor* grad_self, Tensor* grad_neigh_mean) {
+  const Tensor grad_pre = ReluGrad(grad_out, cache.pre);
+  *grad_self = self_fc_.Backward(cache.x_self, grad_pre);
+  *grad_neigh_mean = neigh_fc_.Backward(cache.neigh_mean, grad_pre);
+}
+
+void SageLayer::ZeroGrad() {
+  self_fc_.ZeroGrad();
+  neigh_fc_.ZeroGrad();
+}
+
+void SageLayer::SgdStep(float lr) {
+  self_fc_.SgdStep(lr);
+  neigh_fc_.SgdStep(lr);
+}
+
+void SageLayer::AdamStep(float lr) {
+  self_fc_.AdamStep(lr);
+  neigh_fc_.AdamStep(lr);
+}
+
+GcnLayer::GcnLayer(std::size_t in_dim, std::size_t out_dim, Xoshiro256& rng)
+    : fc_(in_dim, out_dim, rng) {}
+
+Tensor GcnLayer::Forward(const Tensor& x_self, const Tensor& neigh_mean,
+                         const std::vector<std::uint32_t>& neigh_counts,
+                         Cache* cache) const {
+  assert(x_self.rows() == neigh_mean.rows());
+  assert(x_self.rows() == neigh_counts.size());
+  Tensor combined(x_self.rows(), x_self.cols());
+  for (std::size_t r = 0; r < x_self.rows(); ++r) {
+    const float n = static_cast<float>(neigh_counts[r]);
+    const float inv = 1.0f / (n + 1.0f);
+    const float* self_row = x_self.row(r);
+    const float* mean_row = neigh_mean.row(r);
+    float* out_row = combined.row(r);
+    for (std::size_t c = 0; c < x_self.cols(); ++c) {
+      out_row[c] = (self_row[c] + n * mean_row[c]) * inv;
+    }
+  }
+  Tensor pre = fc_.Forward(combined);
+  if (cache) {
+    cache->combined = combined;
+    cache->pre = pre;
+    cache->counts = neigh_counts;
+  }
+  return Relu(pre);
+}
+
+void GcnLayer::Backward(const Cache& cache, const Tensor& grad_out,
+                        Tensor* grad_self, Tensor* grad_neigh_mean) {
+  const Tensor grad_pre = ReluGrad(grad_out, cache.pre);
+  const Tensor grad_combined = fc_.Backward(cache.combined, grad_pre);
+  *grad_self = Tensor(grad_combined.rows(), grad_combined.cols());
+  *grad_neigh_mean = Tensor(grad_combined.rows(), grad_combined.cols());
+  for (std::size_t r = 0; r < grad_combined.rows(); ++r) {
+    const float n = static_cast<float>(cache.counts[r]);
+    const float inv = 1.0f / (n + 1.0f);
+    const float* g = grad_combined.row(r);
+    float* gs = grad_self->row(r);
+    float* gm = grad_neigh_mean->row(r);
+    for (std::size_t c = 0; c < grad_combined.cols(); ++c) {
+      gs[c] = g[c] * inv;
+      gm[c] = g[c] * n * inv;
+    }
+  }
+}
+
+}  // namespace platod2gl

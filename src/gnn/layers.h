@@ -1,0 +1,127 @@
+// Trainable layers: Dense (fully connected) and SageLayer (GraphSAGE
+// convolution) with explicit forward caches and hand-derived backward
+// passes, plus a small SGD/Adam optimiser state per parameter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "gnn/ops.h"
+#include "gnn/tensor.h"
+
+namespace platod2gl {
+
+/// Fully connected layer y = x W + b with gradient accumulation.
+class Dense {
+ public:
+  Dense() = default;
+  Dense(std::size_t in_dim, std::size_t out_dim, Xoshiro256& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  /// Accumulates dW/db from (x, grad_out) and returns grad_x.
+  Tensor Backward(const Tensor& x, const Tensor& grad_out);
+
+  void ZeroGrad();
+  /// Vanilla SGD step: p -= lr * dp.
+  void SgdStep(float lr);
+  /// Adam step (state is lazily allocated on first use).
+  void AdamStep(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f);
+
+  std::size_t in_dim() const { return w_.rows(); }
+  std::size_t out_dim() const { return w_.cols(); }
+  Tensor& weights() { return w_; }
+  const Tensor& weights() const { return w_; }
+  std::vector<float>& bias() { return b_; }
+  const std::vector<float>& bias() const { return b_; }
+  const Tensor& weight_grad() const { return gw_; }
+  const std::vector<float>& bias_grad() const { return gb_; }
+
+ private:
+  Tensor w_, gw_;
+  std::vector<float> b_, gb_;
+  // Adam moments.
+  Tensor mw_, vw_;
+  std::vector<float> mb_, vb_;
+  std::size_t adam_t_ = 0;
+};
+
+/// GraphSAGE convolution (Eq. 1 with ⊕ = mean):
+///   h = ReLU(x_self W_self + mean(x_neigh) W_neigh + b)
+class SageLayer {
+ public:
+  SageLayer() = default;
+  /// Self and neighbour inputs may have different widths (the seed layer
+  /// combines raw features with hidden-dim neighbour embeddings).
+  SageLayer(std::size_t self_in_dim, std::size_t neigh_in_dim,
+            std::size_t out_dim, Xoshiro256& rng);
+
+  /// Forward state needed by Backward.
+  struct Cache {
+    Tensor x_self;
+    Tensor neigh_mean;
+    Tensor pre;  // pre-activation
+  };
+
+  /// `neigh_mean` is the segment-mean of neighbour embeddings per self
+  /// row (rows must align with x_self).
+  Tensor Forward(const Tensor& x_self, const Tensor& neigh_mean,
+                 Cache* cache) const;
+
+  /// Returns gradients w.r.t. x_self and neigh_mean; accumulates
+  /// parameter gradients.
+  void Backward(const Cache& cache, const Tensor& grad_out,
+                Tensor* grad_self, Tensor* grad_neigh_mean);
+
+  void ZeroGrad();
+  void SgdStep(float lr);
+  void AdamStep(float lr);
+
+  Dense& self_fc() { return self_fc_; }
+  Dense& neigh_fc() { return neigh_fc_; }
+  const Dense& self_fc() const { return self_fc_; }
+  const Dense& neigh_fc() const { return neigh_fc_; }
+
+ private:
+  Dense self_fc_;
+  Dense neigh_fc_;
+};
+
+/// GCN convolution (Kipf & Welling, adapted to sampled neighbourhoods):
+///   h = ReLU( (x_self + n * neigh_mean) / (n + 1)  W + b )
+/// i.e. the self vertex participates in its own mean aggregation with
+/// one shared weight matrix — half the parameters of a SageLayer.
+class GcnLayer {
+ public:
+  GcnLayer() = default;
+  GcnLayer(std::size_t in_dim, std::size_t out_dim, Xoshiro256& rng);
+
+  struct Cache {
+    Tensor combined;  // pre-projection averaged features
+    Tensor pre;       // pre-activation
+    std::vector<std::uint32_t> counts;
+  };
+
+  /// `neigh_counts[r]` is the number of sampled neighbours behind
+  /// neigh_mean row r (0 for dangling vertices, whose rows then pass
+  /// through as pure self features).
+  Tensor Forward(const Tensor& x_self, const Tensor& neigh_mean,
+                 const std::vector<std::uint32_t>& neigh_counts,
+                 Cache* cache) const;
+
+  void Backward(const Cache& cache, const Tensor& grad_out,
+                Tensor* grad_self, Tensor* grad_neigh_mean);
+
+  void ZeroGrad() { fc_.ZeroGrad(); }
+  void SgdStep(float lr) { fc_.SgdStep(lr); }
+  void AdamStep(float lr) { fc_.AdamStep(lr); }
+
+  Dense& fc() { return fc_; }
+
+ private:
+  Dense fc_;
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,98 @@
+#include "gnn/model.h"
+
+#include <cassert>
+
+namespace platod2gl {
+
+GraphSageModel::GraphSageModel(GraphSageConfig config, std::uint64_t seed)
+    : config_(config) {
+  Xoshiro256 rng(seed);
+  sage1_ = SageLayer(config_.in_dim, config_.in_dim, config_.hidden_dim, rng);
+  sage2_ =
+      SageLayer(config_.in_dim, config_.hidden_dim, config_.hidden_dim, rng);
+  classifier_ = Dense(config_.hidden_dim, config_.num_classes, rng);
+}
+
+Tensor GraphSageModel::Forward(const Inputs& in, Cache* cache) const {
+  assert(in.sg && in.sg->layers.size() == 3 && in.features.size() == 3);
+  const SampledSubgraph& sg = *in.sg;
+
+  // hop2 features -> mean per hop1 vertex.
+  SegmentMeanResult agg2 =
+      SegmentMean(in.features[2], sg.parents[1], sg.layers[1].size());
+
+  // H1 = Sage1(X1, agg2).
+  SageLayer::Cache c1;
+  Tensor h1 = sage1_.Forward(in.features[1], agg2.mean, &c1);
+
+  // hop1 embeddings -> mean per seed.
+  SegmentMeanResult agg1 = SegmentMean(h1, sg.parents[0], sg.layers[0].size());
+
+  // H0 = Sage2(X0, agg1).
+  SageLayer::Cache c2;
+  Tensor h0 = sage2_.Forward(in.features[0], agg1.mean, &c2);
+
+  Tensor logits = classifier_.Forward(h0);
+  if (cache) {
+    cache->sage1 = std::move(c1);
+    cache->sage2 = std::move(c2);
+    cache->agg2 = std::move(agg2);
+    cache->agg1 = std::move(agg1);
+    cache->h1 = std::move(h1);
+    cache->h0 = std::move(h0);
+  }
+  return logits;
+}
+
+GraphSageModel::StepResult GraphSageModel::TrainStep(
+    const Inputs& in, const std::vector<std::int64_t>& seed_labels,
+    float lr) {
+  Cache cache;
+  const Tensor logits = Forward(in, &cache);
+  SoftmaxCEResult ce = SoftmaxCrossEntropy(logits, seed_labels);
+
+  sage1_.ZeroGrad();
+  sage2_.ZeroGrad();
+  classifier_.ZeroGrad();
+
+  // Backward: classifier -> sage2 -> segment-mean -> sage1.
+  const Tensor grad_h0 = classifier_.Backward(cache.h0, ce.grad_logits);
+
+  Tensor grad_x0, grad_agg1;
+  sage2_.Backward(cache.sage2, grad_h0, &grad_x0, &grad_agg1);
+
+  const Tensor grad_h1 =
+      SegmentMeanGrad(grad_agg1, in.sg->parents[0], cache.agg1.counts,
+                      in.sg->layers[1].size());
+
+  Tensor grad_x1, grad_agg2;
+  sage1_.Backward(cache.sage1, grad_h1, &grad_x1, &grad_agg2);
+  // grad w.r.t. hop2 features is not needed (features are constants).
+
+  sage1_.AdamStep(lr);
+  sage2_.AdamStep(lr);
+  classifier_.AdamStep(lr);
+
+  StepResult r;
+  r.loss = ce.loss;
+  r.labelled = ce.labelled;
+  r.accuracy = ce.labelled == 0 ? 0.0
+                                : static_cast<double>(ce.correct) /
+                                      static_cast<double>(ce.labelled);
+  return r;
+}
+
+GraphSageModel::StepResult GraphSageModel::Evaluate(
+    const Inputs& in, const std::vector<std::int64_t>& seed_labels) const {
+  const Tensor logits = Forward(in, nullptr);
+  const SoftmaxCEResult ce = SoftmaxCrossEntropy(logits, seed_labels);
+  StepResult r;
+  r.loss = ce.loss;
+  r.labelled = ce.labelled;
+  r.accuracy = ce.labelled == 0 ? 0.0
+                                : static_cast<double>(ce.correct) /
+                                      static_cast<double>(ce.labelled);
+  return r;
+}
+
+}  // namespace platod2gl

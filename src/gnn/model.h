@@ -1,0 +1,77 @@
+// GraphSageModel: a two-layer GraphSAGE network with a linear classifier,
+// consuming the layered subgraphs produced by SubgraphSampler.
+//
+// Layer structure for a 2-hop sample {seeds, hop1, hop2}:
+//   H1(hop1)  = Sage1(X(hop1),  mean X(hop2)   grouped by parent)
+//   H0(seeds) = Sage2(X(seeds), mean H1(hop1)  grouped by parent)
+//   logits    = H0 Wc + bc
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "gnn/layers.h"
+#include "gnn/tensor.h"
+#include "sampling/subgraph_sampler.h"
+
+namespace platod2gl {
+
+struct GraphSageConfig {
+  std::size_t in_dim = 32;
+  std::size_t hidden_dim = 32;
+  std::size_t num_classes = 8;
+};
+
+class GraphSageModel {
+ public:
+  GraphSageModel(GraphSageConfig config, std::uint64_t seed = 1234);
+
+  /// Features per subgraph layer: features[l] has one row per vertex of
+  /// sg.layers[l], in order.
+  struct Inputs {
+    const SampledSubgraph* sg = nullptr;
+    std::vector<Tensor> features;  // size == sg->layers.size() (must be 3)
+  };
+
+  /// Forward pass; returns logits for the seed layer. If `cache` is
+  /// non-null, intermediate state for Backward is stored.
+  struct Cache {
+    SageLayer::Cache sage1, sage2;
+    SegmentMeanResult agg2, agg1;  // hop2->hop1 and hop1->seed aggregations
+    Tensor h1;                     // hop1 embeddings (post-activation)
+    Tensor h0;                     // seed embeddings
+  };
+  Tensor Forward(const Inputs& in, Cache* cache) const;
+
+  /// Full train step: forward, softmax-CE loss vs seed labels, backward,
+  /// optimiser step (Adam). Returns loss and accuracy over labelled seeds.
+  struct StepResult {
+    double loss = 0.0;
+    double accuracy = 0.0;
+    std::size_t labelled = 0;
+  };
+  StepResult TrainStep(const Inputs& in,
+                       const std::vector<std::int64_t>& seed_labels,
+                       float lr);
+
+  /// Loss/accuracy without parameter updates.
+  StepResult Evaluate(const Inputs& in,
+                      const std::vector<std::int64_t>& seed_labels) const;
+
+  const GraphSageConfig& config() const { return config_; }
+  SageLayer& sage1() { return sage1_; }
+  SageLayer& sage2() { return sage2_; }
+  Dense& classifier() { return classifier_; }
+  const SageLayer& sage1() const { return sage1_; }
+  const SageLayer& sage2() const { return sage2_; }
+  const Dense& classifier() const { return classifier_; }
+
+ private:
+  GraphSageConfig config_;
+  SageLayer sage1_;  // self: in_dim,  neigh: in_dim  -> hidden
+  SageLayer sage2_;  // self: in_dim,  neigh: hidden  -> hidden
+  Dense classifier_;  // hidden -> num_classes
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,182 @@
+#include "gnn/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace platod2gl {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.rows());
+  Tensor c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a(i, k);
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(k);
+      float* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulATB(const Tensor& a, const Tensor& b) {
+  assert(a.rows() == b.rows());
+  Tensor c(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    const float* brow = b.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = arow[k];
+      if (aik == 0.0f) continue;
+      float* crow = c.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulABT(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.cols());
+  Tensor c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row(j);
+      float dot = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
+      c(i, j) = dot;
+    }
+  }
+  return c;
+}
+
+void AddBiasRows(Tensor* x, const std::vector<float>& bias) {
+  assert(x->cols() == bias.size());
+  for (std::size_t r = 0; r < x->rows(); ++r) {
+    float* row = x->row(r);
+    for (std::size_t c = 0; c < bias.size(); ++c) row[c] += bias[c];
+  }
+}
+
+std::vector<float> ColumnSums(const Tensor& x) {
+  std::vector<float> sums(x.cols(), 0.0f);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const float* row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) sums[c] += row[c];
+  }
+  return sums;
+}
+
+Tensor Relu(const Tensor& x) {
+  Tensor out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      row[c] = std::max(0.0f, row[c]);
+    }
+  }
+  return out;
+}
+
+Tensor ReluGrad(const Tensor& upstream, const Tensor& pre) {
+  assert(upstream.rows() == pre.rows() && upstream.cols() == pre.cols());
+  Tensor g = upstream;
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    float* grow = g.row(r);
+    const float* prow = pre.row(r);
+    for (std::size_t c = 0; c < g.cols(); ++c) {
+      if (prow[c] <= 0.0f) grow[c] = 0.0f;
+    }
+  }
+  return g;
+}
+
+SegmentMeanResult SegmentMean(
+    const Tensor& values, const std::vector<std::uint32_t>& segment_of_row,
+    std::size_t num_segments) {
+  assert(values.rows() == segment_of_row.size());
+  SegmentMeanResult out;
+  out.mean = Tensor(num_segments, values.cols());
+  out.counts.assign(num_segments, 0);
+  for (std::size_t r = 0; r < values.rows(); ++r) {
+    const std::uint32_t s = segment_of_row[r];
+    assert(s < num_segments);
+    ++out.counts[s];
+    float* mrow = out.mean.row(s);
+    const float* vrow = values.row(r);
+    for (std::size_t c = 0; c < values.cols(); ++c) mrow[c] += vrow[c];
+  }
+  for (std::size_t s = 0; s < num_segments; ++s) {
+    if (out.counts[s] == 0) continue;
+    const float inv = 1.0f / static_cast<float>(out.counts[s]);
+    float* mrow = out.mean.row(s);
+    for (std::size_t c = 0; c < values.cols(); ++c) mrow[c] *= inv;
+  }
+  return out;
+}
+
+Tensor SegmentMeanGrad(const Tensor& upstream,
+                       const std::vector<std::uint32_t>& segment_of_row,
+                       const std::vector<std::uint32_t>& counts,
+                       std::size_t num_rows) {
+  assert(num_rows == segment_of_row.size());
+  Tensor g(num_rows, upstream.cols());
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const std::uint32_t s = segment_of_row[r];
+    const float inv = 1.0f / static_cast<float>(counts[s]);
+    const float* urow = upstream.row(s);
+    float* grow = g.row(r);
+    for (std::size_t c = 0; c < upstream.cols(); ++c) {
+      grow[c] = urow[c] * inv;
+    }
+  }
+  return g;
+}
+
+SoftmaxCEResult SoftmaxCrossEntropy(const Tensor& logits,
+                                    const std::vector<std::int64_t>& labels) {
+  assert(logits.rows() == labels.size());
+  SoftmaxCEResult out;
+  out.grad_logits = Tensor(logits.rows(), logits.cols());
+
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    if (labels[r] < 0) continue;  // unlabeled row
+    ++out.labelled;
+    const float* row = logits.row(r);
+    float* grow = out.grad_logits.row(r);
+
+    float max = row[0];
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > max) {
+        max = row[c];
+        argmax = c;
+      }
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      denom += std::exp(static_cast<double>(row[c] - max));
+    }
+    const auto label = static_cast<std::size_t>(labels[r]);
+    assert(label < logits.cols());
+    const double logp =
+        static_cast<double>(row[label] - max) - std::log(denom);
+    out.loss -= logp;
+    if (argmax == label) ++out.correct;
+
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      const double p = std::exp(static_cast<double>(row[c] - max)) / denom;
+      grow[c] = static_cast<float>(p) - (c == label ? 1.0f : 0.0f);
+    }
+  }
+
+  if (out.labelled > 0) {
+    out.loss /= static_cast<double>(out.labelled);
+    out.grad_logits *= 1.0f / static_cast<float>(out.labelled);
+  }
+  return out;
+}
+
+}  // namespace platod2gl

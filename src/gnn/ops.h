@@ -1,0 +1,57 @@
+// Dense kernels and their gradients for the GNN layer (Eq. 1 of the
+// paper: message f, aggregation ⊕ as segment-mean, combination g as a
+// dense layer + ReLU).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gnn/tensor.h"
+
+namespace platod2gl {
+
+/// C = A * B.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// C = A^T * B (used for weight gradients).
+Tensor MatMulATB(const Tensor& a, const Tensor& b);
+/// C = A * B^T (used for input gradients).
+Tensor MatMulABT(const Tensor& a, const Tensor& b);
+
+/// x[r] += bias, for every row r.
+void AddBiasRows(Tensor* x, const std::vector<float>& bias);
+/// Column sums — the bias gradient.
+std::vector<float> ColumnSums(const Tensor& x);
+
+Tensor Relu(const Tensor& x);
+/// Gradient through ReLU: upstream masked by (pre > 0).
+Tensor ReluGrad(const Tensor& upstream, const Tensor& pre);
+
+/// Mean of `values` rows grouped by segment: out[s] = mean of rows r with
+/// segment_of_row[r] == s. Segments with no rows yield zeros.
+struct SegmentMeanResult {
+  Tensor mean;                        // [num_segments, cols]
+  std::vector<std::uint32_t> counts;  // rows per segment
+};
+SegmentMeanResult SegmentMean(const Tensor& values,
+                              const std::vector<std::uint32_t>& segment_of_row,
+                              std::size_t num_segments);
+
+/// Backward of SegmentMean: grad_values[r] = upstream[seg(r)] / count.
+Tensor SegmentMeanGrad(const Tensor& upstream,
+                       const std::vector<std::uint32_t>& segment_of_row,
+                       const std::vector<std::uint32_t>& counts,
+                       std::size_t num_rows);
+
+/// Softmax + cross-entropy against integer labels (label < 0 = unlabeled,
+/// skipped). grad_logits is averaged over the labelled rows.
+struct SoftmaxCEResult {
+  double loss = 0.0;
+  std::size_t correct = 0;
+  std::size_t labelled = 0;
+  Tensor grad_logits;
+};
+SoftmaxCEResult SoftmaxCrossEntropy(const Tensor& logits,
+                                    const std::vector<std::int64_t>& labels);
+
+}  // namespace platod2gl

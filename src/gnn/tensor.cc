@@ -1,0 +1,33 @@
+#include "gnn/tensor.h"
+
+#include <cmath>
+
+namespace platod2gl {
+
+Tensor Tensor::Glorot(std::size_t rows, std::size_t cols, Xoshiro256& rng) {
+  Tensor t(rows, cols);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (float& v : t.data_) {
+    v = static_cast<float>((rng.NextDouble() * 2.0 - 1.0) * limit);
+  }
+  return t;
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+double Tensor::Norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+}  // namespace platod2gl

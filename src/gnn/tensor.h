@@ -1,0 +1,59 @@
+// Tensor: a minimal dense row-major float matrix.
+//
+// The paper's top layer is a set of TensorFlow operators; this repo
+// substitutes a small native tensor (see DESIGN.md) that is just enough
+// to run GraphSAGE-style training end-to-end on top of the samplers —
+// which is the code path the storage layer exists to feed.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace platod2gl {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Glorot/Xavier-uniform initialisation for weight matrices.
+  static Tensor Glorot(std::size_t rows, std::size_t cols, Xoshiro256& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// this += other (elementwise; shapes must match).
+  Tensor& operator+=(const Tensor& other);
+  /// this *= scalar.
+  Tensor& operator*=(float s);
+
+  /// Frobenius norm — handy for gradient tests.
+  double Norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,104 @@
+#include "gnn/two_tower.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace platod2gl {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+TwoTowerModel::TwoTowerModel(const GraphStore* graph, TwoTowerConfig config,
+                             VertexId item_range_lo, VertexId item_range_hi,
+                             std::uint64_t seed)
+    : graph_(graph),
+      config_(config),
+      embeddings_(config.dim, seed),
+      negatives_(&graph->topology(config.edge_type), 0.75, item_range_lo,
+                 item_range_hi),
+      scratch_(config.dim) {}
+
+double TwoTowerModel::BprStep(VertexId user, VertexId pos, VertexId neg) {
+  float* u = embeddings_.Row(user);
+  float* i = embeddings_.Row(pos);
+  float* j = embeddings_.Row(neg);
+
+  double margin = 0.0;
+  for (std::size_t d = 0; d < config_.dim; ++d) {
+    margin += static_cast<double>(u[d]) * (i[d] - j[d]);
+  }
+  const double p = Sigmoid(margin);
+  // dL/dmargin = -(1 - p); SGD with L2 on the touched rows.
+  const float g = static_cast<float>(1.0 - p) * config_.learning_rate;
+  const float decay = 1.0f - config_.learning_rate * config_.l2;
+  for (std::size_t d = 0; d < config_.dim; ++d) scratch_[d] = u[d];
+  for (std::size_t d = 0; d < config_.dim; ++d) {
+    u[d] = u[d] * decay + g * (i[d] - j[d]);
+    i[d] = i[d] * decay + g * scratch_[d];
+    j[d] = j[d] * decay - g * scratch_[d];
+  }
+  return -std::log(std::max(1e-9, p));
+}
+
+double TwoTowerModel::TrainEpoch(const std::vector<VertexId>& users,
+                                 Xoshiro256& rng) {
+  double loss = 0.0;
+  std::size_t terms = 0;
+  std::vector<VertexId> pos;
+  for (VertexId user : users) {
+    pos.clear();
+    if (!graph_->SampleNeighbors(user, 1, /*weighted=*/true, rng, &pos,
+                                 config_.edge_type)) {
+      continue;  // user without interactions (yet)
+    }
+    const auto negs = negatives_.Sample(
+        static_cast<std::size_t>(config_.negatives), rng,
+        [&](VertexId cand) {
+          return graph_->HasEdge(user, cand, config_.edge_type);
+        });
+    for (VertexId neg : negs) {
+      loss += BprStep(user, pos[0], neg);
+      ++terms;
+    }
+  }
+  return terms == 0 ? 0.0 : loss / static_cast<double>(terms);
+}
+
+std::vector<VertexId> TwoTowerModel::Recommend(
+    VertexId user, std::vector<VertexId> candidates) {
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](VertexId a, VertexId b) {
+                     return Score(user, a) > Score(user, b);
+                   });
+  return candidates;
+}
+
+double TwoTowerModel::PairwiseAccuracy(const std::vector<VertexId>& users,
+                                       std::size_t pairs_per_user,
+                                       Xoshiro256& rng) {
+  std::size_t correct = 0, total = 0;
+  std::vector<VertexId> pos;
+  for (VertexId user : users) {
+    for (std::size_t k = 0; k < pairs_per_user; ++k) {
+      pos.clear();
+      if (!graph_->SampleNeighbors(user, 1, true, rng, &pos,
+                                   config_.edge_type)) {
+        break;
+      }
+      const auto negs =
+          negatives_.Sample(1, rng, [&](VertexId cand) {
+            return graph_->HasEdge(user, cand, config_.edge_type);
+          });
+      if (negs.empty()) continue;
+      correct += (Score(user, pos[0]) > Score(user, negs[0]));
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+}  // namespace platod2gl

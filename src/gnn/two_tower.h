@@ -1,0 +1,77 @@
+// TwoTowerModel: embedding-based retrieval for recommendation — the
+// paper's motivating workload (live-streaming recommendation in WeChat).
+//
+// Users and items each get an embedding row (lazily created, so new
+// users/rooms appearing in the dynamic graph train seamlessly); training
+// minimises the BPR pairwise loss: for a user u with observed item i and
+// sampled negative j,  loss = -log sigmoid(u·i - u·j). Positives come
+// straight from the dynamic topology (weighted edge sampling), negatives
+// from a popularity^0.75 NegativeSampler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "gnn/embedding.h"
+#include "sampling/negative_sampler.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+
+struct TwoTowerConfig {
+  std::size_t dim = 32;
+  float learning_rate = 0.05f;
+  float l2 = 1e-4f;          ///< weight decay on touched rows
+  int negatives = 1;         ///< BPR pairs per positive
+  EdgeType edge_type = 0;    ///< the user->item relation
+};
+
+class TwoTowerModel {
+ public:
+  /// `item_range` restricts the negative-sampling population to the item
+  /// namespace (items appear as sources of the mirrored relation in a
+  /// bi-directed graph).
+  TwoTowerModel(const GraphStore* graph, TwoTowerConfig config,
+                VertexId item_range_lo = 0,
+                VertexId item_range_hi = kInvalidVertex,
+                std::uint64_t seed = 99);
+
+  /// One epoch over the given users: for each user, draw one observed
+  /// item (weighted) and `negatives` BPR negatives, take SGD steps.
+  /// Returns the mean BPR loss.
+  double TrainEpoch(const std::vector<VertexId>& users, Xoshiro256& rng);
+
+  /// Preference score u·i.
+  float Score(VertexId user, VertexId item) {
+    return embeddings_.Dot(user, item);
+  }
+
+  /// Rank `candidates` for a user, best first.
+  std::vector<VertexId> Recommend(VertexId user,
+                                  std::vector<VertexId> candidates);
+
+  /// AUC-style evaluation: fraction of (observed, random-negative) pairs
+  /// the model orders correctly, over users' held-out edges.
+  double PairwiseAccuracy(const std::vector<VertexId>& users,
+                          std::size_t pairs_per_user, Xoshiro256& rng);
+
+  /// Re-snapshot the negative-sampling population after topology changes.
+  void RefreshNegatives() { negatives_.Refresh(); }
+
+  EmbeddingTable& embeddings() { return embeddings_; }
+
+ private:
+  /// One BPR step on (user, pos, neg); returns the loss term.
+  double BprStep(VertexId user, VertexId pos, VertexId neg);
+
+  const GraphStore* graph_;
+  TwoTowerConfig config_;
+  EmbeddingTable embeddings_;
+  NegativeSampler negatives_;
+  std::vector<float> scratch_;
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,52 @@
+#include "index/alias_table.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace platod2gl {
+
+AliasTable::AliasTable(const std::vector<Weight>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) return;
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+
+  // Vose's stable construction: scale every weight to mean 1, then pair
+  // each under-full bucket with an over-full donor.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers are exactly-full buckets.
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+}
+
+std::size_t AliasTable::Sample(Xoshiro256& rng) const {
+  assert(!prob_.empty());
+  const std::size_t bucket = rng.NextUint64(prob_.size());
+  return rng.NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace platod2gl

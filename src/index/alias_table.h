@@ -1,0 +1,44 @@
+// AliasTable: Walker/Vose alias method for O(1) weighted sampling after an
+// O(n) build.
+//
+// The paper (Section V, "Challenges") notes that most deep graph learning
+// systems, including AliGraph, use alias tables: sampling is O(1), but the
+// table must be rebuilt from scratch on every weight change, and it stores
+// two extra arrays (probabilities + aliases) on top of the weights — the
+// "memory-expensive" behaviour that Table IV attributes to AliGraph. This
+// implementation backs the AliGraph baseline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace platod2gl {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Build from a weight array — O(n).
+  explicit AliasTable(const std::vector<Weight>& weights);
+
+  std::size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  /// Draw one index with probability w_i / W — O(1).
+  std::size_t Sample(Xoshiro256& rng) const;
+
+  /// Bytes held by this table (two n-sized arrays).
+  std::size_t MemoryUsage() const {
+    return prob_.capacity() * sizeof(double) +
+           alias_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<double> prob_;          // acceptance probability per bucket
+  std::vector<std::uint32_t> alias_;  // fallback index per bucket
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,48 @@
+#include "index/cstable.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace platod2gl {
+
+CSTable::CSTable(const std::vector<Weight>& weights) {
+  cumsum_.reserve(weights.size());
+  Weight running = 0.0;
+  for (Weight w : weights) {
+    running += w;
+    cumsum_.push_back(running);
+  }
+}
+
+void CSTable::Append(Weight w) {
+  cumsum_.push_back(TotalWeight() + w);
+}
+
+void CSTable::UpdateWeight(std::size_t i, Weight w) {
+  AddDelta(i, w - WeightAt(i));
+}
+
+void CSTable::AddDelta(std::size_t i, Weight delta) {
+  assert(i < cumsum_.size());
+  for (std::size_t j = i; j < cumsum_.size(); ++j) cumsum_[j] += delta;
+}
+
+void CSTable::Remove(std::size_t i) {
+  assert(i < cumsum_.size());
+  const Weight w = WeightAt(i);
+  cumsum_.erase(cumsum_.begin() + static_cast<std::ptrdiff_t>(i));
+  for (std::size_t j = i; j < cumsum_.size(); ++j) cumsum_[j] -= w;
+}
+
+std::size_t CSTable::FindIndex(Weight r) const {
+  assert(!cumsum_.empty());
+  auto it = std::upper_bound(cumsum_.begin(), cumsum_.end(), r);
+  if (it == cumsum_.end()) --it;  // guard against floating-point edge cases
+  return static_cast<std::size_t>(it - cumsum_.begin());
+}
+
+std::size_t CSTable::Sample(Xoshiro256& rng) const {
+  return FindIndex(rng.NextDouble(TotalWeight()));
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,74 @@
+// CSTable: the cumulative-sum table used by the Inverse Transform
+// Sampling (ITS) method (paper Section II-B).
+//
+// C[i] = sum_{j<=i} w_j. Sampling draws R uniform in [0, C[n-1]) and binary
+// searches the smallest i with C[i] > R — O(log n). The price is paid on
+// mutation: an in-place weight change or a deletion at position i must
+// rewrite every entry at or after i — O(n). This is exactly the cost that
+// PlatoD2GL's FSTable removes; keeping a faithful CSTable lets the benches
+// reproduce Table II and the PlatoGL baseline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace platod2gl {
+
+class CSTable {
+ public:
+  CSTable() = default;
+
+  /// Build from a weight array in O(n).
+  explicit CSTable(const std::vector<Weight>& weights);
+
+  /// Number of entries.
+  std::size_t size() const { return cumsum_.size(); }
+  bool empty() const { return cumsum_.empty(); }
+
+  /// Sum of all weights (0 when empty).
+  Weight TotalWeight() const { return cumsum_.empty() ? 0.0 : cumsum_.back(); }
+
+  /// Prefix sum through index i (inclusive).
+  Weight Prefix(std::size_t i) const { return cumsum_[i]; }
+
+  /// Raw weight of entry i, recovered from adjacent prefix sums.
+  Weight WeightAt(std::size_t i) const {
+    return i == 0 ? cumsum_[0] : cumsum_[i] - cumsum_[i - 1];
+  }
+
+  /// Pre-allocate capacity for n entries (block stores allocate their
+  /// full block up front).
+  void Reserve(std::size_t n) { cumsum_.reserve(n); }
+
+  /// Append a new weight — O(1) (paper Table II, "new insertion").
+  void Append(Weight w);
+
+  /// Overwrite the weight of entry i — O(n): every suffix entry shifts.
+  void UpdateWeight(std::size_t i, Weight w);
+
+  /// Add a delta to entry i — O(n) suffix rewrite.
+  void AddDelta(std::size_t i, Weight delta);
+
+  /// Remove entry i — O(n).
+  void Remove(std::size_t i);
+
+  /// ITS: smallest i with C[i] > r, via binary search — O(log n).
+  /// Precondition: 0 <= r < TotalWeight().
+  std::size_t FindIndex(Weight r) const;
+
+  /// Draw one index with probability w_i / W.
+  std::size_t Sample(Xoshiro256& rng) const;
+
+  /// Bytes held by this table.
+  std::size_t MemoryUsage() const {
+    return cumsum_.capacity() * sizeof(Weight);
+  }
+
+ private:
+  std::vector<Weight> cumsum_;
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,112 @@
+#include "index/fstable.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace platod2gl {
+namespace {
+
+/// Lowest set bit of x (x > 0).
+inline std::size_t Lsb(std::size_t x) { return x & (~x + 1); }
+
+}  // namespace
+
+FSTable::FSTable(const std::vector<Weight>& weights) {
+  tree_.assign(weights.begin(), weights.end());
+  // Linear-time Fenwick build: push each entry into its parent.
+  for (std::size_t i = 0; i < tree_.size(); ++i) {
+    const std::size_t parent = i + Lsb(i + 1);
+    if (parent < tree_.size()) tree_[parent] += tree_[i];
+  }
+}
+
+Weight FSTable::Prefix(std::size_t i) const {
+  assert(i < tree_.size());
+  Weight s = 0.0;
+  // Walk i+1 (1-indexed) down by stripping the lowest set bit.
+  for (std::size_t j = i + 1; j > 0; j -= Lsb(j)) s += tree_[j - 1];
+  return s;
+}
+
+void FSTable::AddDelta(std::size_t i, Weight delta) {
+  assert(i < tree_.size());
+  // Algorithm 3: climb to each covering entry via i <- i + LSB(i+1).
+  while (i < tree_.size()) {
+    tree_[i] += delta;
+    i += Lsb(i + 1);
+  }
+}
+
+void FSTable::UpdateWeight(std::size_t i, Weight w) {
+  AddDelta(i, w - WeightAt(i));
+}
+
+void FSTable::Append(Weight w) {
+  // Algorithm 4: the new entry at index n covers [g(n)+1, n]; accumulate
+  // the already-stored children F[n - 2^k] whose covered range abuts ours.
+  const std::size_t n = tree_.size();
+  Weight s = w;
+  for (std::size_t two_k = 1; two_k < n + 1; two_k <<= 1) {
+    if (two_k > n) break;
+    const std::size_t x = n - two_k;
+    if (Lsb(x + 1) == two_k) s += tree_[x];
+  }
+  tree_.push_back(s);
+}
+
+void FSTable::RemoveSwapLast(std::size_t i) {
+  assert(i < tree_.size());
+  const std::size_t last = tree_.size() - 1;
+  if (i != last) {
+    UpdateWeight(i, WeightAt(last));
+  }
+  // Truncation is safe: F[j] for j < last never aggregates index `last`
+  // (its covered range [g(j)+1, j] ends at j).
+  tree_.pop_back();
+}
+
+std::vector<Weight> FSTable::DecodeWeights() const {
+  std::vector<Weight> weights(tree_.begin(), tree_.end());
+  // Undo the linear build back-to-front: strip each entry out of its parent.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    const std::size_t parent = i + Lsb(i + 1);
+    if (parent < weights.size()) weights[parent] -= weights[i];
+  }
+  return weights;
+}
+
+std::size_t FSTable::FindIndex(Weight r) const {
+  assert(!tree_.empty());
+  const std::size_t n = tree_.size();
+  // Smallest power of two >= n.
+  std::size_t span = 1;
+  while (span < n) span <<= 1;
+
+  // Algorithm 5: descend over power-of-two-aligned ranges. For an aligned
+  // range [left, left + 2^t - 1], the Fenwick entry at mid = left + 2^{t-1}
+  // - 1 is exactly the sum of the left half, so one comparison halves the
+  // range.
+  std::size_t left = 0;
+  std::size_t right = span - 1;
+  while (left < right) {
+    const std::size_t mid = left + (right - left) / 2;
+    if (mid >= n) {  // indices beyond n carry zero weight: go left
+      right = mid;
+      continue;
+    }
+    if (tree_[mid] > r) {
+      right = mid;
+    } else {
+      r -= tree_[mid];
+      left = mid + 1;
+    }
+  }
+  // Floating-point guard: r slightly >= total can push past the end.
+  return std::min(left, n - 1);
+}
+
+std::size_t FSTable::Sample(Xoshiro256& rng) const {
+  return FindIndex(rng.NextDouble(TotalWeight()));
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,275 @@
+#include "io/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace platod2gl {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'D', '2', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WritePod(std::FILE* f, const T& value) {
+  return std::fwrite(&value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* value) {
+  return std::fread(value, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveGraph(const GraphStore& graph, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::Internal("cannot open " + path + " for writing");
+
+  if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
+      !WritePod(f.get(), kVersion) ||
+      !WritePod(f.get(),
+                static_cast<std::uint32_t>(graph.num_relations()))) {
+    return Status::Internal("short write (header)");
+  }
+
+  for (std::size_t r = 0; r < graph.num_relations(); ++r) {
+    const TopologyStore& topo = graph.topology(static_cast<EdgeType>(r));
+    if (!WritePod(f.get(), static_cast<std::uint64_t>(topo.NumEdges()))) {
+      return Status::Internal("short write (edge count)");
+    }
+    bool ok = true;
+    std::uint64_t written = 0;
+    topo.ForEachSource([&](VertexId src, const Samtree& tree) {
+      tree.ForEachNeighbor([&](VertexId dst, Weight w) {
+        ok = ok && WritePod(f.get(), src) && WritePod(f.get(), dst) &&
+             WritePod(f.get(), w);
+        ++written;
+      });
+    });
+    if (!ok) return Status::Internal("short write (edges)");
+    if (written != topo.NumEdges()) {
+      return Status::Internal("edge count drifted during save");
+    }
+  }
+
+  // Attributes: collect IDs first (ForEach is not re-entrant with reads).
+  struct AttrRow {
+    VertexId id;
+    std::optional<std::int64_t> label;
+    std::vector<float> features;
+  };
+  std::vector<AttrRow> rows;
+  const AttributeStore& attrs = graph.attributes();
+  // AttributeStore has no generic iterator in its public face beyond
+  // counting, so serialise through a collected snapshot.
+  attrs.ForEachVertex([&](VertexId v, const std::vector<float>& feats,
+                          const std::optional<std::int64_t>& label) {
+    rows.push_back(AttrRow{v, label, feats});
+  });
+  if (!WritePod(f.get(), static_cast<std::uint64_t>(rows.size()))) {
+    return Status::Internal("short write (attr count)");
+  }
+  for (const AttrRow& row : rows) {
+    const std::uint8_t has_label = row.label.has_value() ? 1 : 0;
+    if (!WritePod(f.get(), row.id) || !WritePod(f.get(), has_label)) {
+      return Status::Internal("short write (attr header)");
+    }
+    if (has_label && !WritePod(f.get(), *row.label)) {
+      return Status::Internal("short write (label)");
+    }
+    const std::uint32_t len = static_cast<std::uint32_t>(row.features.size());
+    if (!WritePod(f.get(), len)) return Status::Internal("short write");
+    if (len > 0 && std::fwrite(row.features.data(), sizeof(float), len,
+                               f.get()) != len) {
+      return Status::Internal("short write (features)");
+    }
+  }
+  return Status::Ok();
+}
+
+Status LoadGraph(const std::string& path, GraphStore* graph) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open " + path);
+
+  char magic[4];
+  std::uint32_t version = 0, num_relations = 0;
+  if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a PlatoD2GL checkpoint: " + path);
+  }
+  if (!ReadPod(f.get(), &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (!ReadPod(f.get(), &num_relations)) {
+    return Status::InvalidArgument("truncated header");
+  }
+  if (num_relations > graph->num_relations()) {
+    return Status::InvalidArgument(
+        "checkpoint has more relations than the target store");
+  }
+  if (graph->NumEdges() != 0) {
+    return Status::InvalidArgument("target store is not empty");
+  }
+
+  for (std::uint32_t r = 0; r < num_relations; ++r) {
+    std::uint64_t count = 0;
+    if (!ReadPod(f.get(), &count)) {
+      return Status::InvalidArgument("truncated relation header");
+    }
+    TopologyStore& topo = graph->topology(static_cast<EdgeType>(r));
+    // SaveGraph writes edges grouped by source, so whole neighbourhoods
+    // arrive as runs and can be bulk-built bottom-up (O(n) per tree)
+    // instead of inserted one by one. InstallTree merges gracefully if a
+    // (foreign) file interleaves sources.
+    VertexId run_src = kInvalidVertex;
+    std::vector<std::pair<VertexId, Weight>> run;
+    auto flush = [&]() {
+      if (run.empty()) return;
+      topo.InstallTree(run_src,
+                       Samtree::BulkBuild(std::move(run), topo.config()));
+      run.clear();
+    };
+    for (std::uint64_t i = 0; i < count; ++i) {
+      VertexId src, dst;
+      Weight w;
+      if (!ReadPod(f.get(), &src) || !ReadPod(f.get(), &dst) ||
+          !ReadPod(f.get(), &w)) {
+        return Status::InvalidArgument("truncated edge records");
+      }
+      if (src != run_src) {
+        flush();
+        run_src = src;
+      }
+      run.emplace_back(dst, w);
+    }
+    flush();
+  }
+
+  std::uint64_t attr_count = 0;
+  if (!ReadPod(f.get(), &attr_count)) {
+    return Status::InvalidArgument("truncated attribute header");
+  }
+  for (std::uint64_t i = 0; i < attr_count; ++i) {
+    VertexId id;
+    std::uint8_t has_label;
+    if (!ReadPod(f.get(), &id) || !ReadPod(f.get(), &has_label)) {
+      return Status::InvalidArgument("truncated attribute record");
+    }
+    if (has_label) {
+      std::int64_t label;
+      if (!ReadPod(f.get(), &label)) {
+        return Status::InvalidArgument("truncated label");
+      }
+      graph->attributes().SetLabel(id, label);
+    }
+    std::uint32_t len;
+    if (!ReadPod(f.get(), &len)) {
+      return Status::InvalidArgument("truncated feature length");
+    }
+    if (len > 0) {
+      std::vector<float> feats(len);
+      if (std::fread(feats.data(), sizeof(float), len, f.get()) != len) {
+        return Status::InvalidArgument("truncated features");
+      }
+      graph->attributes().SetFeatures(id, std::move(feats));
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+constexpr char kModelMagic[4] = {'P', 'D', '2', 'M'};
+
+bool WriteTensor(std::FILE* f, const Tensor& t) {
+  const std::uint32_t rows = static_cast<std::uint32_t>(t.rows());
+  const std::uint32_t cols = static_cast<std::uint32_t>(t.cols());
+  return WritePod(f, rows) && WritePod(f, cols) &&
+         (t.size() == 0 ||
+          std::fwrite(t.data(), sizeof(float), t.size(), f) == t.size());
+}
+
+bool ReadTensorInto(std::FILE* f, Tensor* t) {
+  std::uint32_t rows = 0, cols = 0;
+  if (!ReadPod(f, &rows) || !ReadPod(f, &cols)) return false;
+  if (rows != t->rows() || cols != t->cols()) return false;
+  return t->size() == 0 ||
+         std::fread(t->data(), sizeof(float), t->size(), f) == t->size();
+}
+
+bool WriteDense(std::FILE* f, const Dense& d) {
+  const std::uint32_t blen = static_cast<std::uint32_t>(d.bias().size());
+  return WriteTensor(f, d.weights()) && WritePod(f, blen) &&
+         std::fwrite(d.bias().data(), sizeof(float), blen, f) == blen;
+}
+
+bool ReadDenseInto(std::FILE* f, Dense* d) {
+  if (!ReadTensorInto(f, &d->weights())) return false;
+  std::uint32_t blen = 0;
+  if (!ReadPod(f, &blen) || blen != d->bias().size()) return false;
+  return std::fread(d->bias().data(), sizeof(float), blen, f) == blen;
+}
+
+}  // namespace
+
+Status SaveModel(const GraphSageModel& model, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::Internal("cannot open " + path + " for writing");
+
+  const GraphSageConfig& cfg = model.config();
+  const std::uint32_t dims[3] = {
+      static_cast<std::uint32_t>(cfg.in_dim),
+      static_cast<std::uint32_t>(cfg.hidden_dim),
+      static_cast<std::uint32_t>(cfg.num_classes)};
+  if (std::fwrite(kModelMagic, sizeof(kModelMagic), 1, f.get()) != 1 ||
+      std::fwrite(dims, sizeof(dims), 1, f.get()) != 1) {
+    return Status::Internal("short write (model header)");
+  }
+  const bool ok = WriteDense(f.get(), model.sage1().self_fc()) &&
+                  WriteDense(f.get(), model.sage1().neigh_fc()) &&
+                  WriteDense(f.get(), model.sage2().self_fc()) &&
+                  WriteDense(f.get(), model.sage2().neigh_fc()) &&
+                  WriteDense(f.get(), model.classifier());
+  return ok ? Status::Ok() : Status::Internal("short write (model weights)");
+}
+
+Status LoadModel(const std::string& path, GraphSageModel* model) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open " + path);
+
+  char magic[4];
+  std::uint32_t dims[3];
+  if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+      std::memcmp(magic, kModelMagic, sizeof(kModelMagic)) != 0) {
+    return Status::InvalidArgument("not a PlatoD2GL model: " + path);
+  }
+  if (std::fread(dims, sizeof(dims), 1, f.get()) != 1) {
+    return Status::InvalidArgument("truncated model header");
+  }
+  const GraphSageConfig& cfg = model->config();
+  if (dims[0] != cfg.in_dim || dims[1] != cfg.hidden_dim ||
+      dims[2] != cfg.num_classes) {
+    return Status::InvalidArgument(
+        "model architecture mismatch (checkpoint vs target)");
+  }
+  const bool ok = ReadDenseInto(f.get(), &model->sage1().self_fc()) &&
+                  ReadDenseInto(f.get(), &model->sage1().neigh_fc()) &&
+                  ReadDenseInto(f.get(), &model->sage2().self_fc()) &&
+                  ReadDenseInto(f.get(), &model->sage2().neigh_fc()) &&
+                  ReadDenseInto(f.get(), &model->classifier());
+  return ok ? Status::Ok()
+            : Status::InvalidArgument("truncated or mismatched model data");
+}
+
+}  // namespace platod2gl

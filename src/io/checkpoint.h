@@ -1,0 +1,40 @@
+// Checkpointing: binary save/load of a GraphStore.
+//
+// The production deployment periodically checkpoints the dynamic graph so
+// graph servers can restart without replaying the full update history.
+// The format is a simple length-prefixed binary stream:
+//
+//   magic "PD2G" | version u32 | num_relations u32
+//   per relation: edge_count u64 | edge_count x (src u64, dst u64, w f64)
+//   attr_count u64 | per vertex: id u64, has_label u8 [label i64],
+//                     feat_len u32, feat_len x f32
+//
+// Loading streams edges through the duplicate-free bulk path
+// (AddEdgeUnchecked), so a checkpoint restore costs the same as a bulk
+// build. All failures are reported as Status, never exceptions.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "gnn/model.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+
+/// Serialise the topology of every relation plus all vertex attributes.
+Status SaveGraph(const GraphStore& graph, const std::string& path);
+
+/// Restore into an *empty* GraphStore. The store's num_relations must be
+/// >= the checkpoint's relation count.
+Status LoadGraph(const std::string& path, GraphStore* graph);
+
+/// Serialise a trained GraphSAGE model (all weights and biases plus the
+/// architecture dimensions, which are validated on load).
+Status SaveModel(const GraphSageModel& model, const std::string& path);
+
+/// Restore weights into a model constructed with the same
+/// GraphSageConfig; dimension mismatches are rejected.
+Status LoadModel(const std::string& path, GraphSageModel* model);
+
+}  // namespace platod2gl

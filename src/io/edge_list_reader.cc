@@ -1,0 +1,78 @@
+#include "io/edge_list_reader.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace platod2gl {
+
+bool ParseEdgeLine(const std::string& line, Edge* edge) {
+  // Skip leading whitespace; reject blanks and comment lines.
+  std::size_t start = line.find_first_not_of(" \t\r");
+  if (start == std::string::npos) return false;
+  if (line[start] == '#' || line[start] == '%') return false;
+
+  std::istringstream in(line);
+  VertexId src, dst;
+  if (!(in >> src >> dst)) return false;
+
+  Edge e;
+  e.src = src;
+  e.dst = dst;
+  double weight;
+  if (in >> weight) {
+    if (weight <= 0.0) return false;  // W : E -> R+
+    e.weight = weight;
+    std::uint32_t type;
+    if (in >> type) e.type = type;
+  }
+  *edge = e;
+  return true;
+}
+
+Result<std::vector<Edge>> ReadEdgeList(const std::string& path,
+                                       EdgeListStats* stats) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+
+  std::vector<Edge> edges;
+  EdgeListStats local;
+  std::string line;
+  while (std::getline(in, line)) {
+    Edge e;
+    if (ParseEdgeLine(line, &e)) {
+      edges.push_back(e);
+      ++local.edges_loaded;
+    } else {
+      ++local.lines_skipped;
+    }
+  }
+  if (stats) *stats = local;
+  return edges;
+}
+
+Status LoadEdgeList(const std::string& path, GraphStore* graph,
+                    EdgeListStats* stats) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+
+  EdgeListStats local;
+  std::string line;
+  while (std::getline(in, line)) {
+    Edge e;
+    if (!ParseEdgeLine(line, &e)) {
+      ++local.lines_skipped;
+      continue;
+    }
+    if (e.type >= graph->num_relations()) {
+      ++local.lines_skipped;  // relation out of range for this store
+      continue;
+    }
+    graph->AddEdge(e);
+    ++local.edges_loaded;
+  }
+  if (stats) *stats = local;
+  return Status::Ok();
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,38 @@
+// Text edge-list loader: the lowest-friction way to get a real graph into
+// the store.
+//
+// Format: one edge per line, whitespace-separated —
+//     src dst [weight] [type]
+// with '#' or '%' starting a comment line (the conventions of SNAP and
+// KONECT dumps). Weight defaults to 1.0, type to 0. Malformed lines are
+// counted and skipped, never fatal.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+
+struct EdgeListStats {
+  std::size_t edges_loaded = 0;
+  std::size_t lines_skipped = 0;  ///< comments, blanks and malformed lines
+};
+
+/// Parse a whole edge-list file into a vector.
+Result<std::vector<Edge>> ReadEdgeList(const std::string& path,
+                                       EdgeListStats* stats = nullptr);
+
+/// Stream a file straight into a GraphStore (duplicate edges refresh
+/// weights, exactly like AddEdge).
+Status LoadEdgeList(const std::string& path, GraphStore* graph,
+                    EdgeListStats* stats = nullptr);
+
+/// Parse one line; returns false for comments/blank/malformed input.
+bool ParseEdgeLine(const std::string& line, Edge* edge);
+
+}  // namespace platod2gl

@@ -1,0 +1,46 @@
+#include "sampling/negative_sampler.h"
+
+#include <cmath>
+
+namespace platod2gl {
+
+NegativeSampler::NegativeSampler(const TopologyStore* store, double alpha,
+                                 VertexId range_lo, VertexId range_hi)
+    : store_(store), alpha_(alpha), range_lo_(range_lo),
+      range_hi_(range_hi) {
+  Refresh();
+}
+
+void NegativeSampler::Refresh() {
+  candidates_.clear();
+  std::vector<Weight> weights;
+  store_->ForEachSource([&](VertexId v, const Samtree& tree) {
+    if (tree.empty() || v < range_lo_ || v > range_hi_) return;
+    candidates_.push_back(v);
+    weights.push_back(
+        std::pow(static_cast<double>(tree.size()), alpha_));
+  });
+  table_ = weights.empty() ? AliasTable() : AliasTable(weights);
+}
+
+std::vector<VertexId> NegativeSampler::Sample(
+    std::size_t k, Xoshiro256& rng,
+    const std::function<bool(VertexId)>& is_positive) const {
+  std::vector<VertexId> out;
+  if (candidates_.empty()) return out;
+  out.reserve(k);
+  // Bounded rejection: if the positive set covers almost the whole
+  // population, give up on a draw rather than looping forever.
+  constexpr int kMaxRejects = 64;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (int attempt = 0; attempt < kMaxRejects; ++attempt) {
+      const VertexId cand = candidates_[table_.Sample(rng)];
+      if (is_positive && is_positive(cand)) continue;
+      out.push_back(cand);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,53 @@
+// NegativeSampler: draws negative items for contrastive training
+// (skip-gram, BPR, sampled-softmax).
+//
+// The standard recipe: candidates are drawn proportionally to
+// popularity^alpha (alpha = 0.75 in the word2vec lineage; popularity here
+// is in-degree estimated from the bi-directed topology, i.e. the item's
+// out-degree over the mirrored relation), and draws that collide with a
+// caller-supplied positive set are rejected so "negatives" are actually
+// negative.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "index/alias_table.h"
+#include "storage/topology_store.h"
+
+namespace platod2gl {
+
+class NegativeSampler {
+ public:
+  /// Snapshot the candidate population from the store's source vertices,
+  /// weighting each by degree^alpha. Restricting to an ID range selects
+  /// one vertex type from a heterogeneous graph (e.g. only live-rooms).
+  NegativeSampler(const TopologyStore* store, double alpha = 0.75,
+                  VertexId range_lo = 0,
+                  VertexId range_hi = kInvalidVertex);
+
+  /// Re-snapshot after topology changes.
+  void Refresh();
+
+  std::size_t population() const { return candidates_.size(); }
+
+  /// Draw k negatives, rejecting any candidate for which `is_positive`
+  /// returns true (pass {} to skip filtering). A candidate may appear
+  /// more than once (sampling with replacement).
+  std::vector<VertexId> Sample(
+      std::size_t k, Xoshiro256& rng,
+      const std::function<bool(VertexId)>& is_positive = {}) const;
+
+ private:
+  const TopologyStore* store_;
+  double alpha_;
+  VertexId range_lo_;
+  VertexId range_hi_;
+  std::vector<VertexId> candidates_;
+  AliasTable table_;
+};
+
+}  // namespace platod2gl

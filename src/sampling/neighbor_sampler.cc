@@ -1,0 +1,52 @@
+#include "sampling/neighbor_sampler.h"
+
+#include <algorithm>
+
+namespace platod2gl {
+
+NeighborBatch NeighborSampler::Sample(const std::vector<VertexId>& seeds,
+                                      const Options& options,
+                                      Xoshiro256& rng) const {
+  NeighborBatch batch;
+  batch.offsets.reserve(seeds.size() + 1);
+  batch.offsets.push_back(0);
+  batch.neighbors.reserve(seeds.size() * options.fanout);
+  for (VertexId seed : seeds) {
+    graph_->SampleNeighbors(seed, options.fanout, options.weighted, rng,
+                            &batch.neighbors, options.edge_type);
+    batch.offsets.push_back(batch.neighbors.size());
+  }
+  return batch;
+}
+
+NeighborBatch NeighborSampler::SampleParallel(
+    const std::vector<VertexId>& seeds, const Options& options,
+    ThreadPool& pool, std::uint64_t seed) const {
+  const std::size_t num_chunks = pool.num_threads();
+  const std::size_t chunk =
+      (seeds.size() + num_chunks - 1) / std::max<std::size_t>(1, num_chunks);
+
+  std::vector<NeighborBatch> partials(num_chunks);
+  pool.ParallelFor(num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(seeds.size(), begin + chunk);
+    if (begin >= end) return;
+    Xoshiro256 rng(seed ^ (0x9E3779B97F4A7C15ULL * (c + 1)));
+    std::vector<VertexId> slice(seeds.begin() + begin, seeds.begin() + end);
+    partials[c] = Sample(slice, options, rng);
+  });
+
+  NeighborBatch out;
+  out.offsets.push_back(0);
+  for (const NeighborBatch& p : partials) {
+    const std::size_t base = out.neighbors.size();
+    out.neighbors.insert(out.neighbors.end(), p.neighbors.begin(),
+                         p.neighbors.end());
+    for (std::size_t i = 1; i < p.offsets.size(); ++i) {
+      out.offsets.push_back(base + p.offsets[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,57 @@
+// NeighborSampler: the "neighbor sampling" operator of PlatoD2GL's
+// TF-based operator layer (paper Section III): for every vertex of a
+// minibatch, draw a fixed number of (weighted or uniform) out-neighbours.
+//
+// Results come back in the flat layout GNN kernels consume: one vector of
+// sampled IDs plus per-seed offsets, so layer l+1's gather is a single
+// contiguous pass.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+
+/// Flat batched sampling result: neighbours of seed i live at
+/// [offsets[i], offsets[i+1]) in `neighbors`.
+struct NeighborBatch {
+  std::vector<VertexId> neighbors;
+  std::vector<std::size_t> offsets;  // size = #seeds + 1
+
+  std::size_t NumSeeds() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+};
+
+class NeighborSampler {
+ public:
+  struct Options {
+    std::size_t fanout = 50;   ///< samples per seed (paper uses 50)
+    bool weighted = true;      ///< weighted vs uniform
+    EdgeType edge_type = 0;    ///< relation to traverse
+  };
+
+  explicit NeighborSampler(const GraphStore* graph) : graph_(graph) {}
+
+  /// Sample neighbours for every seed. Seeds without out-edges contribute
+  /// an empty range.
+  NeighborBatch Sample(const std::vector<VertexId>& seeds,
+                       const Options& options, Xoshiro256& rng) const;
+
+  /// Parallel variant: seeds are split across the pool; per-thread RNGs
+  /// are derived from `seed` so results are deterministic for a fixed
+  /// thread count.
+  NeighborBatch SampleParallel(const std::vector<VertexId>& seeds,
+                               const Options& options, ThreadPool& pool,
+                               std::uint64_t seed) const;
+
+ private:
+  const GraphStore* graph_;
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,79 @@
+#include "sampling/subgraph_sampler.h"
+
+#include <set>
+#include <unordered_map>
+
+namespace platod2gl {
+
+SampledSubgraph SubgraphSampler::Sample(const std::vector<VertexId>& seeds,
+                                        const std::vector<Hop>& hops,
+                                        Xoshiro256& rng) const {
+  SampledSubgraph sg;
+  sg.layers.push_back(seeds);
+
+  std::vector<VertexId> scratch;
+  for (const Hop& hop : hops) {
+    const std::vector<VertexId>& frontier = sg.layers.back();
+    std::vector<VertexId> next;
+    std::vector<std::uint32_t> parents;
+    next.reserve(frontier.size() * hop.fanout);
+    parents.reserve(frontier.size() * hop.fanout);
+
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      scratch.clear();
+      if (!graph_->SampleNeighbors(frontier[i], hop.fanout, hop.weighted,
+                                   rng, &scratch, hop.edge_type)) {
+        continue;  // dangling frontier vertex: no expansion
+      }
+      for (VertexId v : scratch) {
+        next.push_back(v);
+        parents.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    sg.layers.push_back(std::move(next));
+    sg.parents.push_back(std::move(parents));
+  }
+  return sg;
+}
+
+CompactSubgraph SubgraphSampler::SampleUnique(
+    const std::vector<VertexId>& seeds, const std::vector<Hop>& hops,
+    Xoshiro256& rng) const {
+  CompactSubgraph sg;
+  // Seeds dedup too (a batch may repeat a hot seed).
+  {
+    std::vector<VertexId> uniq;
+    std::unordered_map<VertexId, std::uint32_t> index;
+    for (VertexId s : seeds) {
+      if (index.emplace(s, uniq.size()).second) uniq.push_back(s);
+    }
+    sg.layers.push_back(std::move(uniq));
+  }
+
+  std::vector<VertexId> scratch;
+  for (const Hop& hop : hops) {
+    const std::vector<VertexId>& frontier = sg.layers.back();
+    std::vector<VertexId> next;
+    std::unordered_map<VertexId, std::uint32_t> index;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+
+    for (std::uint32_t i = 0; i < frontier.size(); ++i) {
+      scratch.clear();
+      if (!graph_->SampleNeighbors(frontier[i], hop.fanout, hop.weighted,
+                                   rng, &scratch, hop.edge_type)) {
+        continue;
+      }
+      for (VertexId v : scratch) {
+        auto [it, inserted] =
+            index.emplace(v, static_cast<std::uint32_t>(next.size()));
+        if (inserted) next.push_back(v);
+        edges.emplace(i, it->second);
+      }
+    }
+    sg.layers.push_back(std::move(next));
+    sg.hop_edges.emplace_back(edges.begin(), edges.end());
+  }
+  return sg;
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,90 @@
+// SubgraphSampler: the "subgraph sampling" operator (paper Section III) —
+// K-hop neighbourhood expansion pivoted at seed vertices, plus the
+// multi-hop meta-path sampling used by heterogeneous GNNs (Section VII-C,
+// Fig. 10(d-f) samples 2-hop subgraphs).
+//
+// The result keeps per-hop layers with parent links, which is the layout
+// the GraphSAGE trainer aggregates bottom-up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+
+/// Layered K-hop sample. layers[0] are the seeds; node j of layer l+1 was
+/// drawn from the neighbourhood of layers[l][parents[l][j]].
+struct SampledSubgraph {
+  std::vector<std::vector<VertexId>> layers;
+  std::vector<std::vector<std::uint32_t>> parents;  // size = layers-1
+
+  std::size_t NumHops() const {
+    return layers.empty() ? 0 : layers.size() - 1;
+  }
+  std::size_t TotalVertices() const {
+    std::size_t n = 0;
+    for (const auto& l : layers) n += l.size();
+    return n;
+  }
+};
+
+/// Compact layered sample with per-layer *unique* vertices: node j of
+/// layers[l+1] appears once no matter how many frontier vertices sampled
+/// it, and hop l's sampled (parent, child) pairs are kept as index pairs
+/// into the adjacent layers. This is the deduplicated layout production
+/// trainers prefer — features are gathered and embeddings computed once
+/// per distinct vertex.
+struct CompactSubgraph {
+  std::vector<std::vector<VertexId>> layers;
+  /// hop_edges[l] holds (index into layers[l], index into layers[l+1]).
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      hop_edges;
+
+  std::size_t NumHops() const {
+    return layers.empty() ? 0 : layers.size() - 1;
+  }
+  std::size_t TotalVertices() const {
+    std::size_t n = 0;
+    for (const auto& l : layers) n += l.size();
+    return n;
+  }
+};
+
+class SubgraphSampler {
+ public:
+  /// One hop of the expansion: which relation to walk and how many
+  /// neighbours to draw per frontier vertex. A meta-path is simply a
+  /// sequence of hops with different edge types.
+  struct Hop {
+    std::size_t fanout = 10;
+    EdgeType edge_type = 0;
+    bool weighted = true;
+  };
+
+  explicit SubgraphSampler(const GraphStore* graph) : graph_(graph) {}
+
+  /// Expand `seeds` through `hops` (e.g. {25, 10} for the classic 2-hop
+  /// GraphSAGE fan-out). Frontier vertices without out-edges simply stop
+  /// expanding.
+  SampledSubgraph Sample(const std::vector<VertexId>& seeds,
+                         const std::vector<Hop>& hops, Xoshiro256& rng) const;
+
+  /// Like Sample(), but each layer keeps every vertex once (the heavily
+  /// re-sampled hubs of a skewed graph would otherwise be duplicated
+  /// fanout-fold) and sampled transitions become (parent, child) index
+  /// pairs. Duplicate draws of the same (parent, child) pair collapse.
+  CompactSubgraph SampleUnique(const std::vector<VertexId>& seeds,
+                               const std::vector<Hop>& hops,
+                               Xoshiro256& rng) const;
+
+ private:
+  const GraphStore* graph_;
+};
+
+}  // namespace platod2gl

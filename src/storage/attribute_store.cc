@@ -1,0 +1,48 @@
+#include "storage/attribute_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace platod2gl {
+
+AttributeStore::AttributeStore(std::size_t num_shards) : attrs_(num_shards) {}
+
+void AttributeStore::SetFeatures(VertexId v, std::vector<float> features) {
+  attrs_.With(v, [&](VertexAttrs& a) { a.features = std::move(features); });
+}
+
+void AttributeStore::SetLabel(VertexId v, std::int64_t label) {
+  attrs_.With(v, [&](VertexAttrs& a) { a.label = label; });
+}
+
+const std::vector<float>* AttributeStore::GetFeatures(VertexId v) const {
+  const VertexAttrs* a = attrs_.FindUnsafe(v);
+  return a ? &a->features : nullptr;
+}
+
+std::optional<std::int64_t> AttributeStore::GetLabel(VertexId v) const {
+  const VertexAttrs* a = attrs_.FindUnsafe(v);
+  return a ? a->label : std::nullopt;
+}
+
+void AttributeStore::GatherFeatures(const std::vector<VertexId>& ids,
+                                    std::size_t dim,
+                                    std::vector<float>* out) const {
+  out->assign(ids.size() * dim, 0.0f);
+  for (std::size_t row = 0; row < ids.size(); ++row) {
+    const std::vector<float>* f = GetFeatures(ids[row]);
+    if (!f) continue;
+    const std::size_t n = std::min(dim, f->size());
+    std::memcpy(out->data() + row * dim, f->data(), n * sizeof(float));
+  }
+}
+
+std::size_t AttributeStore::MemoryUsage() const {
+  std::size_t bytes = attrs_.MemoryUsage();
+  attrs_.ForEach([&](VertexId, const VertexAttrs& a) {
+    bytes += sizeof(VertexAttrs) + VectorBytes(a.features);
+  });
+  return bytes;
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,64 @@
+// AttributeStore: key-value storage for vertex feature vectors and labels
+// (paper Section III: "As for the attribute storage, the key-value store
+// is used").
+//
+// GNN training reads features in minibatch-sized gathers; the store keeps
+// one float vector (plus an optional integer label) per vertex in the same
+// concurrent cuckoo map used for topology.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/memory.h"
+#include "common/types.h"
+#include "storage/cuckoo_map.h"
+
+namespace platod2gl {
+
+class AttributeStore {
+ public:
+  explicit AttributeStore(std::size_t num_shards = 64);
+
+  /// Store (overwrite) the feature vector of a vertex. Thread-safe.
+  void SetFeatures(VertexId v, std::vector<float> features);
+
+  /// Store (overwrite) the label of a vertex. Thread-safe.
+  void SetLabel(VertexId v, std::int64_t label);
+
+  /// Feature vector of v, or nullptr when absent. See
+  /// CuckooMap::FindUnsafe for the synchronisation contract.
+  const std::vector<float>* GetFeatures(VertexId v) const;
+
+  std::optional<std::int64_t> GetLabel(VertexId v) const;
+
+  /// Gather the features of a batch into a dense row-major buffer of
+  /// shape [ids.size(), dim]; missing vertices get zero rows.
+  void GatherFeatures(const std::vector<VertexId>& ids, std::size_t dim,
+                      std::vector<float>* out) const;
+
+  std::size_t NumVertices() const { return attrs_.Size(); }
+
+  /// Visit every vertex as fn(id, features, label). Not thread-safe
+  /// against writers.
+  template <typename Fn>
+  void ForEachVertex(Fn&& fn) const {
+    attrs_.ForEach([&](VertexId v, const VertexAttrs& a) {
+      fn(v, a.features, a.label);
+    });
+  }
+
+  std::size_t MemoryUsage() const;
+
+ private:
+  struct VertexAttrs {
+    std::vector<float> features;
+    std::optional<std::int64_t> label;
+  };
+
+  CuckooMap<VertexAttrs> attrs_;
+};
+
+}  // namespace platod2gl

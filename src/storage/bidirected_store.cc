@@ -1,0 +1,26 @@
+#include "storage/bidirected_store.h"
+
+#include <unordered_set>
+
+namespace platod2gl {
+
+std::vector<Edge> InducedSubgraph(const GraphStore& graph,
+                                  const std::vector<VertexId>& vertices) {
+  const std::unordered_set<VertexId> keep(vertices.begin(), vertices.end());
+  std::vector<Edge> out;
+  for (std::size_t r = 0; r < graph.num_relations(); ++r) {
+    const EdgeType type = static_cast<EdgeType>(r);
+    // Iterate the deduplicated set so repeated input vertices do not
+    // duplicate their edges in the output.
+    for (VertexId src : keep) {
+      const Samtree* tree = graph.topology(type).FindTree(src);
+      if (!tree) continue;
+      tree->ForEachNeighbor([&](VertexId dst, Weight w) {
+        if (keep.count(dst)) out.push_back(Edge{src, dst, w, type});
+      });
+    }
+  }
+  return out;
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,96 @@
+// BidirectedGraphStore: a GraphStore wrapper that maintains the reverse
+// direction of every edge automatically.
+//
+// The paper's datasets are all bi-directed ("all the datasets in our
+// experiments are bi-directed"): production keeps the mirror edge so that
+// in-neighbourhoods are samplable too (who watched this room?). This
+// wrapper hides the mirroring and exposes in-degree / in-neighbour
+// queries next to the usual out-direction API. The mirror edge lives in
+// the same relation, exactly like the presets built by MakeBidirected.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+
+class BidirectedGraphStore {
+ public:
+  explicit BidirectedGraphStore(GraphStoreConfig config = {})
+      : graph_(config) {}
+
+  /// Insert (or refresh) the edge and its mirror (self-loops store one
+  /// physical edge).
+  void AddEdge(const Edge& e) {
+    graph_.AddEdge(e);
+    if (e.src != e.dst) {
+      graph_.AddEdge(Edge{e.dst, e.src, e.weight, e.type});
+    }
+  }
+
+  /// Update both directions; false if the edge does not exist.
+  bool UpdateEdge(VertexId src, VertexId dst, Weight w, EdgeType type = 0) {
+    const bool fwd = graph_.topology(type).UpdateEdge(src, dst, w);
+    if (src == dst) return fwd;
+    const bool bwd = graph_.topology(type).UpdateEdge(dst, src, w);
+    return fwd && bwd;
+  }
+
+  /// Remove both directions; false if the edge does not exist.
+  bool RemoveEdge(VertexId src, VertexId dst, EdgeType type = 0) {
+    const bool fwd = graph_.topology(type).RemoveEdge(src, dst);
+    if (src == dst) return fwd;
+    const bool bwd = graph_.topology(type).RemoveEdge(dst, src);
+    return fwd && bwd;
+  }
+
+  bool HasEdge(VertexId src, VertexId dst, EdgeType type = 0) const {
+    return graph_.HasEdge(src, dst, type);
+  }
+
+  /// Out- and in-degree coincide on a bi-directed graph, but both names
+  /// read naturally at call sites.
+  std::size_t OutDegree(VertexId v, EdgeType type = 0) const {
+    return graph_.Degree(v, type);
+  }
+  std::size_t InDegree(VertexId v, EdgeType type = 0) const {
+    return graph_.Degree(v, type);
+  }
+
+  bool SampleOutNeighbors(VertexId v, std::size_t k, bool weighted,
+                          Xoshiro256& rng, std::vector<VertexId>* out,
+                          EdgeType type = 0) const {
+    return graph_.SampleNeighbors(v, k, weighted, rng, out, type);
+  }
+  /// In-neighbours are the mirror's out-neighbours.
+  bool SampleInNeighbors(VertexId v, std::size_t k, bool weighted,
+                         Xoshiro256& rng, std::vector<VertexId>* out,
+                         EdgeType type = 0) const {
+    return graph_.SampleNeighbors(v, k, weighted, rng, out, type);
+  }
+
+  /// Undirected edge count (mirrors counted once). Self-loops store a
+  /// single directed edge, so each contributes only half here; use
+  /// graph().NumEdges() for the exact directed count.
+  std::size_t NumEdges() const { return graph_.NumEdges() / 2; }
+
+  /// The wrapped store, for samplers / trainers / analytics. Mutating
+  /// topology through it directly bypasses the mirroring.
+  GraphStore& graph() { return graph_; }
+  const GraphStore& graph() const { return graph_; }
+
+ private:
+  GraphStore graph_;
+};
+
+/// Induced subgraph: every stored edge whose endpoints are both in
+/// `vertices`, extracted per relation. O(sum of the vertices' degrees).
+std::vector<Edge> InducedSubgraph(const GraphStore& graph,
+                                  const std::vector<VertexId>& vertices);
+
+}  // namespace platod2gl

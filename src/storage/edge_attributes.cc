@@ -1,0 +1,74 @@
+#include "storage/edge_attributes.h"
+
+#include <algorithm>
+
+#include "storage/cuckoo_map.h"  // HashVertexId
+
+namespace platod2gl {
+
+std::size_t EdgeAttributeStore::EdgeKeyHash::operator()(
+    const EdgeKey& k) const {
+  const std::uint64_t a = HashVertexId(k.src, 0x8BADF00D5EEDULL);
+  const std::uint64_t b =
+      HashVertexId(k.dst ^ (static_cast<std::uint64_t>(k.type) << 48),
+                   0xFACEFEEDCAFEULL);
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+}
+
+EdgeAttributeStore::EdgeAttributeStore(std::size_t num_shards)
+    : shards_(std::max<std::size_t>(1, num_shards)) {}
+
+const EdgeAttributeStore::Shard& EdgeAttributeStore::ShardFor(
+    VertexId src, VertexId dst, EdgeType type) const {
+  const std::size_t h =
+      EdgeKeyHash()(EdgeKey{src, dst, type});
+  return shards_[h % shards_.size()];
+}
+
+void EdgeAttributeStore::Set(VertexId src, VertexId dst, EdgeType type,
+                             std::vector<float> features) {
+  Shard& shard = ShardFor(src, dst, type);
+  std::lock_guard<Spinlock> lock(shard.mu);
+  auto& slot = shard.map[EdgeKey{src, dst, type}];
+  if (!slot) slot = std::make_unique<std::vector<float>>();
+  *slot = std::move(features);
+}
+
+const std::vector<float>* EdgeAttributeStore::Get(VertexId src, VertexId dst,
+                                                  EdgeType type) const {
+  const Shard& shard = ShardFor(src, dst, type);
+  std::lock_guard<Spinlock> lock(shard.mu);
+  auto it = shard.map.find(EdgeKey{src, dst, type});
+  return it == shard.map.end() ? nullptr : it->second.get();
+}
+
+bool EdgeAttributeStore::Remove(VertexId src, VertexId dst, EdgeType type) {
+  Shard& shard = ShardFor(src, dst, type);
+  std::lock_guard<Spinlock> lock(shard.mu);
+  return shard.map.erase(EdgeKey{src, dst, type}) > 0;
+}
+
+std::size_t EdgeAttributeStore::NumEdges() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<Spinlock> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+std::size_t EdgeAttributeStore::MemoryUsage() const {
+  constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+  std::size_t bytes = shards_.capacity() * sizeof(Shard);
+  for (const auto& s : shards_) {
+    std::lock_guard<Spinlock> lock(s.mu);
+    bytes += s.map.bucket_count() * sizeof(void*);
+    for (const auto& [key, value] : s.map) {
+      bytes += sizeof(EdgeKey) + kNodeOverhead + sizeof(*value) +
+               value->capacity() * sizeof(float);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,74 @@
+// EdgeAttributeStore: key-value storage for per-edge features.
+//
+// The paper's attribute layer covers "attributes information of nodes or
+// edges" (Section III). Edge weights live inside the samtrees; richer
+// per-edge payloads (interaction timestamps, context features, ...) live
+// here, keyed by (src, dst, type) in a sharded hash map so writers on
+// different shards never contend.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/memory.h"
+#include "common/spinlock.h"
+#include "common/types.h"
+
+namespace platod2gl {
+
+class EdgeAttributeStore {
+ public:
+  explicit EdgeAttributeStore(std::size_t num_shards = 64);
+
+  /// Store (overwrite) the features of an edge. Thread-safe.
+  void Set(VertexId src, VertexId dst, EdgeType type,
+           std::vector<float> features);
+  void Set(const Edge& e, std::vector<float> features) {
+    Set(e.src, e.dst, e.type, std::move(features));
+  }
+
+  /// Features of an edge, or nullptr. The pointer is stable until the
+  /// edge's attributes are overwritten or removed; not synchronised with
+  /// concurrent writers of the *same edge*.
+  const std::vector<float>* Get(VertexId src, VertexId dst,
+                                EdgeType type = 0) const;
+
+  /// Remove an edge's attributes; false when absent. Thread-safe.
+  bool Remove(VertexId src, VertexId dst, EdgeType type = 0);
+
+  std::size_t NumEdges() const;
+  std::size_t MemoryUsage() const;
+
+ private:
+  struct EdgeKey {
+    VertexId src;
+    VertexId dst;
+    EdgeType type;
+    friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+  };
+  struct EdgeKeyHash {
+    std::size_t operator()(const EdgeKey& k) const;
+  };
+  struct alignas(128) Shard {
+    mutable Spinlock mu;
+    // Values are heap-pinned so Get() pointers survive rehashes.
+    std::unordered_map<EdgeKey, std::unique_ptr<std::vector<float>>,
+                       EdgeKeyHash>
+        map;
+  };
+
+  const Shard& ShardFor(VertexId src, VertexId dst, EdgeType type) const;
+  Shard& ShardFor(VertexId src, VertexId dst, EdgeType type) {
+    return const_cast<Shard&>(
+        static_cast<const EdgeAttributeStore*>(this)->ShardFor(src, dst,
+                                                               type));
+  }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,71 @@
+#include "storage/graph_store.h"
+
+#include <algorithm>
+
+namespace platod2gl {
+
+GraphStore::GraphStore(GraphStoreConfig config)
+    : config_(config), attributes_(config.num_shards) {
+  config_.num_relations = std::max<std::size_t>(1, config_.num_relations);
+  relations_.reserve(config_.num_relations);
+  for (std::size_t i = 0; i < config_.num_relations; ++i) {
+    relations_.push_back(std::make_unique<TopologyStore>(
+        config_.samtree, config_.num_shards));
+  }
+}
+
+void GraphStore::AddEdge(const Edge& e) {
+  relations_.at(e.type)->AddEdge(e.src, e.dst, e.weight);
+}
+
+void GraphStore::Apply(const EdgeUpdate& update) {
+  relations_.at(update.edge.type)->Apply(update);
+}
+
+void GraphStore::ApplyBatch(const std::vector<EdgeUpdate>& batch) {
+  for (const EdgeUpdate& u : batch) Apply(u);
+}
+
+bool GraphStore::HasEdge(VertexId src, VertexId dst, EdgeType type) const {
+  return relations_.at(type)->HasEdge(src, dst);
+}
+
+std::optional<Weight> GraphStore::EdgeWeight(VertexId src, VertexId dst,
+                                             EdgeType type) const {
+  return relations_.at(type)->EdgeWeight(src, dst);
+}
+
+std::size_t GraphStore::Degree(VertexId src, EdgeType type) const {
+  return relations_.at(type)->Degree(src);
+}
+
+bool GraphStore::SampleNeighbors(VertexId src, std::size_t k, bool weighted,
+                                 Xoshiro256& rng, std::vector<VertexId>* out,
+                                 EdgeType type) const {
+  return relations_.at(type)->SampleNeighbors(src, k, weighted, rng, out);
+}
+
+std::vector<std::pair<VertexId, Weight>> GraphStore::Neighbors(
+    VertexId src, EdgeType type) const {
+  return relations_.at(type)->Neighbors(src);
+}
+
+std::size_t GraphStore::NumEdges() const {
+  std::size_t n = 0;
+  for (const auto& r : relations_) n += r->NumEdges();
+  return n;
+}
+
+MemoryBreakdown GraphStore::TopologyMemory() const {
+  MemoryBreakdown mem;
+  for (const auto& r : relations_) {
+    const MemoryBreakdown m = r->Memory();
+    mem.topology_bytes += m.topology_bytes;
+    mem.index_bytes += m.index_bytes;
+    mem.key_bytes += m.key_bytes;
+    mem.other_bytes += m.other_bytes;
+  }
+  return mem;
+}
+
+}  // namespace platod2gl

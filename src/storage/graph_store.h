@@ -1,0 +1,80 @@
+// GraphStore: the dynamic graph storage layer of PlatoD2GL (paper
+// Section III, bottom layer of Figure 2).
+//
+// A heterogeneous graph keeps one TopologyStore per edge relation (User-
+// Live, Live-Tag, ...) plus one AttributeStore for vertex features/labels.
+// This facade is the single entry point the TF-operator-equivalent layer
+// (src/gnn) and the samplers (src/sampling) talk to.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/memory.h"
+#include "common/random.h"
+#include "common/types.h"
+#include "core/samtree.h"
+#include "storage/attribute_store.h"
+#include "storage/topology_store.h"
+
+namespace platod2gl {
+
+struct GraphStoreConfig {
+  SamtreeConfig samtree;
+  std::size_t num_shards = 64;
+  std::size_t num_relations = 1;  ///< number of edge types
+};
+
+class GraphStore {
+ public:
+  explicit GraphStore(GraphStoreConfig config = {});
+
+  /// Insert one edge of its relation; refreshes weight if present.
+  void AddEdge(const Edge& e);
+
+  /// Apply a single dynamic update.
+  void Apply(const EdgeUpdate& update);
+
+  /// Apply a batch of updates sequentially (the concurrent path lives in
+  /// concurrency/batch_updater.h).
+  void ApplyBatch(const std::vector<EdgeUpdate>& batch);
+
+  bool HasEdge(VertexId src, VertexId dst, EdgeType type = 0) const;
+  std::optional<Weight> EdgeWeight(VertexId src, VertexId dst,
+                                   EdgeType type = 0) const;
+  std::size_t Degree(VertexId src, EdgeType type = 0) const;
+
+  bool SampleNeighbors(VertexId src, std::size_t k, bool weighted,
+                       Xoshiro256& rng, std::vector<VertexId>* out,
+                       EdgeType type = 0) const;
+  std::vector<std::pair<VertexId, Weight>> Neighbors(VertexId src,
+                                                     EdgeType type = 0) const;
+
+  TopologyStore& topology(EdgeType type = 0) { return *relations_.at(type); }
+  const TopologyStore& topology(EdgeType type = 0) const {
+    return *relations_.at(type);
+  }
+  AttributeStore& attributes() { return attributes_; }
+  const AttributeStore& attributes() const { return attributes_; }
+
+  std::size_t num_relations() const { return relations_.size(); }
+
+  /// Live edges across all relations.
+  std::size_t NumEdges() const;
+
+  /// Topology-layer memory across all relations (Table IV accounting;
+  /// attributes are reported separately since every system stores them the
+  /// same way).
+  MemoryBreakdown TopologyMemory() const;
+
+  const GraphStoreConfig& config() const { return config_; }
+
+ private:
+  GraphStoreConfig config_;
+  std::vector<std::unique_ptr<TopologyStore>> relations_;
+  AttributeStore attributes_;
+};
+
+}  // namespace platod2gl

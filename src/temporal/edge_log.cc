@@ -1,0 +1,40 @@
+#include "temporal/edge_log.h"
+
+#include <algorithm>
+
+namespace platod2gl {
+
+bool TemporalEdgeLog::Append(std::uint64_t timestamp,
+                             const EdgeUpdate& update) {
+  if (!log_.empty() && timestamp < log_.back().timestamp) return false;
+  log_.push_back(TimedUpdate{timestamp, update});
+  return true;
+}
+
+std::size_t TemporalEdgeLog::UpperBound(std::uint64_t t) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(log_.begin(), log_.end(), t,
+                       [](std::uint64_t value, const TimedUpdate& e) {
+                         return value < e.timestamp;
+                       }) -
+      log_.begin());
+}
+
+std::size_t TemporalEdgeLog::ReplayInto(GraphStore* graph, std::uint64_t from,
+                                        std::uint64_t to) const {
+  const std::size_t begin = UpperBound(from);
+  const std::size_t end = UpperBound(to);
+  for (std::size_t i = begin; i < end; ++i) {
+    graph->Apply(log_[i].update);
+  }
+  return end - begin;
+}
+
+std::vector<TimedUpdate> TemporalEdgeLog::Window(std::uint64_t from,
+                                                 std::uint64_t to) const {
+  const std::size_t begin = UpperBound(from);
+  const std::size_t end = UpperBound(to);
+  return std::vector<TimedUpdate>(log_.begin() + begin, log_.begin() + end);
+}
+
+}  // namespace platod2gl

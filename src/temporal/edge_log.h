@@ -1,0 +1,74 @@
+// TemporalEdgeLog: the dynamic graph as a timestamped update series.
+//
+// The paper models a dynamic graph as {G^(t) | t in [1, T]} (Section
+// II-A): the graph at timestamp t is the result of applying every update
+// with timestamp <= t. This log is the substrate for that semantics —
+// training pipelines append interactions as they arrive, snapshot-build
+// G^(t) for offline evaluation, or replay half-open windows (t1, t2] to
+// roll a live store forward.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+
+struct TimedUpdate {
+  std::uint64_t timestamp = 0;
+  EdgeUpdate update;
+};
+
+class TemporalEdgeLog {
+ public:
+  TemporalEdgeLog() = default;
+
+  /// Append an update; timestamps must be non-decreasing (monotone event
+  /// time). Returns false (and drops the update) on a time regression.
+  bool Append(std::uint64_t timestamp, const EdgeUpdate& update);
+
+  /// Convenience: append an insertion.
+  bool AppendInsert(std::uint64_t timestamp, const Edge& e) {
+    return Append(timestamp, EdgeUpdate{UpdateKind::kInsert, e});
+  }
+
+  std::size_t size() const { return log_.size(); }
+  bool empty() const { return log_.empty(); }
+
+  /// Earliest / latest timestamps (0 when empty).
+  std::uint64_t MinTimestamp() const {
+    return log_.empty() ? 0 : log_.front().timestamp;
+  }
+  std::uint64_t MaxTimestamp() const {
+    return log_.empty() ? 0 : log_.back().timestamp;
+  }
+
+  /// Apply every update with from < timestamp <= to, in order. Rolls a
+  /// store at G^(from) forward to G^(to). Returns the number applied.
+  std::size_t ReplayInto(GraphStore* graph, std::uint64_t from,
+                         std::uint64_t to) const;
+
+  /// Build G^(t) from scratch into an empty store (every update with
+  /// timestamp <= t). Returns the number applied.
+  std::size_t SnapshotInto(GraphStore* graph, std::uint64_t t) const {
+    return ReplayInto(graph, 0, t);
+  }
+
+  /// The raw log entries in the half-open window (from, to].
+  std::vector<TimedUpdate> Window(std::uint64_t from, std::uint64_t to) const;
+
+  std::size_t MemoryUsage() const {
+    return log_.capacity() * sizeof(TimedUpdate);
+  }
+
+ private:
+  /// Index of the first entry with timestamp > t.
+  std::size_t UpperBound(std::uint64_t t) const;
+
+  std::vector<TimedUpdate> log_;  // sorted by timestamp (append-enforced)
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,109 @@
+#include "walk/random_walk.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace platod2gl {
+
+VertexId RandomWalker::Step(VertexId prev, VertexId cur,
+                            const WalkConfig& config, Xoshiro256& rng) const {
+  const TopologyStore& topo = graph_->topology(config.edge_type);
+  const Samtree* tree = topo.FindTree(cur);
+  if (!tree || tree->empty()) return kInvalidVertex;
+
+  const bool second_order =
+      prev != kInvalidVertex && (config.p != 1.0 || config.q != 1.0);
+
+  // KnightKing-style rejection sampling: draw from the static
+  // (first-order) distribution, then accept with the ratio between the
+  // node2vec-biased weight and an upper bound of it. The acceptance
+  // bound is max(1, 1/p, 1/q).
+  const double inv_p = 1.0 / config.p;
+  const double inv_q = 1.0 / config.q;
+  const double bound =
+      second_order ? std::max({1.0, inv_p, inv_q}) : 1.0;
+
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    ++last_draws_;
+    const VertexId cand = config.weighted ? tree->SampleWeighted(rng)
+                                          : tree->SampleUniform(rng);
+    if (!second_order) return cand;
+
+    double bias;
+    if (cand == prev) {
+      bias = inv_p;  // return to where we came from
+    } else if (graph_->HasEdge(prev, cand, config.edge_type)) {
+      bias = 1.0;    // triangle step: distance 1 from prev
+    } else {
+      bias = inv_q;  // exploration step: distance 2 from prev
+    }
+    if (rng.NextDouble() * bound <= bias) return cand;
+  }
+  // Pathological rejection streak (e.g. huge p and q): fall back to the
+  // unbiased draw rather than looping forever.
+  ++last_draws_;
+  return config.weighted ? tree->SampleWeighted(rng)
+                         : tree->SampleUniform(rng);
+}
+
+WalkBatch RandomWalker::Walk(const std::vector<VertexId>& seeds,
+                             const WalkConfig& config, Xoshiro256& rng) const {
+  last_draws_ = 0;
+  WalkBatch walks;
+  walks.reserve(seeds.size());
+  for (VertexId seed : seeds) {
+    std::vector<VertexId> walk;
+    walk.reserve(config.walk_length);
+    walk.push_back(seed);
+    VertexId prev = kInvalidVertex;
+    while (walk.size() < config.walk_length) {
+      if (config.restart_prob > 0.0 &&
+          rng.NextDouble() < config.restart_prob) {
+        // Teleport home. Not an edge traversal, so the second-order
+        // state resets as if the walk had just (re)started.
+        prev = kInvalidVertex;
+        walk.push_back(seed);
+        continue;
+      }
+      const VertexId next = Step(prev, walk.back(), config, rng);
+      if (next == kInvalidVertex) break;  // dangling vertex: walk ends
+      prev = walk.back();
+      walk.push_back(next);
+    }
+    walks.push_back(std::move(walk));
+  }
+  return walks;
+}
+
+std::vector<std::pair<VertexId, double>> RandomWalker::ApproxPPR(
+    VertexId seed, std::size_t num_walks, std::size_t walk_length,
+    double restart_prob, Xoshiro256& rng, EdgeType edge_type) const {
+  WalkConfig config;
+  config.walk_length = walk_length;
+  config.edge_type = edge_type;
+  config.restart_prob = restart_prob;
+
+  std::unordered_map<VertexId, std::size_t> visits;
+  std::size_t total = 0;
+  const std::vector<VertexId> seeds(1, seed);
+  for (std::size_t w = 0; w < num_walks; ++w) {
+    const WalkBatch batch = Walk(seeds, config, rng);
+    for (VertexId v : batch[0]) {
+      ++visits[v];
+      ++total;
+    }
+  }
+
+  std::vector<std::pair<VertexId, double>> out;
+  out.reserve(visits.size());
+  for (const auto& [v, n] : visits) {
+    out.emplace_back(v, static_cast<double>(n) / total);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace platod2gl

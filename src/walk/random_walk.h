@@ -1,0 +1,72 @@
+// Random-walk engine over the dynamic graph store.
+//
+// Weighted random walks are the other big consumer of the weighted
+// neighbour sampling primitive (the paper builds its ITS/FTS machinery on
+// the KnightKing line of work [34], whose workload is exactly this).
+// Supports first-order (DeepWalk-style) walks and second-order node2vec
+// walks with return parameter p and in-out parameter q, implemented with
+// KnightKing's rejection-sampling trick so each step still costs one
+// O(log n) weighted draw plus an expected O(1) number of acceptance
+// tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+
+struct WalkConfig {
+  std::size_t walk_length = 10;  ///< vertices per walk (including the seed)
+  bool weighted = true;          ///< edge-weight-proportional transitions
+  EdgeType edge_type = 0;
+  /// node2vec biasing: probability of returning to the previous vertex is
+  /// scaled by 1/p, of moving to a non-neighbour of it by 1/q. p = q = 1
+  /// degenerates to a first-order walk (no rejection step at all).
+  double p = 1.0;
+  double q = 1.0;
+  /// Random-walk-with-restart: before each transition the walk teleports
+  /// back to its seed with this probability (personalised-PageRank-style
+  /// locality). 0 disables restarts.
+  double restart_prob = 0.0;
+};
+
+/// A batch of walks: walks[i] starts at seeds[i]; a walk ends early when
+/// it reaches a vertex without out-edges.
+using WalkBatch = std::vector<std::vector<VertexId>>;
+
+class RandomWalker {
+ public:
+  explicit RandomWalker(const GraphStore* graph) : graph_(graph) {}
+
+  /// One walk from each seed.
+  WalkBatch Walk(const std::vector<VertexId>& seeds, const WalkConfig& config,
+                 Xoshiro256& rng) const;
+
+  /// Total transition steps taken by the last Walk() call — rejection
+  /// retries included, so callers can observe the rejection overhead.
+  std::size_t last_candidate_draws() const { return last_draws_; }
+
+  /// Monte-Carlo personalised PageRank: visit-frequency estimate over
+  /// `num_walks` restart walks of `walk_length` (every visited vertex
+  /// counts, the seed included, as in the standard estimator). Returns
+  /// (vertex, probability mass) sorted by descending mass.
+  std::vector<std::pair<VertexId, double>> ApproxPPR(
+      VertexId seed, std::size_t num_walks, std::size_t walk_length,
+      double restart_prob, Xoshiro256& rng,
+      EdgeType edge_type = 0) const;
+
+ private:
+  /// Draw the next vertex after `cur`, given the previous vertex of the
+  /// walk (kInvalidVertex for the first step).
+  VertexId Step(VertexId prev, VertexId cur, const WalkConfig& config,
+                Xoshiro256& rng) const;
+
+  const GraphStore* graph_;
+  mutable std::size_t last_draws_ = 0;
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,84 @@
+// AliasTable unit tests (AliGraph baseline sampling index).
+#include "index/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace platod2gl {
+namespace {
+
+TEST(AliasTableTest, EmptyTable) {
+  AliasTable t;
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(AliasTableTest, SingleEntryAlwaysSampled) {
+  AliasTable t({3.0});
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, UniformWeightsSampleAllIndices) {
+  AliasTable t({1.0, 1.0, 1.0, 1.0});
+  Xoshiro256 rng(2);
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 40000; ++i) ++hits[t.Sample(rng)];
+  for (int h : hits) {
+    EXPECT_NEAR(h, 10000, 500);
+  }
+}
+
+TEST(AliasTableTest, SkewedWeightsMatchProbabilities) {
+  const std::vector<Weight> w = {8.0, 1.0, 1.0};
+  AliasTable t(w);
+  Xoshiro256 rng(3);
+  std::vector<int> hits(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hits[t.Sample(rng)];
+  EXPECT_NEAR(hits[0] / static_cast<double>(n), 0.8, 0.01);
+  EXPECT_NEAR(hits[1] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(hits[2] / static_cast<double>(n), 0.1, 0.01);
+}
+
+TEST(AliasTableTest, ZeroWeightEntryNeverSampled) {
+  AliasTable t({1.0, 0.0, 1.0});
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(t.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, MemoryIsTwoArrays) {
+  AliasTable t(std::vector<Weight>(100, 1.0));
+  // prob (double) + alias (uint32) per entry, modulo capacity slack.
+  EXPECT_GE(t.MemoryUsage(), 100 * (sizeof(double) + sizeof(std::uint32_t)));
+}
+
+class AliasRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AliasRandomized, EmpiricalDistributionTracksWeights) {
+  Xoshiro256 rng(GetParam());
+  std::vector<Weight> w;
+  const std::size_t n = 2 + rng.NextUint64(60);
+  Weight total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w.push_back(0.05 + rng.NextDouble());
+    total += w.back();
+  }
+  AliasTable t(w);
+  std::vector<int> hits(n, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++hits[t.Sample(rng)];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double expect = w[i] / total;
+    const double got = hits[i] / static_cast<double>(draws);
+    EXPECT_NEAR(got, expect, 0.015) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AliasRandomized,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace platod2gl

@@ -1,0 +1,124 @@
+// α-Split tests (paper Algorithm 1 / Theorem 1).
+#include "core/alpha_split.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace platod2gl {
+namespace {
+
+// Validates the partition postcondition around position p.
+void ExpectPartitioned(const std::vector<VertexId>& ids, std::size_t p) {
+  for (std::size_t j = 0; j < p; ++j) {
+    EXPECT_LT(ids[j], ids[p]) << "left element " << j;
+  }
+  for (std::size_t j = p + 1; j < ids.size(); ++j) {
+    EXPECT_GT(ids[j], ids[p]) << "right element " << j;
+  }
+}
+
+TEST(AlphaSplitTest, ExactMedianWithAlphaZero) {
+  std::vector<VertexId> ids = {9, 1, 7, 3, 5};
+  std::vector<Weight> weights = {0.9, 0.1, 0.7, 0.3, 0.5};
+  const std::size_t p = AlphaSplit(ids, weights, ids.size() / 2, 0);
+  EXPECT_EQ(p, 2u);  // QuickSelect degenerate case: exact median position
+  EXPECT_EQ(ids[p], 5u);
+  ExpectPartitioned(ids, p);
+}
+
+TEST(AlphaSplitTest, WeightsFollowTheirIds) {
+  std::vector<VertexId> ids = {40, 10, 30, 20, 50};
+  std::vector<Weight> weights = {4.0, 1.0, 3.0, 2.0, 5.0};
+  AlphaSplit(ids, weights, 2, 0);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_DOUBLE_EQ(weights[i], static_cast<double>(ids[i]) / 10.0)
+        << "pair broken at " << i;
+  }
+}
+
+TEST(AlphaSplitTest, PaperExample2Split) {
+  // Example 2: leaf {1,2,3,4,6} (capacity 4, after inserting 6) splits
+  // into {1,2} and {3,4,6}: the pivot position is 2 (element 3).
+  std::vector<VertexId> ids = {1, 2, 3, 4, 6};
+  std::vector<Weight> weights = {0.3, 0.4, 0.1, 0.7, 0.3};
+  const std::size_t p = AlphaSplit(ids, weights, ids.size() / 2, 0);
+  EXPECT_EQ(p, 2u);
+  EXPECT_EQ(ids[p], 3u);
+  std::vector<VertexId> left(ids.begin(), ids.begin() + 2);
+  std::vector<VertexId> right(ids.begin() + 2, ids.end());
+  std::sort(left.begin(), left.end());
+  std::sort(right.begin(), right.end());
+  EXPECT_EQ(left, (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(right, (std::vector<VertexId>{3, 4, 6}));
+}
+
+TEST(AlphaSplitTest, AlreadySortedInput) {
+  std::vector<VertexId> ids(101);
+  std::iota(ids.begin(), ids.end(), 0);
+  std::vector<Weight> weights(101, 1.0);
+  const std::size_t p = AlphaSplit(ids, weights, 50, 0);
+  EXPECT_EQ(p, 50u);
+  EXPECT_EQ(ids[p], 50u);
+}
+
+TEST(AlphaSplitTest, ReverseSortedInput) {
+  std::vector<VertexId> ids(101);
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = 100 - i;
+  std::vector<Weight> weights(101, 1.0);
+  const std::size_t p = AlphaSplit(ids, weights, 50, 0);
+  EXPECT_EQ(p, 50u);
+  ExpectPartitioned(ids, p);
+}
+
+class AlphaSplitRandomized
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(AlphaSplitRandomized, SatisfiesAlphaRelaxedInequality) {
+  const auto [seed, alpha] = GetParam();
+  Xoshiro256 rng(seed);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 5 + rng.NextUint64(500);
+    std::vector<VertexId> ids;
+    std::unordered_map<VertexId, Weight> pairing;
+    while (ids.size() < n) {
+      const VertexId v = rng.NextUint64(1u << 30);
+      if (pairing.count(v)) continue;  // IDs unique, like real neighbours
+      ids.push_back(v);
+      pairing[v] = 0.01 + rng.NextDouble();
+    }
+    std::vector<Weight> weights;
+    for (VertexId v : ids) weights.push_back(pairing[v]);
+
+    const std::size_t target = n / 2;
+    const std::size_t p = AlphaSplit(ids, weights, target, alpha);
+
+    // Equation (3): |p - target| <= alpha (alpha 0 => exact).
+    const std::size_t dist = p > target ? p - target : target - p;
+    EXPECT_LE(dist, alpha) << "n=" << n;
+    ASSERT_LT(p, n);
+    EXPECT_GT(p, 0u) << "degenerate split";
+    EXPECT_LT(p, n - 1) << "degenerate split";
+    ExpectPartitioned(ids, p);
+    // Weights still paired with their IDs.
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_DOUBLE_EQ(weights[i], pairing[ids[i]]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlphaSplitRandomized,
+    ::testing::Combine(::testing::Values(7, 13, 29),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{2}, std::size_t{8},
+                                         std::size_t{32})));
+
+}  // namespace
+}  // namespace platod2gl

@@ -1,0 +1,252 @@
+// Graph-analytics tests: degree stats, PageRank, connected components,
+// triangle estimation, plus the text edge-list loader.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <vector>
+
+#include "analytics/graph_metrics.h"
+#include "common/random.h"
+#include "io/edge_list_reader.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+namespace {
+
+TEST(DegreeStatsTest, CountsAndHistogram) {
+  TopologyStore store;
+  // Degrees: 1, 3, 8.
+  store.AddEdge(1, 10, 1.0);
+  for (VertexId d = 0; d < 3; ++d) store.AddEdge(2, 20 + d, 1.0);
+  for (VertexId d = 0; d < 8; ++d) store.AddEdge(3, 30 + d, 1.0);
+
+  const DegreeStats s = ComputeDegreeStats(store);
+  EXPECT_EQ(s.num_sources, 3u);
+  EXPECT_EQ(s.num_edges, 12u);
+  EXPECT_EQ(s.max_degree, 8u);
+  EXPECT_NEAR(s.mean_degree, 4.0, 1e-12);
+  // Buckets: degree 1 -> [1,2), degree 3 -> [2,4), degree 8 -> [8,16).
+  ASSERT_GE(s.log2_histogram.size(), 4u);
+  EXPECT_EQ(s.log2_histogram[0], 1u);
+  EXPECT_EQ(s.log2_histogram[1], 1u);
+  EXPECT_EQ(s.log2_histogram[3], 1u);
+}
+
+TEST(DegreeStatsTest, EmptyStore) {
+  TopologyStore store;
+  const DegreeStats s = ComputeDegreeStats(store);
+  EXPECT_EQ(s.num_sources, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 0.0);
+}
+
+TEST(PageRankTest, MassConservedAndHubWins) {
+  TopologyStore store;
+  // Star pointing at vertex 0: many sources link to it; 0 links back to
+  // one of them.
+  for (VertexId v = 1; v <= 20; ++v) store.AddEdge(v, 0, 1.0);
+  store.AddEdge(0, 1, 1.0);
+
+  const auto pr = PageRank(store);
+  double total = 0.0;
+  for (const auto& [v, r] : pr) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+
+  // The hub must outrank every spoke.
+  for (VertexId v = 2; v <= 20; ++v) {
+    EXPECT_GT(pr.at(0), pr.at(v)) << v;
+  }
+  // Vertex 1 gets the hub's endorsement -> second place.
+  EXPECT_GT(pr.at(1), pr.at(2));
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  TopologyStore store;
+  for (VertexId v = 0; v < 10; ++v) store.AddEdge(v, (v + 1) % 10, 1.0);
+  const auto pr = PageRank(store);
+  for (const auto& [v, r] : pr) EXPECT_NEAR(r, 0.1, 1e-6) << v;
+}
+
+TEST(PageRankTest, WeightedEdgesSteerMass) {
+  TopologyStore store;
+  store.AddEdge(0, 1, 9.0);
+  store.AddEdge(0, 2, 1.0);
+  store.AddEdge(1, 0, 1.0);
+  store.AddEdge(2, 0, 1.0);
+  const auto pr = PageRank(store);
+  EXPECT_GT(pr.at(1), pr.at(2) * 3);
+}
+
+TEST(ConnectedComponentsTest, FindsIslands) {
+  TopologyStore store;
+  // Island A: 1-2-3; island B: 10-11; isolated source 20 -> 21.
+  store.AddEdge(1, 2, 1.0);
+  store.AddEdge(2, 3, 1.0);
+  store.AddEdge(10, 11, 1.0);
+  store.AddEdge(20, 21, 1.0);
+
+  const auto cc = ConnectedComponents(store);
+  EXPECT_EQ(NumComponents(cc), 3u);
+  EXPECT_EQ(cc.at(1), cc.at(3));
+  EXPECT_EQ(cc.at(10), cc.at(11));
+  EXPECT_NE(cc.at(1), cc.at(10));
+  EXPECT_EQ(cc.at(1), 1u) << "representative is the smallest ID";
+  EXPECT_EQ(cc.at(21), 20u);
+}
+
+TEST(ConnectedComponentsTest, DirectionIgnored) {
+  TopologyStore store;
+  store.AddEdge(5, 4, 1.0);  // only a backward edge
+  const auto cc = ConnectedComponents(store);
+  EXPECT_EQ(NumComponents(cc), 1u);
+  EXPECT_EQ(cc.at(5), 4u);
+}
+
+TEST(TriangleEstimateTest, CliqueAndTriangleFree) {
+  // Bi-directed K5 has C(5,3) = 10 triangles.
+  TopologyStore k5;
+  for (VertexId a = 0; a < 5; ++a) {
+    for (VertexId b = 0; b < 5; ++b) {
+      if (a != b) k5.AddEdge(a, b, 1.0);
+    }
+  }
+  Xoshiro256 rng(3);
+  EXPECT_NEAR(EstimateTriangles(k5, 20000, rng), 10.0, 1.0);
+
+  // A bi-directed star is triangle-free.
+  TopologyStore star;
+  for (VertexId v = 1; v <= 10; ++v) {
+    star.AddEdge(0, v, 1.0);
+    star.AddEdge(v, 0, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(EstimateTriangles(star, 5000, rng), 0.0);
+}
+
+
+TEST(CommonNeighborsTest, SortedIdsAndIntersection) {
+  TopologyStore store(SamtreeConfig{.node_capacity = 4});
+  // N(1) = {10, 20, 30, 40, 50}, N(2) = {30, 40, 60} (multi-leaf trees).
+  for (VertexId d : {50u, 10u, 30u, 20u, 40u}) store.AddEdge(1, d, 1.0);
+  for (VertexId d : {60u, 30u, 40u}) store.AddEdge(2, d, 1.0);
+
+  EXPECT_EQ(store.FindTree(1)->SortedIds(),
+            (std::vector<VertexId>{10, 20, 30, 40, 50}));
+  EXPECT_EQ(CommonNeighbors(store, 1, 2),
+            (std::vector<VertexId>{30, 40}));
+  EXPECT_TRUE(CommonNeighbors(store, 1, 99).empty());
+}
+
+TEST(CommonNeighborsTest, SortedIdsOnLargeTree) {
+  TopologyStore store(SamtreeConfig{.node_capacity = 8});
+  Xoshiro256 rng(5);
+  std::set<VertexId> shadow;
+  for (int i = 0; i < 2000; ++i) {
+    const VertexId d = rng.NextUint64(100000);
+    store.AddEdge(7, d, 1.0);
+    shadow.insert(d);
+  }
+  const auto sorted = store.FindTree(7)->SortedIds();
+  EXPECT_EQ(sorted, std::vector<VertexId>(shadow.begin(), shadow.end()));
+}
+
+TEST(CommonNeighborsTest, JaccardSimilarity) {
+  TopologyStore store;
+  for (VertexId d : {1u, 2u, 3u, 4u}) store.AddEdge(10, d, 1.0);
+  for (VertexId d : {3u, 4u, 5u, 6u}) store.AddEdge(20, d, 1.0);
+  // |∩| = 2, |∪| = 6.
+  EXPECT_NEAR(JaccardSimilarity(store, 10, 20), 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(JaccardSimilarity(store, 10, 10), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(store, 10, 999), 0.0);
+}
+
+// --- edge-list reader -------------------------------------------------------
+
+class EdgeListTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("pd2g_edges_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(EdgeListTest, ParseLineVariants) {
+  Edge e;
+  ASSERT_TRUE(ParseEdgeLine("1 2", &e));
+  EXPECT_EQ(e.src, 1u);
+  EXPECT_EQ(e.dst, 2u);
+  EXPECT_DOUBLE_EQ(e.weight, 1.0);
+  EXPECT_EQ(e.type, 0u);
+
+  ASSERT_TRUE(ParseEdgeLine("3\t4\t0.5", &e));
+  EXPECT_DOUBLE_EQ(e.weight, 0.5);
+
+  ASSERT_TRUE(ParseEdgeLine("5 6 2.5 3", &e));
+  EXPECT_EQ(e.type, 3u);
+
+  EXPECT_FALSE(ParseEdgeLine("", &e));
+  EXPECT_FALSE(ParseEdgeLine("   ", &e));
+  EXPECT_FALSE(ParseEdgeLine("# comment", &e));
+  EXPECT_FALSE(ParseEdgeLine("% konect header", &e));
+  EXPECT_FALSE(ParseEdgeLine("7", &e)) << "missing destination";
+  EXPECT_FALSE(ParseEdgeLine("x y", &e));
+  EXPECT_FALSE(ParseEdgeLine("1 2 -3.0", &e)) << "weights must be positive";
+}
+
+TEST_F(EdgeListTest, ReadFileWithCommentsAndJunk) {
+  std::ofstream(path_) << "# SNAP-style header\n"
+                       << "1 2 0.5\n"
+                       << "\n"
+                       << "2 3\n"
+                       << "garbage line\n"
+                       << "3 1 2.0\n";
+  EdgeListStats stats;
+  auto result = ReadEdgeList(path_.string(), &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 3u);
+  EXPECT_EQ(stats.edges_loaded, 3u);
+  EXPECT_EQ(stats.lines_skipped, 3u);
+  EXPECT_DOUBLE_EQ(result.value()[0].weight, 0.5);
+}
+
+TEST_F(EdgeListTest, LoadIntoGraphStore) {
+  std::ofstream(path_) << "1 2 0.5\n2 3 1.5\n1 2 9.0\n";  // dup refreshes
+  GraphStore g;
+  EdgeListStats stats;
+  ASSERT_TRUE(LoadEdgeList(path_.string(), &g, &stats).ok());
+  EXPECT_EQ(stats.edges_loaded, 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_NEAR(*g.EdgeWeight(1, 2), 9.0, 1e-12);
+}
+
+TEST_F(EdgeListTest, OutOfRangeRelationSkipped) {
+  std::ofstream(path_) << "1 2 1.0 0\n3 4 1.0 7\n";
+  GraphStore g;  // single relation
+  EdgeListStats stats;
+  ASSERT_TRUE(LoadEdgeList(path_.string(), &g, &stats).ok());
+  EXPECT_EQ(stats.edges_loaded, 1u);
+  EXPECT_EQ(stats.lines_skipped, 1u);
+}
+
+TEST_F(EdgeListTest, MissingFile) {
+  GraphStore g;
+  EXPECT_EQ(LoadEdgeList("/no/such/file.txt", &g).code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(ReadEdgeList("/no/such/file.txt").ok());
+}
+
+TEST_F(EdgeListTest, LoadedGraphSupportsAnalytics) {
+  // End-to-end: file -> store -> PageRank.
+  std::ofstream(path_) << "1 2\n2 3\n3 1\n";
+  GraphStore g;
+  ASSERT_TRUE(LoadEdgeList(path_.string(), &g).ok());
+  const auto pr = PageRank(g.topology(0));
+  EXPECT_EQ(pr.size(), 3u);
+  for (const auto& [v, r] : pr) EXPECT_NEAR(r, 1.0 / 3, 1e-6) << v;
+}
+
+}  // namespace
+}  // namespace platod2gl

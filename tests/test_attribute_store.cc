@@ -1,0 +1,89 @@
+// AttributeStore tests (paper Section III, attribute KV storage).
+#include "storage/attribute_store.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace platod2gl {
+namespace {
+
+TEST(AttributeStoreTest, SetAndGetFeatures) {
+  AttributeStore store;
+  store.SetFeatures(1, {1.0f, 2.0f, 3.0f});
+  const std::vector<float>* f = store.GetFeatures(1);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(*f, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(store.GetFeatures(2), nullptr);
+}
+
+TEST(AttributeStoreTest, OverwriteFeatures) {
+  AttributeStore store;
+  store.SetFeatures(1, {1.0f});
+  store.SetFeatures(1, {9.0f, 8.0f});
+  EXPECT_EQ(*store.GetFeatures(1), (std::vector<float>{9.0f, 8.0f}));
+  EXPECT_EQ(store.NumVertices(), 1u);
+}
+
+TEST(AttributeStoreTest, Labels) {
+  AttributeStore store;
+  EXPECT_FALSE(store.GetLabel(3).has_value());
+  store.SetLabel(3, 7);
+  EXPECT_EQ(store.GetLabel(3), std::optional<std::int64_t>(7));
+  // Label and features coexist on the same vertex.
+  store.SetFeatures(3, {0.5f});
+  EXPECT_EQ(store.GetLabel(3), std::optional<std::int64_t>(7));
+  ASSERT_NE(store.GetFeatures(3), nullptr);
+}
+
+TEST(AttributeStoreTest, GatherFeaturesDense) {
+  AttributeStore store;
+  store.SetFeatures(10, {1.0f, 2.0f});
+  store.SetFeatures(20, {3.0f, 4.0f});
+  std::vector<float> out;
+  store.GatherFeatures({10, 99, 20}, 2, &out);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0], 1.0f);
+  EXPECT_EQ(out[1], 2.0f);
+  EXPECT_EQ(out[2], 0.0f);  // missing vertex -> zero row
+  EXPECT_EQ(out[3], 0.0f);
+  EXPECT_EQ(out[4], 3.0f);
+  EXPECT_EQ(out[5], 4.0f);
+}
+
+TEST(AttributeStoreTest, GatherTruncatesAndPads) {
+  AttributeStore store;
+  store.SetFeatures(1, {1.0f, 2.0f, 3.0f});  // wider than requested dim
+  store.SetFeatures(2, {5.0f});              // narrower than requested dim
+  std::vector<float> out;
+  store.GatherFeatures({1, 2}, 2, &out);
+  EXPECT_EQ(out, (std::vector<float>{1.0f, 2.0f, 5.0f, 0.0f}));
+}
+
+TEST(AttributeStoreTest, ConcurrentWriters) {
+  AttributeStore store;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&store, t] {
+      for (VertexId v = 0; v < 500; ++v) {
+        store.SetFeatures(static_cast<VertexId>(t) * 1000 + v,
+                          {static_cast<float>(t)});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.NumVertices(), 8 * 500u);
+}
+
+TEST(AttributeStoreTest, MemoryTracksContent) {
+  AttributeStore store;
+  const std::size_t before = store.MemoryUsage();
+  for (VertexId v = 0; v < 100; ++v) {
+    store.SetFeatures(v + 1, std::vector<float>(64, 1.0f));
+  }
+  EXPECT_GT(store.MemoryUsage(), before + 100 * 64 * sizeof(float));
+}
+
+}  // namespace
+}  // namespace platod2gl

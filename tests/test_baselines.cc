@@ -1,0 +1,261 @@
+// Baseline store tests: PlatoGL (block KV + CSTable) and AliGraph
+// (adjacency + alias tables) must be semantically identical to the
+// PlatoD2GL store under the NeighborStore interface — the benches depend
+// on this equivalence for a fair comparison.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <memory>
+#include <vector>
+
+#include "baselines/aligraph_store.h"
+#include "baselines/platogl_store.h"
+#include "baselines/samtree_store.h"
+#include "common/random.h"
+
+namespace platod2gl {
+namespace {
+
+std::vector<std::unique_ptr<NeighborStore>> AllStores() {
+  std::vector<std::unique_ptr<NeighborStore>> stores;
+  stores.push_back(std::make_unique<SamtreeStore>());
+  stores.push_back(std::make_unique<SamtreeStore>(
+      SamtreeConfig{.node_capacity = 256, .alpha = 0, .compress_ids = false}));
+  stores.push_back(
+      std::make_unique<PlatoGLStore>(PlatoGLStore::Config{.block_capacity = 8}));
+  stores.push_back(std::make_unique<AliGraphStore>());
+  return stores;
+}
+
+TEST(BaselineStoreTest, NamesDistinct) {
+  auto stores = AllStores();
+  EXPECT_EQ(stores[0]->Name(), "PlatoD2GL");
+  EXPECT_EQ(stores[1]->Name(), "PlatoD2GL w/o CP");
+  EXPECT_EQ(stores[2]->Name(), "PlatoGL");
+  EXPECT_EQ(stores[3]->Name(), "AliGraph");
+}
+
+TEST(BaselineStoreTest, BasicCrudAcrossAllStores) {
+  for (auto& store : AllStores()) {
+    SCOPED_TRACE(store->Name());
+    store->AddEdge(1, 2, 0.5);
+    store->AddEdge(1, 3, 1.5);
+    EXPECT_EQ(store->Degree(1), 2u);
+    EXPECT_EQ(store->NumEdges(), 2u);
+
+    // Re-insert refreshes, no duplicate.
+    store->AddEdge(1, 2, 0.7);
+    EXPECT_EQ(store->NumEdges(), 2u);
+
+    EXPECT_TRUE(store->UpdateEdge(1, 3, 9.0));
+    EXPECT_FALSE(store->UpdateEdge(1, 99, 1.0));
+
+    EXPECT_TRUE(store->RemoveEdge(1, 2));
+    EXPECT_FALSE(store->RemoveEdge(1, 2));
+    EXPECT_EQ(store->Degree(1), 1u);
+  }
+}
+
+TEST(BaselineStoreTest, SamplingSkewAcrossAllStores) {
+  for (auto& store : AllStores()) {
+    SCOPED_TRACE(store->Name());
+    store->AddEdge(1, 100, 9.0);
+    store->AddEdge(1, 200, 1.0);
+    Xoshiro256 rng(3);
+    std::vector<VertexId> out;
+    ASSERT_TRUE(store->SampleNeighbors(1, 20000, rng, &out));
+    int heavy = 0;
+    for (VertexId v : out) heavy += (v == 100);
+    EXPECT_NEAR(heavy / 20000.0, 0.9, 0.02);
+    EXPECT_FALSE(store->SampleNeighbors(555, 5, rng, &out));
+  }
+}
+
+TEST(BaselineStoreTest, ManyBlocksInPlatoGL) {
+  PlatoGLStore store(PlatoGLStore::Config{.block_capacity = 4});
+  for (VertexId d = 0; d < 100; ++d) store.AddEdge(7, d, 1.0);
+  EXPECT_EQ(store.Degree(7), 100u);
+  // Sampling across 25 blocks stays in range.
+  Xoshiro256 rng(9);
+  std::vector<VertexId> out;
+  ASSERT_TRUE(store.SampleNeighbors(7, 1000, rng, &out));
+  for (VertexId v : out) EXPECT_LT(v, 100u);
+}
+
+TEST(BaselineStoreTest, RandomizedEquivalenceUnderMixedOps) {
+  auto stores = AllStores();
+  std::map<VertexId, std::map<VertexId, Weight>> shadow;
+  Xoshiro256 rng(31);
+  for (int op = 0; op < 4000; ++op) {
+    const VertexId s = rng.NextUint64(20) + 1;
+    const VertexId d = rng.NextUint64(60) + 1;
+    const Weight w = 0.1 + rng.NextDouble();
+    const double r = rng.NextDouble();
+    if (r < 0.6) {
+      for (auto& st : stores) st->AddEdge(s, d, w);
+      shadow[s][d] = w;
+    } else if (r < 0.8) {
+      const bool expect = shadow.count(s) && shadow[s].count(d);
+      for (auto& st : stores) {
+        EXPECT_EQ(st->UpdateEdge(s, d, w), expect) << st->Name();
+      }
+      if (expect) shadow[s][d] = w;
+    } else {
+      const bool expect = shadow.count(s) && shadow[s].erase(d) > 0;
+      for (auto& st : stores) {
+        EXPECT_EQ(st->RemoveEdge(s, d), expect) << st->Name();
+      }
+    }
+  }
+  std::size_t total = 0;
+  for (auto& [s, nbrs] : shadow) {
+    for (auto& st : stores) {
+      EXPECT_EQ(st->Degree(s), nbrs.size()) << st->Name() << " src " << s;
+    }
+    total += nbrs.size();
+  }
+  for (auto& st : stores) EXPECT_EQ(st->NumEdges(), total) << st->Name();
+}
+
+TEST(BaselineStoreTest, MemoryOrderingMatchesPaper) {
+  // Clustered 64-bit IDs, moderate degree: PlatoD2GL (with CP) must use
+  // the least memory; PlatoGL pays per-block keys; AliGraph pays alias
+  // duplication (Table IV's ordering).
+  auto stores = AllStores();
+  Xoshiro256 rng(11);
+  constexpr VertexId kBase = 0x000A000B00000000ULL;
+  for (VertexId s = 0; s < 1000; ++s) {
+    for (int k = 0; k < 64; ++k) {
+      const VertexId d = kBase + rng.NextUint64(1 << 16);
+      for (auto& st : stores) st->AddEdge(kBase + s, d, 1.0);
+    }
+  }
+  auto* ali = dynamic_cast<AliGraphStore*>(stores[3].get());
+  ASSERT_NE(ali, nullptr);
+  ali->FinalizeSamplingIndexes();
+
+  const std::size_t d2gl = stores[0]->MemoryUsage();
+  const std::size_t d2gl_nocp = stores[1]->MemoryUsage();
+  const std::size_t platogl = stores[2]->MemoryUsage();
+  const std::size_t aligraph = stores[3]->MemoryUsage();
+
+  EXPECT_LT(d2gl, d2gl_nocp) << "compression must save memory";
+  EXPECT_LT(d2gl, platogl);
+  EXPECT_LT(d2gl, aligraph);
+}
+
+TEST(BaselineStoreTest, AliGraphRebuildsAliasLazily) {
+  AliGraphStore store;
+  store.AddEdge(1, 2, 1.0);
+  Xoshiro256 rng(5);
+  std::vector<VertexId> out;
+  ASSERT_TRUE(store.SampleNeighbors(1, 3, rng, &out));
+  store.AddEdge(1, 3, 100.0);  // marks dirty
+  out.clear();
+  ASSERT_TRUE(store.SampleNeighbors(1, 1000, rng, &out));
+  int heavy = 0;
+  for (VertexId v : out) heavy += (v == 3);
+  EXPECT_GT(heavy, 900);  // new weight visible after lazy rebuild
+}
+
+
+TEST(PlatoGLInternalsTest, BlockKeysAreStableAndDistinct) {
+  const std::string k1 = PlatoGLStore::MakeBlockKey(42, 0);
+  const std::string k2 = PlatoGLStore::MakeBlockKey(42, 1);
+  const std::string k3 = PlatoGLStore::MakeBlockKey(43, 0);
+  EXPECT_EQ(k1.size(), 24u) << "the paper's composite key is 24 bytes";
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k1, k3);
+  EXPECT_EQ(k1, PlatoGLStore::MakeBlockKey(42, 0)) << "must be stable";
+  EXPECT_EQ(PlatoGLStore::MakeMetaKey(42).size(), 9u);
+  EXPECT_NE(PlatoGLStore::MakeMetaKey(42), PlatoGLStore::MakeMetaKey(43));
+}
+
+TEST(PlatoGLInternalsTest, DegreeAcrossManyBlockBoundaries) {
+  PlatoGLStore store(PlatoGLStore::Config{.block_capacity = 16});
+  // 16 * 5 + 3 neighbours: five full blocks and one partial.
+  for (VertexId d = 0; d < 83; ++d) store.AddEdgeFast(1, d + 100, 1.0);
+  EXPECT_EQ(store.Degree(1), 83u);
+  // Updates and removals reach into middle blocks.
+  EXPECT_TRUE(store.UpdateEdge(1, 100 + 40, 9.0));
+  EXPECT_TRUE(store.RemoveEdge(1, 100 + 40));
+  EXPECT_EQ(store.Degree(1), 82u);
+  // Sampling still covers all blocks.
+  Xoshiro256 rng(1);
+  std::vector<VertexId> out;
+  ASSERT_TRUE(store.SampleNeighbors(1, 5000, rng, &out));
+  std::set<VertexId> seen(out.begin(), out.end());
+  EXPECT_GT(seen.size(), 70u);
+}
+
+TEST(PlatoGLInternalsTest, TailBlockDrainedAndReopened) {
+  PlatoGLStore store(PlatoGLStore::Config{.block_capacity = 4});
+  for (VertexId d = 0; d < 5; ++d) store.AddEdge(1, d + 10, 1.0);
+  // The 5th neighbour sits alone in block 1; removing it drains the
+  // tail block, and the next insert must reopen one cleanly.
+  EXPECT_TRUE(store.RemoveEdge(1, 14));
+  EXPECT_EQ(store.Degree(1), 4u);
+  store.AddEdge(1, 99, 2.0);
+  EXPECT_EQ(store.Degree(1), 5u);
+  Xoshiro256 rng(2);
+  std::vector<VertexId> out;
+  ASSERT_TRUE(store.SampleNeighbors(1, 100, rng, &out));
+  int fresh = 0;
+  for (VertexId v : out) fresh += (v == 99);
+  EXPECT_GT(fresh, 0);
+}
+
+TEST(PlatoGLInternalsTest, FixedChunkAllocationShowsInMemory) {
+  // One neighbour still allocates a whole 64-entry sub-block chunk.
+  PlatoGLStore one_edge;
+  one_edge.AddEdgeFast(1, 2, 1.0);
+  const MemoryBreakdown m = one_edge.Memory();
+  EXPECT_GE(m.topology_bytes, PlatoGLStore::kAllocChunk * sizeof(VertexId));
+}
+
+TEST(BaselineStoreTest, SamplingDistributionsAgreeAcrossStores) {
+  // All four systems must realise the *same* weighted distribution.
+  auto stores = AllStores();
+  Xoshiro256 gen(21);
+  std::map<VertexId, Weight> weights;
+  Weight total = 0.0;
+  for (VertexId d = 0; d < 50; ++d) {
+    const Weight w = 0.05 + gen.NextDouble();
+    for (auto& st : stores) st->AddEdge(1, d + 1000, w);
+    weights[d + 1000] = w;
+    total += w;
+  }
+  for (auto& st : stores) {
+    SCOPED_TRACE(st->Name());
+    st->FinishBatch();
+    Xoshiro256 rng(22);
+    std::vector<VertexId> out;
+    ASSERT_TRUE(st->SampleNeighbors(1, 100000, rng, &out));
+    std::map<VertexId, int> hits;
+    for (VertexId v : out) ++hits[v];
+    for (const auto& [v, w] : weights) {
+      ASSERT_NEAR(hits[v] / 100000.0, w / total, 0.012) << "vertex " << v;
+    }
+  }
+}
+
+TEST(BaselineStoreTest, FastPathThenDynamicOpsInterleave) {
+  // Bulk-load via AddEdgeFast, then run checked dynamic ops on top:
+  // the stores must not care which path created an edge.
+  for (auto& store : AllStores()) {
+    SCOPED_TRACE(store->Name());
+    for (VertexId d = 0; d < 200; ++d) {
+      store->AddEdgeFast(1, d + 10, 1.0);
+    }
+    EXPECT_TRUE(store->UpdateEdge(1, 10, 5.0));
+    EXPECT_TRUE(store->RemoveEdge(1, 11));
+    store->AddEdge(1, 10, 7.0);  // refresh via checked path
+    EXPECT_EQ(store->Degree(1), 199u);
+    EXPECT_EQ(store->NumEdges(), 199u);
+  }
+}
+
+}  // namespace
+}  // namespace platod2gl

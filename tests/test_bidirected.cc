@@ -1,0 +1,106 @@
+// BidirectedGraphStore and InducedSubgraph tests.
+#include "storage/bidirected_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace platod2gl {
+namespace {
+
+TEST(BidirectedStoreTest, MirrorMaintainedOnInsert) {
+  BidirectedGraphStore g;
+  g.AddEdge({1, 2, 0.5, 0});
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_EQ(g.NumEdges(), 1u);  // mirrors counted once
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.InDegree(1), 1u);
+}
+
+TEST(BidirectedStoreTest, UpdateAndRemoveBothDirections) {
+  BidirectedGraphStore g;
+  g.AddEdge({1, 2, 0.5, 0});
+  EXPECT_TRUE(g.UpdateEdge(1, 2, 3.0));
+  EXPECT_NEAR(*g.graph().EdgeWeight(1, 2), 3.0, 1e-12);
+  EXPECT_NEAR(*g.graph().EdgeWeight(2, 1), 3.0, 1e-12);
+
+  EXPECT_TRUE(g.RemoveEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.RemoveEdge(1, 2));
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(BidirectedStoreTest, InNeighborsSampled) {
+  BidirectedGraphStore g;
+  for (VertexId u = 1; u <= 5; ++u) g.AddEdge({u, 100, 1.0, 0});
+  Xoshiro256 rng(1);
+  std::vector<VertexId> out;
+  ASSERT_TRUE(g.SampleInNeighbors(100, 50, true, rng, &out));
+  for (VertexId v : out) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 5u);
+  }
+}
+
+TEST(BidirectedStoreTest, SelfLoopStaysConsistent) {
+  BidirectedGraphStore g;
+  g.AddEdge({7, 7, 2.0, 0});
+  EXPECT_TRUE(g.HasEdge(7, 7));
+  EXPECT_EQ(g.OutDegree(7), 1u);
+  EXPECT_TRUE(g.RemoveEdge(7, 7));
+  EXPECT_EQ(g.OutDegree(7), 0u);
+}
+
+TEST(InducedSubgraphTest, KeepsOnlyInternalEdges) {
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});
+  g.AddEdge({2, 3, 1.0, 0});
+  g.AddEdge({3, 4, 1.0, 0});  // 4 is outside the set
+  g.AddEdge({4, 1, 1.0, 0});  // source outside the set
+
+  const auto sub = InducedSubgraph(g, {1, 2, 3});
+  std::set<std::pair<VertexId, VertexId>> pairs;
+  for (const Edge& e : sub) pairs.insert({e.src, e.dst});
+  EXPECT_EQ(pairs, (std::set<std::pair<VertexId, VertexId>>{{1, 2},
+                                                            {2, 3}}));
+}
+
+TEST(InducedSubgraphTest, MultiRelationAndDuplicatedInput) {
+  GraphStore g(GraphStoreConfig{.num_relations = 2});
+  g.AddEdge({1, 2, 0.5, 0});
+  g.AddEdge({1, 2, 1.5, 1});
+  const auto sub = InducedSubgraph(g, {1, 2, 1, 2, 2});  // dups in input
+  ASSERT_EQ(sub.size(), 2u);
+  std::set<EdgeType> types;
+  for (const Edge& e : sub) {
+    EXPECT_EQ(e.src, 1u);
+    EXPECT_EQ(e.dst, 2u);
+    types.insert(e.type);
+  }
+  EXPECT_EQ(types.size(), 2u);
+}
+
+TEST(InducedSubgraphTest, EmptyCases) {
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});
+  EXPECT_TRUE(InducedSubgraph(g, {}).empty());
+  EXPECT_TRUE(InducedSubgraph(g, {99, 98}).empty());
+  EXPECT_TRUE(InducedSubgraph(g, {1}).empty()) << "no 1->1 edge";
+}
+
+TEST(InducedSubgraphTest, WeightsPreserved) {
+  GraphStore g;
+  g.AddEdge({1, 2, 0.25, 0});
+  const auto sub = InducedSubgraph(g, {1, 2});
+  ASSERT_EQ(sub.size(), 1u);
+  EXPECT_NEAR(sub[0].weight, 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace platod2gl

@@ -1,0 +1,138 @@
+// CSTable unit tests: the ITS building block (paper Section II-B).
+#include "index/cstable.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace platod2gl {
+namespace {
+
+TEST(CSTableTest, BuildComputesPrefixSums) {
+  CSTable c({0.1, 0.4, 0.2});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.Prefix(0), 0.1);
+  EXPECT_DOUBLE_EQ(c.Prefix(1), 0.5);
+  EXPECT_DOUBLE_EQ(c.Prefix(2), 0.7);
+  EXPECT_DOUBLE_EQ(c.TotalWeight(), 0.7);
+}
+
+TEST(CSTableTest, EmptyTable) {
+  CSTable c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_DOUBLE_EQ(c.TotalWeight(), 0.0);
+}
+
+TEST(CSTableTest, WeightAtRecoversRawWeights) {
+  const std::vector<Weight> w = {0.5, 0.2, 1.3, 0.7};
+  CSTable c(w);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(c.WeightAt(i), w[i], 1e-12) << "i=" << i;
+  }
+}
+
+TEST(CSTableTest, AppendIsConstantTimeSemantics) {
+  CSTable c;
+  c.Append(0.6);
+  c.Append(0.7);
+  // Paper Example 1: FSTable/CSTable of vertex 3 = [0.6, 1.3].
+  EXPECT_DOUBLE_EQ(c.Prefix(0), 0.6);
+  EXPECT_DOUBLE_EQ(c.Prefix(1), 1.3);
+}
+
+TEST(CSTableTest, UpdateWeightRewritesSuffix) {
+  CSTable c({1.0, 2.0, 3.0, 4.0});
+  c.UpdateWeight(1, 5.0);  // 2.0 -> 5.0
+  EXPECT_DOUBLE_EQ(c.Prefix(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.Prefix(1), 6.0);
+  EXPECT_DOUBLE_EQ(c.Prefix(2), 9.0);
+  EXPECT_DOUBLE_EQ(c.Prefix(3), 13.0);
+}
+
+TEST(CSTableTest, RemoveShiftsAndRescales) {
+  CSTable c({1.0, 2.0, 3.0});
+  c.Remove(1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.WeightAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.WeightAt(1), 3.0);
+  EXPECT_DOUBLE_EQ(c.TotalWeight(), 4.0);
+}
+
+TEST(CSTableTest, RemoveFirstAndLast) {
+  CSTable c({1.0, 2.0, 3.0});
+  c.Remove(0);
+  EXPECT_DOUBLE_EQ(c.WeightAt(0), 2.0);
+  c.Remove(1);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.TotalWeight(), 2.0);
+}
+
+TEST(CSTableTest, FindIndexReturnsSmallestExceeding) {
+  CSTable c({0.5, 0.2, 1.3});  // prefix sums 0.5, 0.7, 2.0
+  EXPECT_EQ(c.FindIndex(0.0), 0u);
+  EXPECT_EQ(c.FindIndex(0.49), 0u);
+  EXPECT_EQ(c.FindIndex(0.5), 1u);
+  EXPECT_EQ(c.FindIndex(0.69), 1u);
+  EXPECT_EQ(c.FindIndex(0.7), 2u);
+  EXPECT_EQ(c.FindIndex(1.99), 2u);
+}
+
+TEST(CSTableTest, ZeroWeightEntriesAreNeverSampled) {
+  CSTable c({1.0, 0.0, 1.0});
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(c.Sample(rng), 1u);
+  }
+}
+
+TEST(CSTableTest, AddDeltaMatchesUpdateWeight) {
+  CSTable a({1.0, 2.0, 3.0});
+  CSTable b({1.0, 2.0, 3.0});
+  a.UpdateWeight(2, 4.5);
+  b.AddDelta(2, 1.5);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(a.Prefix(i), b.Prefix(i));
+  }
+}
+
+// Property sweep: CSTable under random edit scripts stays equal to a
+// recomputed-from-scratch table.
+class CSTableRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CSTableRandomized, MatchesBruteForceUnderEdits) {
+  Xoshiro256 rng(GetParam());
+  std::vector<Weight> w;
+  CSTable c;
+  for (int step = 0; step < 500; ++step) {
+    const double r = rng.NextDouble();
+    if (w.empty() || r < 0.5) {
+      const Weight x = 0.01 + rng.NextDouble();
+      w.push_back(x);
+      c.Append(x);
+    } else if (r < 0.8) {
+      const std::size_t i = rng.NextUint64(w.size());
+      const Weight x = 0.01 + rng.NextDouble();
+      w[i] = x;
+      c.UpdateWeight(i, x);
+    } else {
+      const std::size_t i = rng.NextUint64(w.size());
+      w.erase(w.begin() + static_cast<std::ptrdiff_t>(i));
+      c.Remove(i);
+    }
+    ASSERT_EQ(c.size(), w.size());
+    Weight run = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      run += w[i];
+      ASSERT_NEAR(c.Prefix(i), run, 1e-9) << "step " << step << " i " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CSTableRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+}  // namespace
+}  // namespace platod2gl

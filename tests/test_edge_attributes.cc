@@ -1,0 +1,86 @@
+// EdgeAttributeStore tests.
+#include "storage/edge_attributes.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace platod2gl {
+namespace {
+
+TEST(EdgeAttributesTest, SetGetRemove) {
+  EdgeAttributeStore store;
+  EXPECT_EQ(store.Get(1, 2), nullptr);
+  store.Set(1, 2, 0, {0.5f, 1.5f});
+  const std::vector<float>* f = store.Get(1, 2);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(*f, (std::vector<float>{0.5f, 1.5f}));
+  EXPECT_EQ(store.NumEdges(), 1u);
+  EXPECT_TRUE(store.Remove(1, 2));
+  EXPECT_FALSE(store.Remove(1, 2));
+  EXPECT_EQ(store.Get(1, 2), nullptr);
+}
+
+TEST(EdgeAttributesTest, DirectionMatters) {
+  EdgeAttributeStore store;
+  store.Set(1, 2, 0, {1.0f});
+  EXPECT_NE(store.Get(1, 2), nullptr);
+  EXPECT_EQ(store.Get(2, 1), nullptr);
+}
+
+TEST(EdgeAttributesTest, RelationsAreIsolated) {
+  EdgeAttributeStore store;
+  store.Set(1, 2, 0, {1.0f});
+  store.Set(1, 2, 1, {2.0f});
+  EXPECT_EQ((*store.Get(1, 2, 0))[0], 1.0f);
+  EXPECT_EQ((*store.Get(1, 2, 1))[0], 2.0f);
+  EXPECT_EQ(store.NumEdges(), 2u);
+}
+
+TEST(EdgeAttributesTest, OverwriteKeepsPointerValid) {
+  EdgeAttributeStore store;
+  store.Set(3, 4, 0, {1.0f});
+  const std::vector<float>* before = store.Get(3, 4);
+  store.Set(3, 4, 0, {9.0f, 8.0f});
+  EXPECT_EQ(store.Get(3, 4), before) << "values are heap-pinned";
+  EXPECT_EQ(before->size(), 2u);
+}
+
+TEST(EdgeAttributesTest, SetViaEdgeStruct) {
+  EdgeAttributeStore store;
+  store.Set(Edge{7, 8, 1.0, 2}, {3.0f});
+  EXPECT_NE(store.Get(7, 8, 2), nullptr);
+}
+
+TEST(EdgeAttributesTest, ConcurrentWriters) {
+  EdgeAttributeStore store;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&store, t] {
+      for (VertexId i = 0; i < 1000; ++i) {
+        store.Set(static_cast<VertexId>(t), i, 0,
+                  {static_cast<float>(t)});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.NumEdges(), 8 * 1000u);
+  for (int t = 0; t < 8; ++t) {
+    const auto* f = store.Get(static_cast<VertexId>(t), 500, 0);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ((*f)[0], static_cast<float>(t));
+  }
+}
+
+TEST(EdgeAttributesTest, MemoryGrowsWithContent) {
+  EdgeAttributeStore store;
+  const std::size_t before = store.MemoryUsage();
+  for (VertexId i = 0; i < 500; ++i) {
+    store.Set(1, i, 0, std::vector<float>(16, 1.0f));
+  }
+  EXPECT_GT(store.MemoryUsage(), before + 500 * 16 * sizeof(float));
+}
+
+}  // namespace
+}  // namespace platod2gl

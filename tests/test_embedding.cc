@@ -1,0 +1,160 @@
+// EmbeddingTable and DeepWalkTrainer tests.
+#include "gnn/deepwalk.h"
+#include "gnn/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+namespace {
+
+TEST(EmbeddingTableTest, LazyCreationAndStability) {
+  EmbeddingTable table(8);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.RowIfExists(5), nullptr);
+  float* row = table.Row(5);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.RowIfExists(5), row);
+  // Pointer survives creation of many other rows (rehash).
+  for (VertexId v = 100; v < 5000; ++v) table.Row(v);
+  EXPECT_EQ(table.Row(5), row);
+}
+
+TEST(EmbeddingTableTest, InitIsDeterministicPerVertex) {
+  EmbeddingTable a(16, /*seed=*/7), b(16, /*seed=*/7);
+  // Touch in different orders: rows must still match.
+  b.Row(2);
+  const float* ra = a.Row(1);
+  const float* rb = b.Row(1);
+  for (std::size_t d = 0; d < 16; ++d) EXPECT_EQ(ra[d], rb[d]);
+  // Different seed -> different init.
+  EmbeddingTable c(16, /*seed=*/8);
+  bool any_diff = false;
+  const float* rc = c.Row(1);
+  for (std::size_t d = 0; d < 16; ++d) any_diff |= (rc[d] != ra[d]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(EmbeddingTableTest, InitBounded) {
+  EmbeddingTable table(32);
+  const float* row = table.Row(9);
+  for (std::size_t d = 0; d < 32; ++d) {
+    EXPECT_LE(std::abs(row[d]), 0.5f / 32.0f + 1e-6f);
+  }
+}
+
+TEST(EmbeddingTableTest, DotAndAccumulate) {
+  EmbeddingTable table(4);
+  float* a = table.Row(1);
+  float* b = table.Row(2);
+  for (int d = 0; d < 4; ++d) {
+    a[d] = 1.0f;
+    b[d] = 2.0f;
+  }
+  EXPECT_FLOAT_EQ(table.Dot(1, 2), 8.0f);
+  const float grad[4] = {1.0f, 0.0f, -1.0f, 0.5f};
+  table.Accumulate(1, grad, 0.5f);
+  EXPECT_FLOAT_EQ(a[0], 1.5f);
+  EXPECT_FLOAT_EQ(a[2], 0.5f);
+}
+
+TEST(EmbeddingTableTest, ConcurrentRowCreation) {
+  EmbeddingTable table(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&table, t] {
+      for (VertexId v = 0; v < 2000; ++v) {
+        table.Row(static_cast<VertexId>(t) * 10000 + v);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(table.size(), 6 * 2000u);
+}
+
+TEST(DeepWalkTest, LossDecreasesOverEpochs) {
+  // Ring graph: skip-gram should comfortably fit local co-occurrence.
+  GraphStore g;
+  constexpr VertexId kN = 40;
+  for (VertexId v = 0; v < kN; ++v) {
+    g.AddEdge({v, (v + 1) % kN, 1.0, 0});
+    g.AddEdge({(v + 1) % kN, v, 1.0, 0});
+  }
+  std::vector<VertexId> vocab;
+  for (VertexId v = 0; v < kN; ++v) vocab.push_back(v);
+
+  DeepWalkTrainer trainer(&g, vocab,
+                          DeepWalkConfig{.dim = 16, .learning_rate = 0.1f});
+  Xoshiro256 rng(5);
+  const double first = trainer.TrainEpoch(vocab, rng);
+  double last = first;
+  for (int e = 0; e < 25; ++e) last = trainer.TrainEpoch(vocab, rng);
+  // Negative sampling puts a floor under the loss (uniform negatives hit
+  // true neighbours on a small ring), so check improvement plus the
+  // structural property: adjacent ring vertices embed closer than
+  // far-apart ones.
+  EXPECT_LT(last, first * 0.95);
+  double near = 0.0, far = 0.0;
+  for (VertexId v = 0; v < kN; ++v) {
+    near += trainer.Similarity(v, (v + 1) % kN);
+    far += trainer.Similarity(v, (v + kN / 2) % kN);
+  }
+  EXPECT_GT(near, far + 1.0);
+}
+
+TEST(DeepWalkTest, CommunityStructureSeparates) {
+  GraphStore g;
+  constexpr VertexId kSize = 40;
+  Xoshiro256 gen(1);
+  for (VertexId v = 0; v < 2 * kSize; ++v) {
+    const VertexId base = (v / kSize) * kSize;
+    for (int k = 0; k < 5; ++k) {
+      const VertexId u = base + gen.NextUint64(kSize);
+      if (u != v) g.AddEdge({v, u, 1.0, 0});
+    }
+  }
+  std::vector<VertexId> vocab;
+  for (VertexId v = 0; v < 2 * kSize; ++v) vocab.push_back(v);
+
+  DeepWalkTrainer trainer(&g, vocab,
+                          DeepWalkConfig{.dim = 16, .learning_rate = 0.08f});
+  Xoshiro256 rng(6);
+  for (int e = 0; e < 20; ++e) trainer.TrainEpoch(vocab, rng);
+
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const VertexId a = rng.NextUint64(2 * kSize);
+    const VertexId b = rng.NextUint64(2 * kSize);
+    if (a == b) continue;
+    const float s = trainer.Similarity(a, b);
+    if (a / kSize == b / kSize) {
+      intra += s;
+      ++n_intra;
+    } else {
+      inter += s;
+      ++n_inter;
+    }
+  }
+  EXPECT_GT(intra / n_intra, inter / n_inter + 0.2)
+      << "intra-community similarity must exceed inter-community";
+}
+
+TEST(DeepWalkTest, HandlesDanglingSeeds) {
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});  // vertex 3 has no edges at all
+  DeepWalkTrainer trainer(&g, {1, 2, 3}, DeepWalkConfig{.dim = 4});
+  Xoshiro256 rng(7);
+  const double loss = trainer.TrainEpoch({1, 3}, rng);
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+}  // namespace
+}  // namespace platod2gl

@@ -1,0 +1,243 @@
+// FSTable unit and property tests (paper Section V).
+//
+// Includes the paper's worked examples: Example 3 (FSTable over
+// {0.3, 0.4, 0.1}), Figure 6 (6-element table), and Theorem 4 (sub-tree
+// sum property at indices 2^k - 1).
+#include "index/fstable.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace platod2gl {
+namespace {
+
+// --- paper examples --------------------------------------------------------
+
+TEST(FSTableTest, PaperExample3RawEntries) {
+  // A = {0.3, 0.4, 0.1}: F[0] = w0, F[1] = w0 + w1, F[2] = w2.
+  FSTable f({0.3, 0.4, 0.1});
+  EXPECT_NEAR(f.RawEntry(0), 0.3, 1e-12);
+  EXPECT_NEAR(f.RawEntry(1), 0.7, 1e-12);
+  EXPECT_NEAR(f.RawEntry(2), 0.1, 1e-12);
+}
+
+TEST(FSTableTest, PaperFigure6SubtreeSums) {
+  // Figure 6: 6 weights; F[1] = w0 + w1, F[3] = sum of first four.
+  const std::vector<Weight> w = {0.2, 0.5, 0.3, 0.1, 0.4, 0.6};
+  FSTable f(w);
+  EXPECT_NEAR(f.RawEntry(1), w[0] + w[1], 1e-12);
+  EXPECT_NEAR(f.RawEntry(3), w[0] + w[1] + w[2] + w[3], 1e-12);
+  EXPECT_NEAR(f.RawEntry(2), w[2], 1e-12);
+  EXPECT_NEAR(f.RawEntry(4), w[4], 1e-12);
+  EXPECT_NEAR(f.RawEntry(5), w[4] + w[5], 1e-12);
+}
+
+TEST(FSTableTest, Theorem4PowerOfTwoMinusOneIsPrefixSum) {
+  std::vector<Weight> w;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 300; ++i) w.push_back(0.01 + rng.NextDouble());
+  FSTable f(w);
+  for (std::size_t k = 1; (1u << k) - 1 < w.size(); ++k) {
+    const std::size_t idx = (1u << k) - 1;
+    Weight expect = 0.0;
+    for (std::size_t j = 0; j <= idx; ++j) expect += w[j];
+    EXPECT_NEAR(f.RawEntry(idx), expect, 1e-9) << "k=" << k;
+  }
+}
+
+// --- basic operations ------------------------------------------------------
+
+TEST(FSTableTest, PrefixMatchesBruteForce) {
+  const std::vector<Weight> w = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  FSTable f(w);
+  Weight run = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    run += w[i];
+    EXPECT_NEAR(f.Prefix(i), run, 1e-9);
+  }
+  EXPECT_NEAR(f.TotalWeight(), 45.0, 1e-9);
+}
+
+TEST(FSTableTest, WeightAtRecoversRawWeights) {
+  const std::vector<Weight> w = {0.5, 0.2, 1.3, 0.7, 2.2};
+  FSTable f(w);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(f.WeightAt(i), w[i], 1e-9);
+  }
+}
+
+TEST(FSTableTest, DecodeWeightsInvertsBuild) {
+  std::vector<Weight> w;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) w.push_back(0.01 + rng.NextDouble());
+  FSTable f(w);
+  const std::vector<Weight> decoded = f.DecodeWeights();
+  ASSERT_EQ(decoded.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(decoded[i], w[i], 1e-9);
+  }
+}
+
+TEST(FSTableTest, AppendMatchesBulkBuild) {
+  std::vector<Weight> w;
+  Xoshiro256 rng(5);
+  FSTable incremental;
+  for (int i = 0; i < 200; ++i) {
+    const Weight x = 0.01 + rng.NextDouble();
+    w.push_back(x);
+    incremental.Append(x);  // Algorithm 4
+    FSTable bulk(w);
+    ASSERT_EQ(incremental.size(), bulk.size());
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      ASSERT_NEAR(incremental.RawEntry(j), bulk.RawEntry(j), 1e-9)
+          << "after " << i + 1 << " appends, entry " << j;
+    }
+  }
+}
+
+TEST(FSTableTest, InPlaceUpdatePropagatesToParents) {
+  FSTable f({1.0, 1.0, 1.0, 1.0, 1.0});
+  f.UpdateWeight(0, 3.0);  // Algorithm 3
+  EXPECT_NEAR(f.WeightAt(0), 3.0, 1e-9);
+  EXPECT_NEAR(f.TotalWeight(), 7.0, 1e-9);
+  EXPECT_NEAR(f.Prefix(2), 5.0, 1e-9);
+}
+
+TEST(FSTableTest, AddDeltaEquivalentToUpdateWeight) {
+  FSTable a({1.0, 2.0, 3.0, 4.0});
+  FSTable b({1.0, 2.0, 3.0, 4.0});
+  a.UpdateWeight(2, 10.0);
+  b.AddDelta(2, 7.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(a.Prefix(i), b.Prefix(i), 1e-9);
+  }
+}
+
+TEST(FSTableTest, RemoveSwapLastMirrorsLeafDeletion) {
+  // Delete index 1 of {10, 20, 30, 40}: 40 moves into slot 1.
+  FSTable f({10, 20, 30, 40});
+  f.RemoveSwapLast(1);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_NEAR(f.WeightAt(0), 10.0, 1e-9);
+  EXPECT_NEAR(f.WeightAt(1), 40.0, 1e-9);
+  EXPECT_NEAR(f.WeightAt(2), 30.0, 1e-9);
+  EXPECT_NEAR(f.TotalWeight(), 80.0, 1e-9);
+}
+
+TEST(FSTableTest, RemoveLastElementIsTruncation) {
+  FSTable f({1.0, 2.0, 3.0});
+  f.RemoveSwapLast(2);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_NEAR(f.TotalWeight(), 3.0, 1e-9);
+}
+
+TEST(FSTableTest, RemoveDownToEmpty) {
+  FSTable f({1.0, 2.0});
+  f.RemoveSwapLast(0);
+  f.RemoveSwapLast(0);
+  EXPECT_TRUE(f.empty());
+  EXPECT_DOUBLE_EQ(f.TotalWeight(), 0.0);
+}
+
+TEST(FSTableTest, SingleElement) {
+  FSTable f;
+  f.Append(2.5);
+  EXPECT_NEAR(f.TotalWeight(), 2.5, 1e-12);
+  EXPECT_EQ(f.FindIndex(0.0), 0u);
+  EXPECT_EQ(f.FindIndex(2.4999), 0u);
+}
+
+// --- FTS sampling ----------------------------------------------------------
+
+TEST(FSTableTest, FindIndexMatchesLinearScan) {
+  std::vector<Weight> w;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) w.push_back(0.01 + rng.NextDouble());
+  FSTable f(w);
+  const Weight total = f.TotalWeight();
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Weight r = rng.NextDouble(total);
+    // Reference: smallest i whose strict prefix sum exceeds r.
+    Weight run = 0.0;
+    std::size_t expect = w.size() - 1;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      run += w[i];
+      if (run > r) {
+        expect = i;
+        break;
+      }
+    }
+    EXPECT_EQ(f.FindIndex(r), expect) << "r=" << r;
+  }
+}
+
+TEST(FSTableTest, FindIndexNonPowerOfTwoSizes) {
+  // Exercise the mid >= n guard of Algorithm 5 for many sizes.
+  Xoshiro256 rng(13);
+  for (std::size_t n : {1u, 2u, 3u, 5u, 6u, 7u, 9u, 15u, 17u, 31u, 33u}) {
+    std::vector<Weight> w;
+    for (std::size_t i = 0; i < n; ++i) w.push_back(0.01 + rng.NextDouble());
+    FSTable f(w);
+    const Weight total = f.TotalWeight();
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::size_t idx = f.FindIndex(rng.NextDouble(total));
+      ASSERT_LT(idx, n);
+    }
+    // Boundary random numbers.
+    EXPECT_EQ(f.FindIndex(0.0), 0u);
+    ASSERT_LT(f.FindIndex(total * (1 - 1e-15)), n);
+  }
+}
+
+TEST(FSTableTest, ZeroWeightEntriesNeverSampled) {
+  FSTable f({1.0, 0.0, 0.0, 1.0});
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t idx = f.Sample(rng);
+    EXPECT_TRUE(idx == 0 || idx == 3) << idx;
+  }
+}
+
+// --- randomized equivalence with CSTable semantics -------------------------
+
+class FSTableRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FSTableRandomized, MatchesShadowArrayUnderEdits) {
+  Xoshiro256 rng(GetParam());
+  std::vector<Weight> w;  // shadow raw weights with identical swap-deletes
+  FSTable f;
+  for (int step = 0; step < 800; ++step) {
+    const double r = rng.NextDouble();
+    if (w.empty() || r < 0.45) {
+      const Weight x = 0.01 + rng.NextDouble();
+      w.push_back(x);
+      f.Append(x);
+    } else if (r < 0.75) {
+      const std::size_t i = rng.NextUint64(w.size());
+      const Weight x = 0.01 + rng.NextDouble();
+      w[i] = x;
+      f.UpdateWeight(i, x);
+    } else {
+      const std::size_t i = rng.NextUint64(w.size());
+      w[i] = w.back();
+      w.pop_back();
+      f.RemoveSwapLast(i);
+    }
+    ASSERT_EQ(f.size(), w.size());
+    Weight run = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      run += w[i];
+      ASSERT_NEAR(f.Prefix(i), run, 1e-6) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FSTableRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 21, 404, 31337));
+
+}  // namespace
+}  // namespace platod2gl

@@ -1,0 +1,196 @@
+// Generator and dataset-preset tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "gen/generators.h"
+
+namespace platod2gl {
+namespace {
+
+TEST(GeneratorsTest, RmatDeterministicAndInRange) {
+  RmatParams p;
+  p.scale = 10;
+  p.num_edges = 5000;
+  const auto a = GenerateRmat(p);
+  const auto b = GenerateRmat(p);
+  ASSERT_EQ(a.size(), 5000u);
+  EXPECT_EQ(a, b) << "same seed must reproduce the same stream";
+  for (const Edge& e : a) {
+    EXPECT_LT(e.src, 1u << 10);
+    EXPECT_LT(e.dst, 1u << 10);
+    EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(GeneratorsTest, RmatIsSkewed) {
+  RmatParams p;
+  p.scale = 12;
+  p.num_edges = 50000;
+  const auto edges = GenerateRmat(p);
+  std::map<VertexId, int> out_deg;
+  for (const Edge& e : edges) ++out_deg[e.src];
+  int max_deg = 0;
+  for (const auto& [v, d] : out_deg) max_deg = std::max(max_deg, d);
+  const double avg =
+      static_cast<double>(edges.size()) / static_cast<double>(out_deg.size());
+  EXPECT_GT(max_deg, avg * 10) << "R-MAT must produce heavy hitters";
+}
+
+TEST(GeneratorsTest, RmatRespectsBaseOffset) {
+  RmatParams p;
+  p.scale = 8;
+  p.num_edges = 100;
+  p.base = 1ULL << 40;
+  for (const Edge& e : GenerateRmat(p)) {
+    EXPECT_GE(e.src, 1ULL << 40);
+    EXPECT_GE(e.dst, 1ULL << 40);
+  }
+}
+
+TEST(GeneratorsTest, BipartiteKeepsNamespacesDisjoint) {
+  BipartiteParams p;
+  p.num_sources = 100;
+  p.num_targets = 50;
+  p.num_edges = 2000;
+  p.source_base = 0;
+  p.target_base = 1ULL << 32;
+  for (const Edge& e : GenerateBipartite(p)) {
+    EXPECT_LT(e.src, 100u);
+    EXPECT_GE(e.dst, 1ULL << 32);
+    EXPECT_LT(e.dst, (1ULL << 32) + 50);
+  }
+}
+
+TEST(GeneratorsTest, BipartiteZipfSkewsItemPopularity) {
+  BipartiteParams p;
+  p.num_sources = 1000;
+  p.num_targets = 1000;
+  p.num_edges = 50000;
+  p.zipf_exponent = 1.0;
+  std::map<VertexId, int> pop;
+  for (const Edge& e : GenerateBipartite(p)) ++pop[e.dst];
+  // The most popular item must dwarf the median.
+  std::vector<int> counts;
+  for (const auto& [v, c] : pop) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  EXPECT_GT(counts.front(), counts[counts.size() / 2] * 20);
+}
+
+TEST(GeneratorsTest, ZipfSamplerFavorsLowRanks) {
+  ZipfSampler z(100, 1.2);
+  Xoshiro256 rng(3);
+  int first = 0, tail = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t k = z.Sample(rng);
+    ASSERT_LT(k, 100u);
+    first += (k == 0);
+    tail += (k >= 90);
+  }
+  EXPECT_GT(first, tail);
+}
+
+TEST(GeneratorsTest, MakeBidirectedMirrors) {
+  std::vector<Edge> edges = {{1, 2, 0.5, 3}};
+  MakeBidirected(&edges);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[1].src, 2u);
+  EXPECT_EQ(edges[1].dst, 1u);
+  EXPECT_EQ(edges[1].weight, 0.5);
+  EXPECT_EQ(edges[1].type, 3u);
+}
+
+TEST(GeneratorsTest, UpdateStreamFractionsRoughlyHold) {
+  UniformParams up;
+  up.num_vertices = 500;
+  up.num_edges = 5000;
+  const auto base = GenerateUniform(up);
+  UpdateStreamParams sp;
+  sp.num_ops = 10000;
+  sp.insert_fraction = 0.5;
+  sp.update_fraction = 0.3;
+  const auto ops = MakeUpdateStream(base, sp);
+  ASSERT_EQ(ops.size(), 10000u);
+  int ins = 0, upd = 0, del = 0;
+  for (const auto& u : ops) {
+    switch (u.kind) {
+      case UpdateKind::kInsert: ++ins; break;
+      case UpdateKind::kInPlaceUpdate: ++upd; break;
+      case UpdateKind::kDelete: ++del; break;
+    }
+  }
+  EXPECT_NEAR(ins / 10000.0, 0.5, 0.03);
+  EXPECT_NEAR(upd / 10000.0, 0.3, 0.03);
+  EXPECT_NEAR(del / 10000.0, 0.2, 0.03);
+}
+
+TEST(GeneratorsTest, UpdateStreamInsertsAreFreshEdges) {
+  UniformParams up;
+  up.num_vertices = 100;
+  up.num_edges = 500;
+  const auto base = GenerateUniform(up);
+  std::set<VertexId> base_vertices;
+  for (const Edge& e : base) {
+    base_vertices.insert(e.src);
+    base_vertices.insert(e.dst);
+  }
+  UpdateStreamParams sp;
+  sp.num_ops = 1000;
+  for (const auto& u : MakeUpdateStream(base, sp)) {
+    if (u.kind == UpdateKind::kInsert) {
+      EXPECT_FALSE(base_vertices.count(u.edge.dst))
+          << "insert destinations must be brand new";
+    } else {
+      EXPECT_TRUE(base_vertices.count(u.edge.dst))
+          << "updates/deletes must target existing edges";
+    }
+  }
+}
+
+TEST(DatasetsTest, PresetsHaveExpectedShape) {
+  const Dataset ogbn = MakeOgbnMini();
+  EXPECT_EQ(ogbn.name, "ogbn-mini");
+  EXPECT_GT(ogbn.edges.size(), 100000u);
+  EXPECT_EQ(ogbn.num_relations, 1u);
+
+  const Dataset wechat = MakeWeChatMini();
+  EXPECT_EQ(wechat.num_relations, 4u);
+  std::set<EdgeType> types;
+  for (const Edge& e : wechat.edges) types.insert(e.type);
+  EXPECT_EQ(types.size(), 4u);
+}
+
+TEST(DatasetsTest, RedditDenserThanOgbn) {
+  const Dataset ogbn = MakeOgbnMini();
+  const Dataset reddit = MakeRedditMini();
+  std::set<VertexId> ogbn_v, reddit_v;
+  for (const Edge& e : ogbn.edges) ogbn_v.insert(e.src);
+  for (const Edge& e : reddit.edges) reddit_v.insert(e.src);
+  const double ogbn_density =
+      static_cast<double>(ogbn.edges.size()) / ogbn_v.size();
+  const double reddit_density =
+      static_cast<double>(reddit.edges.size()) / reddit_v.size();
+  EXPECT_GT(reddit_density, ogbn_density * 3)
+      << "Reddit's defining property is its density (Table III)";
+}
+
+TEST(DatasetsTest, PresetsAreBidirectedAndDeduplicated) {
+  const Dataset ds = MakeOgbnMini();
+  std::set<std::pair<VertexId, VertexId>> pairs;
+  for (const Edge& e : ds.edges) {
+    EXPECT_TRUE(pairs.insert({e.src, e.dst}).second)
+        << "duplicate edge " << e.src << "->" << e.dst;
+  }
+  // Bi-directed: every pair's mirror is present too.
+  for (const Edge& e : ds.edges) {
+    EXPECT_TRUE(pairs.count({e.dst, e.src}))
+        << "missing mirror of " << e.src << "->" << e.dst;
+  }
+}
+
+}  // namespace
+}  // namespace platod2gl

@@ -1,0 +1,80 @@
+// LatencyHistogram tests: bucketing, percentiles, thread safety.
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace platod2gl {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.PercentileNanos(50), 0u);
+}
+
+TEST(HistogramTest, SingleSample) {
+  LatencyHistogram h;
+  h.Record(1000);  // bucket upper edge 1023
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.PercentileNanos(50), 1023u);
+  EXPECT_EQ(h.PercentileNanos(100), 1023u);
+}
+
+TEST(HistogramTest, PercentilesSeparateModes) {
+  LatencyHistogram h;
+  // 90 fast samples (~1 us) and 10 slow ones (~1 ms).
+  for (int i = 0; i < 90; ++i) h.Record(1000);
+  for (int i = 0; i < 10; ++i) h.Record(1000000);
+  EXPECT_LT(h.PercentileNanos(50), 5000u);
+  EXPECT_GT(h.PercentileNanos(99), 500000u);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100000; v *= 3) h.Record(v);
+  std::uint64_t prev = 0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const std::uint64_t cur = h.PercentileNanos(p);
+    EXPECT_GE(cur, prev) << "p" << p;
+    prev = cur;
+  }
+}
+
+TEST(HistogramTest, ZeroSampleGoesToBucketZero) {
+  LatencyHistogram h;
+  h.Record(0);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.PercentileNanos(100), 0u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(HistogramTest, ConcurrentRecording) {
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 10000; ++i) h.Record(100 + i % 7);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.Count(), 80000u);  // relaxed atomics lose nothing
+}
+
+TEST(HistogramTest, MicrosConversion) {
+  LatencyHistogram h;
+  h.RecordMicros(1.0);  // 1000 ns
+  EXPECT_GE(h.PercentileMicros(100), 1.0);
+  EXPECT_LT(h.PercentileMicros(100), 2.1);  // bucket edge 2047 ns
+}
+
+}  // namespace
+}  // namespace platod2gl

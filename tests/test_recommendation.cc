@@ -1,0 +1,189 @@
+// Recommendation-stack tests: NegativeSampler, TwoTowerModel (BPR) and
+// the personalised-PageRank estimator — the paper's motivating workload
+// wired end-to-end against the dynamic store.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "gnn/two_tower.h"
+#include "sampling/negative_sampler.h"
+#include "storage/graph_store.h"
+#include "walk/random_walk.h"
+
+namespace platod2gl {
+namespace {
+
+constexpr VertexId kUserBase = 0;
+constexpr VertexId kItemBase = 1ULL << 32;
+
+// Preference world: even users like even items, odd users like odd items.
+void BuildPreferenceGraph(GraphStore* g, std::size_t users,
+                          std::size_t items, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (VertexId u = 0; u < users; ++u) {
+    for (int k = 0; k < 12; ++k) {
+      const VertexId item = rng.NextUint64(items / 2) * 2 + (u % 2);
+      g->AddEdge({kUserBase + u, kItemBase + item, 1.0, 0});
+      g->AddEdge({kItemBase + item, kUserBase + u, 1.0, 0});  // mirror
+    }
+  }
+}
+
+TEST(NegativeSamplerTest, DrawsOnlyFromRequestedRange) {
+  GraphStore g;
+  BuildPreferenceGraph(&g, 50, 40, 1);
+  NegativeSampler sampler(&g.topology(0), 0.75, kItemBase, kInvalidVertex);
+  EXPECT_GT(sampler.population(), 0u);
+  Xoshiro256 rng(2);
+  for (VertexId v : sampler.Sample(500, rng)) {
+    EXPECT_GE(v, kItemBase);
+  }
+}
+
+TEST(NegativeSamplerTest, PopularityBiasFollowsDegreeAlpha) {
+  GraphStore g;
+  // Item A has 64 in-edges, item B has 1 (as sources of the mirror).
+  for (VertexId u = 0; u < 64; ++u) {
+    g.AddEdge({kItemBase + 0, kUserBase + u, 1.0, 0});
+  }
+  g.AddEdge({kItemBase + 1, kUserBase + 0, 1.0, 0});
+  NegativeSampler sampler(&g.topology(0), 0.75, kItemBase, kInvalidVertex);
+  Xoshiro256 rng(3);
+  int heavy = 0;
+  const auto picks = sampler.Sample(20000, rng);
+  for (VertexId v : picks) heavy += (v == kItemBase + 0);
+  // Expected share = 64^0.75 / (64^0.75 + 1) ~ 0.958.
+  EXPECT_NEAR(heavy / 20000.0, 0.958, 0.02);
+}
+
+TEST(NegativeSamplerTest, PositiveFilterRejects) {
+  GraphStore g;
+  g.AddEdge({kItemBase + 0, 1, 1.0, 0});
+  g.AddEdge({kItemBase + 1, 1, 1.0, 0});
+  NegativeSampler sampler(&g.topology(0), 0.75, kItemBase, kInvalidVertex);
+  Xoshiro256 rng(4);
+  const auto picks = sampler.Sample(
+      200, rng, [](VertexId v) { return v == kItemBase + 0; });
+  for (VertexId v : picks) EXPECT_EQ(v, kItemBase + 1);
+}
+
+TEST(NegativeSamplerTest, EmptyPopulation) {
+  TopologyStore empty;
+  NegativeSampler sampler(&empty);
+  Xoshiro256 rng(5);
+  EXPECT_TRUE(sampler.Sample(10, rng).empty());
+}
+
+TEST(NegativeSamplerTest, RefreshSeesNewItems) {
+  GraphStore g;
+  g.AddEdge({kItemBase + 0, 1, 1.0, 0});
+  NegativeSampler sampler(&g.topology(0), 0.75, kItemBase, kInvalidVertex);
+  EXPECT_EQ(sampler.population(), 1u);
+  g.AddEdge({kItemBase + 7, 1, 1.0, 0});
+  sampler.Refresh();
+  EXPECT_EQ(sampler.population(), 2u);
+}
+
+TEST(TwoTowerTest, BprTrainingImprovesPairwiseAccuracy) {
+  GraphStore g;
+  BuildPreferenceGraph(&g, 200, 60, 7);
+  std::vector<VertexId> users;
+  for (VertexId u = 0; u < 200; ++u) users.push_back(kUserBase + u);
+
+  TwoTowerModel model(&g,
+                      TwoTowerConfig{.dim = 16, .learning_rate = 0.08f},
+                      kItemBase, kInvalidVertex, /*seed=*/8);
+  Xoshiro256 rng(9);
+  const double before = model.PairwiseAccuracy(users, 5, rng);
+  for (int epoch = 0; epoch < 30; ++epoch) model.TrainEpoch(users, rng);
+  const double after = model.PairwiseAccuracy(users, 5, rng);
+
+  EXPECT_NEAR(before, 0.5, 0.15) << "untrained model should be ~random";
+  EXPECT_GT(after, 0.8) << "trained model must rank positives above "
+                           "negatives (started at " << before << ")";
+}
+
+TEST(TwoTowerTest, RecommendRanksLikedItemsFirst) {
+  GraphStore g;
+  BuildPreferenceGraph(&g, 200, 60, 11);
+  std::vector<VertexId> users;
+  for (VertexId u = 0; u < 200; ++u) users.push_back(u);
+  TwoTowerModel model(&g, TwoTowerConfig{.dim = 16, .learning_rate = 0.08f},
+                      kItemBase, kInvalidVertex, 12);
+  Xoshiro256 rng(13);
+  for (int epoch = 0; epoch < 30; ++epoch) model.TrainEpoch(users, rng);
+
+  // Even user 0: top of a mixed candidate list should be mostly even
+  // items.
+  std::vector<VertexId> candidates;
+  for (VertexId i = 0; i < 40; ++i) candidates.push_back(kItemBase + i);
+  const auto ranked = model.Recommend(0, candidates);
+  int even_in_top = 0;
+  for (int k = 0; k < 10; ++k) {
+    even_in_top += ((ranked[k] - kItemBase) % 2 == 0);
+  }
+  EXPECT_GE(even_in_top, 8);
+}
+
+TEST(TwoTowerTest, HandlesColdStartUsers) {
+  GraphStore g;
+  BuildPreferenceGraph(&g, 20, 10, 15);
+  TwoTowerModel model(&g, TwoTowerConfig{.dim = 8}, kItemBase);
+  Xoshiro256 rng(16);
+  // User 9999 has no interactions: the epoch must simply skip them.
+  const double loss = model.TrainEpoch({9999}, rng);
+  EXPECT_DOUBLE_EQ(loss, 0.0);
+  // Scoring still works (lazy embedding rows).
+  model.Score(9999, kItemBase + 1);
+}
+
+TEST(ApproxPPRTest, MassConcentratesNearSeed) {
+  // Two loosely-bridged cliques: PPR from a vertex of clique A should put
+  // most of its mass inside clique A.
+  GraphStore g;
+  auto clique = [&](VertexId base) {
+    for (VertexId a = base; a < base + 10; ++a) {
+      for (VertexId b = base; b < base + 10; ++b) {
+        if (a != b) g.AddEdge({a, b, 1.0, 0});
+      }
+    }
+  };
+  clique(0);
+  clique(100);
+  g.AddEdge({0, 100, 0.05, 0});
+  g.AddEdge({100, 0, 0.05, 0});
+
+  RandomWalker walker(&g);
+  Xoshiro256 rng(17);
+  const auto ppr = walker.ApproxPPR(/*seed=*/3, /*num_walks=*/300,
+                                    /*walk_length=*/20,
+                                    /*restart_prob=*/0.2, rng);
+  ASSERT_FALSE(ppr.empty());
+  // Masses sum to ~1.
+  double total = 0.0, in_a = 0.0;
+  for (const auto& [v, mass] : ppr) {
+    total += mass;
+    if (v < 100) in_a += mass;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(in_a, 0.9);
+  // The seed itself is the top-ranked vertex under a 0.2 restart rate.
+  EXPECT_EQ(ppr.front().first, 3u);
+}
+
+TEST(ApproxPPRTest, DanglingSeed) {
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});
+  RandomWalker walker(&g);
+  Xoshiro256 rng(18);
+  const auto ppr = walker.ApproxPPR(42, 10, 5, 0.2, rng);
+  ASSERT_EQ(ppr.size(), 1u);  // only the seed, with all the mass
+  EXPECT_EQ(ppr[0].first, 42u);
+  EXPECT_DOUBLE_EQ(ppr[0].second, 1.0);
+}
+
+}  // namespace
+}  // namespace platod2gl

@@ -1,0 +1,235 @@
+// Sampler tests: node / neighbor / subgraph sampling operators (paper
+// Section III).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/node_sampler.h"
+#include "sampling/subgraph_sampler.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+namespace {
+
+// Seeds 1..10, seed s links to {s*100 + 1 .. s*100 + 5}.
+void FillStarGraph(GraphStore* g) {
+  for (VertexId s = 1; s <= 10; ++s) {
+    for (VertexId k = 1; k <= 5; ++k) {
+      g->AddEdge({s, s * 100 + k, 1.0, 0});
+    }
+  }
+}
+
+TEST(NeighborSamplerTest, BatchLayoutAndMembership) {
+  GraphStore g;
+  FillStarGraph(&g);
+  NeighborSampler sampler(&g);
+  Xoshiro256 rng(1);
+  const std::vector<VertexId> seeds = {1, 5, 999, 10};
+  const NeighborBatch batch =
+      sampler.Sample(seeds, {.fanout = 8, .weighted = true}, rng);
+  ASSERT_EQ(batch.NumSeeds(), 4u);
+  EXPECT_EQ(batch.offsets[1] - batch.offsets[0], 8u);
+  EXPECT_EQ(batch.offsets[3] - batch.offsets[2], 0u);  // dangling seed 999
+  for (std::size_t j = batch.offsets[0]; j < batch.offsets[1]; ++j) {
+    EXPECT_GE(batch.neighbors[j], 101u);
+    EXPECT_LE(batch.neighbors[j], 105u);
+  }
+  for (std::size_t j = batch.offsets[3]; j < batch.offsets[4]; ++j) {
+    EXPECT_GE(batch.neighbors[j], 1001u);
+  }
+}
+
+TEST(NeighborSamplerTest, ParallelMatchesLayout) {
+  GraphStore g;
+  FillStarGraph(&g);
+  NeighborSampler sampler(&g);
+  ThreadPool pool(4);
+  std::vector<VertexId> seeds;
+  for (int i = 0; i < 100; ++i) seeds.push_back((i % 10) + 1);
+  const NeighborBatch batch =
+      sampler.SampleParallel(seeds, {.fanout = 5}, pool, /*seed=*/3);
+  ASSERT_EQ(batch.NumSeeds(), 100u);
+  EXPECT_EQ(batch.neighbors.size(), 500u);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t j = batch.offsets[i]; j < batch.offsets[i + 1]; ++j) {
+      EXPECT_EQ(batch.neighbors[j] / 100, seeds[i]) << "seed " << seeds[i];
+    }
+  }
+}
+
+TEST(NodeSamplerTest, UniformCoversSources) {
+  GraphStore g;
+  FillStarGraph(&g);
+  NodeSampler sampler(&g.topology(0));
+  EXPECT_EQ(sampler.population(), 10u);
+  Xoshiro256 rng(2);
+  std::set<VertexId> seen;
+  for (VertexId v : sampler.SampleUniform(5000, rng)) {
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(NodeSamplerTest, DegreeWeightedFavorsHeavyVertices) {
+  GraphStore g;
+  for (VertexId d = 0; d < 90; ++d) g.AddEdge({1, 1000 + d, 1.0, 0});
+  for (VertexId d = 0; d < 10; ++d) g.AddEdge({2, 2000 + d, 1.0, 0});
+  NodeSampler sampler(&g.topology(0));
+  Xoshiro256 rng(3);
+  int heavy = 0;
+  const auto picks = sampler.SampleByDegree(10000, rng);
+  for (VertexId v : picks) heavy += (v == 1);
+  EXPECT_NEAR(heavy / 10000.0, 0.9, 0.02);
+}
+
+TEST(NodeSamplerTest, RefreshSeesNewVertices) {
+  GraphStore g;
+  FillStarGraph(&g);
+  NodeSampler sampler(&g.topology(0));
+  g.AddEdge({77, 78, 1.0, 0});
+  EXPECT_EQ(sampler.population(), 10u);  // stale until refresh
+  sampler.Refresh();
+  EXPECT_EQ(sampler.population(), 11u);
+}
+
+TEST(NodeSamplerTest, EmptyStoreYieldsNothing) {
+  TopologyStore empty;
+  NodeSampler sampler(&empty);
+  Xoshiro256 rng(4);
+  EXPECT_TRUE(sampler.SampleUniform(10, rng).empty());
+  EXPECT_TRUE(sampler.SampleByDegree(10, rng).empty());
+}
+
+TEST(SubgraphSamplerTest, TwoHopShapeAndParents) {
+  // 1 -> {2,3}; 2 -> {4}; 3 -> {5}.
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});
+  g.AddEdge({1, 3, 1.0, 0});
+  g.AddEdge({2, 4, 1.0, 0});
+  g.AddEdge({3, 5, 1.0, 0});
+  SubgraphSampler sampler(&g);
+  Xoshiro256 rng(5);
+  const SampledSubgraph sg =
+      sampler.Sample({1}, {{.fanout = 4}, {.fanout = 2}}, rng);
+  ASSERT_EQ(sg.layers.size(), 3u);
+  ASSERT_EQ(sg.parents.size(), 2u);
+  EXPECT_EQ(sg.layers[0], (std::vector<VertexId>{1}));
+  EXPECT_EQ(sg.layers[1].size(), 4u);
+  for (VertexId v : sg.layers[1]) EXPECT_TRUE(v == 2 || v == 3);
+  // Every hop-2 vertex's parent link must be consistent with topology.
+  for (std::size_t j = 0; j < sg.layers[2].size(); ++j) {
+    const VertexId parent = sg.layers[1][sg.parents[1][j]];
+    const VertexId child = sg.layers[2][j];
+    EXPECT_TRUE((parent == 2 && child == 4) || (parent == 3 && child == 5))
+        << parent << "->" << child;
+  }
+  EXPECT_EQ(sg.NumHops(), 2u);
+  EXPECT_EQ(sg.TotalVertices(), 1 + sg.layers[1].size() + sg.layers[2].size());
+}
+
+TEST(SubgraphSamplerTest, DanglingFrontierStopsExpanding) {
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});  // 2 has no out-edges
+  SubgraphSampler sampler(&g);
+  Xoshiro256 rng(6);
+  const SampledSubgraph sg = sampler.Sample({1}, {{.fanout = 3},
+                                                  {.fanout = 3}}, rng);
+  EXPECT_EQ(sg.layers[1].size(), 3u);  // three copies of vertex 2
+  EXPECT_TRUE(sg.layers[2].empty());
+}
+
+TEST(SubgraphSamplerTest, MetaPathAcrossRelations) {
+  // Relation 0: user->live; relation 1: live->tag.
+  GraphStore g(GraphStoreConfig{.num_relations = 2});
+  g.AddEdge({1, 100, 1.0, 0});
+  g.AddEdge({100, 7000, 1.0, 1});
+  SubgraphSampler sampler(&g);
+  Xoshiro256 rng(7);
+  const SampledSubgraph sg = sampler.Sample(
+      {1}, {{.fanout = 2, .edge_type = 0}, {.fanout = 2, .edge_type = 1}},
+      rng);
+  for (VertexId v : sg.layers[1]) EXPECT_EQ(v, 100u);
+  for (VertexId v : sg.layers[2]) EXPECT_EQ(v, 7000u);
+}
+
+TEST(SubgraphSamplerTest, EmptySeedsAndNoHops) {
+  GraphStore g;
+  FillStarGraph(&g);
+  SubgraphSampler sampler(&g);
+  Xoshiro256 rng(8);
+  const SampledSubgraph none = sampler.Sample({}, {{.fanout = 2}}, rng);
+  EXPECT_TRUE(none.layers[1].empty());
+  const SampledSubgraph zero_hops = sampler.Sample({1}, {}, rng);
+  EXPECT_EQ(zero_hops.layers.size(), 1u);
+  EXPECT_EQ(zero_hops.NumHops(), 0u);
+}
+
+
+TEST(CompactSubgraphTest, LayersAreUniqueAndEdgesValid) {
+  // A hub-heavy graph: every seed links to the same hub, which would be
+  // duplicated fanout-fold in the non-compact layout.
+  GraphStore g;
+  for (VertexId s = 1; s <= 8; ++s) g.AddEdge({s, 1000, 1.0, 0});
+  g.AddEdge({1000, 2000, 1.0, 0});
+  SubgraphSampler sampler(&g);
+  Xoshiro256 rng(31);
+  const CompactSubgraph sg = sampler.SampleUnique(
+      {1, 2, 3, 4, 5, 6, 7, 8}, {{.fanout = 4}, {.fanout = 4}}, rng);
+
+  ASSERT_EQ(sg.layers.size(), 3u);
+  EXPECT_EQ(sg.layers[1], (std::vector<VertexId>{1000}))
+      << "the hub appears exactly once";
+  EXPECT_EQ(sg.layers[2], (std::vector<VertexId>{2000}));
+  // Every seed has an edge to the hub; duplicate draws collapsed.
+  EXPECT_EQ(sg.hop_edges[0].size(), 8u);
+  for (const auto& [p, c] : sg.hop_edges[0]) {
+    EXPECT_LT(p, sg.layers[0].size());
+    EXPECT_EQ(c, 0u);
+  }
+  EXPECT_EQ(sg.hop_edges[1].size(), 1u);
+  EXPECT_EQ(sg.TotalVertices(), 8u + 1u + 1u);
+}
+
+TEST(CompactSubgraphTest, SeedDeduplication) {
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});
+  SubgraphSampler sampler(&g);
+  Xoshiro256 rng(32);
+  const CompactSubgraph sg =
+      sampler.SampleUnique({1, 1, 1}, {{.fanout = 2}}, rng);
+  EXPECT_EQ(sg.layers[0], (std::vector<VertexId>{1}));
+  EXPECT_EQ(sg.layers[1], (std::vector<VertexId>{2}));
+}
+
+TEST(CompactSubgraphTest, EdgePairsReferenceRealEdges) {
+  GraphStore g;
+  Xoshiro256 gen(33);
+  std::set<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v < 20; ++v) {
+    for (int k = 0; k < 3; ++k) {
+      const VertexId u = gen.NextUint64(20);
+      if (u != v && edges.insert({v, u}).second) g.AddEdge({v, u, 1.0, 0});
+    }
+  }
+  SubgraphSampler sampler(&g);
+  Xoshiro256 rng(34);
+  const CompactSubgraph sg = sampler.SampleUnique(
+      {0, 1, 2, 3, 4}, {{.fanout = 3}, {.fanout = 3}}, rng);
+  for (std::size_t hop = 0; hop < sg.hop_edges.size(); ++hop) {
+    for (const auto& [p, c] : sg.hop_edges[hop]) {
+      ASSERT_LT(p, sg.layers[hop].size());
+      ASSERT_LT(c, sg.layers[hop + 1].size());
+      EXPECT_TRUE(edges.count({sg.layers[hop][p], sg.layers[hop + 1][c]}))
+          << sg.layers[hop][p] << "->" << sg.layers[hop + 1][c];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace platod2gl

@@ -1,0 +1,150 @@
+// Statistical equivalence of the sampling paths: FTS (FSTable), ITS
+// (CSTable), the alias method and the full samtree descent must all
+// realise the same weighted distribution (paper Section V-B/V-C).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "core/samtree.h"
+#include "index/alias_table.h"
+#include "index/cstable.h"
+#include "index/fstable.h"
+
+namespace platod2gl {
+namespace {
+
+// Pearson chi-square statistic of observed counts vs expected
+// probabilities.
+double ChiSquare(const std::vector<int>& hits,
+                 const std::vector<double>& probs, int draws) {
+  double chi = 0.0;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    const double expect = probs[i] * draws;
+    if (expect < 1e-9) continue;
+    const double d = hits[i] - expect;
+    chi += d * d / expect;
+  }
+  return chi;
+}
+
+std::vector<double> Normalize(const std::vector<Weight>& w) {
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  std::vector<double> p;
+  p.reserve(w.size());
+  for (Weight x : w) p.push_back(x / total);
+  return p;
+}
+
+class IndexDistributionTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::vector<Weight> RandomWeights(Xoshiro256& rng, std::size_t n) {
+    std::vector<Weight> w;
+    for (std::size_t i = 0; i < n; ++i) w.push_back(0.05 + rng.NextDouble());
+    return w;
+  }
+};
+
+TEST_P(IndexDistributionTest, FTSandITSandAliasAgree) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t n = 37;  // deliberately not a power of two
+  const std::vector<Weight> w = RandomWeights(rng, n);
+  const std::vector<double> probs = Normalize(w);
+
+  FSTable fs(w);
+  CSTable cs(w);
+  AliasTable alias(w);
+
+  const int draws = 120000;
+  std::vector<int> h_fts(n, 0), h_its(n, 0), h_alias(n, 0);
+  for (int i = 0; i < draws; ++i) {
+    ++h_fts[fs.Sample(rng)];
+    ++h_its[cs.Sample(rng)];
+    ++h_alias[alias.Sample(rng)];
+  }
+  // Chi-square with 36 dof: 99.9th percentile is ~67.9; use a slack bound
+  // since we run several seeds.
+  EXPECT_LT(ChiSquare(h_fts, probs, draws), 80.0) << "FTS biased";
+  EXPECT_LT(ChiSquare(h_its, probs, draws), 80.0) << "ITS biased";
+  EXPECT_LT(ChiSquare(h_alias, probs, draws), 80.0) << "alias biased";
+}
+
+TEST_P(IndexDistributionTest, FTSUnbiasedAfterMutations) {
+  Xoshiro256 rng(GetParam() ^ 0xF00D);
+  std::vector<Weight> w = RandomWeights(rng, 24);
+  FSTable fs(w);
+  // Mutate: appends, in-place updates and swap-deletes, mirrored in w.
+  for (int k = 0; k < 200; ++k) {
+    const double r = rng.NextDouble();
+    if (r < 0.4) {
+      const Weight x = 0.05 + rng.NextDouble();
+      w.push_back(x);
+      fs.Append(x);
+    } else if (r < 0.7 || w.size() <= 4) {
+      const std::size_t i = rng.NextUint64(w.size());
+      const Weight x = 0.05 + rng.NextDouble();
+      w[i] = x;
+      fs.UpdateWeight(i, x);
+    } else {
+      const std::size_t i = rng.NextUint64(w.size());
+      w[i] = w.back();
+      w.pop_back();
+      fs.RemoveSwapLast(i);
+    }
+  }
+  const std::vector<double> probs = Normalize(w);
+  std::vector<int> hits(w.size(), 0);
+  const int draws = 150000;
+  for (int i = 0; i < draws; ++i) ++hits[fs.Sample(rng)];
+  EXPECT_LT(ChiSquare(hits, probs, draws),
+            static_cast<double>(w.size()) * 2.5 + 40.0);
+}
+
+TEST_P(IndexDistributionTest, SamtreeFullPathMatchesWeights) {
+  // Multi-level samtree (small capacity forces internal ITS + leaf FTS).
+  Xoshiro256 rng(GetParam() ^ 0xBEEF);
+  Samtree tree(SamtreeConfig{.node_capacity = 8, .alpha = 0,
+                             .compress_ids = true});
+  std::map<VertexId, Weight> weights;
+  Weight total = 0.0;
+  for (VertexId v = 0; v < 200; ++v) {
+    const Weight w = 0.05 + rng.NextDouble();
+    tree.Insert(v, w);
+    weights[v] = w;
+    total += w;
+  }
+  ASSERT_GE(tree.Height(), 3u);
+
+  std::vector<int> hits(200, 0);
+  const int draws = 300000;
+  for (int i = 0; i < draws; ++i) ++hits[tree.SampleWeighted(rng)];
+
+  std::vector<double> probs;
+  for (VertexId v = 0; v < 200; ++v) probs.push_back(weights[v] / total);
+  // 199 dof: 99.9th percentile ~ 272.
+  EXPECT_LT(ChiSquare(hits, probs, draws), 300.0);
+}
+
+TEST_P(IndexDistributionTest, SamtreeUniformSamplingIsUniform) {
+  Xoshiro256 rng(GetParam() ^ 0xCAFE);
+  Samtree tree(SamtreeConfig{.node_capacity = 8});
+  const std::size_t n = 128;
+  for (VertexId v = 0; v < n; ++v) {
+    tree.Insert(v, 0.05 + rng.NextDouble());  // weights must not matter
+  }
+  std::vector<int> hits(n, 0);
+  const int draws = 256000;
+  for (int i = 0; i < draws; ++i) ++hits[tree.SampleUniform(rng)];
+  const std::vector<double> probs(n, 1.0 / static_cast<double>(n));
+  // 127 dof: 99.9th percentile ~ 186.
+  EXPECT_LT(ChiSquare(hits, probs, draws), 200.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexDistributionTest,
+                         ::testing::Values(11, 222, 3333));
+
+}  // namespace
+}  // namespace platod2gl

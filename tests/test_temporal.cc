@@ -1,0 +1,114 @@
+// TemporalEdgeLog tests: the G^(t) dynamic-graph series semantics.
+#include "temporal/edge_log.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "gen/generators.h"
+
+namespace platod2gl {
+namespace {
+
+TEST(TemporalLogTest, AppendEnforcesMonotoneTime) {
+  TemporalEdgeLog log;
+  EXPECT_TRUE(log.AppendInsert(5, {1, 2, 1.0, 0}));
+  EXPECT_TRUE(log.AppendInsert(5, {1, 3, 1.0, 0}));  // equal time is fine
+  EXPECT_TRUE(log.AppendInsert(9, {1, 4, 1.0, 0}));
+  EXPECT_FALSE(log.AppendInsert(7, {1, 5, 1.0, 0}));  // regression rejected
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.MinTimestamp(), 5u);
+  EXPECT_EQ(log.MaxTimestamp(), 9u);
+}
+
+TEST(TemporalLogTest, SnapshotReconstructsGraphAtT) {
+  TemporalEdgeLog log;
+  log.AppendInsert(1, {1, 2, 1.0, 0});
+  log.AppendInsert(2, {1, 3, 1.0, 0});
+  log.Append(3, {UpdateKind::kInPlaceUpdate, Edge{1, 2, 9.0, 0}});
+  log.Append(4, {UpdateKind::kDelete, Edge{1, 3, 0.0, 0}});
+
+  // G^(2): both edges, original weights.
+  GraphStore g2;
+  EXPECT_EQ(log.SnapshotInto(&g2, 2), 2u);
+  EXPECT_NEAR(*g2.EdgeWeight(1, 2), 1.0, 1e-12);
+  EXPECT_TRUE(g2.HasEdge(1, 3));
+
+  // G^(3): weight updated.
+  GraphStore g3;
+  EXPECT_EQ(log.SnapshotInto(&g3, 3), 3u);
+  EXPECT_NEAR(*g3.EdgeWeight(1, 2), 9.0, 1e-12);
+
+  // G^(4): edge 1->3 gone.
+  GraphStore g4;
+  EXPECT_EQ(log.SnapshotInto(&g4, 4), 4u);
+  EXPECT_FALSE(g4.HasEdge(1, 3));
+  EXPECT_EQ(g4.NumEdges(), 1u);
+}
+
+TEST(TemporalLogTest, ReplayRollsForwardIncrementally) {
+  // Snapshot at t then replay (t, t'] must equal a snapshot at t'.
+  TemporalEdgeLog log;
+  Xoshiro256 rng(3);
+  UniformParams p;
+  p.num_vertices = 50;
+  p.num_edges = 400;
+  auto base = GenerateUniform(p);
+  DedupEdges(&base);
+  std::uint64_t t = 0;
+  for (const Edge& e : base) log.AppendInsert(++t, e);
+  UpdateStreamParams sp;
+  sp.num_ops = 300;
+  for (const EdgeUpdate& u : MakeUpdateStream(base, sp)) {
+    log.Append(++t, u);
+  }
+
+  const std::uint64_t mid = t / 2;
+  GraphStore rolled;
+  log.SnapshotInto(&rolled, mid);
+  log.ReplayInto(&rolled, mid, t);
+
+  GraphStore direct;
+  log.SnapshotInto(&direct, t);
+
+  EXPECT_EQ(rolled.NumEdges(), direct.NumEdges());
+  std::map<VertexId, std::map<VertexId, Weight>> a, b;
+  rolled.topology(0).ForEachSource([&](VertexId s, const Samtree& tr) {
+    for (const auto& [d, w] : tr.Neighbors()) a[s][d] = w;
+  });
+  direct.topology(0).ForEachSource([&](VertexId s, const Samtree& tr) {
+    for (const auto& [d, w] : tr.Neighbors()) b[s][d] = w;
+  });
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [s, nbrs] : a) {
+    for (const auto& [d, w] : nbrs) {
+      ASSERT_NEAR(b.at(s).at(d), w, 1e-9) << s << "->" << d;
+    }
+  }
+}
+
+TEST(TemporalLogTest, WindowReturnsHalfOpenRange) {
+  TemporalEdgeLog log;
+  for (std::uint64_t ts : {1u, 2u, 2u, 5u, 7u}) {
+    log.AppendInsert(ts, {ts, ts + 1, 1.0, 0});
+  }
+  const auto window = log.Window(2, 5);  // (2, 5] -> only ts=5
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].timestamp, 5u);
+  const auto all = log.Window(0, 100);
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_TRUE(log.Window(7, 100).empty());
+}
+
+TEST(TemporalLogTest, EmptyLogBehaviour) {
+  TemporalEdgeLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.MinTimestamp(), 0u);
+  GraphStore g;
+  EXPECT_EQ(log.SnapshotInto(&g, 100), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace platod2gl

@@ -1,0 +1,222 @@
+// Random-walk engine tests: structural validity, edge-following, and the
+// node2vec p/q biases realised by KnightKing-style rejection sampling.
+#include "walk/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+namespace {
+
+TEST(RandomWalkTest, WalksFollowEdges) {
+  GraphStore g;
+  // Small dense directed graph on vertices 0..9.
+  Xoshiro256 gen(1);
+  std::set<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v < 10; ++v) {
+    for (int k = 0; k < 4; ++k) {
+      const VertexId u = gen.NextUint64(10);
+      if (u != v && edges.insert({v, u}).second) {
+        g.AddEdge({v, u, 1.0, 0});
+      }
+    }
+  }
+  RandomWalker walker(&g);
+  Xoshiro256 rng(2);
+  const WalkBatch walks =
+      walker.Walk({0, 1, 2, 3}, {.walk_length = 20}, rng);
+  ASSERT_EQ(walks.size(), 4u);
+  for (const auto& walk : walks) {
+    ASSERT_FALSE(walk.empty());
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      EXPECT_TRUE(edges.count({walk[i - 1], walk[i]}))
+          << walk[i - 1] << "->" << walk[i] << " is not an edge";
+    }
+  }
+}
+
+TEST(RandomWalkTest, WalkLengthRespected) {
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});
+  g.AddEdge({2, 1, 1.0, 0});  // 2-cycle: walks can always continue
+  RandomWalker walker(&g);
+  Xoshiro256 rng(3);
+  const WalkBatch walks = walker.Walk({1}, {.walk_length = 15}, rng);
+  EXPECT_EQ(walks[0].size(), 15u);
+  EXPECT_EQ(walks[0][0], 1u);
+}
+
+TEST(RandomWalkTest, DanglingVertexEndsWalk) {
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});  // 2 is a sink
+  RandomWalker walker(&g);
+  Xoshiro256 rng(4);
+  const WalkBatch walks = walker.Walk({1, 99}, {.walk_length = 10}, rng);
+  EXPECT_EQ(walks[0], (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(walks[1], (std::vector<VertexId>{99}));  // seed with no edges
+}
+
+TEST(RandomWalkTest, WeightedTransitionsAreSkewed) {
+  GraphStore g;
+  g.AddEdge({1, 10, 9.0, 0});
+  g.AddEdge({1, 20, 1.0, 0});
+  RandomWalker walker(&g);
+  Xoshiro256 rng(5);
+  int heavy = 0;
+  const int trials = 20000;
+  std::vector<VertexId> seeds(trials, 1);
+  const WalkBatch walks = walker.Walk(seeds, {.walk_length = 2}, rng);
+  for (const auto& w : walks) heavy += (w.size() > 1 && w[1] == 10);
+  EXPECT_NEAR(heavy / static_cast<double>(trials), 0.9, 0.02);
+}
+
+TEST(RandomWalkTest, UnweightedIgnoresWeights) {
+  GraphStore g;
+  g.AddEdge({1, 10, 9.0, 0});
+  g.AddEdge({1, 20, 1.0, 0});
+  RandomWalker walker(&g);
+  Xoshiro256 rng(6);
+  int heavy = 0;
+  const int trials = 20000;
+  std::vector<VertexId> seeds(trials, 1);
+  const WalkBatch walks =
+      walker.Walk(seeds, {.walk_length = 2, .weighted = false}, rng);
+  for (const auto& w : walks) heavy += (w.size() > 1 && w[1] == 10);
+  EXPECT_NEAR(heavy / static_cast<double>(trials), 0.5, 0.02);
+}
+
+// node2vec bias: on a path A <-> B <-> C with B also linked to D (D not
+// adjacent to A), a walk A -> B continues to {A (return, 1/p), C/D
+// (exploration, 1/q unless adjacent to A)}.
+TEST(RandomWalkTest, Node2vecLowPFavorsReturning) {
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});
+  g.AddEdge({2, 1, 1.0, 0});
+  g.AddEdge({2, 3, 1.0, 0});
+  g.AddEdge({3, 2, 1.0, 0});
+  RandomWalker walker(&g);
+  Xoshiro256 rng(7);
+  const int trials = 20000;
+  std::vector<VertexId> seeds(trials, 1);
+  // p tiny -> returning to 1 strongly preferred over exploring to 3.
+  const WalkBatch walks = walker.Walk(
+      seeds, {.walk_length = 3, .p = 0.05, .q = 1.0}, rng);
+  int returns = 0, explores = 0;
+  for (const auto& w : walks) {
+    ASSERT_EQ(w.size(), 3u);
+    ASSERT_EQ(w[1], 2u);  // only neighbour of 1
+    (w[2] == 1 ? returns : explores) += 1;
+  }
+  EXPECT_GT(returns, explores * 5);
+}
+
+TEST(RandomWalkTest, Node2vecHighPAvoidsReturning) {
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});
+  g.AddEdge({2, 1, 1.0, 0});
+  g.AddEdge({2, 3, 1.0, 0});
+  g.AddEdge({3, 2, 1.0, 0});
+  RandomWalker walker(&g);
+  Xoshiro256 rng(8);
+  const int trials = 20000;
+  std::vector<VertexId> seeds(trials, 1);
+  const WalkBatch walks = walker.Walk(
+      seeds, {.walk_length = 3, .p = 20.0, .q = 1.0}, rng);
+  int returns = 0, explores = 0;
+  for (const auto& w : walks) {
+    (w[2] == 1 ? returns : explores) += 1;
+  }
+  EXPECT_GT(explores, returns * 5);
+}
+
+TEST(RandomWalkTest, Node2vecLowQFavorsExploration) {
+  // From B (arrived via A): C is a triangle step (C adjacent to A),
+  // D is an exploration step (not adjacent to A). Low q boosts D.
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});   // A=1, B=2
+  g.AddEdge({2, 3, 1.0, 0});   // C=3 (triangle: 1->3 exists)
+  g.AddEdge({1, 3, 1.0, 0});
+  g.AddEdge({2, 4, 1.0, 0});   // D=4 (no 1->4 edge)
+  RandomWalker walker(&g);
+  Xoshiro256 rng(9);
+  const int trials = 30000;
+  std::vector<VertexId> seeds(trials, 1);
+  const WalkBatch walks = walker.Walk(
+      seeds, {.walk_length = 3, .p = 1000.0, .q = 0.1}, rng);
+  int triangle = 0, exploration = 0;
+  for (const auto& w : walks) {
+    if (w.size() < 3 || w[1] != 2) continue;  // only the A->B prefix counts
+    if (w[2] == 3) ++triangle;
+    if (w[2] == 4) ++exploration;
+  }
+  // bias(D) / bias(C) = (1/0.1) / 1 = 10.
+  EXPECT_GT(exploration, triangle * 5);
+}
+
+TEST(RandomWalkTest, FirstOrderSkipsRejectionMachinery) {
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});
+  g.AddEdge({2, 1, 1.0, 0});
+  RandomWalker walker(&g);
+  Xoshiro256 rng(10);
+  walker.Walk({1}, {.walk_length = 11, .p = 1.0, .q = 1.0}, rng);
+  // p = q = 1: exactly one candidate draw per transition.
+  EXPECT_EQ(walker.last_candidate_draws(), 10u);
+}
+
+TEST(RandomWalkTest, DynamicEdgesAffectWalksImmediately) {
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});
+  RandomWalker walker(&g);
+  Xoshiro256 rng(11);
+  WalkBatch before = walker.Walk({1}, {.walk_length = 3}, rng);
+  EXPECT_EQ(before[0].size(), 2u);  // stuck at sink 2
+  g.AddEdge({2, 3, 1.0, 0});        // extend the path dynamically
+  WalkBatch after = walker.Walk({1}, {.walk_length = 3}, rng);
+  EXPECT_EQ(after[0], (std::vector<VertexId>{1, 2, 3}));
+}
+
+
+TEST(RandomWalkTest, RestartKeepsWalkNearSeed) {
+  // Long path graph: without restarts a walk drifts far; with heavy
+  // restarts it keeps snapping back to the seed.
+  GraphStore g;
+  for (VertexId v = 0; v < 200; ++v) g.AddEdge({v, v + 1, 1.0, 0});
+  RandomWalker walker(&g);
+  Xoshiro256 rng(12);
+
+  const WalkBatch drift = walker.Walk({0}, {.walk_length = 100}, rng);
+  EXPECT_EQ(drift[0].back(), 99u);  // deterministic path: seed + 99 steps
+
+  const WalkBatch homing = walker.Walk(
+      {0}, {.walk_length = 100, .restart_prob = 0.5}, rng);
+  VertexId max_v = 0;
+  int seed_visits = 0;
+  for (VertexId v : homing[0]) {
+    max_v = std::max(max_v, v);
+    seed_visits += (v == 0);
+  }
+  EXPECT_LT(max_v, 30u) << "heavy restarts must bound the excursion";
+  EXPECT_GT(seed_visits, 20);
+}
+
+TEST(RandomWalkTest, RestartZeroIsDefaultBehaviour) {
+  GraphStore g;
+  g.AddEdge({1, 2, 1.0, 0});
+  g.AddEdge({2, 1, 1.0, 0});
+  RandomWalker walker(&g);
+  Xoshiro256 a(13), b(13);
+  const WalkBatch w1 = walker.Walk({1}, {.walk_length = 9}, a);
+  const WalkBatch w2 =
+      walker.Walk({1}, {.walk_length = 9, .restart_prob = 0.0}, b);
+  EXPECT_EQ(w1, w2);
+}
+
+}  // namespace
+}  // namespace platod2gl
