@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cuckoo.dir/bench_ablation_cuckoo.cc.o"
+  "CMakeFiles/bench_ablation_cuckoo.dir/bench_ablation_cuckoo.cc.o.d"
+  "bench_ablation_cuckoo"
+  "bench_ablation_cuckoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cuckoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

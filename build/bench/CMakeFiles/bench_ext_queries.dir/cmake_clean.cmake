@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_queries.dir/bench_ext_queries.cc.o"
+  "CMakeFiles/bench_ext_queries.dir/bench_ext_queries.cc.o.d"
+  "bench_ext_queries"
+  "bench_ext_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

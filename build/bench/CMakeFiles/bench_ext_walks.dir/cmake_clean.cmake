@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_walks.dir/bench_ext_walks.cc.o"
+  "CMakeFiles/bench_ext_walks.dir/bench_ext_walks.cc.o.d"
+  "bench_ext_walks"
+  "bench_ext_walks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_walks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_build.dir/bench_fig8_build.cc.o"
+  "CMakeFiles/bench_fig8_build.dir/bench_fig8_build.cc.o.d"
+  "bench_fig8_build"
+  "bench_fig8_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

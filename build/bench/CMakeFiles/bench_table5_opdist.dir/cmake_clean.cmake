@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_opdist.dir/bench_table5_opdist.cc.o"
+  "CMakeFiles/bench_table5_opdist.dir/bench_table5_opdist.cc.o.d"
+  "bench_table5_opdist"
+  "bench_table5_opdist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_opdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_storage.dir/distributed_storage.cc.o"
+  "CMakeFiles/distributed_storage.dir/distributed_storage.cc.o.d"
+  "distributed_storage"
+  "distributed_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

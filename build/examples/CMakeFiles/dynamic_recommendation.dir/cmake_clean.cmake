@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_recommendation.dir/dynamic_recommendation.cc.o"
+  "CMakeFiles/dynamic_recommendation.dir/dynamic_recommendation.cc.o.d"
+  "dynamic_recommendation"
+  "dynamic_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_embeddings.dir/graph_embeddings.cc.o"
+  "CMakeFiles/graph_embeddings.dir/graph_embeddings.cc.o.d"
+  "graph_embeddings"
+  "graph_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_snapshots.dir/temporal_snapshots.cc.o"
+  "CMakeFiles/temporal_snapshots.dir/temporal_snapshots.cc.o.d"
+  "temporal_snapshots"
+  "temporal_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

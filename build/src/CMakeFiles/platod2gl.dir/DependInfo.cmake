@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/graph_metrics.cc" "src/CMakeFiles/platod2gl.dir/analytics/graph_metrics.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/analytics/graph_metrics.cc.o.d"
+  "/root/repo/src/baselines/aligraph_store.cc" "src/CMakeFiles/platod2gl.dir/baselines/aligraph_store.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/baselines/aligraph_store.cc.o.d"
+  "/root/repo/src/baselines/platogl_store.cc" "src/CMakeFiles/platod2gl.dir/baselines/platogl_store.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/baselines/platogl_store.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/platod2gl.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/memory.cc" "src/CMakeFiles/platod2gl.dir/common/memory.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/common/memory.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/platod2gl.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/concurrency/batch_updater.cc" "src/CMakeFiles/platod2gl.dir/concurrency/batch_updater.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/concurrency/batch_updater.cc.o.d"
+  "/root/repo/src/core/alpha_split.cc" "src/CMakeFiles/platod2gl.dir/core/alpha_split.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/core/alpha_split.cc.o.d"
+  "/root/repo/src/core/compressed_ids.cc" "src/CMakeFiles/platod2gl.dir/core/compressed_ids.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/core/compressed_ids.cc.o.d"
+  "/root/repo/src/core/samtree.cc" "src/CMakeFiles/platod2gl.dir/core/samtree.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/core/samtree.cc.o.d"
+  "/root/repo/src/dist/cluster.cc" "src/CMakeFiles/platod2gl.dir/dist/cluster.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/dist/cluster.cc.o.d"
+  "/root/repo/src/dist/partitioner.cc" "src/CMakeFiles/platod2gl.dir/dist/partitioner.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/dist/partitioner.cc.o.d"
+  "/root/repo/src/dist/remote_sampler.cc" "src/CMakeFiles/platod2gl.dir/dist/remote_sampler.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/dist/remote_sampler.cc.o.d"
+  "/root/repo/src/dist/shard.cc" "src/CMakeFiles/platod2gl.dir/dist/shard.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/dist/shard.cc.o.d"
+  "/root/repo/src/dist/wire.cc" "src/CMakeFiles/platod2gl.dir/dist/wire.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/dist/wire.cc.o.d"
+  "/root/repo/src/gen/datasets.cc" "src/CMakeFiles/platod2gl.dir/gen/datasets.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/gen/datasets.cc.o.d"
+  "/root/repo/src/gen/generators.cc" "src/CMakeFiles/platod2gl.dir/gen/generators.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/gen/generators.cc.o.d"
+  "/root/repo/src/gnn/deepwalk.cc" "src/CMakeFiles/platod2gl.dir/gnn/deepwalk.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/gnn/deepwalk.cc.o.d"
+  "/root/repo/src/gnn/embedding.cc" "src/CMakeFiles/platod2gl.dir/gnn/embedding.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/gnn/embedding.cc.o.d"
+  "/root/repo/src/gnn/gcn_model.cc" "src/CMakeFiles/platod2gl.dir/gnn/gcn_model.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/gnn/gcn_model.cc.o.d"
+  "/root/repo/src/gnn/layers.cc" "src/CMakeFiles/platod2gl.dir/gnn/layers.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/gnn/layers.cc.o.d"
+  "/root/repo/src/gnn/model.cc" "src/CMakeFiles/platod2gl.dir/gnn/model.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/gnn/model.cc.o.d"
+  "/root/repo/src/gnn/ops.cc" "src/CMakeFiles/platod2gl.dir/gnn/ops.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/gnn/ops.cc.o.d"
+  "/root/repo/src/gnn/tensor.cc" "src/CMakeFiles/platod2gl.dir/gnn/tensor.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/gnn/tensor.cc.o.d"
+  "/root/repo/src/gnn/trainer.cc" "src/CMakeFiles/platod2gl.dir/gnn/trainer.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/gnn/trainer.cc.o.d"
+  "/root/repo/src/gnn/two_tower.cc" "src/CMakeFiles/platod2gl.dir/gnn/two_tower.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/gnn/two_tower.cc.o.d"
+  "/root/repo/src/index/alias_table.cc" "src/CMakeFiles/platod2gl.dir/index/alias_table.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/index/alias_table.cc.o.d"
+  "/root/repo/src/index/cstable.cc" "src/CMakeFiles/platod2gl.dir/index/cstable.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/index/cstable.cc.o.d"
+  "/root/repo/src/index/fstable.cc" "src/CMakeFiles/platod2gl.dir/index/fstable.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/index/fstable.cc.o.d"
+  "/root/repo/src/io/checkpoint.cc" "src/CMakeFiles/platod2gl.dir/io/checkpoint.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/io/checkpoint.cc.o.d"
+  "/root/repo/src/io/edge_list_reader.cc" "src/CMakeFiles/platod2gl.dir/io/edge_list_reader.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/io/edge_list_reader.cc.o.d"
+  "/root/repo/src/sampling/negative_sampler.cc" "src/CMakeFiles/platod2gl.dir/sampling/negative_sampler.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/sampling/negative_sampler.cc.o.d"
+  "/root/repo/src/sampling/neighbor_sampler.cc" "src/CMakeFiles/platod2gl.dir/sampling/neighbor_sampler.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/sampling/neighbor_sampler.cc.o.d"
+  "/root/repo/src/sampling/node_sampler.cc" "src/CMakeFiles/platod2gl.dir/sampling/node_sampler.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/sampling/node_sampler.cc.o.d"
+  "/root/repo/src/sampling/subgraph_sampler.cc" "src/CMakeFiles/platod2gl.dir/sampling/subgraph_sampler.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/sampling/subgraph_sampler.cc.o.d"
+  "/root/repo/src/storage/attribute_store.cc" "src/CMakeFiles/platod2gl.dir/storage/attribute_store.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/storage/attribute_store.cc.o.d"
+  "/root/repo/src/storage/bidirected_store.cc" "src/CMakeFiles/platod2gl.dir/storage/bidirected_store.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/storage/bidirected_store.cc.o.d"
+  "/root/repo/src/storage/cuckoo_map.cc" "src/CMakeFiles/platod2gl.dir/storage/cuckoo_map.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/storage/cuckoo_map.cc.o.d"
+  "/root/repo/src/storage/edge_attributes.cc" "src/CMakeFiles/platod2gl.dir/storage/edge_attributes.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/storage/edge_attributes.cc.o.d"
+  "/root/repo/src/storage/graph_store.cc" "src/CMakeFiles/platod2gl.dir/storage/graph_store.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/storage/graph_store.cc.o.d"
+  "/root/repo/src/storage/topology_store.cc" "src/CMakeFiles/platod2gl.dir/storage/topology_store.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/storage/topology_store.cc.o.d"
+  "/root/repo/src/temporal/edge_log.cc" "src/CMakeFiles/platod2gl.dir/temporal/edge_log.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/temporal/edge_log.cc.o.d"
+  "/root/repo/src/walk/random_walk.cc" "src/CMakeFiles/platod2gl.dir/walk/random_walk.cc.o" "gcc" "src/CMakeFiles/platod2gl.dir/walk/random_walk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplatod2gl.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for platod2gl.
+# This may be replaced when dependencies are built.

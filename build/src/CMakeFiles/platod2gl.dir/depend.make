@@ -1,0 +1,2 @@
+# Empty dependencies file for platod2gl.
+# This may be replaced when dependencies are built.

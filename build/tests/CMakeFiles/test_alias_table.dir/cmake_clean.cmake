@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alias_table.dir/test_alias_table.cc.o"
+  "CMakeFiles/test_alias_table.dir/test_alias_table.cc.o.d"
+  "test_alias_table"
+  "test_alias_table.pdb"
+  "test_alias_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alias_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attribute_store.dir/test_attribute_store.cc.o"
+  "CMakeFiles/test_attribute_store.dir/test_attribute_store.cc.o.d"
+  "test_attribute_store"
+  "test_attribute_store.pdb"
+  "test_attribute_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attribute_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_updater.dir/test_batch_updater.cc.o"
+  "CMakeFiles/test_batch_updater.dir/test_batch_updater.cc.o.d"
+  "test_batch_updater"
+  "test_batch_updater.pdb"
+  "test_batch_updater[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_updater.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

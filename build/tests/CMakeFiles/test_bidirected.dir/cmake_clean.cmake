@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bidirected.dir/test_bidirected.cc.o"
+  "CMakeFiles/test_bidirected.dir/test_bidirected.cc.o.d"
+  "test_bidirected"
+  "test_bidirected.pdb"
+  "test_bidirected[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bidirected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compressed_ids.dir/test_compressed_ids.cc.o"
+  "CMakeFiles/test_compressed_ids.dir/test_compressed_ids.cc.o.d"
+  "test_compressed_ids"
+  "test_compressed_ids.pdb"
+  "test_compressed_ids[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compressed_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cstable.dir/test_cstable.cc.o"
+  "CMakeFiles/test_cstable.dir/test_cstable.cc.o.d"
+  "test_cstable"
+  "test_cstable.pdb"
+  "test_cstable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cstable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

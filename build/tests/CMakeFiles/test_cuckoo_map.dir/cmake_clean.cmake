@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuckoo_map.dir/test_cuckoo_map.cc.o"
+  "CMakeFiles/test_cuckoo_map.dir/test_cuckoo_map.cc.o.d"
+  "test_cuckoo_map"
+  "test_cuckoo_map.pdb"
+  "test_cuckoo_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuckoo_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

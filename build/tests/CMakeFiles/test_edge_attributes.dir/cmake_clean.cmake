@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_attributes.dir/test_edge_attributes.cc.o"
+  "CMakeFiles/test_edge_attributes.dir/test_edge_attributes.cc.o.d"
+  "test_edge_attributes"
+  "test_edge_attributes.pdb"
+  "test_edge_attributes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embedding.dir/test_embedding.cc.o"
+  "CMakeFiles/test_embedding.dir/test_embedding.cc.o.d"
+  "test_embedding"
+  "test_embedding.pdb"
+  "test_embedding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

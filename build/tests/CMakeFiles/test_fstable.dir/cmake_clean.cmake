@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fstable.dir/test_fstable.cc.o"
+  "CMakeFiles/test_fstable.dir/test_fstable.cc.o.d"
+  "test_fstable"
+  "test_fstable.pdb"
+  "test_fstable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fstable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

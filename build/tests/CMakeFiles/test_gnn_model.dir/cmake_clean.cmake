@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnn_model.dir/test_gnn_model.cc.o"
+  "CMakeFiles/test_gnn_model.dir/test_gnn_model.cc.o.d"
+  "test_gnn_model"
+  "test_gnn_model.pdb"
+  "test_gnn_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

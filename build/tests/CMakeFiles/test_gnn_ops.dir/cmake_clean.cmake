@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnn_ops.dir/test_gnn_ops.cc.o"
+  "CMakeFiles/test_gnn_ops.dir/test_gnn_ops.cc.o.d"
+  "test_gnn_ops"
+  "test_gnn_ops.pdb"
+  "test_gnn_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnn_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

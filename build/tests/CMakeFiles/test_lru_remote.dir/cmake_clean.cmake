@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lru_remote.dir/test_lru_remote.cc.o"
+  "CMakeFiles/test_lru_remote.dir/test_lru_remote.cc.o.d"
+  "test_lru_remote"
+  "test_lru_remote.pdb"
+  "test_lru_remote[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lru_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

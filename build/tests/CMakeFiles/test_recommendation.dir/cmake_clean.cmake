@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recommendation.dir/test_recommendation.cc.o"
+  "CMakeFiles/test_recommendation.dir/test_recommendation.cc.o.d"
+  "test_recommendation"
+  "test_recommendation.pdb"
+  "test_recommendation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_samtree.dir/test_samtree.cc.o"
+  "CMakeFiles/test_samtree.dir/test_samtree.cc.o.d"
+  "test_samtree"
+  "test_samtree.pdb"
+  "test_samtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_samtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_samtree_queries.dir/test_samtree_queries.cc.o"
+  "CMakeFiles/test_samtree_queries.dir/test_samtree_queries.cc.o.d"
+  "test_samtree_queries"
+  "test_samtree_queries.pdb"
+  "test_samtree_queries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_samtree_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

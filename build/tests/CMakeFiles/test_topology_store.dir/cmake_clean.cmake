@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_store.dir/test_topology_store.cc.o"
+  "CMakeFiles/test_topology_store.dir/test_topology_store.cc.o.d"
+  "test_topology_store"
+  "test_topology_store.pdb"
+  "test_topology_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_walk.dir/test_walk.cc.o"
+  "CMakeFiles/test_walk.dir/test_walk.cc.o.d"
+  "test_walk"
+  "test_walk.pdb"
+  "test_walk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

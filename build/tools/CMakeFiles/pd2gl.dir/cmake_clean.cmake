@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd2gl.dir/pd2gl_cli.cc.o"
+  "CMakeFiles/pd2gl.dir/pd2gl_cli.cc.o.d"
+  "pd2gl"
+  "pd2gl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd2gl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
