@@ -7,10 +7,12 @@
 // per system) so EXPERIMENTS.md can quote it directly.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/aligraph_store.h"
@@ -134,11 +136,92 @@ inline std::vector<VertexId> SeedBatch(const std::vector<VertexId>& sources,
   return seeds;
 }
 
+/// A batch of sampling seeds drawn Zipf(s) over the source list: seed
+/// rank r is picked with P ~ 1/(r+1)^s, so the head of `sources` absorbs
+/// most of the traffic — the power-law serving skew the hot-vertex
+/// sampling cache exploits. Pass sources sorted hottest-first (e.g. by
+/// degree) for the realistic "popular vertices are big" shape.
+inline std::vector<VertexId> ZipfSeedBatch(
+    const std::vector<VertexId>& sources, std::size_t n, double exponent,
+    Xoshiro256& rng) {
+  ZipfSampler zipf(sources.size(), exponent);
+  std::vector<VertexId> seeds;
+  seeds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seeds.push_back(sources[zipf.Sample(rng)]);
+  }
+  return seeds;
+}
+
 inline void PrintRule() {
   std::printf(
       "--------------------------------------------------------------------"
       "----\n");
 }
+
+/// Minimal machine-readable results writer: a flat array of records, one
+/// JSON object per measured configuration, so the perf trajectory can be
+/// tracked across PRs (`BENCH_<name>.json` files at the repo root).
+/// Values are stored pre-rendered; no external JSON dependency.
+class JsonRecords {
+ public:
+  explicit JsonRecords(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Start a new record; subsequent Num/Str calls land in it.
+  JsonRecords& Rec() {
+    records_.emplace_back();
+    return *this;
+  }
+
+  JsonRecords& Num(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    records_.back().emplace_back(key, buf);
+    return *this;
+  }
+
+  JsonRecords& Num(const std::string& key, std::uint64_t value) {
+    records_.back().emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  JsonRecords& Str(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    records_.back().emplace_back(key, quoted);
+    return *this;
+  }
+
+  /// Write {"bench": ..., "results": [...]} to `path`; returns false on
+  /// I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 bench_name_.c_str());
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      std::fprintf(f, "    {");
+      for (std::size_t i = 0; i < records_[r].size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     records_[r][i].first.c_str(),
+                     records_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  using Record = std::vector<std::pair<std::string, std::string>>;
+  std::string bench_name_;
+  std::vector<Record> records_;
+};
 
 }  // namespace platod2gl::bench
 

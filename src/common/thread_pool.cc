@@ -51,6 +51,25 @@ void ThreadPool::ParallelFor(std::size_t n,
   Wait();
 }
 
+void ThreadPool::ParallelForBlocked(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  if (grain >= n) {
+    // One block: skip the queue round-trip entirely.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    const std::size_t end = std::min(n, begin + grain);
+    Submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  Wait();
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;

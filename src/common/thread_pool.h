@@ -28,7 +28,16 @@ class ThreadPool {
   void Wait();
 
   /// Convenience: run fn(i) for i in [0, n) across the pool and wait.
+  /// Splits the range into one contiguous block per thread — lowest queue
+  /// overhead, but a block of expensive indices stalls the whole call.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Like ParallelFor but with an explicit block size: submits
+  /// ceil(n / grain) tasks of `grain` consecutive indices each. Small
+  /// grains rebalance skewed per-index costs across the pool; large grains
+  /// amortise task-queue overhead. grain = 0 is treated as 1.
+  void ParallelForBlocked(std::size_t n, std::size_t grain,
+                          const std::function<void(std::size_t)>& fn);
 
   std::size_t num_threads() const { return workers_.size(); }
 

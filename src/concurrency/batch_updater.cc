@@ -83,8 +83,13 @@ void BatchUpdater::ApplyBatch(std::vector<EdgeUpdate> batch) {
 }
 
 void BatchUpdater::ApplyBatchLatchBased(const std::vector<EdgeUpdate>& batch) {
-  pool_->ParallelFor(batch.size(),
-                     [&](std::size_t i) { store_->Apply(batch[i]); });
+  // Blocked submission: ~8 blocks per worker keeps the task queue cold
+  // while still letting the pool rebalance when a block lands on a run of
+  // expensive updates (deep trees, splits).
+  const std::size_t grain = std::max<std::size_t>(
+      16, batch.size() / (pool_->num_threads() * 8));
+  pool_->ParallelForBlocked(batch.size(), grain,
+                            [&](std::size_t i) { store_->Apply(batch[i]); });
 }
 
 void BatchUpdater::ApplySequential(const std::vector<EdgeUpdate>& batch) {

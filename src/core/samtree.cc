@@ -127,14 +127,50 @@ struct Samtree::RemoveOutcome {
 // Construction / special members
 // ---------------------------------------------------------------------------
 
-Samtree::Samtree(SamtreeConfig config) : config_(config) {
+std::uint64_t Samtree::NextVersion() {
+  // Process-wide clock: every value is handed out exactly once, so a
+  // version can never collide across trees — a fresh tree landing at a
+  // reused heap address cannot revalidate a cache entry of its
+  // predecessor.
+  static std::atomic<std::uint64_t> clock{0};
+  return clock.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+Samtree::Samtree(SamtreeConfig config)
+    : config_(config), version_(NextVersion()) {
   // Capacities below 4 make the merge/split dance degenerate.
   config_.node_capacity = std::max<std::uint32_t>(4, config_.node_capacity);
 }
 
 Samtree::~Samtree() = default;
-Samtree::Samtree(Samtree&&) noexcept = default;
-Samtree& Samtree::operator=(Samtree&&) noexcept = default;
+
+Samtree::Samtree(Samtree&& other) noexcept
+    : config_(other.config_),
+      root_(std::move(other.root_)),
+      count_(other.count_),
+      stats_(other.stats_),
+      version_(other.version_.load(std::memory_order_relaxed)) {
+  other.count_ = 0;
+  other.stats_ = {};
+  other.BumpVersion();  // the moved-from shell is a different (empty) tree
+}
+
+Samtree& Samtree::operator=(Samtree&& other) noexcept {
+  if (this != &other) {
+    config_ = other.config_;
+    root_ = std::move(other.root_);
+    count_ = other.count_;
+    stats_ = other.stats_;
+    // Adopt the source's stamp: it uniquely identifies the moved content,
+    // while any entry cached against this tree's old stamp now mismatches.
+    version_.store(other.version_.load(std::memory_order_relaxed),
+                   std::memory_order_release);
+    other.count_ = 0;
+    other.stats_ = {};
+    other.BumpVersion();
+  }
+  return *this;
+}
 
 Samtree Samtree::BulkBuild(std::vector<std::pair<VertexId, Weight>> neighbors,
                            SamtreeConfig config) {
@@ -360,6 +396,7 @@ void Samtree::InsertUnchecked(VertexId v, Weight w) {
 }
 
 void Samtree::InsertImpl(VertexId v, Weight w, bool check_existing) {
+  BumpVersion();
   if (!root_) {
     auto leaf = std::make_unique<LeafNode>(config_.compress_ids);
     leaf->ids.Append(v);
@@ -404,6 +441,7 @@ std::optional<Weight> Samtree::UpdateRec(Node* node, VertexId v, Weight w) {
 
 bool Samtree::Update(VertexId v, Weight w) {
   if (!root_) return false;
+  BumpVersion();
   return UpdateRec(root_.get(), v, w).has_value();
 }
 
@@ -517,6 +555,7 @@ Samtree::RemoveOutcome Samtree::RemoveRec(Node* node, VertexId v) {
 
 bool Samtree::Remove(VertexId v) {
   if (!root_) return false;
+  BumpVersion();
   RemoveOutcome out = RemoveRec(root_.get(), v);
   if (!out.removed) return false;
   --count_;

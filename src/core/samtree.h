@@ -19,6 +19,7 @@
 //    and FTS inside the leaf (Section V-C).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -166,6 +167,19 @@ class Samtree {
   MemoryBreakdown Memory() const;
   std::size_t MemoryUsage() const { return Memory().Total(); }
 
+  /// Modification stamp for external derived structures (the hot-vertex
+  /// sampling cache). Every construction and every mutation — Insert,
+  /// InsertUnchecked, Update, Remove, SampleWeightedDistinct (which
+  /// temporarily zeroes weights) and move-assignment — stores a fresh
+  /// value drawn from a process-wide monotonic clock, so a stamp observed
+  /// here is never reused by any other tree or any later state of this
+  /// tree. A cache entry tagged with version() is valid exactly while the
+  /// tree still reports the same value; the update path pays one relaxed
+  /// fetch_add.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
   const SamtreeOpStats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
 
@@ -196,10 +210,16 @@ class Samtree {
 
   std::size_t MinFill() const;
 
+  static std::uint64_t NextVersion();
+  void BumpVersion() {
+    version_.store(NextVersion(), std::memory_order_release);
+  }
+
   SamtreeConfig config_;
   std::unique_ptr<Node> root_;
   std::size_t count_ = 0;
   SamtreeOpStats stats_;
+  std::atomic<std::uint64_t> version_{0};  // assigned in the constructor
 };
 
 }  // namespace platod2gl

@@ -22,9 +22,21 @@ NeighborBatch NeighborSampler::Sample(const std::vector<VertexId>& seeds,
 NeighborBatch NeighborSampler::SampleParallel(
     const std::vector<VertexId>& seeds, const Options& options,
     ThreadPool& pool, std::uint64_t seed) const {
-  const std::size_t num_chunks = pool.num_threads();
-  const std::size_t chunk =
-      (seeds.size() + num_chunks - 1) / std::max<std::size_t>(1, num_chunks);
+  // Over-decompose into many more chunks than threads: with one chunk per
+  // thread a single run of high-degree seeds stalls the whole batch, since
+  // per-seed sampling cost is proportional to tree height (and fanout).
+  // Finer chunks let the pool rebalance; each chunk samples straight out
+  // of the shared seed array instead of copying its slice.
+  constexpr std::size_t kChunksPerThread = 8;
+  const std::size_t num_chunks =
+      std::min(seeds.size(),
+               std::max<std::size_t>(1, pool.num_threads() * kChunksPerThread));
+  if (num_chunks == 0) {
+    NeighborBatch empty;
+    empty.offsets.push_back(0);
+    return empty;
+  }
+  const std::size_t chunk = (seeds.size() + num_chunks - 1) / num_chunks;
 
   std::vector<NeighborBatch> partials(num_chunks);
   pool.ParallelFor(num_chunks, [&](std::size_t c) {
@@ -32,11 +44,19 @@ NeighborBatch NeighborSampler::SampleParallel(
     const std::size_t end = std::min(seeds.size(), begin + chunk);
     if (begin >= end) return;
     Xoshiro256 rng(seed ^ (0x9E3779B97F4A7C15ULL * (c + 1)));
-    std::vector<VertexId> slice(seeds.begin() + begin, seeds.begin() + end);
-    partials[c] = Sample(slice, options, rng);
+    NeighborBatch& p = partials[c];
+    p.offsets.reserve(end - begin + 1);
+    p.offsets.push_back(0);
+    p.neighbors.reserve((end - begin) * options.fanout);
+    for (std::size_t i = begin; i < end; ++i) {
+      graph_->SampleNeighbors(seeds[i], options.fanout, options.weighted,
+                              rng, &p.neighbors, options.edge_type);
+      p.offsets.push_back(p.neighbors.size());
+    }
   });
 
   NeighborBatch out;
+  out.offsets.reserve(seeds.size() + 1);
   out.offsets.push_back(0);
   for (const NeighborBatch& p : partials) {
     const std::size_t base = out.neighbors.size();

@@ -1,6 +1,6 @@
 #include "sampling/subgraph_sampler.h"
 
-#include <set>
+#include <algorithm>
 #include <unordered_map>
 
 namespace platod2gl {
@@ -55,7 +55,13 @@ CompactSubgraph SubgraphSampler::SampleUnique(
     const std::vector<VertexId>& frontier = sg.layers.back();
     std::vector<VertexId> next;
     std::unordered_map<VertexId, std::uint32_t> index;
-    std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+    // Collect every sampled (parent, child) pair flat, then sort + unique
+    // once per hop: on skewed graphs the same hub pair is drawn
+    // fanout-fold, and a node-based std::set pays an allocation plus
+    // O(log n) pointer chasing per draw where the vector pays amortised
+    // O(1).
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(frontier.size() * hop.fanout);
 
     for (std::uint32_t i = 0; i < frontier.size(); ++i) {
       scratch.clear();
@@ -67,11 +73,13 @@ CompactSubgraph SubgraphSampler::SampleUnique(
         auto [it, inserted] =
             index.emplace(v, static_cast<std::uint32_t>(next.size()));
         if (inserted) next.push_back(v);
-        edges.emplace(i, it->second);
+        edges.emplace_back(i, it->second);
       }
     }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
     sg.layers.push_back(std::move(next));
-    sg.hop_edges.emplace_back(edges.begin(), edges.end());
+    sg.hop_edges.push_back(std::move(edges));
   }
   return sg;
 }

@@ -12,6 +12,9 @@ GraphStore::GraphStore(GraphStoreConfig config)
     relations_.push_back(std::make_unique<TopologyStore>(
         config_.samtree, config_.num_shards));
   }
+  if (config_.sample_cache.enabled) {
+    sample_cache_ = std::make_unique<SampleCache>(config_.sample_cache);
+  }
 }
 
 void GraphStore::AddEdge(const Edge& e) {
@@ -42,7 +45,20 @@ std::size_t GraphStore::Degree(VertexId src, EdgeType type) const {
 bool GraphStore::SampleNeighbors(VertexId src, std::size_t k, bool weighted,
                                  Xoshiro256& rng, std::vector<VertexId>* out,
                                  EdgeType type) const {
-  return relations_.at(type)->SampleNeighbors(src, k, weighted, rng, out);
+  const TopologyStore& rel = *relations_.at(type);
+  if (!sample_cache_) return rel.SampleNeighbors(src, k, weighted, rng, out);
+  const Samtree* tree = rel.FindTree(src);
+  if (!tree || tree->empty()) return false;
+  if (sample_cache_->Sample(src, type, *tree, weighted, k, rng, out)) {
+    return true;
+  }
+  // Cold vertex (or warming up): the regular ITS+FTS descent.
+  if (weighted) {
+    tree->SampleWeighted(k, rng, out);
+  } else {
+    tree->SampleUniform(k, rng, out);
+  }
+  return true;
 }
 
 std::vector<std::pair<VertexId, Weight>> GraphStore::Neighbors(

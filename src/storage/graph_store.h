@@ -16,6 +16,7 @@
 #include "common/random.h"
 #include "common/types.h"
 #include "core/samtree.h"
+#include "sampling/sample_cache.h"
 #include "storage/attribute_store.h"
 #include "storage/topology_store.h"
 
@@ -25,6 +26,11 @@ struct GraphStoreConfig {
   SamtreeConfig samtree;
   std::size_t num_shards = 64;
   std::size_t num_relations = 1;  ///< number of edge types
+  /// Hot-vertex O(1) sampling cache (sampling/sample_cache.h). Enabled by
+  /// default; the admission gates keep cold vertices on the samtree
+  /// descent, and version checks keep cached tables consistent with
+  /// dynamic updates.
+  SampleCacheConfig sample_cache;
 };
 
 class GraphStore {
@@ -46,6 +52,10 @@ class GraphStore {
                                    EdgeType type = 0) const;
   std::size_t Degree(VertexId src, EdgeType type = 0) const;
 
+  /// Draw k neighbours of src with replacement. Hot vertices are served
+  /// from the O(1) sampling cache when their cached table is still
+  /// version-consistent with the samtree; everything else falls back to
+  /// the O(log n) ITS+FTS descent.
   bool SampleNeighbors(VertexId src, std::size_t k, bool weighted,
                        Xoshiro256& rng, std::vector<VertexId>* out,
                        EdgeType type = 0) const;
@@ -58,6 +68,9 @@ class GraphStore {
   }
   AttributeStore& attributes() { return attributes_; }
   const AttributeStore& attributes() const { return attributes_; }
+
+  /// The hot-vertex sampling cache, or nullptr when disabled.
+  SampleCache* sample_cache() const { return sample_cache_.get(); }
 
   std::size_t num_relations() const { return relations_.size(); }
 
@@ -75,6 +88,9 @@ class GraphStore {
   GraphStoreConfig config_;
   std::vector<std::unique_ptr<TopologyStore>> relations_;
   AttributeStore attributes_;
+  // Mutable derived state (internally synchronised): consulted and
+  // refreshed from the const sampling path.
+  std::unique_ptr<SampleCache> sample_cache_;
 };
 
 }  // namespace platod2gl

@@ -138,6 +138,18 @@ TEST(ThreadPoolTest, ParallelForEmptyAndSingle) {
   EXPECT_EQ(n.load(), 1);
 }
 
+TEST(ThreadPoolTest, ParallelForBlockedCoversRange) {
+  ThreadPool pool(3);
+  for (std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{64}, std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    pool.ParallelForBlocked(1000, grain,
+                            [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "grain " << grain;
+  }
+  pool.ParallelForBlocked(0, 8, [](std::size_t) { FAIL(); });
+}
+
 TEST(ThreadPoolTest, WaitIsReentrant) {
   ThreadPool pool(2);
   pool.Wait();  // nothing submitted
