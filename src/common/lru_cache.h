@@ -4,14 +4,24 @@
 // attribute store (hot vertices recur across minibatches on skewed
 // graphs), trading a bounded amount of trainer memory for most of the
 // fetch RPCs. Single-threaded by design: each trainer worker owns one.
+// There is no internal lock, so there is nothing for the thread-safety
+// analysis to check statically; instead, builds with
+// PD2GL_ENABLE_INVARIANTS assert the single-owner contract at runtime
+// (every call must come from the thread that first used the cache) and
+// CheckInvariants() validates the list/index cross-links.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
 #include <utility>
+
+#if defined(PD2GL_ENABLE_INVARIANTS)
+#include <thread>
+#endif
 
 namespace platod2gl {
 
@@ -24,6 +34,7 @@ class LruCache {
 
   /// Pointer to the cached value (refreshing its recency), or nullptr.
   V* Get(const K& key) {
+    AssertSingleOwner();
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++misses_;
@@ -37,6 +48,7 @@ class LruCache {
   /// Insert or overwrite; evicts the least-recently-used entry at
   /// capacity. Returns the cached value.
   V* Put(const K& key, V value) {
+    AssertSingleOwner();
     auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->second = std::move(value);
@@ -69,11 +81,55 @@ class LruCache {
   }
 
   void Clear() {
+    AssertSingleOwner();
     order_.clear();
     index_.clear();
   }
 
+  /// Structural self-check: the recency list and the index must describe
+  /// the same key set, every index entry must point at the list node that
+  /// carries its key, and the capacity bound must hold. O(n). Returns
+  /// true when consistent, otherwise fills *error.
+  bool CheckInvariants(std::string* error) const {
+    auto fail = [&](const std::string& msg) {
+      if (error) *error = msg;
+      return false;
+    };
+    if (index_.size() != order_.size()) {
+      return fail("index/order size mismatch (" +
+                  std::to_string(index_.size()) + " vs " +
+                  std::to_string(order_.size()) + ")");
+    }
+    if (index_.size() > capacity_) {
+      return fail("size " + std::to_string(index_.size()) +
+                  " exceeds capacity " + std::to_string(capacity_));
+    }
+    std::size_t walked = 0;
+    for (auto it = order_.begin(); it != order_.end(); ++it, ++walked) {
+      auto idx = index_.find(it->first);
+      if (idx == index_.end()) return fail("list key missing from index");
+      if (idx->second != it) return fail("index entry points at wrong node");
+    }
+    if (walked != index_.size()) return fail("list walk length mismatch");
+    return true;
+  }
+
  private:
+#if defined(PD2GL_ENABLE_INVARIANTS)
+  /// Latches the first mutating thread and asserts every later call comes
+  /// from it — turns a silent cross-thread misuse of this intentionally
+  /// unsynchronised class into an immediate failure.
+  void AssertSingleOwner() {
+    const std::thread::id self = std::this_thread::get_id();
+    if (owner_ == std::thread::id{}) owner_ = self;
+    assert(owner_ == self &&
+           "LruCache is single-threaded; wrap it in a lock to share it");
+  }
+  std::thread::id owner_{};
+#else
+  void AssertSingleOwner() {}
+#endif
+
   std::size_t capacity_;
   std::list<std::pair<K, V>> order_;  // front = most recent
   std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator>

@@ -1,0 +1,52 @@
+// Annotation-aware mutex wrapper.
+//
+// libstdc++'s std::mutex carries no Clang TSA attributes, so code locking
+// it through std::lock_guard is invisible to -Wthread-safety. This thin
+// wrapper gives the blocking mutex the same capability treatment as
+// Spinlock: Mutex is a CAPABILITY, MutexLock is the SCOPED_CAPABILITY
+// holder, and condition waits go through std::condition_variable_any,
+// which accepts the Mutex itself as its lockable (wait() releases and
+// reacquires, so the capability is held again when it returns — exactly
+// what the analysis assumes).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace platod2gl {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII holder, the annotated counterpart of std::lock_guard<Mutex>.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable compatible with the annotated Mutex. wait(mu) is
+/// called with the capability held; the transient release inside is
+/// invisible to (and irrelevant for) the static analysis.
+using CondVar = std::condition_variable_any;
+
+}  // namespace platod2gl

@@ -3,20 +3,28 @@
 // mode). After a bounded spin it yields to the scheduler, so contention
 // on over-subscribed machines (threads > cores) degrades gracefully
 // instead of burning whole quanta.
+//
+// The class is a Clang TSA capability: fields protected by a Spinlock are
+// tagged GUARDED_BY(the lock) and must be accessed through SpinlockGuard
+// (or an ACQUIRE/RELEASE-annotated path) for the thread-safety CI job to
+// pass. Prefer SpinlockGuard over std::lock_guard<Spinlock>: the standard
+// guard is invisible to the analysis.
 #pragma once
 
 #include <atomic>
 #include <thread>
 
+#include "common/thread_annotations.h"
+
 namespace platod2gl {
 
-class Spinlock {
+class CAPABILITY("mutex") Spinlock {
  public:
   Spinlock() = default;
   Spinlock(const Spinlock&) = delete;
   Spinlock& operator=(const Spinlock&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     int spins = 0;
     while (true) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
@@ -34,13 +42,29 @@ class Spinlock {
     }
   }
 
-  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+  bool try_lock() TRY_ACQUIRE(true) {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() RELEASE() { flag_.store(false, std::memory_order_release); }
 
  private:
   static constexpr int kSpinLimit = 64;
   std::atomic<bool> flag_{false};
+};
+
+/// RAII lock holder for Spinlock, visible to the thread-safety analysis
+/// (a drop-in replacement for std::lock_guard<Spinlock>).
+class SCOPED_CAPABILITY SpinlockGuard {
+ public:
+  explicit SpinlockGuard(Spinlock& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~SpinlockGuard() RELEASE() { mu_.unlock(); }
+
+  SpinlockGuard(const SpinlockGuard&) = delete;
+  SpinlockGuard& operator=(const SpinlockGuard&) = delete;
+
+ private:
+  Spinlock& mu_;
 };
 
 }  // namespace platod2gl

@@ -1,0 +1,71 @@
+// Clang thread-safety-analysis (TSA) macros.
+//
+// The storage layer's correctness story — sharded spinlocks in the cuckoo
+// map and sample cache, the PALM-style per-tree exclusivity of the batch
+// updater — used to live in comments. These macros let the compiler check
+// the locking discipline statically: every lock-protected field is tagged
+// GUARDED_BY(its lock), every must-hold-the-lock helper REQUIRES(it), and
+// the CI job building with `clang++ -Wthread-safety -Werror=thread-safety`
+// turns an unguarded access into a build break.
+//
+// The attributes are a Clang extension; under GCC (the default toolchain)
+// every macro expands to nothing, so annotated code builds identically.
+// The macro set and spelling follow the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PD2GL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PD2GL_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex", "role", ...).
+#define CAPABILITY(x) PD2GL_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose lifetime holds a capability.
+#define SCOPED_CAPABILITY PD2GL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding the given capability.
+#define GUARDED_BY(x) PD2GL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) PD2GL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and keeps it).
+#define REQUIRES(...) \
+  PD2GL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability in shared (reader) mode.
+#define REQUIRES_SHARED(...) \
+  PD2GL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on return, not on entry).
+#define ACQUIRE(...) PD2GL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  PD2GL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define RELEASE(...) PD2GL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  PD2GL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; holds it iff it returned `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  PD2GL_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function may not be called while holding the capability (deadlock guard).
+#define EXCLUDES(...) PD2GL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define RETURN_CAPABILITY(x) PD2GL_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the calling thread already holds the capability.
+#define ASSERT_CAPABILITY(x) PD2GL_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch for functions whose synchronisation is deliberately
+/// external to the analysis (e.g. CuckooMap::FindUnsafe, whose contract is
+/// "only during read-only phases / under external partitioning"). Every
+/// use must carry a comment citing the actual synchronisation argument.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PD2GL_THREAD_ANNOTATION(no_thread_safety_analysis)

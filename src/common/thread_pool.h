@@ -1,14 +1,20 @@
 // Fixed-size worker pool used by the batch updater, the distributed-shard
 // simulation and the parallel samplers.
+//
+// All queue/bookkeeping state is guarded by one Mutex and annotated for
+// Clang's thread-safety analysis; condition waits use the spurious-wakeup-
+// safe while-loop form so every guarded read stays inside the capability
+// scope.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace platod2gl {
 
@@ -22,10 +28,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task. Thread-safe.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Block until every submitted task has finished executing.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Convenience: run fn(i) for i in [0, n) across the pool and wait.
   /// Splits the range into one contiguous block per thread — lowest queue
@@ -42,15 +48,15 @@ class ThreadPool {
   std::size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_cv_;   // signalled when a task is available
-  std::condition_variable done_cv_;   // signalled when all work drained
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // immutable after construction
+  Mutex mu_;
+  CondVar task_cv_;  // signalled when a task is available
+  CondVar done_cv_;  // signalled when all work drained
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  std::size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace platod2gl

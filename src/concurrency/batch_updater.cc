@@ -1,8 +1,11 @@
 #include "concurrency/batch_updater.h"
 
 #include <algorithm>
-#include <cstdint>
 #include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 namespace platod2gl {
 
@@ -80,6 +83,7 @@ void BatchUpdater::ApplyBatch(std::vector<EdgeUpdate> batch) {
     });
   }
   pool_->Wait();
+  MaybeVerifyStore();
 }
 
 void BatchUpdater::ApplyBatchLatchBased(const std::vector<EdgeUpdate>& batch) {
@@ -90,10 +94,23 @@ void BatchUpdater::ApplyBatchLatchBased(const std::vector<EdgeUpdate>& batch) {
       16, batch.size() / (pool_->num_threads() * 8));
   pool_->ParallelForBlocked(batch.size(), grain,
                             [&](std::size_t i) { store_->Apply(batch[i]); });
+  MaybeVerifyStore();
 }
 
 void BatchUpdater::ApplySequential(const std::vector<EdgeUpdate>& batch) {
   for (const EdgeUpdate& u : batch) store_->Apply(u);
+  MaybeVerifyStore();
+}
+
+void BatchUpdater::MaybeVerifyStore() {
+#if defined(PD2GL_ENABLE_INVARIANTS)
+  std::string err;
+  if (!store_->CheckAllInvariants(&err)) {
+    std::fprintf(stderr, "PD2GL invariant violation after batch: %s\n",
+                 err.c_str());
+    std::abort();
+  }
+#endif
 }
 
 }  // namespace platod2gl

@@ -43,6 +43,13 @@ class BatchUpdater {
   void ApplySequential(const std::vector<EdgeUpdate>& batch);
 
  private:
+  /// Post-batch structural sweep, compiled in by
+  /// -DPD2GL_ENABLE_INVARIANTS=ON (no-op otherwise): after the workers
+  /// drain, the whole store is quiescent, so the PALM-style "prose"
+  /// guarantee — per-tree exclusivity kept every tree and the shared edge
+  /// counter consistent — is re-proven after every batch.
+  void MaybeVerifyStore();
+
   TopologyStore* store_;
   ThreadPool* pool_;
 };

@@ -192,4 +192,45 @@ void CompressedIdList::Clear() {
   prefix_ = 0;
 }
 
+bool CompressedIdList::CheckConsistent(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (std::find(kAllowedPrefixBytes.begin(), kAllowedPrefixBytes.end(), z_) ==
+      kAllowedPrefixBytes.end()) {
+    return fail("prefix width z=" + std::to_string(z_) + " not in {0,4,6,7}");
+  }
+  if (!enable_ && z_ != 0) {
+    return fail("compression disabled but z=" + std::to_string(z_));
+  }
+  if (bytes_.size() != static_cast<std::size_t>(count_) * SuffixWidth()) {
+    return fail("encoded byte count " + std::to_string(bytes_.size()) +
+                " != count * suffix width " +
+                std::to_string(static_cast<std::size_t>(count_) *
+                               SuffixWidth()));
+  }
+  if (z_ > 0 && z_ < 8 && (prefix_ >> (8 * z_)) != 0) {
+    return fail("stored prefix wider than z bytes");
+  }
+  // Decode -> re-encode round-trip: a fresh list fed this list's IDs must
+  // reproduce them exactly, with at least as wide a prefix (Append only
+  // ever narrows z, so the live list may be narrower than optimal but
+  // never wider).
+  CompressedIdList fresh(enable_);
+  for (std::size_t i = 0; i < count_; ++i) fresh.Append(Get(i));
+  if (fresh.size() != count_) return fail("round-trip size mismatch");
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (fresh.Get(i) != Get(i)) {
+      return fail("round-trip mismatch at position " + std::to_string(i));
+    }
+  }
+  if (fresh.prefix_bytes() < z_) {
+    return fail("stored prefix wider than the IDs share (z=" +
+                std::to_string(z_) + ", achievable " +
+                std::to_string(fresh.prefix_bytes()) + ")");
+  }
+  return true;
+}
+
 }  // namespace platod2gl

@@ -20,6 +20,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -77,6 +78,15 @@ class CompressedIdList {
   std::size_t MemoryUsage() const {
     return bytes_.capacity() + 1 + z_;
   }
+
+  /// Structural self-check for the samtree invariant sweep: z must be one
+  /// of the paper's allowed widths (and 0 when compression is disabled),
+  /// the encoded byte count must match count * (8 - z), the stored prefix
+  /// must fit in z bytes, and every ID must survive a decode -> re-encode
+  /// round-trip through a fresh list (exercising prefix selection and
+  /// re-encoding against the stored representation). Returns true when
+  /// consistent, otherwise fills *error.
+  bool CheckConsistent(std::string* error) const;
 
  private:
   std::size_t SuffixWidth() const { return 8u - z_; }

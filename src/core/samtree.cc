@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
@@ -420,6 +422,7 @@ void Samtree::InsertImpl(VertexId v, Weight w, bool check_existing) {
     root_ = std::move(new_root);
     ++stats_.internal_ops;
   }
+  MaybeSelfCheck();
 }
 
 std::optional<Weight> Samtree::UpdateRec(Node* node, VertexId v, Weight w) {
@@ -442,7 +445,9 @@ std::optional<Weight> Samtree::UpdateRec(Node* node, VertexId v, Weight w) {
 bool Samtree::Update(VertexId v, Weight w) {
   if (!root_) return false;
   BumpVersion();
-  return UpdateRec(root_.get(), v, w).has_value();
+  const bool updated = UpdateRec(root_.get(), v, w).has_value();
+  if (updated) MaybeSelfCheck();
+  return updated;
 }
 
 // ---------------------------------------------------------------------------
@@ -570,6 +575,7 @@ bool Samtree::Remove(VertexId v) {
     if (in->children.size() != 1) break;
     root_ = std::move(in->children[0]);
   }
+  MaybeSelfCheck();
   return true;
 }
 
@@ -862,6 +868,15 @@ SubtreeInfo CheckNode(const Samtree::Node* n, const SamtreeConfig& cfg,
       err << "leaf ids/fstable size mismatch; ";
       info.ok = false;
     }
+    std::string sub;
+    if (!leaf->ids.CheckConsistent(&sub)) {
+      err << "leaf CP-IDs: " << sub << "; ";
+      info.ok = false;
+    }
+    if (!leaf->fstable.CheckConsistent(&sub)) {
+      err << "leaf fstable: " << sub << "; ";
+      info.ok = false;
+    }
     if (leaf->ids.size() > cfg.node_capacity) {
       err << "leaf overflow; ";
       info.ok = false;
@@ -895,6 +910,22 @@ SubtreeInfo CheckNode(const Samtree::Node* n, const SamtreeConfig& cfg,
   if (in->children.size() > cfg.node_capacity) {
     err << "internal overflow; ";
     info.ok = false;
+  }
+  std::string sub;
+  if (!in->min_ids.CheckConsistent(&sub)) {
+    err << "internal CP-IDs: " << sub << "; ";
+    info.ok = false;
+  }
+  if (!in->cstable.CheckConsistent(&sub)) {
+    err << "internal cstable: " << sub << "; ";
+    info.ok = false;
+  }
+  for (std::size_t i = 1; i < in->min_ids.size(); ++i) {
+    if (in->min_ids.Get(i) <= in->min_ids.Get(i - 1)) {
+      err << "routing IDs not strictly increasing at " << i << "; ";
+      info.ok = false;
+      break;
+    }
   }
   if (is_root && in->children.size() < 2) {
     err << "internal root with <2 children; ";
@@ -963,6 +994,58 @@ bool Samtree::CheckInvariants(std::string* error) const {
   }
   if (!ok && error) *error = err.str();
   return ok;
+}
+
+void Samtree::MaybeSelfCheck() {
+#if defined(PD2GL_ENABLE_INVARIANTS)
+  if (count_ >= 512 && (self_check_tick_++ & 63) != 0) return;
+  std::string err;
+  if (!CheckInvariants(&err)) {
+    std::fprintf(stderr, "PD2GL invariant violation after mutation: %s\n",
+                 err.c_str());
+    std::abort();
+  }
+#endif
+}
+
+bool Samtree::CorruptForTest(TestCorruption kind) {
+  if (!root_) return false;
+  switch (kind) {
+    case TestCorruption::kFSTableEntry: {
+      Node* n = root_.get();
+      while (!n->is_leaf) {
+        n = static_cast<InternalNode*>(n)->children.front().get();
+      }
+      auto* leaf = static_cast<LeafNode*>(n);
+      if (leaf->fstable.empty()) return false;
+      // A positive skew: caught by the parent CSTable cross-check (or, if
+      // negated below zero, by FSTable::CheckConsistent directly).
+      leaf->fstable.CorruptRawEntryForTest(0,
+                                           leaf->fstable.RawEntry(0) + 7.25);
+      return true;
+    }
+    case TestCorruption::kCSTableEntry: {
+      if (root_->is_leaf) return false;
+      auto* in = static_cast<InternalNode*>(root_.get());
+      in->cstable.CorruptEntryForTest(0, in->cstable.Prefix(0) + 3.5);
+      return true;
+    }
+    case TestCorruption::kChildCount: {
+      if (root_->is_leaf) return false;
+      auto* in = static_cast<InternalNode*>(root_.get());
+      in->counts[0] += 1;
+      return true;
+    }
+    case TestCorruption::kMinId: {
+      if (root_->is_leaf) return false;
+      auto* in = static_cast<InternalNode*>(root_.get());
+      // Duplicate child 0's key into slot 1: breaks strict ordering and
+      // stales the child-minimum cross-check at once.
+      in->min_ids.Set(1, in->min_ids.Get(0));
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace platod2gl

@@ -46,6 +46,16 @@ struct SamtreeConfig {
   bool compress_ids = true;           ///< CP-IDs compression (Section VI-A)
 };
 
+/// Ways Samtree::CorruptForTest can deliberately damage a tree so the
+/// invariant checker's negative tests can prove CheckInvariants catches
+/// real corruption (not just returns true on healthy trees).
+enum class TestCorruption {
+  kFSTableEntry,  ///< raw Fenwick entry in the leftmost leaf
+  kCSTableEntry,  ///< root CSTable prefix sum (needs an internal root)
+  kChildCount,    ///< root per-child count (needs an internal root)
+  kMinId,         ///< root routing-ID ordering (needs an internal root)
+};
+
 /// Counters for Table V: how many structural node modifications the
 /// dynamic updates performed, split by node kind.
 struct SamtreeOpStats {
@@ -185,10 +195,20 @@ class Samtree {
 
   const SamtreeConfig& config() const { return config_; }
 
-  /// Verify every Definition-1 / ordering / aggregation invariant.
-  /// Returns true when consistent; otherwise fills *error. Used by the
-  /// property-test suites.
+  /// Verify every Definition-1 / ordering / aggregation invariant:
+  /// node-capacity and fill bounds, uniform leaf depth, routing-ID order
+  /// and child-range disjointness, per-child counts and CSTable sums
+  /// against recomputed subtree aggregates, FSTable weight sanity, and
+  /// CP-ID encoding round-trips (see FSTable/CSTable/CompressedIdList
+  /// ::CheckConsistent). Returns true when consistent; otherwise fills
+  /// *error. Used by the property-test suites, the PD2GL_ENABLE_INVARIANTS
+  /// self-check hook and `pd2gl verify-store`.
   bool CheckInvariants(std::string* error) const;
+
+  /// Deliberately damage the tree (invariant-checker negative tests only).
+  /// Returns false when the tree is too small for the requested damage —
+  /// the internal-node kinds need a multi-level tree.
+  bool CorruptForTest(TestCorruption kind);
 
  private:
   struct InsertOutcome;
@@ -215,9 +235,16 @@ class Samtree {
     version_.store(NextVersion(), std::memory_order_release);
   }
 
+  /// Post-mutation self-check, compiled in by -DPD2GL_ENABLE_INVARIANTS=ON
+  /// (a no-op otherwise): re-validates the whole tree after every mutation
+  /// while it is small, sampled 1-in-64 above 512 entries so instrumented
+  /// builds stay usable, and aborts with the violation on failure.
+  void MaybeSelfCheck();
+
   SamtreeConfig config_;
   std::unique_ptr<Node> root_;
   std::size_t count_ = 0;
+  std::uint32_t self_check_tick_ = 0;  // sampling counter for MaybeSelfCheck
   SamtreeOpStats stats_;
   std::atomic<std::uint64_t> version_{0};  // assigned in the constructor
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace platod2gl {
 
@@ -43,6 +44,29 @@ std::size_t CSTable::FindIndex(Weight r) const {
 
 std::size_t CSTable::Sample(Xoshiro256& rng) const {
   return FindIndex(rng.NextDouble(TotalWeight()));
+}
+
+bool CSTable::CheckConsistent(std::string* error) const {
+  Weight prev = 0.0;
+  for (std::size_t i = 0; i < cumsum_.size(); ++i) {
+    if (!std::isfinite(cumsum_[i])) {
+      if (error) {
+        *error = "non-finite prefix sum at entry " + std::to_string(i);
+      }
+      return false;
+    }
+    const Weight tol = 1e-9 * std::max<Weight>(1.0, std::fabs(prev));
+    if (cumsum_[i] < prev - tol) {
+      if (error) {
+        *error = "prefix sums decrease at entry " + std::to_string(i) +
+                 " (" + std::to_string(prev) + " -> " +
+                 std::to_string(cumsum_[i]) + ")";
+      }
+      return false;
+    }
+    prev = cumsum_[i];
+  }
+  return true;
 }
 
 }  // namespace platod2gl

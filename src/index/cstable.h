@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -66,6 +67,16 @@ class CSTable {
   std::size_t MemoryUsage() const {
     return cumsum_.capacity() * sizeof(Weight);
   }
+
+  /// Structural self-check for the samtree invariant sweep: the prefix
+  /// sums must be finite and non-decreasing (equivalently, every recovered
+  /// weight non-negative) or ITS's binary search loses its precondition.
+  /// Returns true when consistent, otherwise fills *error.
+  bool CheckConsistent(std::string* error) const;
+
+  /// Test-only hook for the invariant checker's negative tests: overwrite
+  /// a raw prefix-sum entry without maintaining monotonicity.
+  void CorruptEntryForTest(std::size_t i, Weight w) { cumsum_[i] = w; }
 
  private:
   std::vector<Weight> cumsum_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace platod2gl {
 namespace {
@@ -107,6 +108,34 @@ std::size_t FSTable::FindIndex(Weight r) const {
 
 std::size_t FSTable::Sample(Xoshiro256& rng) const {
   return FindIndex(rng.NextDouble(TotalWeight()));
+}
+
+bool FSTable::CheckConsistent(std::string* error) const {
+  const std::vector<Weight> weights = DecodeWeights();
+  Weight total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (!std::isfinite(weights[i])) {
+      if (error) {
+        *error = "non-finite weight at entry " + std::to_string(i);
+      }
+      return false;
+    }
+    // SampleWeightedDistinct zeroes weights via +/- deltas, so allow the
+    // floating-point dust that restoring can leave behind.
+    if (weights[i] < -1e-9 * std::max<Weight>(1.0, std::fabs(total))) {
+      if (error) {
+        *error = "negative weight " + std::to_string(weights[i]) +
+                 " at entry " + std::to_string(i);
+      }
+      return false;
+    }
+    total += weights[i];
+  }
+  if (!std::isfinite(TotalWeight())) {
+    if (error) *error = "non-finite total weight";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace platod2gl

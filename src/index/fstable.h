@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -83,6 +84,17 @@ class FSTable {
 
   /// Bytes held by this table.
   std::size_t MemoryUsage() const { return tree_.capacity() * sizeof(Weight); }
+
+  /// Structural self-check for the samtree invariant sweep: every decoded
+  /// weight must be finite and non-negative (FTS descends on cumulative
+  /// masses; one negative weight silently skews every draw in the leaf).
+  /// Cross-node sum agreement is checked by Samtree::CheckInvariants.
+  /// Returns true when consistent, otherwise fills *error.
+  bool CheckConsistent(std::string* error) const;
+
+  /// Test-only hook for the invariant checker's negative tests: overwrite
+  /// a raw Fenwick entry without maintaining the structure.
+  void CorruptRawEntryForTest(std::size_t i, Weight w) { tree_[i] = w; }
 
  private:
   std::vector<Weight> tree_;

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "index/alias_table.h"
 
 namespace platod2gl {
@@ -69,12 +69,13 @@ struct SampleCache::Shard {
   using LruList = std::list<std::pair<Key, EntryPtr>>;
 
   mutable Spinlock mu;
-  LruList order;  // front = most recently used
-  std::unordered_map<Key, LruList::iterator, KeyHasher> index;
-  std::unordered_map<Key, std::uint32_t, KeyHasher> warm;  // miss counts
+  LruList order GUARDED_BY(mu);  // front = most recently used
+  std::unordered_map<Key, LruList::iterator, KeyHasher> index GUARDED_BY(mu);
+  std::unordered_map<Key, std::uint32_t, KeyHasher> warm
+      GUARDED_BY(mu);  // miss counts
 
-  /// Lookup, refreshing recency. Caller holds mu.
-  EntryPtr Get(const Key& key) {
+  /// Lookup, refreshing recency.
+  EntryPtr Get(const Key& key) REQUIRES(mu) {
     auto it = index.find(key);
     if (it == index.end()) return nullptr;
     order.splice(order.begin(), order, it->second);
@@ -82,8 +83,8 @@ struct SampleCache::Shard {
   }
 
   /// Insert or overwrite; returns the number of evictions performed.
-  /// Caller holds mu.
-  std::size_t Put(const Key& key, EntryPtr entry, std::size_t capacity) {
+  std::size_t Put(const Key& key, EntryPtr entry, std::size_t capacity)
+      REQUIRES(mu) {
     auto it = index.find(key);
     if (it != index.end()) {
       it->second->second = std::move(entry);
@@ -146,7 +147,7 @@ bool SampleCache::Sample(VertexId v, EdgeType type, const Samtree& tree,
 
   std::shared_ptr<const Entry> entry;
   {
-    std::lock_guard<Spinlock> lock(shard.mu);
+    SpinlockGuard lock(shard.mu);
     entry = shard.Get(key);
   }
 
@@ -162,7 +163,7 @@ bool SampleCache::Sample(VertexId v, EdgeType type, const Samtree& tree,
     entry = BuildEntry(tree);
     std::size_t evicted;
     {
-      std::lock_guard<Spinlock> lock(shard.mu);
+      SpinlockGuard lock(shard.mu);
       evicted = shard.Put(key, entry, shard_capacity_);
     }
     rebuilds_.fetch_add(1, std::memory_order_relaxed);
@@ -179,7 +180,7 @@ bool SampleCache::Sample(VertexId v, EdgeType type, const Samtree& tree,
 
   bool admit;
   {
-    std::lock_guard<Spinlock> lock(shard.mu);
+    SpinlockGuard lock(shard.mu);
     admit = ++shard.warm[key] >= config_.admit_after_misses;
     if (admit) {
       shard.warm.erase(key);
@@ -197,7 +198,7 @@ bool SampleCache::Sample(VertexId v, EdgeType type, const Samtree& tree,
   entry = BuildEntry(tree);
   std::size_t evicted;
   {
-    std::lock_guard<Spinlock> lock(shard.mu);
+    SpinlockGuard lock(shard.mu);
     evicted = shard.Put(key, entry, shard_capacity_);
   }
   admissions_.fetch_add(1, std::memory_order_relaxed);
@@ -208,7 +209,7 @@ bool SampleCache::Sample(VertexId v, EdgeType type, const Samtree& tree,
 
 void SampleCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<Spinlock> lock(shard->mu);
+    SpinlockGuard lock(shard->mu);
     shard->order.clear();
     shard->index.clear();
     shard->warm.clear();
@@ -218,7 +219,7 @@ void SampleCache::Clear() {
 std::size_t SampleCache::size() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<Spinlock> lock(shard->mu);
+    SpinlockGuard lock(shard->mu);
     n += shard->index.size();
   }
   return n;
@@ -227,7 +228,7 @@ std::size_t SampleCache::size() const {
 std::size_t SampleCache::MemoryUsage() const {
   std::size_t bytes = sizeof(SampleCache);
   for (const auto& shard : shards_) {
-    std::lock_guard<Spinlock> lock(shard->mu);
+    SpinlockGuard lock(shard->mu);
     bytes += sizeof(Shard);
     for (const auto& [key, entry] : shard->order) {
       (void)key;

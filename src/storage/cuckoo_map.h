@@ -14,21 +14,28 @@
 // Values are heap-allocated so their addresses stay stable across rehashes:
 // the batch updater mutates samtrees through raw pointers while other
 // threads may be inserting new vertices.
+//
+// Locking discipline (checked by clang -Wthread-safety): every bucket
+// array is GUARDED_BY its shard's spinlock, and the *Locked helpers
+// REQUIRE it. The two deliberate escape hatches — FindUnsafe and ForEach —
+// are marked NO_THREAD_SAFETY_ANALYSIS and carry their synchronisation
+// contract in the doc comment; everything else must go through the guard.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/memory.h"
 #include "common/random.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace platod2gl {
@@ -45,6 +52,7 @@ class CuckooMap {
                      std::size_t initial_buckets_per_shard = 8)
       : shards_(RoundPow2(num_shards)) {
     for (auto& s : shards_) {
+      SpinlockGuard lock(s.mu);
       s.buckets.resize(RoundPow2(initial_buckets_per_shard));
     }
   }
@@ -58,7 +66,7 @@ class CuckooMap {
   void With(VertexId key, Fn&& fn) {
     assert(key != kInvalidVertex);
     Shard& shard = ShardFor(key);
-    std::lock_guard<Spinlock> lock(shard.mu);
+    SpinlockGuard lock(shard.mu);
     fn(*FindOrCreateLocked(shard, key));
   }
 
@@ -69,7 +77,7 @@ class CuckooMap {
   V* GetOrCreate(VertexId key) {
     assert(key != kInvalidVertex);
     Shard& shard = ShardFor(key);
-    std::lock_guard<Spinlock> lock(shard.mu);
+    SpinlockGuard lock(shard.mu);
     return FindOrCreateLocked(shard, key);
   }
 
@@ -78,7 +86,7 @@ class CuckooMap {
   template <typename Fn>
   bool WithExisting(VertexId key, Fn&& fn) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<Spinlock> lock(shard.mu);
+    SpinlockGuard lock(shard.mu);
     V* v = FindLocked(shard, key);
     if (!v) return false;
     fn(*v);
@@ -89,7 +97,8 @@ class CuckooMap {
   /// inserts/erases — safe during read-only phases, or when an external
   /// partitioning scheme guarantees no rehash races (the value object
   /// itself is heap-pinned, so only *map growth during lookup* races).
-  V* FindUnsafe(VertexId key) {
+  /// That contract is exactly why this bypasses the analysis.
+  V* FindUnsafe(VertexId key) NO_THREAD_SAFETY_ANALYSIS {
     Shard& shard = ShardFor(key);
     return FindLocked(shard, key);
   }
@@ -102,13 +111,13 @@ class CuckooMap {
   /// Remove a key. Returns whether it was present. Thread-safe.
   bool Erase(VertexId key) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<Spinlock> lock(shard.mu);
+    SpinlockGuard lock(shard.mu);
     for (std::size_t h = 0; h < 2; ++h) {
       Bucket& b = shard.buckets[BucketIndex(shard, key, h)];
       for (auto& slot : b.slots) {
         if (slot.value && slot.key == key) {
           slot.value.reset();
-          --shard.size;
+          shard.size.fetch_sub(1, std::memory_order_relaxed);
           return true;
         }
       }
@@ -116,16 +125,22 @@ class CuckooMap {
     return false;
   }
 
-  /// Number of stored keys. Not synchronised; exact when quiescent.
+  /// Number of stored keys. The per-shard counters are atomics, so this
+  /// is race-free against concurrent writers (TSan-clean), but the sum is
+  /// only a snapshot: exact when quiescent.
   std::size_t Size() const {
     std::size_t n = 0;
-    for (const auto& s : shards_) n += s.size;
+    for (const auto& s : shards_) {
+      n += s.size.load(std::memory_order_relaxed);
+    }
     return n;
   }
 
-  /// Visit every (key, value). NOT thread-safe against writers.
+  /// Visit every (key, value). NOT thread-safe against writers — callers
+  /// run during read-only phases (memory accounting, stats aggregation,
+  /// invariant sweeps), which is why this bypasses the analysis.
   template <typename Fn>
-  void ForEach(Fn&& fn) const {
+  void ForEach(Fn&& fn) const NO_THREAD_SAFETY_ANALYSIS {
     for (const auto& shard : shards_) {
       for (const auto& bucket : shard.buckets) {
         for (const auto& slot : bucket.slots) {
@@ -137,8 +152,9 @@ class CuckooMap {
 
   /// Bytes of the map layer itself: bucket arrays (the "indexing" overhead
   /// the paper attributes to key-value stores) — the values' own memory is
-  /// accounted by the caller via ForEach.
-  std::size_t MemoryUsage() const {
+  /// accounted by the caller via ForEach. Quiescent-phase only, like
+  /// ForEach.
+  std::size_t MemoryUsage() const NO_THREAD_SAFETY_ANALYSIS {
     std::size_t bytes = shards_.capacity() * sizeof(Shard);
     for (const auto& s : shards_) {
       bytes += s.buckets.capacity() * sizeof(Bucket);
@@ -158,9 +174,11 @@ class CuckooMap {
   // or contended writers false-share and concurrent scaling inverts.
   struct alignas(128) Shard {
     Spinlock mu;
-    std::vector<Bucket> buckets;  // power-of-two size
-    std::size_t size = 0;
-    Xoshiro256 rng{0xC0C0C0C0DEADBEEFULL};
+    std::vector<Bucket> buckets GUARDED_BY(mu);  // power-of-two size
+    // Written under mu, read lock-free by Size(): relaxed atomic instead
+    // of GUARDED_BY so the unlocked aggregate read stays race-free.
+    std::atomic<std::size_t> size{0};
+    Xoshiro256 rng GUARDED_BY(mu){0xC0C0C0C0DEADBEEFULL};
   };
 
   static std::size_t RoundPow2(std::size_t n) {
@@ -178,13 +196,13 @@ class CuckooMap {
   }
 
   static std::size_t BucketIndex(const Shard& shard, VertexId key,
-                                 std::size_t which) {
+                                 std::size_t which) REQUIRES(shard.mu) {
     static constexpr std::uint64_t kSeeds[2] = {0x9E3779B97F4A7C15ULL,
                                                 0xD1B54A32D192ED03ULL};
     return HashVertexId(key, kSeeds[which]) & (shard.buckets.size() - 1);
   }
 
-  V* FindLocked(Shard& shard, VertexId key) {
+  V* FindLocked(Shard& shard, VertexId key) REQUIRES(shard.mu) {
     for (std::size_t h = 0; h < 2; ++h) {
       Bucket& b = shard.buckets[BucketIndex(shard, key, h)];
       for (auto& slot : b.slots) {
@@ -194,16 +212,17 @@ class CuckooMap {
     return nullptr;
   }
 
-  V* FindOrCreateLocked(Shard& shard, VertexId key) {
+  V* FindOrCreateLocked(Shard& shard, VertexId key) REQUIRES(shard.mu) {
     if (V* v = FindLocked(shard, key)) return v;
     auto value = std::make_unique<V>();
     V* raw = value.get();
     InsertLocked(shard, key, std::move(value));
-    ++shard.size;
+    shard.size.fetch_add(1, std::memory_order_relaxed);
     return raw;
   }
 
-  void InsertLocked(Shard& shard, VertexId key, std::unique_ptr<V> value) {
+  void InsertLocked(Shard& shard, VertexId key, std::unique_ptr<V> value)
+      REQUIRES(shard.mu) {
     static constexpr std::size_t kMaxEvictions = 512;
     for (std::size_t attempt = 0; attempt < kMaxEvictions; ++attempt) {
       // Try both candidate buckets for a free slot.
@@ -230,16 +249,14 @@ class CuckooMap {
     InsertLocked(shard, key, std::move(value));
   }
 
-  void GrowLocked(Shard& shard) {
+  void GrowLocked(Shard& shard) REQUIRES(shard.mu) {
     std::vector<Bucket> old = std::move(shard.buckets);
     shard.buckets = std::vector<Bucket>(old.size() * 2);
-    const std::size_t saved_size = shard.size;
     for (auto& bucket : old) {
       for (auto& slot : bucket.slots) {
         if (slot.value) InsertLocked(shard, slot.key, std::move(slot.value));
       }
     }
-    shard.size = saved_size;
   }
 
   std::vector<Shard> shards_;

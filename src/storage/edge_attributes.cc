@@ -28,7 +28,7 @@ const EdgeAttributeStore::Shard& EdgeAttributeStore::ShardFor(
 void EdgeAttributeStore::Set(VertexId src, VertexId dst, EdgeType type,
                              std::vector<float> features) {
   Shard& shard = ShardFor(src, dst, type);
-  std::lock_guard<Spinlock> lock(shard.mu);
+  SpinlockGuard lock(shard.mu);
   auto& slot = shard.map[EdgeKey{src, dst, type}];
   if (!slot) slot = std::make_unique<std::vector<float>>();
   *slot = std::move(features);
@@ -37,21 +37,21 @@ void EdgeAttributeStore::Set(VertexId src, VertexId dst, EdgeType type,
 const std::vector<float>* EdgeAttributeStore::Get(VertexId src, VertexId dst,
                                                   EdgeType type) const {
   const Shard& shard = ShardFor(src, dst, type);
-  std::lock_guard<Spinlock> lock(shard.mu);
+  SpinlockGuard lock(shard.mu);
   auto it = shard.map.find(EdgeKey{src, dst, type});
   return it == shard.map.end() ? nullptr : it->second.get();
 }
 
 bool EdgeAttributeStore::Remove(VertexId src, VertexId dst, EdgeType type) {
   Shard& shard = ShardFor(src, dst, type);
-  std::lock_guard<Spinlock> lock(shard.mu);
+  SpinlockGuard lock(shard.mu);
   return shard.map.erase(EdgeKey{src, dst, type}) > 0;
 }
 
 std::size_t EdgeAttributeStore::NumEdges() const {
   std::size_t n = 0;
   for (const auto& s : shards_) {
-    std::lock_guard<Spinlock> lock(s.mu);
+    SpinlockGuard lock(s.mu);
     n += s.map.size();
   }
   return n;
@@ -61,7 +61,7 @@ std::size_t EdgeAttributeStore::MemoryUsage() const {
   constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
   std::size_t bytes = shards_.capacity() * sizeof(Shard);
   for (const auto& s : shards_) {
-    std::lock_guard<Spinlock> lock(s.mu);
+    SpinlockGuard lock(s.mu);
     bytes += s.map.bucket_count() * sizeof(void*);
     for (const auto& [key, value] : s.map) {
       bytes += sizeof(EdgeKey) + kNodeOverhead + sizeof(*value) +

@@ -10,12 +10,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/memory.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace platod2gl {
@@ -58,7 +58,7 @@ class EdgeAttributeStore {
     // Values are heap-pinned so Get() pointers survive rehashes.
     std::unordered_map<EdgeKey, std::unique_ptr<std::vector<float>>,
                        EdgeKeyHash>
-        map;
+        map GUARDED_BY(mu);
   };
 
   const Shard& ShardFor(VertexId src, VertexId dst, EdgeType type) const;

@@ -169,8 +169,10 @@ SamtreeOpStats TopologyStore::AggregateStats() const {
 
 bool TopologyStore::CheckAllInvariants(std::string* error) const {
   bool ok = true;
+  std::size_t edge_total = 0;
   trees_.ForEach([&](VertexId src, const Samtree& tree) {
     if (!ok) return;
+    edge_total += tree.size();
     std::string err;
     if (!tree.CheckInvariants(&err)) {
       ok = false;
@@ -179,6 +181,14 @@ bool TopologyStore::CheckAllInvariants(std::string* error) const {
       }
     }
   });
+  if (ok && edge_total != NumEdges()) {
+    ok = false;
+    if (error) {
+      *error = "edge counter drift: NumEdges()=" +
+               std::to_string(NumEdges()) + " but trees hold " +
+               std::to_string(edge_total);
+    }
+  }
   return ok;
 }
 

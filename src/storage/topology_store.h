@@ -149,9 +149,13 @@ class TopologyStore {
   /// Aggregate samtree op counters over all trees (Table V).
   SamtreeOpStats AggregateStats() const;
 
-  /// Verify every samtree's invariants; returns true when all hold,
-  /// otherwise fills *error with the first failure. O(total edges) —
-  /// test/debug tooling, not a serving-path call.
+  /// Verify every samtree's invariants plus the store-level aggregate:
+  /// the lock-free edge counter must equal the sum of tree sizes (it is
+  /// maintained by every mutation path, including the batch updater's
+  /// NoteEdgeInserted/NoteEdgeRemoved hooks, so drift means a missed
+  /// hook). Returns true when all hold, otherwise fills *error with the
+  /// first failure. O(total edges), quiescent-phase only — test/debug
+  /// tooling, not a serving-path call.
   bool CheckAllInvariants(std::string* error) const;
 
   const SamtreeConfig& config() const { return config_; }

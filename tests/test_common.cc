@@ -97,7 +97,7 @@ TEST(MemoryTest, BreakdownTotals) {
 }
 
 TEST(SpinlockTest, MutualExclusion) {
-  Spinlock mu;
+  Spinlock mu;  // pd2gl-lint: allow-unguarded-mutex (the lock under test)
   std::int64_t counter = 0;
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {

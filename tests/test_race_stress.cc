@@ -1,0 +1,270 @@
+// Race-stress suites for the TSan CI job (and tier-1, where they run as
+// plain concurrency smoke tests).
+//
+// Every scenario here sticks to the documented synchronisation contracts —
+// readers and the batch updater touch disjoint source partitions, map
+// structure is never grown while lock-free readers are live, the sample
+// cache and thread pool are hammered from many threads at once — so a TSan
+// report is a *bug*, not an expected finding. This is the runtime
+// counterpart of the clang -Wthread-safety job: the annotations prove the
+// locking discipline statically, these tests prove the lock-free
+// protocols (version stamps, atomic counters, heap-pinned values)
+// dynamically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "concurrency/batch_updater.h"
+#include "sampling/sample_cache.h"
+#include "storage/cuckoo_map.h"
+#include "storage/graph_store.h"
+#include "storage/topology_store.h"
+
+namespace platod2gl {
+namespace {
+
+// Readers sample a read-only source partition through the hot-vertex
+// cache while the batch updater churns a disjoint partition — the
+// PALM-style schedule the paper's serving path uses. All sources exist
+// before the threads start, so the cuckoo map's structure is immutable
+// and the lock-free FindTree reads are race-free by contract.
+TEST(RaceStressTest, SamplersVsBatchUpdaterOnDisjointPartitions) {
+  constexpr std::size_t kSources = 256;
+  constexpr std::size_t kReadPartition = kSources / 2;
+  constexpr std::size_t kDegree = 48;
+  constexpr int kReaderThreads = 4;
+  constexpr int kRounds = 6;
+
+  GraphStoreConfig config;
+  config.sample_cache.min_degree = 8;
+  config.sample_cache.admit_after_misses = 1;
+  config.sample_cache.capacity = 128;  // small: keep eviction churn alive
+  config.sample_cache.num_shards = 4;
+  GraphStore graph(config);
+
+  Xoshiro256 seed_rng(99);
+  for (VertexId src = 0; src < kSources; ++src) {
+    for (std::size_t j = 0; j < kDegree; ++j) {
+      graph.AddEdge(Edge{src, 100000 + seed_rng.NextUint64(5000),
+                         0.1 + seed_rng.NextDouble(), 0});
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> draws{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaderThreads);
+  for (int t = 0; t < kReaderThreads; ++t) {
+    readers.emplace_back([&, t] {
+      Xoshiro256 rng(1000 + t);
+      std::vector<VertexId> out;
+      while (!stop.load(std::memory_order_acquire)) {
+        out.clear();
+        const VertexId src = rng.NextUint64(kReadPartition);
+        if (graph.SampleNeighbors(src, 16, (t & 1) != 0, rng, &out)) {
+          draws.fetch_add(out.size(), std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  ThreadPool pool(4);
+  BatchUpdater updater(&graph.topology(0), &pool);
+  Xoshiro256 batch_rng(7);
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<EdgeUpdate> batch;
+    batch.reserve(2000);
+    for (int i = 0; i < 2000; ++i) {
+      // Writer partition only: sources [kReadPartition, kSources).
+      const VertexId src =
+          kReadPartition + batch_rng.NextUint64(kSources - kReadPartition);
+      const double r = batch_rng.NextDouble();
+      EdgeUpdate u;
+      u.edge = Edge{src, 100000 + batch_rng.NextUint64(5000),
+                    0.1 + batch_rng.NextDouble(), 0};
+      u.kind = r < 0.6 ? UpdateKind::kInsert
+                       : (r < 0.8 ? UpdateKind::kInPlaceUpdate
+                                  : UpdateKind::kDelete);
+      batch.push_back(u);
+    }
+    updater.ApplyBatch(std::move(batch));
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_GT(draws.load(), 0u);
+  std::string err;
+  EXPECT_TRUE(graph.topology(0).CheckAllInvariants(&err)) << err;
+  // Each Sample call lands in exactly one stats bucket.
+  const SampleCacheStats stats = graph.sample_cache()->Stats();
+  EXPECT_GT(stats.hits + stats.misses + stats.stale_hits, 0u);
+}
+
+// Admission, eviction and stale-entry rebuild all racing on a shared
+// sample cache: reader rounds run fully concurrent, mutations happen in
+// the quiescent gaps between rounds (mutating a tree that a concurrent
+// BuildEntry is walking is outside the cache's contract).
+TEST(RaceStressTest, SampleCacheAdmissionEvictionRebuildChurn) {
+  constexpr std::size_t kTrees = 300;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 3;
+  constexpr int kDrawsPerThread = 4000;
+
+  TopologyStore store;
+  Xoshiro256 seed_rng(5);
+  for (VertexId src = 0; src < kTrees; ++src) {
+    for (std::size_t j = 0; j < 24; ++j) {
+      store.AddEdge(src, 7000 + seed_rng.NextUint64(900),
+                    0.1 + seed_rng.NextDouble());
+    }
+  }
+
+  SampleCacheConfig cfg;
+  cfg.capacity = 128;  // << kTrees: constant LRU pressure
+  cfg.num_shards = 4;
+  cfg.min_degree = 4;
+  cfg.admit_after_misses = 1;
+  SampleCache cache(cfg);
+
+  std::uint64_t calls = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t, round] {
+        Xoshiro256 rng(round * 100 + t);
+        std::vector<VertexId> out;
+        for (int i = 0; i < kDrawsPerThread; ++i) {
+          // Zipf-ish skew: half the traffic on 16 hot trees keeps them
+          // cached across rounds so post-mutation hits are stale hits.
+          const VertexId src = (i & 1) != 0 ? rng.NextUint64(16)
+                                            : rng.NextUint64(kTrees);
+          const Samtree* tree = store.FindTree(src);
+          ASSERT_NE(tree, nullptr);
+          out.clear();
+          if (!cache.Sample(src, 0, *tree, (i & 2) != 0, 4, rng, &out)) {
+            // Cold path: the descent the cache declined to serve.
+            store.SampleNeighbors(src, 4, false, rng, &out);
+          }
+          ASSERT_EQ(out.size(), 4u);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    calls += static_cast<std::uint64_t>(kThreads) * kDrawsPerThread;
+
+    // Quiescent gap: stale out the hot set for the next round.
+    for (VertexId src = 0; src < 16; ++src) {
+      store.UpdateEdge(src, 7000 + seed_rng.NextUint64(900),
+                       0.1 + seed_rng.NextDouble());
+      store.AddEdge(src, 7000 + seed_rng.NextUint64(900), 1.0);
+    }
+  }
+
+  const SampleCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.stale_hits, calls);
+  EXPECT_GT(stats.admissions, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.rebuilds, 0u);
+  EXPECT_EQ(stats.rebuilds, stats.stale_hits);
+}
+
+// GetOrCreate / With / Erase / Size all racing on one map. Values are
+// bumped under the shard lock; Size() reads the relaxed atomic counters,
+// so polling it mid-insert is race-free (it used to be a plain size_t —
+// this test is the TSan regression lock for that fix).
+TEST(RaceStressTest, CuckooMapConcurrentWritersAndSizePolling) {
+  CuckooMap<std::uint64_t> map(8, 4);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeysPerThread = 400;
+  constexpr int kRepeats = 25;
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t n = map.Size();
+      EXPECT_GE(n + 1, last);  // grows monotonically in this test (no Erase)
+      last = n;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      // Each thread owns keys [t*K, (t+1)*K) and shares keys [10^6, 10^6+64)
+      // with every other thread.
+      for (int r = 0; r < kRepeats; ++r) {
+        for (std::uint64_t k = 0; k < kKeysPerThread; ++k) {
+          map.With(1 + t * kKeysPerThread + k,
+                   [](std::uint64_t& v) { ++v; });
+        }
+        for (std::uint64_t k = 0; k < 64; ++k) {
+          map.With(1000000 + k, [](std::uint64_t& v) { ++v; });
+        }
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  poller.join();
+
+  EXPECT_EQ(map.Size(), kThreads * kKeysPerThread + 64);
+  std::uint64_t total = 0;
+  map.ForEach([&](VertexId, const std::uint64_t& v) { total += v; });
+  EXPECT_EQ(total,
+            static_cast<std::uint64_t>(kThreads) * kRepeats *
+                (kKeysPerThread + 64));
+}
+
+// Concurrent Submit storms from external threads plus overlapping
+// ParallelForBlocked calls: exercises the guarded queue/bookkeeping state
+// the thread-safety annotations now cover.
+TEST(RaceStressTest, ThreadPoolSubmitAndParallelForStorm) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> counter{0};
+
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksEach = 1500;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kSubmitters * kTasksEach);
+
+  counter.store(0);
+  std::thread a([&] {
+    pool.ParallelForBlocked(5000, 64, [&](std::size_t) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  std::thread b([&] {
+    pool.ParallelForBlocked(5000, 64, [&](std::size_t) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  a.join();
+  b.join();
+  // ParallelForBlocked's Wait() is pool-global, so each call may also wait
+  // on the other's tasks — but both must have fully run by now.
+  EXPECT_EQ(counter.load(), 10000u);
+}
+
+}  // namespace
+}  // namespace platod2gl

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/compressed_ids.h"
 #include "core/samtree.h"
 
 namespace platod2gl {
@@ -212,6 +213,104 @@ TEST(SamtreeFuzzTest, FiftyThousandOpsWithPhaseShifts) {
     for (const auto& [v, w] : shadow) expect_total += w;
     ASSERT_NEAR(tree.TotalWeight(), expect_total,
                 1e-6 * std::max(1.0, expect_total));
+  }
+}
+
+// Per-operation invariant interleavings: where the suites above check at
+// burst boundaries, this one validates the full Definition-1 / aggregation
+// invariant set after *every single* mutation, across interleavings skewed
+// to cross the α-split and merge thresholds repeatedly. Small op counts
+// keep the O(n)-per-op checking affordable.
+TEST(SamtreeInvariantInterleavingTest, EveryOpPreservesInvariants) {
+  struct Cfg {
+    std::uint32_t capacity, alpha;
+  };
+  const Cfg cfgs[] = {{4, 0}, {4, 2}, {5, 1}, {8, 3}};
+  std::string err;
+  for (const Cfg& cfg : cfgs) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      Samtree tree(SamtreeConfig{.node_capacity = cfg.capacity,
+                                 .alpha = cfg.alpha});
+      std::map<VertexId, Weight> shadow;
+      Xoshiro256 rng(seed * 7919);
+      for (int op = 0; op < 400; ++op) {
+        // Narrow ID space (tied to capacity) so splits, merges and
+        // duplicate-refresh inserts all fire within 400 ops.
+        const VertexId v = rng.NextUint64(cfg.capacity * 12);
+        const Weight w = 0.01 + rng.NextDouble();
+        const double r = rng.NextDouble();
+        if (r < 0.5) {
+          tree.Insert(v, w);
+          shadow[v] = w;
+        } else if (r < 0.7) {
+          ASSERT_EQ(tree.Update(v, w), shadow.count(v) > 0);
+          if (shadow.count(v)) shadow[v] = w;
+        } else {
+          ASSERT_EQ(tree.Remove(v), shadow.erase(v) > 0);
+        }
+        ASSERT_TRUE(tree.CheckInvariants(&err))
+            << "c=" << cfg.capacity << " a=" << cfg.alpha << " seed=" << seed
+            << " op=" << op << ": " << err;
+        ASSERT_EQ(tree.size(), shadow.size());
+      }
+    }
+  }
+}
+
+// CP-ID round-trips at every allowed prefix width z ∈ {7, 6, 4, 0}: IDs
+// engineered to differ only in their low 1 / 2 / 4 / 8 bytes must land on
+// exactly that encoding width, survive a full decode, and keep a samtree
+// built from them (compression on) invariant-clean with the right sorted
+// contents.
+TEST(SamtreeInvariantInterleavingTest, CpIdRoundTripAtEveryPrefixWidth) {
+  struct Group {
+    std::uint8_t z;
+    std::vector<VertexId> ids;
+  };
+  std::vector<Group> groups(4);
+  groups[0].z = 7;  // differ only in the lowest byte
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    groups[0].ids.push_back(0x0123456789ABCD00ULL | (i * 5));
+  }
+  groups[1].z = 6;  // differ in the low two bytes
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    groups[1].ids.push_back(0x0123456789AB0000ULL | (i * 0x151));
+  }
+  groups[2].z = 4;  // differ in the low four bytes
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    groups[2].ids.push_back(0xDEADBEEF00000000ULL | (i * 0x01012345));
+  }
+  groups[3].z = 0;  // high bytes differ: no shared prefix possible
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    groups[3].ids.push_back(i * 0x0123456789ABCDEFULL);
+  }
+
+  for (const Group& g : groups) {
+    // The raw list encodes at exactly z and round-trips every ID.
+    CompressedIdList list;
+    for (VertexId id : g.ids) list.Append(id);
+    EXPECT_EQ(list.prefix_bytes(), g.z);
+    ASSERT_EQ(list.size(), g.ids.size());
+    for (std::size_t i = 0; i < g.ids.size(); ++i) {
+      ASSERT_EQ(list.Get(i), g.ids[i]) << "z=" << int(g.z) << " i=" << i;
+    }
+    std::string err;
+    ASSERT_TRUE(list.CheckConsistent(&err)) << "z=" << int(g.z) << ": " << err;
+
+    // A compressed samtree over the same IDs stays invariant-clean and
+    // returns them all, sorted.
+    Samtree tree(
+        SamtreeConfig{.node_capacity = 8, .alpha = 1, .compress_ids = true});
+    Xoshiro256 rng(g.z + 1);
+    std::vector<VertexId> shuffled = g.ids;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.NextUint64(i)]);
+    }
+    for (VertexId id : shuffled) tree.Insert(id, 1.0);
+    ASSERT_TRUE(tree.CheckInvariants(&err)) << "z=" << int(g.z) << ": " << err;
+    std::vector<VertexId> expect = g.ids;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(tree.SortedIds(), expect) << "z=" << int(g.z);
   }
 }
 

@@ -8,6 +8,10 @@
 //       degree distribution, components, PageRank top-10, triangles
 //   pd2gl sample <edges.txt | graph.ckpt> <vertex> <k>
 //       draw k weighted neighbours of a vertex
+//   pd2gl verify-store <edges.txt | graph.ckpt>
+//       run the full structural invariant sweep over every samtree of
+//       every relation (Definition-1 bounds, routing order, FSTable /
+//       CSTable sum agreement, CP-ID round-trips, edge-counter drift)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,7 +31,8 @@ int Usage() {
                "[seed]\n"
                "  pd2gl load <edges.txt> <out.ckpt>\n"
                "  pd2gl stats <edges.txt | graph.ckpt>\n"
-               "  pd2gl sample <edges.txt | graph.ckpt> <vertex> <k>\n");
+               "  pd2gl sample <edges.txt | graph.ckpt> <vertex> <k>\n"
+               "  pd2gl verify-store <edges.txt | graph.ckpt>\n");
   return 2;
 }
 
@@ -179,6 +184,36 @@ int CmdSample(int argc, char** argv) {
   return 0;
 }
 
+int CmdVerifyStore(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  GraphStore graph(GraphStoreConfig{.num_relations = 8});
+  if (!LoadAnyGraph(argv[0], &graph)) return 1;
+
+  bool all_ok = true;
+  std::size_t total_sources = 0;
+  std::size_t total_edges = 0;
+  for (std::size_t rel = 0; rel < graph.num_relations(); ++rel) {
+    const TopologyStore& topo = graph.topology(static_cast<EdgeType>(rel));
+    total_sources += topo.NumSources();
+    total_edges += topo.NumEdges();
+    std::string err;
+    if (topo.CheckAllInvariants(&err)) {
+      if (topo.NumSources() > 0) {
+        std::printf("relation %zu: OK (%zu sources, %zu edges)\n", rel,
+                    topo.NumSources(), topo.NumEdges());
+      }
+    } else {
+      all_ok = false;
+      std::fprintf(stderr, "relation %zu: INVARIANT VIOLATION: %s\n", rel,
+                   err.c_str());
+    }
+  }
+  std::printf("%s: %zu sources, %zu edges across %zu relations\n",
+              all_ok ? "verify-store PASSED" : "verify-store FAILED",
+              total_sources, total_edges, graph.num_relations());
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -188,5 +223,6 @@ int main(int argc, char** argv) {
   if (cmd == "load") return CmdLoad(argc - 2, argv + 2);
   if (cmd == "stats") return CmdStats(argc - 2, argv + 2);
   if (cmd == "sample") return CmdSample(argc - 2, argv + 2);
+  if (cmd == "verify-store") return CmdVerifyStore(argc - 2, argv + 2);
   return Usage();
 }

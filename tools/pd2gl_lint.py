@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Project lint pass for PlatoD2GL (CI tier 4, see docs/static_analysis.md).
+
+Fast, dependency-free checks for project conventions that neither the
+compiler nor clang-tidy enforces:
+
+  naked-new         `new` / `delete` expressions outside src/common/memory.h.
+                    Ownership flows through std::unique_ptr /
+                    std::make_unique; a naked allocation is either a leak
+                    waiting to happen or belongs in the arena helpers.
+  std-rand          std::rand / srand / random_shuffle. All randomness goes
+                    through common/random.h (Xoshiro256) so experiments are
+                    reproducible from a seed.
+  raw-lock-guard    std::lock_guard / std::unique_lock / std::scoped_lock
+                    in src/. libstdc++'s guards are invisible to clang
+                    -Wthread-safety; use SpinlockGuard / MutexLock (or
+                    CondVar::wait on the annotated Mutex) instead.
+  unguarded-mutex   a Spinlock / Mutex / std::mutex *member* declared in a
+                    file with no GUARDED_BY / REQUIRES / ACQUIRE annotation
+                    anywhere: either annotate what the lock protects or
+                    mark the file `// pd2gl-lint: allow-unguarded-mutex`
+                    with a rationale.
+  include-guard     headers must start protection with `#pragma once`.
+
+Comments and string literals are stripped before matching, so prose about
+"new insertions" does not trip the allocator rule. Suppress a single line
+with `// pd2gl-lint: allow-<rule>`.
+
+Usage: tools/pd2gl_lint.py [paths...]   (default: src tools tests bench examples)
+Exit status 0 = clean, 1 = findings printed one per line.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_PATHS = ["src", "tools", "tests", "bench", "examples"]
+SOURCE_SUFFIXES = {".h", ".cc"}
+
+# Files exempt per rule (repo-relative, POSIX slashes).
+EXEMPT = {
+    "naked-new": {"src/common/memory.h"},
+    # The annotated wrappers themselves, and the macro definitions.
+    "unguarded-mutex": {
+        "src/common/spinlock.h",
+        "src/common/mutex.h",
+        "src/common/thread_annotations.h",
+    },
+}
+
+RE_SUPPRESS = re.compile(r"pd2gl-lint:\s*allow-([a-z-]+)")
+
+RE_NAKED_NEW = re.compile(r"\bnew\b\s+[A-Za-z_:<(]")
+RE_NAKED_DELETE = re.compile(r"\bdelete\b\s*(\[\s*\])?\s*[A-Za-z_*(]")
+RE_STD_RAND = re.compile(r"\b(?:std::)?s?rand\s*\(|\bstd::random_shuffle\b")
+RE_RAW_GUARD = re.compile(
+    r"\bstd::(?:lock_guard|unique_lock|scoped_lock)\b")
+RE_MUTEX_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?:Spinlock|Mutex|std::(?:shared_)?mutex)\s+"
+    r"[a-z_][A-Za-z0-9_]*_?\s*(?:\{[^}]*\})?\s*;")
+RE_TSA_ANNOTATION = re.compile(
+    r"\b(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|EXCLUDES)\b")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line breaks
+    (and the lint-suppression markers, which live in comments)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            marker = RE_SUPPRESS.search(text[i:j])
+            out.append(marker.group(0) if marker else "")
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def lint_file(path, rel):
+    findings = []
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments_and_strings(raw)
+    lines = code.splitlines()
+
+    def check(rule, lineno, message):
+        if rel in EXEMPT.get(rule, set()):
+            return
+        line = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+        if f"allow-{rule}" in line:
+            return
+        findings.append((rel, lineno, rule, message))
+
+    in_tests = rel.startswith("tests/")
+    for lineno, line in enumerate(lines, 1):
+        if RE_NAKED_NEW.search(line):
+            check("naked-new", lineno,
+                  "naked `new`: use std::make_unique or the helpers in "
+                  "src/common/memory.h")
+        if RE_NAKED_DELETE.search(line) and "= delete" not in line:
+            check("naked-new", lineno,
+                  "naked `delete`: ownership belongs in a smart pointer")
+        if RE_STD_RAND.search(line):
+            check("std-rand", lineno,
+                  "non-seedable randomness: use Xoshiro256 from "
+                  "common/random.h")
+        if not in_tests and RE_RAW_GUARD.search(line):
+            check("raw-lock-guard", lineno,
+                  "std lock guards are invisible to -Wthread-safety: use "
+                  "SpinlockGuard / MutexLock")
+
+    if path.suffix == ".h":
+        head = "\n".join(raw.splitlines()[:40])
+        if "#pragma once" not in head:
+            check("include-guard", 1, "header is missing `#pragma once`")
+
+    if not RE_TSA_ANNOTATION.search(code):
+        for lineno, line in enumerate(lines, 1):
+            if RE_MUTEX_MEMBER.match(line):
+                check("unguarded-mutex", lineno,
+                      "mutex member in a file with no thread-safety "
+                      "annotations: add GUARDED_BY on the protected state")
+                break
+
+    return findings
+
+
+def main(argv):
+    root = Path(__file__).resolve().parent.parent
+    targets = argv[1:] or DEFAULT_PATHS
+    files = []
+    for t in targets:
+        p = (root / t) if not Path(t).is_absolute() else Path(t)
+        if p.is_dir():
+            files.extend(sorted(q for q in p.rglob("*")
+                                if q.suffix in SOURCE_SUFFIXES))
+        elif p.suffix in SOURCE_SUFFIXES:
+            files.append(p)
+
+    findings = []
+    for f in files:
+        rel = f.relative_to(root).as_posix() if f.is_relative_to(root) \
+            else str(f)
+        findings.extend(lint_file(f, rel))
+
+    for rel, lineno, rule, message in findings:
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+    print(f"pd2gl_lint: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
