@@ -1,0 +1,49 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven and
+// dependency-free. Used as the integrity footer of checkpoint files
+// (io/checkpoint.cc) so bit rot and truncation are detected on load
+// instead of silently building a wrong store.
+//
+// The running-value form lets callers checksum a stream chunk by chunk:
+//
+//   std::uint32_t crc = 0;
+//   crc = Crc32(buf1, n1, crc);
+//   crc = Crc32(buf2, n2, crc);
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace platod2gl {
+
+namespace crc32_internal {
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace crc32_internal
+
+/// CRC-32 of `n` bytes at `data`, continuing from a previous running value
+/// (pass 0 to start). Matches zlib's crc32() for the same input.
+inline std::uint32_t Crc32(const void* data, std::size_t n,
+                           std::uint32_t running = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = running ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = crc32_internal::kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace platod2gl

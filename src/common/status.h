@@ -17,6 +17,9 @@ enum class StatusCode {
   kOutOfRange,
   kResourceExhausted,
   kInternal,
+  kUnavailable,        ///< target (e.g. a crashed shard) cannot serve now
+  kDeadlineExceeded,   ///< retry budget / per-call deadline exhausted
+  kDataLoss,           ///< integrity check failed (corrupt/truncated data)
 };
 
 /// Lightweight status object: a code plus an optional human-readable message.
@@ -44,6 +47,15 @@ class Status {
   }
   static Status Internal(std::string m = "internal error") {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unavailable(std::string m = "unavailable") {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m = "deadline exceeded") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status DataLoss(std::string m = "data loss") {
+    return Status(StatusCode::kDataLoss, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,93 +1,317 @@
 #include "dist/cluster.h"
 
-#include "common/timer.h"
-
 #include <algorithm>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "dist/wire.h"
 
 namespace platod2gl {
+
+namespace {
+/// Salt deriving the per-shard sampling RNG stream from the caller's seed.
+/// Retries re-derive the same stream, so fault runs sample identically to
+/// fault-free runs (tested in test_fault_tolerance.cc).
+constexpr std::uint64_t kShardSeedSalt = 0xD1B54A32D192ED03ULL;
+}  // namespace
 
 GraphCluster::GraphCluster(ClusterConfig config)
     : config_(config),
       partitioner_(config.num_shards),
-      pool_(config.num_client_threads) {
+      pool_(config.num_client_threads),
+      injector_(config.fault, config.num_shards) {
   shards_.reserve(partitioner_.num_shards());
   for (std::size_t i = 0; i < partitioner_.num_shards(); ++i) {
     shards_.push_back(std::make_unique<GraphShard>(config_.shard_config));
   }
 }
 
-void GraphCluster::Apply(const EdgeUpdate& update) {
-  ++stats_.rpcs;
-  stats_.virtual_network_us += config_.rpc_latency_us;
-  shards_[partitioner_.ShardOf(update.edge.src)]->Apply(update);
+template <typename Body>
+GraphCluster::RpcOutcome GraphCluster::RunRpc(std::size_t s, Body&& body) {
+  const RetryPolicy& retry = config_.retry;
+  const std::size_t max_attempts =
+      std::max<std::size_t>(std::size_t{1}, retry.max_attempts);
+  RpcOutcome out;
+  std::uint64_t backoff = retry.initial_backoff_us;
+  // Deterministic backoff jitter, drawn from a stream unrelated to both
+  // the fault decisions and the sampling RNGs.
+  SplitMix64 jitter(config_.fault.seed ^ (0xBF58476D1CE4E5B9ULL * (s + 1)));
+  while (true) {
+    ++out.attempts;
+    if (injector_.IsCrashed(s)) {
+      // Connection refused: the serving process is dead. Probing still
+      // costs a round trip in virtual time.
+      ++out.crash_rejections;
+      out.virtual_us += config_.rpc_latency_us;
+    } else {
+      switch (injector_.NextFault(s)) {
+        case FaultInjector::Fault::kNone:
+          out.virtual_us += config_.rpc_latency_us;
+          if (body(/*corrupt=*/false, out)) out.delivered = true;
+          break;
+        case FaultInjector::Fault::kSlow:
+          out.virtual_us +=
+              config_.rpc_latency_us + config_.fault.slow_extra_us;
+          if (body(/*corrupt=*/false, out)) out.delivered = true;
+          break;
+        case FaultInjector::Fault::kFail:  // request lost in flight
+          out.virtual_us += config_.rpc_latency_us;
+          ++out.transient_faults;
+          break;
+        case FaultInjector::Fault::kTimeout:  // response never arrives
+          out.virtual_us += std::max(config_.rpc_latency_us, retry.timeout_us);
+          ++out.transient_faults;
+          break;
+        case FaultInjector::Fault::kCorrupt:  // response damaged in flight
+          out.virtual_us += config_.rpc_latency_us;
+          ++out.transient_faults;
+          ++out.corrupt;
+          if (body(/*corrupt=*/true, out)) out.delivered = true;
+          break;
+      }
+    }
+    if (out.delivered) break;
+    if (out.virtual_us >= retry.deadline_us) {
+      out.deadline_hit = true;
+      break;
+    }
+    if (out.attempts >= max_attempts) break;
+    // Exponential backoff with ±25% jitter — virtual time, never slept.
+    std::uint64_t wait = backoff;
+    const std::uint64_t j = backoff / 4;
+    if (j > 0) wait = backoff - j + jitter.Next() % (2 * j + 1);
+    if (out.virtual_us + wait >= retry.deadline_us) {
+      out.deadline_hit = true;
+      break;
+    }
+    out.virtual_us += wait;
+    backoff = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(static_cast<double>(backoff) *
+                                   retry.backoff_multiplier),
+        retry.max_backoff_us);
+  }
+  return out;
 }
 
-void GraphCluster::ApplyBatch(const std::vector<EdgeUpdate>& batch) {
+GraphCluster::RpcOutcome GraphCluster::DeliverUpdates(
+    std::size_t s, const std::vector<EdgeUpdate>& group) {
+  if (injector_.IsCrashed(s)) {
+    // Hinted handoff: the durable log service outlives the serving
+    // process (GNNFlow-style — the update log is the recovery substrate).
+    // Write the updates straight to the shard's WAL; RecoverShard replays
+    // them. One virtual RPC to the log.
+    RpcOutcome out;
+    out.attempts = 1;
+    out.virtual_us = config_.rpc_latency_us;
+    for (const EdgeUpdate& u : group) shards_[s]->Apply(u);
+    out.delivered = true;
+    out.resp_bytes = 1;  // ack
+    return out;
+  }
+  return RunRpc(s, [&](bool corrupt, RpcOutcome& out) {
+    if (corrupt) {
+      // A damaged ack is indistinguishable from a lost request; the
+      // attempt is modelled as not applied, preserving exactly-once
+      // delivery across the retry.
+      return false;
+    }
+    Timer rpc;
+    for (const EdgeUpdate& u : group) shards_[s]->Apply(u);
+    rpc_latency_.RecordMicros(rpc.ElapsedMicros());
+    out.resp_bytes += 1;  // ack
+    return true;
+  });
+}
+
+void GraphCluster::MergeOutcome(const RpcOutcome& out) {
+  stats_.rpcs += out.attempts;
+  stats_.virtual_network_us += out.virtual_us;
+  stats_.retries += out.attempts - 1;
+  stats_.transient_faults += out.transient_faults;
+  stats_.corrupt_responses += out.corrupt;
+  stats_.crash_rejections += out.crash_rejections;
+  if (out.deadline_hit) ++stats_.deadline_hits;
+}
+
+Status GraphCluster::Apply(const EdgeUpdate& update) {
+  const std::size_t s = partitioner_.ShardOf(update.edge.src);
+  const bool handoff = injector_.IsCrashed(s);
+  const RpcOutcome out = DeliverUpdates(s, {update});
+  MergeOutcome(out);
+  // UpdateBatch wire size (dist/wire.h): tag + count + 29 B per update.
+  stats_.bytes_sent += out.attempts * (5 + 29);
+  stats_.bytes_received += out.resp_bytes;
+  if (handoff) ++stats_.wal_handoffs;
+  if (!out.delivered) {
+    ++stats_.lost_updates;
+    return Status::DeadlineExceeded("update lost: shard " +
+                                    std::to_string(s) +
+                                    " unreachable past the retry budget");
+  }
+  return Status::Ok();
+}
+
+Status GraphCluster::ApplyBatch(const std::vector<EdgeUpdate>& batch) {
   std::vector<std::vector<EdgeUpdate>> per_shard(shards_.size());
   for (const EdgeUpdate& u : batch) {
     per_shard[partitioner_.ShardOf(u.edge.src)].push_back(u);
   }
+  std::vector<RpcOutcome> outcomes(shards_.size());
+  std::vector<std::uint8_t> handoff(shards_.size(), 0);
   pool_.ParallelFor(shards_.size(), [&](std::size_t s) {
     if (per_shard[s].empty()) return;
-    Timer rpc;
-    for (const EdgeUpdate& u : per_shard[s]) shards_[s]->Apply(u);
-    rpc_latency_.RecordMicros(rpc.ElapsedMicros());
+    handoff[s] = injector_.IsCrashed(s) ? 1 : 0;
+    outcomes[s] = DeliverUpdates(s, per_shard[s]);
   });
-  for (const auto& group : per_shard) {
+  Status result = Status::Ok();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto& group = per_shard[s];
     if (group.empty()) continue;
-    ++stats_.rpcs;
-    stats_.virtual_network_us += config_.rpc_latency_us;
+    const RpcOutcome& out = outcomes[s];
+    MergeOutcome(out);
     // UpdateBatch wire size (dist/wire.h): tag + count + 29 B per update.
-    stats_.bytes_sent += 5 + group.size() * 29;
-    stats_.bytes_received += 1;  // ack
+    stats_.bytes_sent += out.attempts * (5 + group.size() * 29);
+    stats_.bytes_received += out.resp_bytes;
+    if (handoff[s]) stats_.wal_handoffs += group.size();
+    if (!out.delivered) {
+      stats_.lost_updates += group.size();
+      if (result.ok()) {
+        result = Status::DeadlineExceeded(
+            std::to_string(group.size()) + " updates lost: shard " +
+            std::to_string(s) + " unreachable past the retry budget");
+      }
+    }
   }
+  return result;
 }
 
-NeighborBatch GraphCluster::SampleNeighbors(const std::vector<VertexId>& seeds,
-                                            std::size_t fanout, bool weighted,
-                                            std::uint64_t seed,
-                                            EdgeType type) {
+SampleReport GraphCluster::SampleNeighborsChecked(
+    const std::vector<VertexId>& seeds, std::size_t fanout, bool weighted,
+    std::uint64_t seed, EdgeType type) {
   // Group seed positions by owning shard.
   std::vector<std::vector<std::size_t>> shard_seeds(shards_.size());
   for (std::size_t i = 0; i < seeds.size(); ++i) {
     shard_seeds[partitioner_.ShardOf(seeds[i])].push_back(i);
   }
 
-  // One parallel RPC per non-empty shard.
+  // One parallel logical RPC (with retries) per non-empty shard.
   std::vector<std::vector<VertexId>> results(seeds.size());
+  std::vector<RpcOutcome> outcomes(shards_.size());
   pool_.ParallelFor(shards_.size(), [&](std::size_t s) {
-    if (shard_seeds[s].empty()) return;
-    Timer rpc;
-    Xoshiro256 rng(seed ^ (0xD1B54A32D192ED03ULL * (s + 1)));
-    for (std::size_t pos : shard_seeds[s]) {
-      shards_[s]->SampleNeighbors(seeds[pos], fanout, weighted, rng,
-                                  &results[pos], type);
-    }
-    rpc_latency_.RecordMicros(rpc.ElapsedMicros());
+    const std::vector<std::size_t>& group = shard_seeds[s];
+    if (group.empty()) return;
+    outcomes[s] = RunRpc(s, [&](bool corrupt, RpcOutcome& out) {
+      // Fresh RNG per attempt: a retry replays the exact draw sequence of
+      // the failed attempt, so faults never perturb sampling results.
+      Xoshiro256 rng(seed ^ (kShardSeedSalt * (s + 1)));
+      Timer rpc;
+      std::vector<std::vector<VertexId>> local(group.size());
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        shards_[s]->SampleNeighbors(seeds[group[i]], fanout, weighted, rng,
+                                    &local[i], type);
+      }
+      rpc_latency_.RecordMicros(rpc.ElapsedMicros());
+      if (corrupt) {
+        // Ship the response through the real codec, damage it in flight,
+        // and let the hardened decoder judge it (docs/fault_tolerance.md).
+        NeighborBatch resp;
+        resp.offsets.push_back(0);
+        for (const auto& r : local) {
+          resp.neighbors.insert(resp.neighbors.end(), r.begin(), r.end());
+          resp.offsets.push_back(resp.neighbors.size());
+        }
+        std::string bytes = wire::EncodeSampleResponse(resp);
+        out.resp_bytes += bytes.size();  // shipped before the damage
+        injector_.CorruptBytes(s, &bytes);
+        NeighborBatch decoded;
+        if (!wire::DecodeSampleResponse(bytes, &decoded) ||
+            decoded.NumSeeds() != group.size()) {
+          return false;  // rejected by the codec; RunRpc retries
+        }
+        // Structurally valid despite the damage — accept what decoded.
+        // (CorruptBytes guarantees structural damage, so this is a
+        // belt-and-braces path, not an expected one.)
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          results[group[i]].assign(
+              decoded.neighbors.begin() +
+                  static_cast<std::ptrdiff_t>(decoded.offsets[i]),
+              decoded.neighbors.begin() +
+                  static_cast<std::ptrdiff_t>(decoded.offsets[i + 1]));
+        }
+        return true;
+      }
+      // SampleResponse wire size: header + per seed (4 B len + 8 B each).
+      std::uint64_t resp = 5;
+      for (const auto& r : local) resp += 4 + r.size() * sizeof(VertexId);
+      out.resp_bytes += resp;
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        results[group[i]] = std::move(local[i]);
+      }
+      return true;
+    });
   });
-  for (const auto& group : shard_seeds) {
+
+  SampleReport report;
+  report.seed_status.assign(seeds.size(), SeedStatus::kOk);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::vector<std::size_t>& group = shard_seeds[s];
     if (group.empty()) continue;
-    ++stats_.rpcs;
-    stats_.virtual_network_us += config_.rpc_latency_us;
-    // SampleRequest wire size (dist/wire.h): header + 8 B per seed;
-    // SampleResponse: header + per seed (4 B length + 8 B per neighbour).
-    stats_.bytes_sent += 14 + group.size() * sizeof(VertexId);
-    std::uint64_t resp = 5;
-    for (std::size_t pos : group) {
-      resp += 4 + results[pos].size() * sizeof(VertexId);
+    const RpcOutcome& out = outcomes[s];
+    MergeOutcome(out);
+    // SampleRequest wire size (dist/wire.h): header + 8 B per seed.
+    stats_.bytes_sent += out.attempts * (14 + group.size() * sizeof(VertexId));
+    stats_.bytes_received += out.resp_bytes;
+    if (!out.delivered) {
+      // Degrade this shard's seeds: empty ranges, flagged per seed.
+      for (std::size_t pos : group) {
+        results[pos].clear();
+        report.seed_status[pos] = SeedStatus::kDegraded;
+      }
+      report.degraded_seeds += group.size();
     }
-    stats_.bytes_received += resp;
   }
+  stats_.degraded_seeds += report.degraded_seeds;
 
   // Re-assemble in seed order.
-  NeighborBatch batch;
-  batch.offsets.reserve(seeds.size() + 1);
-  batch.offsets.push_back(0);
+  report.batch.offsets.reserve(seeds.size() + 1);
+  report.batch.offsets.push_back(0);
   for (const auto& r : results) {
-    batch.neighbors.insert(batch.neighbors.end(), r.begin(), r.end());
-    batch.offsets.push_back(batch.neighbors.size());
+    report.batch.neighbors.insert(report.batch.neighbors.end(), r.begin(),
+                                  r.end());
+    report.batch.offsets.push_back(report.batch.neighbors.size());
   }
-  return batch;
+  return report;
+}
+
+void GraphCluster::CrashShard(std::size_t i) {
+  injector_.CrashShard(i);
+  shards_[i]->Crash();
+}
+
+Status GraphCluster::RecoverShard(std::size_t i) {
+  std::size_t replayed = 0;
+  Status s = shards_[i]->Recover(&replayed);
+  if (!s.ok()) return s;
+  injector_.RestoreShard(i);
+  ++stats_.recoveries;
+  stats_.replayed_updates += replayed;
+  return Status::Ok();
+}
+
+Status GraphCluster::CheckpointAll(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // SaveGraph fails loudly
+  Status result = Status::Ok();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->crashed()) continue;
+    Status s = shards_[i]->Checkpoint(dir + "/shard_" + std::to_string(i) +
+                                      ".ckpt");
+    if (!s.ok() && result.ok()) result = s;
+  }
+  return result;
 }
 
 std::size_t GraphCluster::Degree(VertexId src, EdgeType type) const {

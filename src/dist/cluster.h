@@ -6,21 +6,50 @@
 // batch), and keeps virtual-time accounting of the network cost so
 // experiments can report "what a real cluster would have paid" without
 // sleeping.
+//
+// Fault tolerance (DESIGN.md §9, docs/fault_tolerance.md): every RPC runs
+// through a FaultInjector and a RetryPolicy — bounded attempts,
+// exponential backoff with jitter and a per-call deadline, all accounted
+// in virtual time like rpc_latency_us (never slept). Sampling degrades
+// gracefully: seeds whose shard stays unreachable past the budget come
+// back with empty ranges flagged kDegraded instead of an exception or a
+// hang. Updates are durable via the shards' write-ahead logs: a crashed
+// shard keeps accepting WAL writes (hinted handoff) and RecoverShard()
+// rebuilds it from checkpoint + WAL replay to the exact never-crashed
+// state.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
+#include "dist/fault_injector.h"
 #include "dist/partitioner.h"
 #include "dist/shard.h"
 #include "sampling/neighbor_sampler.h"
 
 namespace platod2gl {
+
+/// Client-side resilience knobs for one logical RPC (one shard, one
+/// group of seeds/updates). All waits are virtual time, never slept.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;
+  std::uint64_t initial_backoff_us = 200;
+  double backoff_multiplier = 2.0;
+  std::uint64_t max_backoff_us = 5000;
+  /// Per-call virtual deadline: once the accumulated virtual cost of
+  /// attempts + backoffs reaches this, the call gives up (degraded
+  /// sampling / failed update delivery) instead of retrying further.
+  std::uint64_t deadline_us = 50000;
+  /// Virtual cost charged for an attempt whose response never arrives.
+  std::uint64_t timeout_us = 2000;
+};
 
 struct ClusterConfig {
   std::size_t num_shards = 4;
@@ -28,34 +57,94 @@ struct ClusterConfig {
   /// Virtual per-RPC latency (accounted, never slept).
   std::uint64_t rpc_latency_us = 150;
   std::size_t num_client_threads = 4;
+  RetryPolicy retry;
+  FaultConfig fault;
 };
 
 struct ClusterStats {
-  std::uint64_t rpcs = 0;
+  std::uint64_t rpcs = 0;  ///< attempts, including retried/failed ones
   std::uint64_t virtual_network_us = 0;
   /// Wire-format sizes (see dist/wire.h) the RPCs would have shipped,
   /// computed arithmetically from the same layout the codec pins.
   std::uint64_t bytes_sent = 0;      ///< client -> shards (requests)
   std::uint64_t bytes_received = 0;  ///< shards -> client (responses)
+  // --- fault-tolerance observability ---
+  std::uint64_t retries = 0;           ///< re-attempts after a failure
+  std::uint64_t transient_faults = 0;  ///< injected fail/timeout/corrupt hits
+  std::uint64_t corrupt_responses = 0; ///< responses dropped by the codec
+  std::uint64_t deadline_hits = 0;     ///< calls abandoned at the deadline
+  std::uint64_t crash_rejections = 0;  ///< attempts refused by a dead shard
+  std::uint64_t degraded_seeds = 0;    ///< seeds returned empty-degraded
+  std::uint64_t wal_handoffs = 0;      ///< updates durably logged while down
+  std::uint64_t lost_updates = 0;      ///< updates undeliverable AND unlogged
+  std::uint64_t recoveries = 0;        ///< RecoverShard completions
+  std::uint64_t replayed_updates = 0;  ///< WAL entries replayed on recovery
+};
+
+/// Batched sampling result plus per-seed delivery status: `batch` always
+/// has one (possibly empty) range per seed, `seed_status[i]` says whether
+/// seed i's range is authoritative or a degraded empty marker.
+struct SampleReport {
+  NeighborBatch batch;
+  std::vector<SeedStatus> seed_status;  // size = #seeds
+  std::uint64_t degraded_seeds = 0;
+
+  bool complete() const { return degraded_seeds == 0; }
 };
 
 class GraphCluster {
  public:
   explicit GraphCluster(ClusterConfig config = {});
 
-  /// Route one update to its owning shard.
-  void Apply(const EdgeUpdate& update);
+  /// Route one update to its owning shard (same retry/handoff semantics
+  /// as ApplyBatch). Non-OK only if the update could not be delivered or
+  /// durably logged within the retry budget.
+  Status Apply(const EdgeUpdate& update);
 
   /// Apply a batch: updates are grouped per shard and shipped as one RPC
-  /// per non-empty shard, executed in parallel.
-  void ApplyBatch(const std::vector<EdgeUpdate>& batch);
+  /// per non-empty shard, executed in parallel. Updates owned by a crashed
+  /// shard are durably appended to its WAL (hinted handoff, replayed by
+  /// RecoverShard); transient RPC faults are retried. Non-OK reports
+  /// updates that were lost past the retry budget (stats().lost_updates).
+  Status ApplyBatch(const std::vector<EdgeUpdate>& batch);
 
   /// Batched neighbour sampling across shards: seeds are grouped by owner,
-  /// one RPC per shard, results re-assembled in seed order.
+  /// one RPC per shard, results re-assembled in seed order. Transient
+  /// faults are retried (retries re-derive the per-shard RNG stream, so
+  /// results are bit-identical to a fault-free run); shards unreachable
+  /// past the budget degrade their seeds to flagged empty ranges.
+  SampleReport SampleNeighborsChecked(const std::vector<VertexId>& seeds,
+                                      std::size_t fanout, bool weighted,
+                                      std::uint64_t seed, EdgeType type = 0);
+
+  /// Back-compat convenience: the batch alone. Degradation is still
+  /// visible in stats().degraded_seeds.
   NeighborBatch SampleNeighbors(const std::vector<VertexId>& seeds,
                                 std::size_t fanout, bool weighted,
-                                std::uint64_t seed, EdgeType type = 0);
+                                std::uint64_t seed, EdgeType type = 0) {
+    return SampleNeighborsChecked(seeds, fanout, weighted, seed, type).batch;
+  }
 
+  // --- Fault-tolerance lifecycle -----------------------------------------
+
+  /// Kill shard i: wipes its in-memory store and makes it refuse RPCs
+  /// until RecoverShard. Its WAL and last checkpoint survive.
+  void CrashShard(std::size_t i);
+
+  /// Rebuild a crashed shard from its last checkpoint + WAL replay and
+  /// put it back in service.
+  Status RecoverShard(std::size_t i);
+
+  /// Checkpoint every live shard into dir/shard_<i>.ckpt (io/checkpoint
+  /// format with CRC32 footer) and truncate the covered WAL prefixes.
+  /// Crashed shards are skipped (first error wins otherwise).
+  Status CheckpointAll(const std::string& dir);
+
+  FaultInjector& fault_injector() { return injector_; }
+  const FaultInjector& fault_injector() const { return injector_; }
+
+  /// Degree/NumEdges read the live stores directly; a crashed shard
+  /// contributes its wiped (empty) store until recovered.
   std::size_t Degree(VertexId src, EdgeType type = 0) const;
   std::size_t NumEdges() const;
 
@@ -75,10 +164,37 @@ class GraphCluster {
   double LoadImbalance() const;
 
  private:
+  /// Outcome of one logical RPC (all attempts against one shard).
+  struct RpcOutcome {
+    bool delivered = false;
+    bool deadline_hit = false;
+    std::uint64_t attempts = 0;
+    std::uint64_t virtual_us = 0;
+    std::uint64_t transient_faults = 0;
+    std::uint64_t corrupt = 0;
+    std::uint64_t crash_rejections = 0;
+    std::uint64_t resp_bytes = 0;  ///< response bytes shipped back
+  };
+
+  /// Drive the retry loop for one logical RPC against shard s. `body`
+  /// performs one attempt's shard-side work; body(corrupt, out) returns
+  /// whether the client accepted the response.
+  template <typename Body>
+  RpcOutcome RunRpc(std::size_t s, Body&& body);
+
+  /// Update delivery to one shard (crash handoff / retry loop). Pure
+  /// w.r.t. stats_; the caller merges the outcome serially.
+  RpcOutcome DeliverUpdates(std::size_t s,
+                            const std::vector<EdgeUpdate>& group);
+
+  /// Fold one logical RPC's outcome into stats_ (serial sections only).
+  void MergeOutcome(const RpcOutcome& out);
+
   ClusterConfig config_;
   HashBySourcePartitioner partitioner_;
   std::vector<std::unique_ptr<GraphShard>> shards_;
   ThreadPool pool_;
+  FaultInjector injector_;
   ClusterStats stats_;
   LatencyHistogram rpc_latency_;
 };

@@ -1,0 +1,95 @@
+#include "dist/fault_injector.h"
+
+#include "common/random.h"
+
+namespace platod2gl {
+
+FaultInjector::FaultInjector(FaultConfig config, std::size_t num_shards)
+    : config_(config),
+      passive_(config.failure_prob <= 0 && config.timeout_prob <= 0 &&
+               config.corrupt_prob <= 0 && config.slow_prob <= 0),
+      num_shards_(num_shards),
+      crashed_(std::make_unique<std::atomic<bool>[]>(num_shards)),
+      draws_(std::make_unique<std::atomic<std::uint64_t>[]>(num_shards)) {
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    crashed_[i].store(false, std::memory_order_relaxed);
+    draws_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::CrashShard(std::size_t shard) {
+  crashed_[shard].store(true, std::memory_order_release);
+}
+
+void FaultInjector::RestoreShard(std::size_t shard) {
+  crashed_[shard].store(false, std::memory_order_release);
+}
+
+bool FaultInjector::IsCrashed(std::size_t shard) const {
+  return crashed_[shard].load(std::memory_order_acquire);
+}
+
+std::size_t FaultInjector::NumCrashed() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    if (IsCrashed(i)) ++n;
+  }
+  return n;
+}
+
+std::uint64_t FaultInjector::Draw(std::size_t shard) {
+  // The n-th draw for a shard is SplitMix64 of (seed, shard, n): stateless
+  // apart from the per-shard counter, so concurrent RPCs against
+  // *different* shards cannot perturb each other's fault sequences.
+  const std::uint64_t n =
+      draws_[shard].fetch_add(1, std::memory_order_relaxed);
+  SplitMix64 sm(config_.seed ^ (0x9E3779B97F4A7C15ULL * (shard + 1)) ^
+                (0xD1B54A32D192ED03ULL * n));
+  return sm.Next();
+}
+
+FaultInjector::Fault FaultInjector::NextFault(std::size_t shard) {
+  if (passive_) return Fault::kNone;
+  const double u =
+      static_cast<double>(Draw(shard) >> 11) * 0x1.0p-53;  // [0, 1)
+  double edge = config_.failure_prob;
+  if (u < edge) return Fault::kFail;
+  edge += config_.timeout_prob;
+  if (u < edge) return Fault::kTimeout;
+  edge += config_.corrupt_prob;
+  if (u < edge) return Fault::kCorrupt;
+  edge += config_.slow_prob;
+  if (u < edge) return Fault::kSlow;
+  return Fault::kNone;
+}
+
+void FaultInjector::CorruptBytes(std::size_t shard, std::string* bytes) {
+  const std::uint64_t r = Draw(shard);
+  if (bytes->empty()) {
+    bytes->push_back('\xFF');
+    return;
+  }
+  switch (r & 3u) {
+    case 0:  // flip the message tag
+      (*bytes)[0] = static_cast<char>((*bytes)[0] ^ 0x5A);
+      break;
+    case 1: {  // damage a random byte AND shear the tail — a payload-only
+               // flip could still decode, the shear guarantees a
+               // structural mismatch the decoder must catch
+      const std::size_t pos = (r >> 2) % bytes->size();
+      (*bytes)[pos] = static_cast<char>((*bytes)[pos] ^ 0xFF);
+      bytes->pop_back();
+      break;
+    }
+    case 2: {  // truncate 1..size tail bytes
+      const std::size_t cut = 1 + (r >> 2) % bytes->size();
+      bytes->resize(bytes->size() - cut);
+      break;
+    }
+    default:  // trailing garbage
+      bytes->push_back(static_cast<char>(r >> 8));
+      break;
+  }
+}
+
+}  // namespace platod2gl

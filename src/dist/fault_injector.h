@@ -1,0 +1,90 @@
+// FaultInjector: deterministic, seedable fault injection for the
+// distributed graph service simulation.
+//
+// The paper's deployment keeps graph servers alive for weeks under heavy
+// traffic; any honest reproduction of that claim has to survive the
+// failures such a deployment actually sees. The injector sits in
+// GraphCluster's RPC dispatch and models four fault classes:
+//
+//   crash    — a shard's serving process dies (manual CrashShard): its
+//              in-memory store is wiped and it refuses RPCs until
+//              GraphCluster::RecoverShard rebuilds it from checkpoint +
+//              WAL replay (see dist/shard.h).
+//   failure  — a transient RPC loss: the request never reaches the shard
+//              (so retries are exactly-once safe by construction).
+//   timeout  — the response never arrives; the attempt costs the retry
+//              policy's timeout budget in virtual time.
+//   corrupt  — the response arrives with flipped/truncated bytes. The
+//              cluster routes these through the real wire.h codec so the
+//              decoder hardening is exercised on every injected fault.
+//   slow     — the RPC succeeds but its virtual latency is inflated.
+//
+// Determinism: the n-th fault decision for shard s is a pure function of
+// (seed, s, n) via SplitMix64 — independent of thread interleaving across
+// shards and of wall-clock time — so fault runs are reproducible
+// bit-for-bit and retries never perturb the per-shard sampling RNG
+// streams (those are derived from an unrelated seed).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace platod2gl {
+
+/// Probabilities of the transient fault classes, drawn independently per
+/// RPC attempt (first match in the order below wins; they partition the
+/// unit interval, so keep the sum <= 1).
+struct FaultConfig {
+  std::uint64_t seed = 0xFA017EC7ED5EEDULL;
+  double failure_prob = 0.0;  ///< request lost in flight
+  double timeout_prob = 0.0;  ///< response never arrives
+  double corrupt_prob = 0.0;  ///< response bytes damaged in flight
+  double slow_prob = 0.0;     ///< response delayed by slow_extra_us
+  std::uint64_t slow_extra_us = 2000;
+};
+
+class FaultInjector {
+ public:
+  enum class Fault : std::uint8_t { kNone, kFail, kTimeout, kCorrupt, kSlow };
+
+  FaultInjector(FaultConfig config, std::size_t num_shards);
+
+  /// Kill a shard: it refuses every RPC until RecoverShard. Thread-safe.
+  void CrashShard(std::size_t shard);
+  /// Mark a shard recovered (called by GraphCluster::RecoverShard once the
+  /// store has been rebuilt). Thread-safe.
+  void RestoreShard(std::size_t shard);
+  bool IsCrashed(std::size_t shard) const;
+  std::size_t NumCrashed() const;
+
+  /// Fault decision for the next RPC attempt against `shard`.
+  /// Deterministic per shard (see file header); thread-safe across shards.
+  Fault NextFault(std::size_t shard);
+
+  /// Deterministically damage an encoded response in a way a length-
+  /// prefixed codec must detect: flip the tag, blow up a length prefix,
+  /// truncate the tail, or append trailing garbage. Never a silent payload
+  /// flip — end-to-end payload checksums are out of scope for the wire
+  /// format (see docs/fault_tolerance.md).
+  void CorruptBytes(std::size_t shard, std::string* bytes);
+
+  /// True when every transient probability is zero — lets the RPC path
+  /// skip the draw entirely.
+  bool PassiveExceptCrashes() const { return passive_; }
+
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  std::uint64_t Draw(std::size_t shard);  // next raw 64-bit draw for shard
+
+  FaultConfig config_;
+  bool passive_ = true;
+  std::size_t num_shards_;
+  std::unique_ptr<std::atomic<bool>[]> crashed_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> draws_;
+};
+
+}  // namespace platod2gl

@@ -2,34 +2,40 @@
 
 namespace platod2gl {
 
-SampledSubgraph RemoteSubgraphSampler::Sample(
+RemoteSampleReport RemoteSubgraphSampler::SampleWithReport(
     const std::vector<VertexId>& seeds,
     const std::vector<SubgraphSampler::Hop>& hops, std::uint64_t seed) {
-  SampledSubgraph sg;
+  RemoteSampleReport report;
+  SampledSubgraph& sg = report.subgraph;
   sg.layers.push_back(seeds);
 
   std::uint64_t round = 0;
   for (const SubgraphSampler::Hop& hop : hops) {
     const std::vector<VertexId>& frontier = sg.layers.back();
-    // One batched RPC round for the whole frontier.
-    const NeighborBatch batch = cluster_->SampleNeighbors(
+    // One batched (retrying) RPC round for the whole frontier.
+    const SampleReport hop_result = cluster_->SampleNeighborsChecked(
         frontier, hop.fanout, hop.weighted,
         seed ^ (0x9E3779B97F4A7C15ULL * ++round), hop.edge_type);
+    const NeighborBatch& batch = hop_result.batch;
 
+    std::uint64_t degraded = 0;
     std::vector<VertexId> next;
     std::vector<std::uint32_t> parents;
     next.reserve(batch.neighbors.size());
     parents.reserve(batch.neighbors.size());
     for (std::size_t i = 0; i + 1 < batch.offsets.size(); ++i) {
+      if (hop_result.seed_status[i] == SeedStatus::kDegraded) ++degraded;
       for (std::size_t j = batch.offsets[i]; j < batch.offsets[i + 1]; ++j) {
         next.push_back(batch.neighbors[j]);
         parents.push_back(static_cast<std::uint32_t>(i));
       }
     }
+    report.degraded_frontier.push_back(degraded);
+    report.degraded_total += degraded;
     sg.layers.push_back(std::move(next));
     sg.parents.push_back(std::move(parents));
   }
-  return sg;
+  return report;
 }
 
 }  // namespace platod2gl

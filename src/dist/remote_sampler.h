@@ -5,6 +5,12 @@
 // Each hop is ONE batched RPC round (one request per shard holding any
 // frontier vertex), not one RPC per vertex; the cluster's virtual-network
 // accounting makes the difference measurable.
+//
+// Resilience: each hop inherits the cluster's RetryPolicy. When a shard
+// stays unreachable past the retry budget, the affected frontier vertices
+// simply stop expanding (their per-seed degraded markers become empty
+// layers) — training degrades instead of stalling, GLISP-style. Use
+// SampleWithReport to see how much of the subgraph is authoritative.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,17 @@
 
 namespace platod2gl {
 
+/// A sampled subgraph plus how degraded it is: degraded_frontier[l] counts
+/// hop-l frontier vertices whose expansion was lost to an unreachable
+/// shard (their children are missing from layer l+1).
+struct RemoteSampleReport {
+  SampledSubgraph subgraph;
+  std::vector<std::uint64_t> degraded_frontier;  // size = #hops
+  std::uint64_t degraded_total = 0;
+
+  bool complete() const { return degraded_total == 0; }
+};
+
 class RemoteSubgraphSampler {
  public:
   explicit RemoteSubgraphSampler(GraphCluster* cluster)
@@ -23,10 +40,18 @@ class RemoteSubgraphSampler {
 
   /// Same semantics as SubgraphSampler::Sample, executed via batched
   /// cluster RPCs. `seed` derives the per-shard RNG streams, so results
-  /// are deterministic for a fixed shard count.
+  /// are deterministic for a fixed shard count — including under injected
+  /// transient faults, because retries re-derive the same streams.
   SampledSubgraph Sample(const std::vector<VertexId>& seeds,
                          const std::vector<SubgraphSampler::Hop>& hops,
-                         std::uint64_t seed);
+                         std::uint64_t seed) {
+    return SampleWithReport(seeds, hops, seed).subgraph;
+  }
+
+  /// Sample() plus the per-hop degraded-frontier accounting.
+  RemoteSampleReport SampleWithReport(
+      const std::vector<VertexId>& seeds,
+      const std::vector<SubgraphSampler::Hop>& hops, std::uint64_t seed);
 
  private:
   GraphCluster* cluster_;

@@ -1,19 +1,61 @@
 #include "dist/shard.h"
 
+#include <utility>
+
+#include "io/checkpoint.h"
+
 namespace platod2gl {
 
-GraphShard::GraphShard(GraphStoreConfig config) : store_(config) {}
+GraphShard::GraphShard(GraphStoreConfig config)
+    : config_(config), store_(std::make_unique<GraphStore>(config)) {}
 
 void GraphShard::Apply(const EdgeUpdate& update) {
   requests_.fetch_add(1, std::memory_order_relaxed);
-  store_.Apply(update);
+  // WAL first: the sequence number is strictly increasing, so Append can
+  // never hit a time regression here.
+  wal_.Append(++wal_seq_, update);
+  if (!crashed_) store_->Apply(update);
 }
 
 bool GraphShard::SampleNeighbors(VertexId src, std::size_t k, bool weighted,
                                  Xoshiro256& rng, std::vector<VertexId>* out,
                                  EdgeType type) const {
+  if (crashed_) return false;
   requests_.fetch_add(1, std::memory_order_relaxed);
-  return store_.SampleNeighbors(src, k, weighted, rng, out, type);
+  return store_->SampleNeighbors(src, k, weighted, rng, out, type);
+}
+
+void GraphShard::Crash() {
+  crashed_ = true;
+  // The serving process is gone: release the volatile store. Recover()
+  // rebuilds it; until then sampling is refused while the WAL (durable)
+  // keeps accepting writes.
+  store_ = std::make_unique<GraphStore>(config_);
+}
+
+Status GraphShard::Checkpoint(const std::string& path) {
+  if (crashed_) {
+    return Status::Unavailable("cannot checkpoint a crashed shard");
+  }
+  Status s = SaveGraph(*store_, path);
+  if (!s.ok()) return s;
+  checkpoint_path_ = path;
+  checkpoint_seq_ = wal_seq_;
+  wal_.TruncateThrough(checkpoint_seq_);
+  return Status::Ok();
+}
+
+Status GraphShard::Recover(std::size_t* replayed) {
+  auto fresh = std::make_unique<GraphStore>(config_);
+  if (!checkpoint_path_.empty()) {
+    Status s = LoadGraph(checkpoint_path_, fresh.get());
+    if (!s.ok()) return s;
+  }
+  const std::size_t n = wal_.ReplayInto(fresh.get(), checkpoint_seq_, wal_seq_);
+  if (replayed != nullptr) *replayed = n;
+  store_ = std::move(fresh);
+  crashed_ = false;
+  return Status::Ok();
 }
 
 }  // namespace platod2gl

@@ -4,15 +4,31 @@
 // this repo substitutes in-process shards (see DESIGN.md, substitutions).
 // A shard owns a full GraphStore for the vertices hashed onto it and
 // counts the requests it served so the cluster can report load balance.
+//
+// Fault tolerance (DESIGN.md §9): the shard separates volatile from
+// durable state. The GraphStore is volatile — Crash() wipes it, modelling
+// a dead serving process. The write-ahead log (a TemporalEdgeLog keyed by
+// a per-shard sequence number) and the last checkpoint are durable — they
+// model the disk that survives the process. Every update is logged before
+// it is applied, so Recover() can always rebuild the store exactly:
+// load the last checkpoint (covering sequence numbers <= checkpoint_seq),
+// then replay the WAL window (checkpoint_seq, wal_seq]. While crashed the
+// shard still accepts durable WAL writes (the log service outlives the
+// serving process, as in GNNFlow's log-structured recovery) but refuses
+// sampling.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "storage/graph_store.h"
+#include "temporal/edge_log.h"
 
 namespace platod2gl {
 
@@ -20,21 +36,57 @@ class GraphShard {
  public:
   explicit GraphShard(GraphStoreConfig config = {});
 
-  GraphStore& store() { return store_; }
-  const GraphStore& store() const { return store_; }
+  GraphStore& store() { return *store_; }
+  const GraphStore& store() const { return *store_; }
 
+  /// Durably log the update, then apply it to the store (skipped while
+  /// crashed — the WAL write is the hinted handoff that Recover() replays).
   void Apply(const EdgeUpdate& update);
 
+  /// Serve a sampling request. Returns false without touching `out` while
+  /// crashed (callers should have checked crashed() — the cluster's RPC
+  /// path treats a crashed shard as refusing the connection).
   bool SampleNeighbors(VertexId src, std::size_t k, bool weighted,
                        Xoshiro256& rng, std::vector<VertexId>* out,
                        EdgeType type = 0) const;
+
+  // --- Fault-tolerance lifecycle -----------------------------------------
+
+  /// Kill the serving process: the in-memory store is destroyed. The WAL
+  /// and the last checkpoint survive (they are the "disk").
+  void Crash();
+  bool crashed() const { return crashed_; }
+
+  /// Persist the current store to `path` (io/checkpoint format) and
+  /// truncate the WAL prefix the checkpoint now covers. Refused while
+  /// crashed (there is no store to persist).
+  Status Checkpoint(const std::string& path);
+
+  /// Rebuild the store after a crash: fresh store, load the last
+  /// checkpoint if one was taken, replay the WAL window past it. After a
+  /// successful recovery the shard serves again and the rebuilt store is
+  /// byte-for-byte equivalent to one that never crashed.
+  /// Returns the number of WAL updates replayed via `replayed` (optional).
+  Status Recover(std::size_t* replayed = nullptr);
+
+  const TemporalEdgeLog& wal() const { return wal_; }
+  /// Sequence number of the last durably logged update (0 = none).
+  std::uint64_t wal_seq() const { return wal_seq_; }
+  /// Sequence number covered by the last checkpoint (0 = never).
+  std::uint64_t checkpoint_seq() const { return checkpoint_seq_; }
 
   std::uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
 
  private:
-  GraphStore store_;
+  GraphStoreConfig config_;
+  std::unique_ptr<GraphStore> store_;  // volatile (lost on Crash)
+  TemporalEdgeLog wal_;                // durable
+  std::uint64_t wal_seq_ = 0;
+  std::uint64_t checkpoint_seq_ = 0;
+  std::string checkpoint_path_;  // empty = never checkpointed
+  bool crashed_ = false;
   mutable std::atomic<std::uint64_t> requests_{0};
 };
 

@@ -41,6 +41,14 @@ bool DecodeSampleRequest(const std::string& bytes, SampleRequest* req) {
       !Get(bytes, &pos, &weighted) || !Get(bytes, &pos, &count)) {
     return false;
   }
+  // Bounds-check the declared count against the actual tail BEFORE
+  // allocating: a malformed count of ~4 billion must be rejected, not
+  // turned into a 32 GB resize. The seed array is the whole remaining
+  // payload, so the check is exact and also rejects trailing garbage.
+  if (bytes.size() - pos !=
+      static_cast<std::size_t>(count) * sizeof(VertexId)) {
+    return false;
+  }
   req->weighted = weighted != 0;
   req->seeds.resize(count);
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -69,11 +77,24 @@ bool DecodeSampleResponse(const std::string& bytes, NeighborBatch* batch) {
   if (bytes.empty() || bytes[pos++] != 'R') return false;
   std::uint32_t seeds;
   if (!Get(bytes, &pos, &seeds)) return false;
+  // Each seed contributes at least a 4-byte length prefix: reject absurd
+  // seed counts before reserving anything.
+  if (static_cast<std::size_t>(seeds) * sizeof(std::uint32_t) >
+      bytes.size() - pos) {
+    return false;
+  }
   batch->neighbors.clear();
   batch->offsets.assign(1, 0);
+  batch->offsets.reserve(static_cast<std::size_t>(seeds) + 1);
   for (std::uint32_t i = 0; i < seeds; ++i) {
     std::uint32_t len;
     if (!Get(bytes, &pos, &len)) return false;
+    // Bounds-check the whole range before reading it: a bit-flipped
+    // length prefix must never cause an over-read or an absurd reserve.
+    if (static_cast<std::size_t>(len) * sizeof(VertexId) >
+        bytes.size() - pos) {
+      return false;
+    }
     for (std::uint32_t j = 0; j < len; ++j) {
       VertexId v;
       if (!Get(bytes, &pos, &v)) return false;
@@ -105,6 +126,12 @@ bool DecodeUpdateBatch(const std::string& bytes,
   if (bytes.empty() || bytes[pos++] != 'U') return false;
   std::uint32_t count;
   if (!Get(bytes, &pos, &count)) return false;
+  // Updates are fixed 29-byte records and the whole remaining payload:
+  // exact arithmetic check before the reserve, so truncation, trailing
+  // garbage and absurd counts are all rejected without allocating.
+  if (bytes.size() - pos != static_cast<std::size_t>(count) * 29) {
+    return false;
+  }
   batch->clear();
   batch->reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {

@@ -12,6 +12,13 @@
 //                   (kind u8, type u32, src u64, dst u64, weight f64)
 //
 // All integers little-endian (the deployment is homogeneous x86).
+//
+// Decoders are hardened against malformed input: every length/count
+// prefix is bounds-checked against the remaining payload BEFORE any
+// allocation or read, so truncated buffers, bit-flipped prefixes, absurd
+// counts and trailing garbage all return false without over-reading
+// (negative suite: tests/test_wire_fuzz.cc). The cluster's fault
+// injector routes corrupted responses through these decoders.
 #pragma once
 
 #include <cstddef>

@@ -1,5 +1,6 @@
 #include "io/checkpoint.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -7,11 +8,18 @@
 #include <optional>
 #include <vector>
 
+#include "common/crc32.h"
+
 namespace platod2gl {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'D', '2', 'G'};
-constexpr std::uint32_t kVersion = 1;
+// v1: no integrity footer. v2: everything up to the last 4 bytes is
+// covered by a CRC-32 footer, verified in full BEFORE any record is
+// applied to the target store (truncated or bit-rotted checkpoints are
+// rejected with kDataLoss instead of building a silently wrong store).
+// v1 files are still loaded (no footer to check).
+constexpr std::uint32_t kVersion = 2;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -20,9 +28,25 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+/// Write-side wrapper keeping a running CRC-32 of every byte written
+/// through it; the footer itself is written raw at the end.
+struct CrcWriter {
+  std::FILE* f = nullptr;
+  std::uint32_t crc = 0;
+
+  bool Write(const void* p, std::size_t n) {
+    crc = Crc32(p, n, crc);
+    return n == 0 || std::fwrite(p, 1, n, f) == n;
+  }
+  bool WriteFooter() {
+    const std::uint32_t value = crc;
+    return std::fwrite(&value, sizeof(value), 1, f) == 1;
+  }
+};
+
 template <typename T>
-bool WritePod(std::FILE* f, const T& value) {
-  return std::fwrite(&value, sizeof(T), 1, f) == 1;
+bool WritePod(CrcWriter& w, const T& value) {
+  return w.Write(&value, sizeof(T));
 }
 
 template <typename T>
@@ -30,30 +54,70 @@ bool ReadPod(std::FILE* f, T* value) {
   return std::fread(value, sizeof(T), 1, f) == 1;
 }
 
+/// Verify the CRC-32 footer of an already-open file: checksum every byte
+/// except the trailing 4, compare, and rewind to the start on success.
+/// `min_size` guards the smallest structurally valid file.
+Status VerifyCrcFooter(std::FILE* f, const std::string& path,
+                       long min_size) {
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::Internal("seek failed: " + path);
+  }
+  const long size = std::ftell(f);
+  if (size < min_size + 4) {
+    return Status::DataLoss("checkpoint truncated: " + path);
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    return Status::Internal("seek failed: " + path);
+  }
+  std::uint32_t crc = 0;
+  long remaining = size - 4;
+  char buf[4096];
+  while (remaining > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<long>(remaining, static_cast<long>(sizeof(buf))));
+    if (std::fread(buf, 1, chunk, f) != chunk) {
+      return Status::Internal("read failed during checksum: " + path);
+    }
+    crc = Crc32(buf, chunk, crc);
+    remaining -= static_cast<long>(chunk);
+  }
+  std::uint32_t stored = 0;
+  if (!ReadPod(f, &stored)) {
+    return Status::DataLoss("checkpoint footer unreadable: " + path);
+  }
+  if (stored != crc) {
+    return Status::DataLoss(
+        "checkpoint checksum mismatch (corrupt or truncated): " + path);
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    return Status::Internal("seek failed: " + path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status SaveGraph(const GraphStore& graph, const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::Internal("cannot open " + path + " for writing");
+  CrcWriter w{f.get()};
 
-  if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
-      !WritePod(f.get(), kVersion) ||
-      !WritePod(f.get(),
-                static_cast<std::uint32_t>(graph.num_relations()))) {
+  if (!w.Write(kMagic, sizeof(kMagic)) || !WritePod(w, kVersion) ||
+      !WritePod(w, static_cast<std::uint32_t>(graph.num_relations()))) {
     return Status::Internal("short write (header)");
   }
 
   for (std::size_t r = 0; r < graph.num_relations(); ++r) {
     const TopologyStore& topo = graph.topology(static_cast<EdgeType>(r));
-    if (!WritePod(f.get(), static_cast<std::uint64_t>(topo.NumEdges()))) {
+    if (!WritePod(w, static_cast<std::uint64_t>(topo.NumEdges()))) {
       return Status::Internal("short write (edge count)");
     }
     bool ok = true;
     std::uint64_t written = 0;
     topo.ForEachSource([&](VertexId src, const Samtree& tree) {
-      tree.ForEachNeighbor([&](VertexId dst, Weight w) {
-        ok = ok && WritePod(f.get(), src) && WritePod(f.get(), dst) &&
-             WritePod(f.get(), w);
+      tree.ForEachNeighbor([&](VertexId dst, Weight weight) {
+        ok = ok && WritePod(w, src) && WritePod(w, dst) &&
+             WritePod(w, weight);
         ++written;
       });
     });
@@ -77,24 +141,25 @@ Status SaveGraph(const GraphStore& graph, const std::string& path) {
                           const std::optional<std::int64_t>& label) {
     rows.push_back(AttrRow{v, label, feats});
   });
-  if (!WritePod(f.get(), static_cast<std::uint64_t>(rows.size()))) {
+  if (!WritePod(w, static_cast<std::uint64_t>(rows.size()))) {
     return Status::Internal("short write (attr count)");
   }
   for (const AttrRow& row : rows) {
     const std::uint8_t has_label = row.label.has_value() ? 1 : 0;
-    if (!WritePod(f.get(), row.id) || !WritePod(f.get(), has_label)) {
+    if (!WritePod(w, row.id) || !WritePod(w, has_label)) {
       return Status::Internal("short write (attr header)");
     }
-    if (has_label && !WritePod(f.get(), *row.label)) {
+    if (has_label && !WritePod(w, *row.label)) {
       return Status::Internal("short write (label)");
     }
     const std::uint32_t len = static_cast<std::uint32_t>(row.features.size());
-    if (!WritePod(f.get(), len)) return Status::Internal("short write");
-    if (len > 0 && std::fwrite(row.features.data(), sizeof(float), len,
-                               f.get()) != len) {
+    if (!WritePod(w, len)) return Status::Internal("short write");
+    if (len > 0 &&
+        !w.Write(row.features.data(), sizeof(float) * len)) {
       return Status::Internal("short write (features)");
     }
   }
+  if (!w.WriteFooter()) return Status::Internal("short write (crc footer)");
   return Status::Ok();
 }
 
@@ -108,8 +173,20 @@ Status LoadGraph(const std::string& path, GraphStore* graph) {
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not a PlatoD2GL checkpoint: " + path);
   }
-  if (!ReadPod(f.get(), &version) || version != kVersion) {
+  if (!ReadPod(f.get(), &version) || version == 0 || version > kVersion) {
     return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (version >= 2) {
+    // Integrity first: verify the whole file against its footer BEFORE
+    // applying any record, then rewind and re-read the header.
+    Status s = VerifyCrcFooter(f.get(), path, /*min_size=*/12);
+    if (!s.ok()) return s;
+    char skip_magic[4];
+    std::uint32_t skip_version;
+    if (std::fread(skip_magic, sizeof(skip_magic), 1, f.get()) != 1 ||
+        !ReadPod(f.get(), &skip_version)) {
+      return Status::Internal("reread failed: " + path);
+    }
   }
   if (!ReadPod(f.get(), &num_relations)) {
     return Status::InvalidArgument("truncated header");
@@ -142,16 +219,16 @@ Status LoadGraph(const std::string& path, GraphStore* graph) {
     };
     for (std::uint64_t i = 0; i < count; ++i) {
       VertexId src, dst;
-      Weight w;
+      Weight weight;
       if (!ReadPod(f.get(), &src) || !ReadPod(f.get(), &dst) ||
-          !ReadPod(f.get(), &w)) {
+          !ReadPod(f.get(), &weight)) {
         return Status::InvalidArgument("truncated edge records");
       }
       if (src != run_src) {
         flush();
         run_src = src;
       }
-      run.emplace_back(dst, w);
+      run.emplace_back(dst, weight);
     }
     flush();
   }
@@ -191,13 +268,16 @@ Status LoadGraph(const std::string& path, GraphStore* graph) {
 namespace {
 
 constexpr char kModelMagic[4] = {'P', 'D', '2', 'M'};
+// v1 model files put the u32 in_dim straight after the magic; v2 inserts
+// this sentinel (an impossible in_dim) so the two can be told apart, then
+// appends a CRC-32 footer like graph checkpoints.
+constexpr std::uint32_t kModelV2Tag = 0xFFFFFFFEu;
 
-bool WriteTensor(std::FILE* f, const Tensor& t) {
+bool WriteTensor(CrcWriter& w, const Tensor& t) {
   const std::uint32_t rows = static_cast<std::uint32_t>(t.rows());
   const std::uint32_t cols = static_cast<std::uint32_t>(t.cols());
-  return WritePod(f, rows) && WritePod(f, cols) &&
-         (t.size() == 0 ||
-          std::fwrite(t.data(), sizeof(float), t.size(), f) == t.size());
+  return WritePod(w, rows) && WritePod(w, cols) &&
+         (t.size() == 0 || w.Write(t.data(), sizeof(float) * t.size()));
 }
 
 bool ReadTensorInto(std::FILE* f, Tensor* t) {
@@ -208,10 +288,10 @@ bool ReadTensorInto(std::FILE* f, Tensor* t) {
          std::fread(t->data(), sizeof(float), t->size(), f) == t->size();
 }
 
-bool WriteDense(std::FILE* f, const Dense& d) {
+bool WriteDense(CrcWriter& w, const Dense& d) {
   const std::uint32_t blen = static_cast<std::uint32_t>(d.bias().size());
-  return WriteTensor(f, d.weights()) && WritePod(f, blen) &&
-         std::fwrite(d.bias().data(), sizeof(float), blen, f) == blen;
+  return WriteTensor(w, d.weights()) && WritePod(w, blen) &&
+         w.Write(d.bias().data(), sizeof(float) * blen);
 }
 
 bool ReadDenseInto(std::FILE* f, Dense* d) {
@@ -226,22 +306,25 @@ bool ReadDenseInto(std::FILE* f, Dense* d) {
 Status SaveModel(const GraphSageModel& model, const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::Internal("cannot open " + path + " for writing");
+  CrcWriter w{f.get()};
 
   const GraphSageConfig& cfg = model.config();
   const std::uint32_t dims[3] = {
       static_cast<std::uint32_t>(cfg.in_dim),
       static_cast<std::uint32_t>(cfg.hidden_dim),
       static_cast<std::uint32_t>(cfg.num_classes)};
-  if (std::fwrite(kModelMagic, sizeof(kModelMagic), 1, f.get()) != 1 ||
-      std::fwrite(dims, sizeof(dims), 1, f.get()) != 1) {
+  if (!w.Write(kModelMagic, sizeof(kModelMagic)) ||
+      !WritePod(w, kModelV2Tag) || !w.Write(dims, sizeof(dims))) {
     return Status::Internal("short write (model header)");
   }
-  const bool ok = WriteDense(f.get(), model.sage1().self_fc()) &&
-                  WriteDense(f.get(), model.sage1().neigh_fc()) &&
-                  WriteDense(f.get(), model.sage2().self_fc()) &&
-                  WriteDense(f.get(), model.sage2().neigh_fc()) &&
-                  WriteDense(f.get(), model.classifier());
-  return ok ? Status::Ok() : Status::Internal("short write (model weights)");
+  const bool ok = WriteDense(w, model.sage1().self_fc()) &&
+                  WriteDense(w, model.sage1().neigh_fc()) &&
+                  WriteDense(w, model.sage2().self_fc()) &&
+                  WriteDense(w, model.sage2().neigh_fc()) &&
+                  WriteDense(w, model.classifier());
+  if (!ok) return Status::Internal("short write (model weights)");
+  if (!w.WriteFooter()) return Status::Internal("short write (crc footer)");
+  return Status::Ok();
 }
 
 Status LoadModel(const std::string& path, GraphSageModel* model) {
@@ -249,13 +332,33 @@ Status LoadModel(const std::string& path, GraphSageModel* model) {
   if (!f) return Status::NotFound("cannot open " + path);
 
   char magic[4];
-  std::uint32_t dims[3];
+  std::uint32_t probe = 0;
   if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
       std::memcmp(magic, kModelMagic, sizeof(kModelMagic)) != 0) {
     return Status::InvalidArgument("not a PlatoD2GL model: " + path);
   }
-  if (std::fread(dims, sizeof(dims), 1, f.get()) != 1) {
+  if (!ReadPod(f.get(), &probe)) {
     return Status::InvalidArgument("truncated model header");
+  }
+
+  std::uint32_t dims[3];
+  if (probe == kModelV2Tag) {
+    Status s = VerifyCrcFooter(f.get(), path, /*min_size=*/20);
+    if (!s.ok()) return s;
+    // Rewind past magic + tag, then read the real dims.
+    if (std::fseek(f.get(), sizeof(kModelMagic) + sizeof(kModelV2Tag),
+                   SEEK_SET) != 0) {
+      return Status::Internal("seek failed: " + path);
+    }
+    if (std::fread(dims, sizeof(dims), 1, f.get()) != 1) {
+      return Status::InvalidArgument("truncated model header");
+    }
+  } else {
+    // v1 layout: the probe WAS in_dim.
+    dims[0] = probe;
+    if (std::fread(&dims[1], sizeof(std::uint32_t), 2, f.get()) != 2) {
+      return Status::InvalidArgument("truncated model header");
+    }
   }
   const GraphSageConfig& cfg = model->config();
   if (dims[0] != cfg.in_dim || dims[1] != cfg.hidden_dim ||

@@ -8,10 +8,17 @@
 //   per relation: edge_count u64 | edge_count x (src u64, dst u64, w f64)
 //   attr_count u64 | per vertex: id u64, has_label u8 [label i64],
 //                     feat_len u32, feat_len x f32
+//   crc32 u32 footer (v2+) over every preceding byte
 //
 // Loading streams edges through the duplicate-free bulk path
 // (AddEdgeUnchecked), so a checkpoint restore costs the same as a bulk
 // build. All failures are reported as Status, never exceptions.
+//
+// Integrity: v2 files end in a CRC-32 footer that is verified over the
+// whole file BEFORE any record is applied, so truncated or bit-rotted
+// checkpoints are rejected with kDataLoss instead of silently building a
+// wrong store (the shard-recovery path in dist/ depends on this). v1
+// files (no footer) still load for backward compatibility.
 #pragma once
 
 #include <string>

@@ -40,6 +40,7 @@
 #include "concurrency/batch_updater.h"  // IWYU pragma: export
 
 #include "dist/cluster.h"      // IWYU pragma: export
+#include "dist/fault_injector.h"  // IWYU pragma: export
 #include "dist/partitioner.h"  // IWYU pragma: export
 #include "dist/remote_sampler.h"  // IWYU pragma: export
 #include "dist/shard.h"        // IWYU pragma: export

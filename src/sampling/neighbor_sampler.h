@@ -28,6 +28,14 @@ struct NeighborBatch {
   }
 };
 
+/// Per-seed delivery status of a batched sampling call served by a
+/// fault-prone backend (dist/cluster.h). kDegraded marks a seed whose
+/// owning shard could not be reached within the retry budget / deadline:
+/// by contract its range in the batch is empty (the degraded-result
+/// marker), distinguishable from a genuinely isolated vertex only through
+/// this status — callers that care must check it.
+enum class SeedStatus : std::uint8_t { kOk = 0, kDegraded = 1 };
+
 class NeighborSampler {
  public:
   struct Options {

@@ -4,11 +4,22 @@
 
 namespace platod2gl {
 
-bool TemporalEdgeLog::Append(std::uint64_t timestamp,
-                             const EdgeUpdate& update) {
-  if (!log_.empty() && timestamp < log_.back().timestamp) return false;
+Status TemporalEdgeLog::Append(std::uint64_t timestamp,
+                               const EdgeUpdate& update) {
+  if (!log_.empty() && timestamp < log_.back().timestamp) {
+    ++rejected_;
+    return Status::OutOfRange("time regression: append at " +
+                              std::to_string(timestamp) + " after " +
+                              std::to_string(log_.back().timestamp));
+  }
   log_.push_back(TimedUpdate{timestamp, update});
-  return true;
+  return Status::Ok();
+}
+
+std::size_t TemporalEdgeLog::TruncateThrough(std::uint64_t t) {
+  const std::size_t n = UpperBound(t);
+  log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(n));
+  return n;
 }
 
 std::size_t TemporalEdgeLog::UpperBound(std::uint64_t t) const {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "storage/graph_store.h"
 
@@ -27,16 +28,21 @@ class TemporalEdgeLog {
   TemporalEdgeLog() = default;
 
   /// Append an update; timestamps must be non-decreasing (monotone event
-  /// time). Returns false (and drops the update) on a time regression.
-  bool Append(std::uint64_t timestamp, const EdgeUpdate& update);
+  /// time). A time regression is rejected with kOutOfRange — the update is
+  /// NOT stored — and bumps the rejected() counter so writers (e.g. the
+  /// shard WAL) can observe lost updates instead of dropping them silently.
+  Status Append(std::uint64_t timestamp, const EdgeUpdate& update);
 
   /// Convenience: append an insertion.
-  bool AppendInsert(std::uint64_t timestamp, const Edge& e) {
+  Status AppendInsert(std::uint64_t timestamp, const Edge& e) {
     return Append(timestamp, EdgeUpdate{UpdateKind::kInsert, e});
   }
 
   std::size_t size() const { return log_.size(); }
   bool empty() const { return log_.empty(); }
+
+  /// Number of appends rejected for violating time monotonicity.
+  std::uint64_t rejected() const { return rejected_; }
 
   /// Earliest / latest timestamps (0 when empty).
   std::uint64_t MinTimestamp() const {
@@ -60,6 +66,12 @@ class TemporalEdgeLog {
   /// The raw log entries in the half-open window (from, to].
   std::vector<TimedUpdate> Window(std::uint64_t from, std::uint64_t to) const;
 
+  /// Drop every entry with timestamp <= t (checkpoint truncation: once a
+  /// checkpoint covers G^(t), the prefix is no longer needed for
+  /// recovery). Later ReplayInto(from >= t, ...) calls are unaffected.
+  /// Returns the number of entries removed.
+  std::size_t TruncateThrough(std::uint64_t t);
+
   std::size_t MemoryUsage() const {
     return log_.capacity() * sizeof(TimedUpdate);
   }
@@ -69,6 +81,7 @@ class TemporalEdgeLog {
   std::size_t UpperBound(std::uint64_t t) const;
 
   std::vector<TimedUpdate> log_;  // sorted by timestamp (append-enforced)
+  std::uint64_t rejected_ = 0;    // appends refused (time regression)
 };
 
 }  // namespace platod2gl

@@ -123,13 +123,72 @@ TEST_F(CheckpointTest, TruncatedFileIsRejected) {
   for (VertexId d = 0; d < 100; ++d) original.AddEdge({1, d + 10, 1.0, 0});
   ASSERT_TRUE(SaveGraph(original, path_.string()).ok());
 
-  // Chop the file roughly in half.
+  // Chop the file roughly in half: the CRC-32 footer pre-pass rejects it
+  // before a single record is applied.
   const auto full = std::filesystem::file_size(path_);
   std::filesystem::resize_file(path_, full / 2);
 
   GraphStore g;
   const Status s = LoadGraph(path_.string(), &g);
-  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s.ToString();
+  EXPECT_EQ(g.NumEdges(), 0u) << "no records may be applied from a bad file";
+}
+
+TEST_F(CheckpointTest, BitRotIsRejectedByCrcFooter) {
+  GraphStore original;
+  for (VertexId d = 0; d < 100; ++d) original.AddEdge({1, d + 10, 1.0, 0});
+  ASSERT_TRUE(SaveGraph(original, path_.string()).ok());
+
+  // Flip one bit deep inside the edge payload — v1 would have built a
+  // silently wrong store from this; v2 must refuse.
+  std::fstream file(path_, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good());
+  file.seekg(0, std::ios::end);
+  const std::streamoff size = file.tellg();
+  const std::streamoff target = size / 2;
+  file.seekg(target);
+  char byte;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  file.seekp(target);
+  file.write(&byte, 1);
+  file.close();
+
+  GraphStore g;
+  const Status s = LoadGraph(path_.string(), &g);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s.ToString();
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST_F(CheckpointTest, LoadsLegacyV1FilesWithoutFooter) {
+  // Hand-write a v1 checkpoint (magic, version 1, no CRC footer):
+  // 1 relation with 2 edges of source 7, and no attributes.
+  std::ofstream file(path_, std::ios::binary);
+  auto put = [&](const void* p, std::size_t n) {
+    file.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  };
+  put("PD2G", 4);
+  const std::uint32_t version = 1, relations = 1;
+  put(&version, 4);
+  put(&relations, 4);
+  const std::uint64_t edges = 2;
+  put(&edges, 8);
+  const VertexId src = 7;
+  for (VertexId dst : {11, 12}) {
+    const Weight w = 2.5;
+    put(&src, 8);
+    put(&dst, 8);
+    put(&w, 8);
+  }
+  const std::uint64_t attrs = 0;
+  put(&attrs, 8);
+  file.close();
+
+  GraphStore g;
+  ASSERT_TRUE(LoadGraph(path_.string(), &g).ok());
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(7, 11));
+  EXPECT_NEAR(*g.EdgeWeight(7, 12), 2.5, 1e-12);
 }
 
 TEST_F(CheckpointTest, RefusesNonEmptyTarget) {

@@ -13,13 +13,46 @@ namespace {
 
 TEST(TemporalLogTest, AppendEnforcesMonotoneTime) {
   TemporalEdgeLog log;
-  EXPECT_TRUE(log.AppendInsert(5, {1, 2, 1.0, 0}));
-  EXPECT_TRUE(log.AppendInsert(5, {1, 3, 1.0, 0}));  // equal time is fine
-  EXPECT_TRUE(log.AppendInsert(9, {1, 4, 1.0, 0}));
-  EXPECT_FALSE(log.AppendInsert(7, {1, 5, 1.0, 0}));  // regression rejected
+  EXPECT_TRUE(log.AppendInsert(5, {1, 2, 1.0, 0}).ok());
+  EXPECT_TRUE(log.AppendInsert(5, {1, 3, 1.0, 0}).ok());  // equal time is fine
+  EXPECT_TRUE(log.AppendInsert(9, {1, 4, 1.0, 0}).ok());
+  const Status rejected = log.AppendInsert(7, {1, 5, 1.0, 0});
+  EXPECT_FALSE(rejected.ok());  // regression rejected, not silently dropped
+  EXPECT_EQ(rejected.code(), StatusCode::kOutOfRange);
   EXPECT_EQ(log.size(), 3u);
   EXPECT_EQ(log.MinTimestamp(), 5u);
   EXPECT_EQ(log.MaxTimestamp(), 9u);
+}
+
+TEST(TemporalLogTest, RejectedAppendsAreCounted) {
+  TemporalEdgeLog log;
+  EXPECT_EQ(log.rejected(), 0u);
+  ASSERT_TRUE(log.AppendInsert(10, {1, 2, 1.0, 0}).ok());
+  EXPECT_FALSE(log.AppendInsert(9, {1, 3, 1.0, 0}).ok());
+  EXPECT_FALSE(log.AppendInsert(3, {1, 4, 1.0, 0}).ok());
+  EXPECT_EQ(log.rejected(), 2u);
+  EXPECT_EQ(log.size(), 1u);  // rejected updates are not stored
+  EXPECT_TRUE(log.AppendInsert(10, {1, 5, 1.0, 0}).ok());
+  EXPECT_EQ(log.rejected(), 2u);
+}
+
+TEST(TemporalLogTest, TruncateThroughDropsCoveredPrefix) {
+  TemporalEdgeLog log;
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    ASSERT_TRUE(log.AppendInsert(t, {1, 100 + t, 1.0, 0}).ok());
+  }
+  // A checkpoint at t=6 makes the prefix redundant for recovery.
+  EXPECT_EQ(log.TruncateThrough(6), 6u);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.MinTimestamp(), 7u);
+  // Replay past the checkpoint still works unchanged.
+  GraphStore g;
+  EXPECT_EQ(log.ReplayInto(&g, 6, 10), 4u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  // Truncating everything leaves an empty but usable log.
+  EXPECT_EQ(log.TruncateThrough(99), 4u);
+  EXPECT_TRUE(log.empty());
+  EXPECT_TRUE(log.AppendInsert(50, {2, 3, 1.0, 0}).ok());
 }
 
 TEST(TemporalLogTest, SnapshotReconstructsGraphAtT) {
