@@ -1,0 +1,69 @@
+#include "pipeline/continuous_trainer.h"
+
+#include <algorithm>
+
+namespace platod2gl {
+
+ContinuousTrainer::ContinuousTrainer(UpdateIngestor* ingestor,
+                                     MicroBatcher* batcher,
+                                     EpochCoordinator* epochs,
+                                     Trainer* trainer,
+                                     ContinuousTrainerConfig config)
+    : ingestor_(ingestor),
+      batcher_(batcher),
+      epochs_(epochs),
+      trainer_(trainer),
+      config_(config) {
+  config_.pumps_per_step = std::max<std::size_t>(1, config_.pumps_per_step);
+}
+
+std::uint64_t ContinuousTrainer::Staleness() const {
+  const std::uint64_t ingested = ingestor_->watermark();
+  const std::uint64_t applied = batcher_->applied_watermark();
+  return ingested > applied ? ingested - applied : 0;
+}
+
+ContinuousTrainer::StepReport ContinuousTrainer::Step(Xoshiro256& rng) {
+  std::size_t applied = 0;
+  for (std::size_t p = 0; p < config_.pumps_per_step; ++p) {
+    applied += batcher_->PumpOnce();
+  }
+
+  StepReport report;
+  report.step = ++steps_done_;
+  report.updates_applied = applied;
+  {
+    const EpochCoordinator::ReadGuard pin = epochs_->PinRead();
+    if (applied > 0 && config_.refresh_node_sampler) {
+      // Under the pin: the snapshot the refreshed sampler indexes is the
+      // one this step trains on.
+      trainer_->RefreshNodeSampler();
+    }
+    report.epoch = pin.epoch();
+    report.staleness = Staleness();
+    const GraphSageModel::StepResult result =
+        trainer_->TrainStepSampled(rng);
+    report.loss = result.loss;
+    report.accuracy = result.accuracy;
+  }
+  return report;
+}
+
+std::vector<ContinuousTrainer::StepReport> ContinuousTrainer::Run(
+    std::size_t steps, Xoshiro256& rng) {
+  std::vector<StepReport> reports;
+  reports.reserve(steps);
+  for (std::size_t s = 0; s < steps; ++s) reports.push_back(Step(rng));
+  return reports;
+}
+
+PipelineStats ContinuousTrainer::Stats() const {
+  PipelineStats s;
+  s.ingest = ingestor_->Stats();
+  s.batcher = batcher_->Stats();
+  s.epoch = epochs_->epoch();
+  s.staleness = Staleness();
+  return s;
+}
+
+}  // namespace platod2gl

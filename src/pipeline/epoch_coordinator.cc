@@ -1,0 +1,48 @@
+#include "pipeline/epoch_coordinator.h"
+
+namespace platod2gl {
+
+EpochCoordinator::ReadGuard EpochCoordinator::PinRead() {
+  MutexLock lock(mu_);
+  // Write preference: a waiting writer holds off new readers, so a
+  // continuous sampling stream cannot starve the micro-batcher.
+  while (writer_active_ || writers_waiting_ > 0) cv_.wait(mu_);
+  ++active_readers_;
+  return ReadGuard(this, epoch_.load(std::memory_order_acquire));
+}
+
+void EpochCoordinator::EndRead() {
+  bool wake = false;
+  {
+    MutexLock lock(mu_);
+    wake = (--active_readers_ == 0);
+  }
+  if (wake) cv_.notify_all();
+}
+
+EpochCoordinator::WriteGuard EpochCoordinator::BeginWrite() {
+  MutexLock lock(mu_);
+  ++writers_waiting_;
+  while (writer_active_ || active_readers_ > 0) cv_.wait(mu_);
+  --writers_waiting_;
+  writer_active_ = true;
+  return WriteGuard(this);
+}
+
+void EpochCoordinator::EndWrite() {
+  {
+    MutexLock lock(mu_);
+    writer_active_ = false;
+    // Publish while still serialised with the next BeginWrite, so a
+    // reader admitted after this point pins the post-apply epoch.
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+std::size_t EpochCoordinator::readers_active() const {
+  MutexLock lock(mu_);
+  return active_readers_;
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,117 @@
+// EpochCoordinator: the read/write barrier that gives every training
+// step a consistent G^(t).
+//
+// The samtree store is safe under concurrent *reads*, and the batch
+// updater is safe against *itself* (per-source exclusivity), but a
+// sampler walking a tree while the updater rewrites it is not a
+// supported interleaving. The streaming pipeline therefore serialises
+// whole micro-batch applies against whole sampling episodes with an
+// epoch-stamped read/write barrier:
+//
+//  * readers (sampler / trainer steps) Pin() the current epoch, sample
+//    freely, and unpin — many readers run concurrently;
+//  * the writer (MicroBatcher) takes a WriteGuard around ApplyBatch:
+//    acquisition waits for pinned readers to drain and holds off new
+//    ones (write-preferring, so a steady reader stream cannot starve
+//    ingestion); release advances the epoch and wakes readers.
+//
+// The epoch number names the snapshot: it increments once per applied
+// micro-batch, so a reader's pinned epoch stays constant for its whole
+// episode and equals the number of batches its G^(t) contains. Cache
+// consistency within a snapshot is already handled one level down by
+// Samtree::version() stamps (see sampling/sample_cache.h); this barrier
+// adds the cross-structure atomicity those per-tree stamps cannot give.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace platod2gl {
+
+class EpochCoordinator {
+ public:
+  EpochCoordinator() = default;
+  EpochCoordinator(const EpochCoordinator&) = delete;
+  EpochCoordinator& operator=(const EpochCoordinator&) = delete;
+
+  /// RAII reader pin: the store cannot change between construction and
+  /// destruction, and epoch() names the snapshot being read.
+  class ReadGuard {
+   public:
+    ReadGuard(ReadGuard&& other) noexcept
+        : coord_(other.coord_), epoch_(other.epoch_) {
+      other.coord_ = nullptr;
+    }
+    ReadGuard& operator=(ReadGuard&&) = delete;
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ~ReadGuard() {
+      if (coord_ != nullptr) coord_->EndRead();
+    }
+
+    /// The snapshot this reader observes (number of applied batches).
+    std::uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class EpochCoordinator;
+    ReadGuard(EpochCoordinator* coord, std::uint64_t epoch)
+        : coord_(coord), epoch_(epoch) {}
+
+    EpochCoordinator* coord_;
+    std::uint64_t epoch_;
+  };
+
+  /// RAII writer exclusivity; release publishes the new epoch.
+  class WriteGuard {
+   public:
+    WriteGuard(WriteGuard&& other) noexcept : coord_(other.coord_) {
+      other.coord_ = nullptr;
+    }
+    WriteGuard& operator=(WriteGuard&&) = delete;
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+    ~WriteGuard() {
+      if (coord_ != nullptr) coord_->EndWrite();
+    }
+
+   private:
+    friend class EpochCoordinator;
+    explicit WriteGuard(EpochCoordinator* coord) : coord_(coord) {}
+
+    EpochCoordinator* coord_;
+  };
+
+  /// Pin the current epoch for shared (read) access. Blocks while a
+  /// write is in progress or waiting (write preference).
+  ReadGuard PinRead() EXCLUDES(mu_);
+
+  /// Acquire exclusive (write) access; blocks until pinned readers
+  /// drain. The returned guard's destruction advances the epoch.
+  WriteGuard BeginWrite() EXCLUDES(mu_);
+
+  /// Number of fully applied micro-batches (the version of G^(t) a new
+  /// reader would pin right now).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Readers currently pinned (tests / stats).
+  std::size_t readers_active() const EXCLUDES(mu_);
+
+ private:
+  void EndRead() EXCLUDES(mu_);
+  void EndWrite() EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::size_t active_readers_ GUARDED_BY(mu_) = 0;
+  std::size_t writers_waiting_ GUARDED_BY(mu_) = 0;
+  bool writer_active_ GUARDED_BY(mu_) = false;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace platod2gl

@@ -1,0 +1,120 @@
+#include "pipeline/update_ingestor.h"
+
+#include <algorithm>
+
+namespace platod2gl {
+
+UpdateIngestor::UpdateIngestor(IngestorConfig config) : config_(config) {
+  config_.num_shards = std::max<std::size_t>(1, config_.num_shards);
+  config_.shard_capacity = std::max<std::size_t>(1, config_.shard_capacity);
+  shards_.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+UpdateIngestor::~UpdateIngestor() { Close(); }
+
+UpdateIngestor::Shard& UpdateIngestor::ShardFor(const EdgeUpdate& u) {
+  // SplitMix64-style mix so consecutive vertex IDs spread across shards;
+  // keyed by source only, so every update of one edge lands in the same
+  // FIFO (per-edge order is what the coalescer folds).
+  std::uint64_t h = u.edge.src + 0x9E3779B97F4A7C15ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return *shards_[(h ^ (h >> 31)) % config_.num_shards];
+}
+
+void UpdateIngestor::NoteAccepted(std::uint64_t timestamp) {
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  queued_.fetch_add(1, std::memory_order_release);
+  std::uint64_t seen = watermark_.load(std::memory_order_relaxed);
+  while (timestamp > seen &&
+         !watermark_.compare_exchange_weak(seen, timestamp,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+Status UpdateIngestor::Offer(const TimedUpdate& u) {
+  if (config_.num_relations > 0 &&
+      u.update.edge.type >= config_.num_relations) {
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("edge type " +
+                                   std::to_string(u.update.edge.type) +
+                                   " out of range");
+  }
+  if (closed()) {
+    closed_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("ingestor closed");
+  }
+
+  Shard& shard = ShardFor(u.update);
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  {
+    MutexLock lock(shard.mu);
+    if (shard.queue.size() >= config_.shard_capacity) {
+      switch (config_.policy) {
+        case BackpressurePolicy::kBlock:
+          while (shard.queue.size() >= config_.shard_capacity && !closed()) {
+            shard.space_cv.wait(shard.mu);
+          }
+          if (closed()) {
+            closed_rejects_.fetch_add(1, std::memory_order_relaxed);
+            return Status::Unavailable("ingestor closed");
+          }
+          break;
+        case BackpressurePolicy::kReject:
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          return Status::ResourceExhausted("ingest queue full");
+        case BackpressurePolicy::kDropOldest:
+          shard.queue.pop_front();
+          dropped_.fetch_add(1, std::memory_order_relaxed);
+          queued_.fetch_sub(1, std::memory_order_release);
+          break;
+      }
+    }
+    shard.queue.push_back(IngestedUpdate{u, seq});
+  }
+  NoteAccepted(u.timestamp);
+  return Status::Ok();
+}
+
+void UpdateIngestor::Close() {
+  closed_.store(true, std::memory_order_release);
+  // Wake every producer blocked on space so it can observe the close.
+  for (auto& shard : shards_) shard->space_cv.notify_all();
+}
+
+std::size_t UpdateIngestor::DrainAll(std::vector<IngestedUpdate>* out) {
+  std::size_t drained = 0;
+  for (auto& shard : shards_) {
+    std::size_t taken = 0;
+    {
+      MutexLock lock(shard->mu);
+      taken = shard->queue.size();
+      for (auto& e : shard->queue) out->push_back(e);
+      shard->queue.clear();
+    }
+    if (taken > 0) {
+      drained += taken;
+      queued_.fetch_sub(taken, std::memory_order_release);
+      shard->space_cv.notify_all();
+    }
+  }
+  return drained;
+}
+
+IngestorStats UpdateIngestor::Stats() const {
+  IngestorStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.invalid = invalid_.load(std::memory_order_relaxed);
+  s.closed_rejects = closed_rejects_.load(std::memory_order_relaxed);
+  s.watermark = watermark();
+  s.queued = QueueDepth();
+  return s;
+}
+
+}  // namespace platod2gl

@@ -1,0 +1,146 @@
+// UpdateIngestor: the producer-facing mouth of the streaming pipeline.
+//
+// The paper models the dynamic graph as a timestamped update series G^(t)
+// (Section II-A); in the production deployment those updates arrive as
+// live user-interaction traffic from many feed threads at once. This
+// class is the bounded, backpressured funnel between them and the
+// single-consumer MicroBatcher:
+//
+//  * MPSC sharding — producers hash their update's source vertex onto one
+//    of `num_shards` bounded FIFO queues, so unrelated producers contend
+//    on different locks and all updates of one edge stay in one queue
+//    (per-edge FIFO, which the batcher's coalescing relies on).
+//  * Backpressure — a full shard either blocks the producer (kBlock, the
+//    lossless default), rejects the offer with kResourceExhausted
+//    (kReject, for callers with their own retry/shedding loop), or drops
+//    the oldest queued update to admit the new one (kDropOldest,
+//    freshness-over-completeness; every drop is counted).
+//  * Watermarks — the ingestor tracks the newest accepted event
+//    timestamp. The trainer reports per-step graph staleness as this
+//    ingest watermark minus the batcher's applied watermark.
+//
+// Accepted updates are stamped with a process-wide admission sequence
+// number so the consumer can merge the shard queues into one
+// deterministic (timestamp, seq) order.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "temporal/edge_log.h"
+
+namespace platod2gl {
+
+/// What a producer experiences when it offers into a full shard queue.
+enum class BackpressurePolicy : std::uint8_t {
+  kBlock,      ///< wait for the consumer to drain (lossless, may stall)
+  kReject,     ///< fail fast with kResourceExhausted (caller sheds/retries)
+  kDropOldest  ///< evict the oldest queued update, admit the new one
+};
+
+struct IngestorConfig {
+  std::size_t num_shards = 4;       ///< independent producer queues
+  std::size_t shard_capacity = 4096;  ///< bound per shard, in updates
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  /// When > 0, offers whose edge type is >= num_relations are rejected
+  /// with kInvalidArgument at the door instead of faulting deep inside
+  /// the store's relation routing. 0 disables the check.
+  std::size_t num_relations = 0;
+};
+
+/// Monotonic counters + a point-in-time queue snapshot.
+struct IngestorStats {
+  std::uint64_t accepted = 0;      ///< offers that entered a queue
+  std::uint64_t rejected = 0;      ///< kReject policy refusals (queue full)
+  std::uint64_t dropped = 0;       ///< kDropOldest evictions
+  std::uint64_t invalid = 0;       ///< bad edge type, refused at the door
+  std::uint64_t closed_rejects = 0;  ///< offers after Close()
+  std::uint64_t watermark = 0;     ///< newest accepted event timestamp
+  std::size_t queued = 0;          ///< updates currently waiting
+};
+
+/// An accepted update plus its admission sequence number (the global
+/// arrival tiebreak for equal timestamps).
+struct IngestedUpdate {
+  TimedUpdate update;
+  std::uint64_t seq = 0;
+};
+
+class UpdateIngestor {
+ public:
+  explicit UpdateIngestor(IngestorConfig config = {});
+  ~UpdateIngestor();
+
+  UpdateIngestor(const UpdateIngestor&) = delete;
+  UpdateIngestor& operator=(const UpdateIngestor&) = delete;
+
+  /// Offer one timestamped update. Thread-safe, called by any number of
+  /// producers. Returns Ok when queued; kResourceExhausted (kReject
+  /// policy, queue full), kInvalidArgument (edge type out of range) or
+  /// kUnavailable (after Close()) otherwise. Under kBlock the call waits
+  /// until space frees up or the ingestor closes.
+  Status Offer(const TimedUpdate& u);
+
+  /// Convenience: offer an insertion.
+  Status OfferInsert(std::uint64_t timestamp, const Edge& e) {
+    return Offer(TimedUpdate{timestamp, EdgeUpdate{UpdateKind::kInsert, e}});
+  }
+
+  /// Stop admitting: every subsequent (and currently blocked) Offer
+  /// returns kUnavailable. Already-queued updates remain drainable —
+  /// Close() then Flush() is the clean shutdown sequence.
+  void Close();
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Consumer side: move every queued update out of every shard, append
+  /// to *out, and wake producers blocked on the freed space. Returns the
+  /// number drained. Single consumer assumed (the MicroBatcher).
+  std::size_t DrainAll(std::vector<IngestedUpdate>* out);
+
+  /// Newest accepted event timestamp (0 before any accept).
+  std::uint64_t watermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+
+  /// Updates currently queued across all shards.
+  std::size_t QueueDepth() const {
+    return queued_.load(std::memory_order_acquire);
+  }
+
+  IngestorStats Stats() const;
+
+  const IngestorConfig& config() const { return config_; }
+
+ private:
+  struct Shard {
+    Mutex mu;
+    CondVar space_cv;  // kBlock producers wait here for drain or Close
+    std::deque<IngestedUpdate> queue GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(const EdgeUpdate& u);
+  void NoteAccepted(std::uint64_t timestamp);
+
+  IngestorConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> watermark_{0};
+  std::atomic<std::size_t> queued_{0};
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<std::uint64_t> closed_rejects_{0};
+};
+
+}  // namespace platod2gl

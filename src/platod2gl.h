@@ -53,6 +53,11 @@
 #include "gnn/trainer.h"    // IWYU pragma: export
 #include "gnn/two_tower.h"  // IWYU pragma: export
 
+#include "pipeline/continuous_trainer.h"  // IWYU pragma: export
+#include "pipeline/epoch_coordinator.h"   // IWYU pragma: export
+#include "pipeline/micro_batcher.h"       // IWYU pragma: export
+#include "pipeline/update_ingestor.h"     // IWYU pragma: export
+
 #include "analytics/graph_metrics.h"  // IWYU pragma: export
 #include "io/checkpoint.h"         // IWYU pragma: export
 #include "io/edge_list_reader.h"   // IWYU pragma: export

@@ -16,6 +16,24 @@ Status TemporalEdgeLog::Append(std::uint64_t timestamp,
   return Status::Ok();
 }
 
+std::size_t TemporalEdgeLog::AppendBatch(std::span<const TimedUpdate> batch) {
+  log_.reserve(log_.size() + batch.size());
+  std::uint64_t tail = log_.empty() ? 0 : log_.back().timestamp;
+  bool have_tail = !log_.empty();
+  std::size_t accepted = 0;
+  for (const TimedUpdate& e : batch) {
+    if (have_tail && e.timestamp < tail) {
+      ++rejected_;
+      continue;
+    }
+    log_.push_back(e);
+    tail = e.timestamp;
+    have_tail = true;
+    ++accepted;
+  }
+  return accepted;
+}
+
 std::size_t TemporalEdgeLog::TruncateThrough(std::uint64_t t) {
   const std::size_t n = UpperBound(t);
   log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(n));

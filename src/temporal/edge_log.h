@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -37,6 +38,13 @@ class TemporalEdgeLog {
   Status AppendInsert(std::uint64_t timestamp, const Edge& e) {
     return Append(timestamp, EdgeUpdate{UpdateKind::kInsert, e});
   }
+
+  /// Append a whole batch with one capacity reserve and a single
+  /// monotonicity scan — the MicroBatcher's hot path. Entry-for-entry
+  /// equivalent to calling Append in order: each entry older than the
+  /// running tail timestamp is skipped and counted in rejected(); later
+  /// valid entries still land. Returns the number accepted.
+  std::size_t AppendBatch(std::span<const TimedUpdate> batch);
 
   std::size_t size() const { return log_.size(); }
   bool empty() const { return log_.empty(); }

@@ -240,7 +240,7 @@ TEST(TrainerTest, FitRecordsHistoryAndImproves) {
                   TrainerConfig{.batch_size = 64, .learning_rate = 0.01f});
   Xoshiro256 rng(3);
   const auto history = trainer.Fit(
-      cg.test_seeds, {.epochs = 50, .eval_every = 10}, rng);
+      cg.test_seeds, {.steps = 50, .eval_every = 10}, rng);
   ASSERT_EQ(history.size(), 5u);
   EXPECT_EQ(history.front().step, 10);
   EXPECT_EQ(history.back().step, 50);
@@ -259,7 +259,7 @@ TEST(TrainerTest, FitEarlyStopsOnPlateau) {
                                                    .learning_rate = 0.02f});
   Xoshiro256 rng(5);
   const auto history = trainer.Fit(
-      cg.test_seeds, {.epochs = 1000, .eval_every = 5, .patience = 2, .min_delta = 0.02},
+      cg.test_seeds, {.steps = 1000, .eval_every = 5, .patience = 2, .min_delta = 0.02},
       rng);
   ASSERT_FALSE(history.empty());
   EXPECT_LT(history.back().step, 1000) << "early stopping never fired";

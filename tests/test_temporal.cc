@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <span>
+#include <vector>
 
 #include "common/random.h"
 #include "gen/generators.h"
@@ -141,6 +144,69 @@ TEST(TemporalLogTest, EmptyLogBehaviour) {
   GraphStore g;
   EXPECT_EQ(log.SnapshotInto(&g, 100), 0u);
   EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(TemporalLogTest, AppendBatchMatchesPerEntryAppend) {
+  // AppendBatch must be entry-for-entry equivalent to Append in a loop:
+  // same accepted entries, same rejected count, in one reserve + scan.
+  Xoshiro256 rng(21);
+  std::vector<TimedUpdate> batch;
+  std::uint64_t ts = 5;
+  for (int i = 0; i < 500; ++i) {
+    // Mostly monotone, with occasional regressions to exercise rejects.
+    ts = rng.NextUint64(20) == 0 ? ts - std::min<std::uint64_t>(ts, 3)
+                                 : ts + rng.NextUint64(3);
+    batch.push_back(TimedUpdate{
+        ts, EdgeUpdate{UpdateKind::kInsert,
+                       {rng.NextUint64(50), rng.NextUint64(50), 1.0, 0}}});
+  }
+
+  TemporalEdgeLog batched, looped;
+  ASSERT_TRUE(batched.AppendInsert(4, {1, 2, 1.0, 0}).ok());
+  ASSERT_TRUE(looped.AppendInsert(4, {1, 2, 1.0, 0}).ok());
+  const std::size_t accepted =
+      batched.AppendBatch(std::span<const TimedUpdate>(batch));
+  std::size_t accepted_loop = 0;
+  for (const TimedUpdate& e : batch) {
+    if (looped.Append(e.timestamp, e.update).ok()) ++accepted_loop;
+  }
+
+  EXPECT_EQ(accepted, accepted_loop);
+  ASSERT_EQ(batched.size(), looped.size());
+  EXPECT_EQ(batched.rejected(), looped.rejected());
+  EXPECT_GT(batched.rejected(), 0u);  // the trace did regress somewhere
+  const auto wa = batched.Window(0, ts + 10);
+  const auto wb = looped.Window(0, ts + 10);
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(wa[i].timestamp, wb[i].timestamp);
+    EXPECT_EQ(wa[i].update.edge.src, wb[i].update.edge.src);
+    EXPECT_EQ(wa[i].update.edge.dst, wb[i].update.edge.dst);
+  }
+}
+
+TEST(TemporalLogTest, AppendBatchOnEmptyLogAndEmptyBatch) {
+  TemporalEdgeLog log;
+  EXPECT_EQ(log.AppendBatch({}), 0u);
+  EXPECT_TRUE(log.empty());
+
+  const std::vector<TimedUpdate> batch{
+      {7, EdgeUpdate{UpdateKind::kInsert, {1, 2, 1.0, 0}}},
+      {7, EdgeUpdate{UpdateKind::kInsert, {1, 3, 1.0, 0}}},
+      {9, EdgeUpdate{UpdateKind::kDelete, {1, 2, 0.0, 0}}}};
+  EXPECT_EQ(log.AppendBatch(std::span<const TimedUpdate>(batch)), 3u);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.MinTimestamp(), 7u);
+  EXPECT_EQ(log.MaxTimestamp(), 9u);
+  EXPECT_EQ(log.rejected(), 0u);
+
+  // A later batch starting below the tail loses its stale prefix only.
+  const std::vector<TimedUpdate> late{
+      {8, EdgeUpdate{UpdateKind::kInsert, {2, 1, 1.0, 0}}},
+      {9, EdgeUpdate{UpdateKind::kInsert, {2, 2, 1.0, 0}}},
+      {12, EdgeUpdate{UpdateKind::kInsert, {2, 3, 1.0, 0}}}};
+  EXPECT_EQ(log.AppendBatch(std::span<const TimedUpdate>(late)), 2u);
+  EXPECT_EQ(log.rejected(), 1u);
+  EXPECT_EQ(log.MaxTimestamp(), 12u);
 }
 
 }  // namespace

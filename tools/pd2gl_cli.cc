@@ -12,10 +12,18 @@
 //       run the full structural invariant sweep over every samtree of
 //       every relation (Definition-1 bounds, routing order, FSTable /
 //       CSTable sum agreement, CP-ID round-trips, edge-counter drift)
+//   pd2gl stream-train <steps> [producers] [rate] [block|reject|drop] [seed]
+//       run the streaming pipeline end to end: `producers` threads feed
+//       timestamped edge updates into the UpdateIngestor while the
+//       ContinuousTrainer interleaves micro-batch application with
+//       GraphSAGE minibatch steps, reporting loss / staleness / epoch
+//       (docs/streaming_pipeline.md)
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "platod2gl.h"
@@ -32,8 +40,17 @@ int Usage() {
                "  pd2gl load <edges.txt> <out.ckpt>\n"
                "  pd2gl stats <edges.txt | graph.ckpt>\n"
                "  pd2gl sample <edges.txt | graph.ckpt> <vertex> <k>\n"
-               "  pd2gl verify-store <edges.txt | graph.ckpt>\n");
+               "  pd2gl verify-store <edges.txt | graph.ckpt>\n"
+               "  pd2gl stream-train <steps> [producers] [rate] "
+               "[block|reject|drop] [seed]\n");
   return 2;
+}
+
+/// The CLI's default store shape: headroom for multi-relation inputs.
+GraphStoreConfig EightRelations() {
+  GraphStoreConfig cfg;
+  cfg.num_relations = 8;
+  return cfg;
 }
 
 bool LooksLikeCheckpoint(const std::string& path) {
@@ -105,7 +122,7 @@ int CmdGen(int argc, char** argv) {
 
 int CmdLoad(int argc, char** argv) {
   if (argc < 2) return Usage();
-  GraphStore graph(GraphStoreConfig{.num_relations = 8});
+  GraphStore graph(EightRelations());
   EdgeListStats stats;
   const Status read = LoadEdgeList(argv[0], &graph, &stats);
   if (!read.ok()) {
@@ -124,7 +141,7 @@ int CmdLoad(int argc, char** argv) {
 
 int CmdStats(int argc, char** argv) {
   if (argc < 1) return Usage();
-  GraphStore graph(GraphStoreConfig{.num_relations = 8});
+  GraphStore graph(EightRelations());
   if (!LoadAnyGraph(argv[0], &graph)) return 1;
 
   const TopologyStore& topo = graph.topology(0);
@@ -165,7 +182,7 @@ int CmdStats(int argc, char** argv) {
 
 int CmdSample(int argc, char** argv) {
   if (argc < 3) return Usage();
-  GraphStore graph(GraphStoreConfig{.num_relations = 8});
+  GraphStore graph(EightRelations());
   if (!LoadAnyGraph(argv[0], &graph)) return 1;
   const VertexId v = std::strtoull(argv[1], nullptr, 10);
   const std::size_t k = std::strtoull(argv[2], nullptr, 10);
@@ -186,7 +203,7 @@ int CmdSample(int argc, char** argv) {
 
 int CmdVerifyStore(int argc, char** argv) {
   if (argc < 1) return Usage();
-  GraphStore graph(GraphStoreConfig{.num_relations = 8});
+  GraphStore graph(EightRelations());
   if (!LoadAnyGraph(argv[0], &graph)) return 1;
 
   bool all_ok = true;
@@ -214,6 +231,130 @@ int CmdVerifyStore(int argc, char** argv) {
   return all_ok ? 0 : 1;
 }
 
+int CmdStreamTrain(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::size_t steps = std::strtoull(argv[0], nullptr, 10);
+  const std::size_t producers =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2;
+  const std::size_t rate =  // updates per producer per training step
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500;
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  if (argc > 3) {
+    const std::string p = argv[3];
+    if (p == "reject") policy = BackpressurePolicy::kReject;
+    else if (p == "drop") policy = BackpressurePolicy::kDropOldest;
+    else if (p != "block") return Usage();
+  }
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 42;
+  if (steps == 0 || producers == 0) return Usage();
+
+  // A seeded community graph with features/labels so the trainer has a
+  // task; streamed traffic then keeps rewiring it mid-training.
+  constexpr std::size_t kVertices = 1000;
+  constexpr std::size_t kFeatDim = 8;
+  constexpr std::size_t kClasses = 4;
+  GraphStore graph;
+  Xoshiro256 init_rng(seed);
+  for (VertexId v = 0; v < kVertices; ++v) {
+    for (int k = 0; k < 6; ++k) {
+      const VertexId u = init_rng.NextUint64(kVertices);
+      if (u != v) graph.AddEdge({v, u, 1.0, 0});
+    }
+    std::vector<float> f(kFeatDim);
+    for (auto& x : f) x = static_cast<float>(init_rng.NextDouble() - 0.5);
+    f[v % kClasses] += 1.5f;
+    graph.attributes().SetFeatures(v, std::move(f));
+    graph.attributes().SetLabel(v, static_cast<std::int64_t>(v % kClasses));
+  }
+
+  ThreadPool pool(4);
+  UpdateIngestor ingestor(IngestorConfig{.policy = policy,
+                                         .num_relations = 1});
+  EpochCoordinator epochs;
+  TemporalEdgeLog log;
+  MicroBatcher batcher(&graph, &pool, &ingestor, &epochs, &log,
+                       MicroBatcherConfig{});
+  GraphSageModel model(GraphSageConfig{.in_dim = kFeatDim,
+                                       .hidden_dim = 16,
+                                       .num_classes = kClasses},
+                       seed + 1);
+  Trainer trainer(&graph, &model,
+                  TrainerConfig{.batch_size = 64, .fanout_hop1 = 5,
+                                .fanout_hop2 = 5});
+  ContinuousTrainer driver(&ingestor, &batcher, &epochs, &trainer);
+
+  // Producers: event time is a shared admission counter, so the merged
+  // stream is monotone and the WAL accepts everything.
+  std::atomic<std::uint64_t> clock{0};
+  const std::size_t per_producer = steps * rate;
+  std::vector<std::thread> feeds;
+  feeds.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    feeds.emplace_back([&, p] {
+      Xoshiro256 rng(seed + 100 + p);
+      for (std::size_t i = 0; i < per_producer; ++i) {
+        const std::uint64_t ts = 1 + clock.fetch_add(1);
+        EdgeUpdate u;
+        const std::uint64_t roll = rng.NextUint64(10);
+        u.kind = roll < 6   ? UpdateKind::kInsert
+                 : roll < 8 ? UpdateKind::kInPlaceUpdate
+                            : UpdateKind::kDelete;
+        u.edge = {rng.NextUint64(kVertices), rng.NextUint64(kVertices),
+                  1.0 + static_cast<double>(rng.NextUint64(100)), 0};
+        (void)ingestor.Offer(TimedUpdate{ts, u});  // reject/drop counted
+      }
+    });
+  }
+
+  Xoshiro256 train_rng(seed + 7);
+  Timer timer;
+  const std::size_t report_every = steps <= 10 ? 1 : steps / 10;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const ContinuousTrainer::StepReport r = driver.Step(train_rng);
+    if ((s + 1) % report_every == 0 || s + 1 == steps) {
+      std::printf("step %4zu  loss %.4f  acc %.3f  epoch %llu  "
+                  "staleness %llu  applied %zu\n",
+                  r.step, r.loss, r.accuracy,
+                  (unsigned long long)r.epoch,
+                  (unsigned long long)r.staleness, r.updates_applied);
+    }
+  }
+  for (auto& t : feeds) t.join();
+  ingestor.Close();
+  driver.Drain();
+  const double secs = timer.ElapsedSeconds();
+
+  const PipelineStats stats = driver.Stats();
+  std::printf("\n%zu producers x %zu updates, %zu training steps in "
+              "%.2fs\n",
+              producers, per_producer, steps, secs);
+  std::printf("ingest: accepted %llu  rejected %llu  dropped %llu  "
+              "(%.0f updates/s)\n",
+              (unsigned long long)stats.ingest.accepted,
+              (unsigned long long)stats.ingest.rejected,
+              (unsigned long long)stats.ingest.dropped,
+              static_cast<double>(stats.ingest.accepted) / secs);
+  std::printf("batcher: %llu micro-batches, %llu applied "
+              "(%llu coalesced away), final staleness %llu\n",
+              (unsigned long long)stats.batcher.batches_applied,
+              (unsigned long long)stats.batcher.updates_applied,
+              (unsigned long long)stats.batcher.coalesced,
+              (unsigned long long)stats.staleness);
+  std::printf("store: %zu edges   WAL: %zu entries (%llu rejected)\n",
+              graph.NumEdges(), log.size(),
+              (unsigned long long)log.rejected());
+
+  std::string err;
+  if (!graph.topology(0).CheckAllInvariants(&err)) {
+    std::fprintf(stderr, "INVARIANT VIOLATION after stream: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  std::printf("post-stream invariant sweep: OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,5 +365,6 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(argc - 2, argv + 2);
   if (cmd == "sample") return CmdSample(argc - 2, argv + 2);
   if (cmd == "verify-store") return CmdVerifyStore(argc - 2, argv + 2);
+  if (cmd == "stream-train") return CmdStreamTrain(argc - 2, argv + 2);
   return Usage();
 }
