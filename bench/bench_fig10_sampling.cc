@@ -143,6 +143,64 @@ void RunZipfCacheMode(const Dataset& ds, JsonRecords* json) {
         .Num("cache_bytes", static_cast<std::uint64_t>(
                                 graph.sample_cache()->MemoryUsage()));
   }
+
+  // Hit-path microbench + assert: pin the hottest vertex, warm its cache
+  // entry, then time pure-hit batch requests. Every request must be served
+  // by ONE cache lookup + ONE AliasTable::SampleBatch call; the assert
+  // guards against per-draw overhead (k lookups, k table walks) creeping
+  // back into SampleCache::Entry::Draw, by requiring (a) every timed
+  // request to be a hit and (b) the cached batch to beat the uncached
+  // descent on the same vertex.
+  {
+    const VertexId hot = sources.front();
+    const std::size_t requests = 20000;
+    std::vector<VertexId> out;
+    Xoshiro256 rng(21);
+    for (int w = 0; w < 3; ++w) {  // admission wants two misses
+      out.clear();
+      graph.SampleNeighbors(hot, fanout, /*weighted=*/true, rng, &out, 0);
+    }
+    graph.sample_cache()->ResetStats();
+    Timer t_hit;
+    for (std::size_t i = 0; i < requests; ++i) {
+      out.clear();
+      graph.SampleNeighbors(hot, fanout, /*weighted=*/true, rng, &out, 0);
+    }
+    const double hit_ms = t_hit.ElapsedMillis();
+
+    Xoshiro256 rng_ref(21);
+    Timer t_ref;
+    for (std::size_t i = 0; i < requests; ++i) {
+      out.clear();
+      graph.topology(0).SampleNeighbors(hot, fanout, /*weighted=*/true,
+                                        rng_ref, &out);
+    }
+    const double ref_ms = t_ref.ElapsedMillis();
+
+    const SampleCacheStats hs = graph.sample_cache()->Stats();
+    const double draws = static_cast<double>(requests) *
+                         static_cast<double>(fanout);
+    std::printf("hit-path microbench: %.1f ns/draw cached vs %.1f ns/draw "
+                "descent (%.2fx), %llu/%zu hits\n", hit_ms * 1e6 / draws,
+                ref_ms * 1e6 / draws, ref_ms / hit_ms,
+                static_cast<unsigned long long>(hs.hits), requests);
+    if (hs.hits != requests || hit_ms >= ref_ms) {
+      std::fprintf(stderr,
+                   "hit-path microbench ASSERT FAILED: hits=%llu/%zu, "
+                   "cached %.2fms vs descent %.2fms\n",
+                   static_cast<unsigned long long>(hs.hits), requests,
+                   hit_ms, ref_ms);
+      std::abort();
+    }
+    json->Rec()
+        .Str("dataset", ds.name)
+        .Str("section", "cache_hit_microbench")
+        .Num("requests", static_cast<std::uint64_t>(requests))
+        .Num("fanout", static_cast<std::uint64_t>(fanout))
+        .Num("hit_ns_per_draw", hit_ms * 1e6 / draws)
+        .Num("descent_ns_per_draw", ref_ms * 1e6 / draws)
+        .Num("speedup", ref_ms / hit_ms);
+  }
 }
 
 }  // namespace

@@ -5,9 +5,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <set>
 #include <sstream>
 
+#include "common/simd.h"
 #include "core/alpha_split.h"
 
 namespace platod2gl {
@@ -20,6 +22,9 @@ struct Samtree::Node {
   explicit Node(bool leaf) : is_leaf(leaf) {}
   virtual ~Node() = default;
   const bool is_leaf;
+  // Where this node's storage came from (nullptr = heap). NodeDeleter
+  // reads it back on destruction, so trees can mix heap and arena nodes.
+  NodeArena* arena = nullptr;
 };
 
 struct Samtree::LeafNode : Samtree::Node {
@@ -43,13 +48,44 @@ struct Samtree::InternalNode : Samtree::Node {
   CompressedIdList min_ids;  // ordered: i-th entry = min ID in child i
   CSTable cstable;           // prefix sums of per-child subtree weights
   std::vector<std::uint64_t> counts;  // per-child subtree neighbour counts
-  std::vector<std::unique_ptr<Node>> children;
+  std::vector<NodePtr> children;
 };
+
+void Samtree::NodeDeleter::operator()(Node* n) const {
+  if (n == nullptr) return;
+  NodeArena* arena = n->arena;
+  if (arena == nullptr) {
+    delete n;  // pd2gl-lint: allow-naked-new (heap half of the arena deleter)
+    return;
+  }
+  const std::size_t bytes =
+      n->is_leaf ? sizeof(LeafNode) : sizeof(InternalNode);
+  n->~Node();  // virtual: destroys the derived node
+  arena->Deallocate(n, bytes);
+}
 
 namespace {
 
 using LeafNode = Samtree::LeafNode;
 using InternalNode = Samtree::InternalNode;
+
+/// Construct a node on the configured arena (heap when arena == nullptr)
+/// and stamp its origin for NodeDeleter. Converts implicitly to NodePtr.
+template <typename T, typename... Args>
+std::unique_ptr<T, Samtree::NodeDeleter> AllocNode(NodeArena* arena,
+                                                   Args&&... args) {
+  static_assert(alignof(T) <= NodeArena::kAlignment,
+                "samtree nodes must fit the arena alignment");
+  T* n = nullptr;
+  if (arena != nullptr) {
+    void* mem = arena->Allocate(sizeof(T));
+    n = new (mem) T(std::forward<Args>(args)...);  // pd2gl-lint: allow-naked-new
+  } else {
+    n = new T(std::forward<Args>(args)...);  // pd2gl-lint: allow-naked-new
+  }
+  n->arena = arena;
+  return std::unique_ptr<T, Samtree::NodeDeleter>(n);
+}
 
 }  // namespace
 
@@ -115,7 +151,7 @@ std::size_t ChildIndexFor(const InternalNode* node, VertexId v) {
 struct Samtree::InsertOutcome {
   bool inserted = false;  // false when an existing weight was refreshed
   Weight delta = 0.0;     // subtree total-weight change
-  std::unique_ptr<Node> sibling;  // right sibling when this node split
+  NodePtr sibling;        // right sibling when this node split
   VertexId sibling_min = kInvalidVertex;
 };
 
@@ -198,7 +234,10 @@ Samtree Samtree::BulkBuild(std::vector<std::pair<VertexId, Weight>> neighbors,
 
   // Pack leaves: ceil(n / capacity) even chunks keeps every leaf within
   // [capacity/2, capacity] (Definition 1) while staying one pass.
-  std::vector<std::unique_ptr<Node>> level;
+  // With an arena configured, the left-to-right, level-by-level
+  // allocation order below is what makes descents stride contiguous
+  // memory instead of the heap.
+  std::vector<NodePtr> level;
   std::vector<VertexId> level_mins;
   const std::size_t num_leaves = (n + capacity - 1) / capacity;
   std::size_t cursor = 0;
@@ -206,7 +245,8 @@ Samtree Samtree::BulkBuild(std::vector<std::pair<VertexId, Weight>> neighbors,
     const std::size_t remaining_leaves = num_leaves - leaf_idx;
     const std::size_t take =
         (n - cursor + remaining_leaves - 1) / remaining_leaves;
-    auto leaf = std::make_unique<LeafNode>(tree.config_.compress_ids);
+    auto leaf =
+        AllocNode<LeafNode>(tree.config_.arena, tree.config_.compress_ids);
     std::vector<VertexId> ids;
     std::vector<Weight> weights;
     ids.reserve(take);
@@ -222,7 +262,7 @@ Samtree Samtree::BulkBuild(std::vector<std::pair<VertexId, Weight>> neighbors,
 
   // Assemble internal levels until one root remains.
   while (level.size() > 1) {
-    std::vector<std::unique_ptr<Node>> parents;
+    std::vector<NodePtr> parents;
     std::vector<VertexId> parent_mins;
     const std::size_t m = level.size();
     const std::size_t num_parents = (m + capacity - 1) / capacity;
@@ -230,7 +270,8 @@ Samtree Samtree::BulkBuild(std::vector<std::pair<VertexId, Weight>> neighbors,
     for (std::size_t p = 0; p < num_parents; ++p) {
       const std::size_t remaining = num_parents - p;
       const std::size_t take = (m - child + remaining - 1) / remaining;
-      auto node = std::make_unique<InternalNode>(tree.config_.compress_ids);
+      auto node = AllocNode<InternalNode>(tree.config_.arena,
+                                          tree.config_.compress_ids);
       parent_mins.push_back(level_mins[child]);
       for (std::size_t i = 0; i < take; ++i, ++child) {
         node->min_ids.Append(level_mins[child]);
@@ -259,8 +300,7 @@ std::size_t Samtree::MinFill() const {
 // Splits
 // ---------------------------------------------------------------------------
 
-std::unique_ptr<Samtree::LeafNode> Samtree::SplitLeaf(LeafNode* leaf,
-                                                      VertexId* sibling_min) {
+Samtree::NodePtr Samtree::SplitLeaf(LeafNode* leaf, VertexId* sibling_min) {
   std::vector<VertexId> ids = leaf->ids.Decode();
   std::vector<Weight> weights = leaf->fstable.DecodeWeights();
 
@@ -278,7 +318,7 @@ std::unique_ptr<Samtree::LeafNode> Samtree::SplitLeaf(LeafNode* leaf,
   weights.resize(pivot);
 
   leaf->Assign(ids, weights, config_.compress_ids);
-  auto sibling = std::make_unique<LeafNode>(config_.compress_ids);
+  auto sibling = AllocNode<LeafNode>(config_.arena, config_.compress_ids);
   sibling->Assign(right_ids, right_weights, config_.compress_ids);
   *sibling_min = right_ids.front();
 
@@ -287,12 +327,12 @@ std::unique_ptr<Samtree::LeafNode> Samtree::SplitLeaf(LeafNode* leaf,
   return sibling;
 }
 
-std::unique_ptr<Samtree::InternalNode> Samtree::SplitInternal(
-    InternalNode* node, VertexId* sibling_min) {
+Samtree::NodePtr Samtree::SplitInternal(InternalNode* node,
+                                        VertexId* sibling_min) {
   // Internal entries are ordered, so the split is an exact median cut
   // (Section IV-C, "our method is much simpler").
   const std::size_t mid = node->children.size() / 2;
-  auto sibling = std::make_unique<InternalNode>(config_.compress_ids);
+  auto sibling = AllocNode<InternalNode>(config_.arena, config_.compress_ids);
   *sibling_min = node->min_ids.Get(mid);
 
   for (std::size_t i = mid; i < node->children.size(); ++i) {
@@ -400,7 +440,7 @@ void Samtree::InsertUnchecked(VertexId v, Weight w) {
 void Samtree::InsertImpl(VertexId v, Weight w, bool check_existing) {
   BumpVersion();
   if (!root_) {
-    auto leaf = std::make_unique<LeafNode>(config_.compress_ids);
+    auto leaf = AllocNode<LeafNode>(config_.arena, config_.compress_ids);
     leaf->ids.Append(v);
     leaf->fstable.Append(w);
     root_ = std::move(leaf);
@@ -413,7 +453,7 @@ void Samtree::InsertImpl(VertexId v, Weight w, bool check_existing) {
   if (out.inserted) ++count_;
   if (out.sibling) {
     // Grow a new root above the split (the only way a samtree gains height).
-    auto new_root = std::make_unique<InternalNode>(config_.compress_ids);
+    auto new_root = AllocNode<InternalNode>(config_.arena, config_.compress_ids);
     new_root->min_ids.Append(NodeMinId(root_.get()));
     new_root->min_ids.Append(out.sibling_min);
     new_root->children.push_back(std::move(root_));
@@ -503,7 +543,7 @@ void Samtree::MergeChildInto(InternalNode* parent, std::size_t child_idx) {
   Node* merged = parent->children[lo].get();
   if (NodeEntryCount(merged) > config_.node_capacity) {
     VertexId sibling_min = kInvalidVertex;
-    std::unique_ptr<Node> sibling;
+    NodePtr sibling;
     if (merged->is_leaf) {
       sibling = SplitLeaf(static_cast<LeafNode*>(merged), &sibling_min);
     } else {
@@ -650,14 +690,159 @@ VertexId Samtree::SampleUniform(Xoshiro256& rng) const {
   return static_cast<const LeafNode*>(n)->ids.Get(r);
 }
 
+namespace {
+
+/// Below this many draws, the batch set-up (scratch sizing, the
+/// level-synchronous routing pass) costs more than it saves and the
+/// plain per-draw loop wins. The cutoff is a pure-perf knob: both sides
+/// produce identical samples, so it never affects results.
+constexpr std::size_t kBatchMinDraws = 4;
+
+/// Per-thread reusable buffers for the batched descent — sampling is the
+/// serving hot path, so steady state must not allocate.
+struct BatchScratch {
+  std::vector<Weight> r;         // residual of each draw, original order
+  std::vector<std::uint64_t> u;  // uniform draws, original order
+  std::vector<const Samtree::Node*> nodes;  // current node of each draw
+  std::vector<FenwickView> views;           // leaf Fenwick of each draw
+  std::vector<std::uint32_t> leaf_idx;
+};
+
+BatchScratch& Scratch() {
+  static thread_local BatchScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void Samtree::SampleWeightedBatch(std::size_t k, Xoshiro256& rng,
+                                  std::vector<VertexId>* out) const {
+  assert(root_ && "SampleWeightedBatch on an empty samtree");
+  if (k == 0) return;
+  if (k < kBatchMinDraws) {
+    out->reserve(out->size() + k);
+    for (std::size_t i = 0; i < k; ++i) out->push_back(SampleWeighted(rng));
+    return;
+  }
+  const Weight total = TotalWeight();
+  BatchScratch& s = Scratch();
+  s.r.resize(k);
+  s.leaf_idx.resize(k);
+  // Draw everything up front, consuming the RNG in exactly the order the
+  // one-draw-at-a-time loop would — the determinism contract callers
+  // (and the distributed retry path) rely on. Draws keep their original
+  // slots throughout; nothing is reordered.
+  for (std::size_t i = 0; i < k; ++i) s.r[i] = rng.NextDouble(total);
+  out->reserve(out->size() + k);
+
+  if (root_->is_leaf) {
+    const auto* leaf = static_cast<const LeafNode*>(root_.get());
+    leaf->fstable.FindIndices(s.r.data(), s.leaf_idx.data(), k);
+    for (std::size_t d = 0; d < k; ++d) {
+      out->push_back(leaf->ids.Get(s.leaf_idx[d]));
+    }
+    return;
+  }
+
+  // Route all k draws down the internal levels together,
+  // level-synchronously (Definition 1 puts every leaf on one level, so
+  // all draws cross the same number of levels). Per draw this is the
+  // exact scalar ITS step — same CSTable::FindIndex, same Prefix
+  // subtraction — but batching it keeps one node's CSTable hot for every
+  // draw routed through it and gives each child prefetch a full pass
+  // worth of latency to land before the next level touches it.
+  const bool prefetch = simd::PrefetchEnabled();
+  s.nodes.assign(k, root_.get());
+  const std::size_t height = Height();
+  for (std::size_t level = 0; level + 1 < height; ++level) {
+    for (std::size_t d = 0; d < k; ++d) {
+      const auto* in = static_cast<const InternalNode*>(s.nodes[d]);
+      const std::size_t j = in->cstable.FindIndex(s.r[d]);
+      if (j > 0) s.r[d] -= in->cstable.Prefix(j - 1);
+      const Node* child = in->children[j].get();
+      if (prefetch) simd::PrefetchRead(child);
+      s.nodes[d] = child;
+    }
+  }
+
+  // All draws sit at their leaves: resolve the k Fenwick descents in
+  // parallel lanes — draws in different leaves included — then decode.
+  s.views.resize(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    s.views[d] = static_cast<const LeafNode*>(s.nodes[d])->fstable.View();
+  }
+  FenwickFindIndices(s.views.data(), s.r.data(), s.leaf_idx.data(), k);
+  for (std::size_t d = 0; d < k; ++d) {
+    out->push_back(
+        static_cast<const LeafNode*>(s.nodes[d])->ids.Get(s.leaf_idx[d]));
+  }
+}
+
+void Samtree::SampleUniformBatch(std::size_t k, Xoshiro256& rng,
+                                 std::vector<VertexId>* out) const {
+  assert(root_ && "SampleUniformBatch on an empty samtree");
+  if (k == 0) return;
+  if (k < kBatchMinDraws) {
+    out->reserve(out->size() + k);
+    for (std::size_t i = 0; i < k; ++i) out->push_back(SampleUniform(rng));
+    return;
+  }
+  BatchScratch& s = Scratch();
+  s.u.resize(k);
+  for (std::size_t i = 0; i < k; ++i) s.u[i] = rng.NextUint64(count_);
+  out->reserve(out->size() + k);
+
+  if (root_->is_leaf) {
+    const auto* leaf = static_cast<const LeafNode*>(root_.get());
+    for (std::size_t d = 0; d < k; ++d) {
+      out->push_back(leaf->ids.Get(s.u[d]));
+    }
+    return;
+  }
+
+  // Same level-synchronous routing as the weighted batch, over the
+  // per-child counts (exact integer arithmetic — trivially bit-equal to
+  // the scalar count walk). The leaf draw itself is already O(1), so
+  // routing is the only thing a uniform batch can amortise.
+  const bool prefetch = simd::PrefetchEnabled();
+  s.nodes.assign(k, root_.get());
+  const std::size_t height = Height();
+  for (std::size_t level = 0; level + 1 < height; ++level) {
+    for (std::size_t d = 0; d < k; ++d) {
+      const auto* in = static_cast<const InternalNode*>(s.nodes[d]);
+      std::uint64_t r = s.u[d];
+      std::size_t j = 0;
+      while (r >= in->counts[j]) {
+        r -= in->counts[j];
+        ++j;
+      }
+      s.u[d] = r;
+      const Node* child = in->children[j].get();
+      if (prefetch) simd::PrefetchRead(child);
+      s.nodes[d] = child;
+    }
+  }
+  for (std::size_t d = 0; d < k; ++d) {
+    out->push_back(static_cast<const LeafNode*>(s.nodes[d])->ids.Get(s.u[d]));
+  }
+}
+
 void Samtree::SampleWeighted(std::size_t k, Xoshiro256& rng,
                              std::vector<VertexId>* out) const {
+  if (root_ && k >= kBatchMinDraws) {
+    SampleWeightedBatch(k, rng, out);
+    return;
+  }
   out->reserve(out->size() + k);
   for (std::size_t i = 0; i < k; ++i) out->push_back(SampleWeighted(rng));
 }
 
 void Samtree::SampleUniform(std::size_t k, Xoshiro256& rng,
                             std::vector<VertexId>* out) const {
+  if (root_ && k >= kBatchMinDraws) {
+    SampleUniformBatch(k, rng, out);
+    return;
+  }
   out->reserve(out->size() + k);
   for (std::size_t i = 0; i < k; ++i) out->push_back(SampleUniform(rng));
 }

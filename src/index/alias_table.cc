@@ -49,4 +49,18 @@ std::size_t AliasTable::Sample(Xoshiro256& rng) const {
   return rng.NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
 }
 
+void AliasTable::SampleBatch(std::size_t k, Xoshiro256& rng,
+                             std::uint32_t* out) const {
+  assert(!prob_.empty());
+  const std::uint64_t n = prob_.size();
+  const double* prob = prob_.data();
+  const std::uint32_t* alias = alias_.data();
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t bucket = rng.NextUint64(n);
+    out[i] = rng.NextDouble() < prob[bucket]
+                 ? static_cast<std::uint32_t>(bucket)
+                 : alias[bucket];
+  }
+}
+
 }  // namespace platod2gl

@@ -30,6 +30,13 @@ class AliasTable {
   /// Draw one index with probability w_i / W — O(1).
   std::size_t Sample(Xoshiro256& rng) const;
 
+  /// Draw k indices into out[0..k) in one call. Identical draw sequence
+  /// to k single Sample() calls; the point is the hot cache-hit path,
+  /// where one batched call hoists the per-draw size loads and call
+  /// overhead out of the loop (a batch request is one cache lookup +
+  /// one SampleBatch, not k table walks).
+  void SampleBatch(std::size_t k, Xoshiro256& rng, std::uint32_t* out) const;
+
   /// Bytes held by this table (two n-sized arrays).
   std::size_t MemoryUsage() const {
     return prob_.capacity() * sizeof(double) +

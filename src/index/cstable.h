@@ -56,7 +56,10 @@ class CSTable {
   /// Remove entry i — O(n).
   void Remove(std::size_t i);
 
-  /// ITS: smallest i with C[i] > r, via binary search — O(log n).
+  /// ITS: smallest i with C[i] > r. Small tables (every samtree internal
+  /// node in practice) run a branch-free SIMD scan of the prefix span
+  /// (compare + movemask); large ones binary search. Both share the
+  /// upper_bound predicate, so the answer is identical either way.
   /// Precondition: 0 <= r < TotalWeight().
   std::size_t FindIndex(Weight r) const;
 

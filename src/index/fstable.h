@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,24 @@
 #include "common/types.h"
 
 namespace platod2gl {
+
+/// Borrowed view of one Fenwick array, for the cross-leaf batched
+/// descent: the samtree hands the kernel one view per draw, so draws that
+/// landed in *different* leaves still resolve in one lane-parallel sweep.
+struct FenwickView {
+  const Weight* tree = nullptr;
+  std::uint32_t n = 0;
+};
+
+/// Resolve m independent FTS draws, each against its own Fenwick array:
+/// out[d] is exactly what FSTable::FindIndex(rs[d]) would return on the
+/// table views[d] points at. The AVX2 flavour runs four descents in
+/// parallel lanes (gather + compare + blend — every lane performs the
+/// same IEEE comparisons and subtractions the scalar loop would, so the
+/// result is bit-identical across dispatch); the scalar flavour is the
+/// FindIndex loop verbatim. Every view must be non-empty.
+void FenwickFindIndices(const FenwickView* views, const Weight* rs,
+                        std::uint32_t* out, std::size_t m);
 
 class FSTable {
  public:
@@ -73,6 +92,20 @@ class FSTable {
   /// FTS sampling (Algorithm 5): draw index i with probability w_i / W,
   /// using the random number r in [0, TotalWeight()) — O(log n).
   std::size_t FindIndex(Weight r) const;
+
+  /// Batched FTS: resolve m residuals rs[0..m) to entry indices
+  /// out[0..m), in order, bit-identical to calling FindIndex(rs[d]) for
+  /// each d. No ordering requirement on rs — the batch runs four
+  /// independent descents per step in AVX2 lanes (see FenwickFindIndices),
+  /// trading the scalar loop's ~log n unpredictable branches per draw for
+  /// branch-free gathers and blends.
+  void FindIndices(const Weight* rs, std::uint32_t* out,
+                   std::size_t m) const;
+
+  /// This table as a kernel view (see FenwickFindIndices).
+  FenwickView View() const {
+    return {tree_.data(), static_cast<std::uint32_t>(tree_.size())};
+  }
 
   /// Draw one index with probability w_i / W.
   std::size_t Sample(Xoshiro256& rng) const;

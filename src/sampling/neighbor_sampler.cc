@@ -38,12 +38,25 @@ NeighborBatch NeighborSampler::SampleParallel(
   }
   const std::size_t chunk = (seeds.size() + num_chunks - 1) / num_chunks;
 
+  // One generator per chunk, split from a single base stream by jumping
+  // 2^128 steps per chunk (Xoshiro256::Jump): provably disjoint
+  // substreams of one seed, built once up front — generator construction
+  // and seeding stay out of the sampling loop entirely (the previous
+  // code re-expanded a SplitMix seed inside every chunk task).
+  std::vector<Xoshiro256> rngs;
+  rngs.reserve(num_chunks);
+  Xoshiro256 base(seed);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    rngs.push_back(base);
+    base.Jump();
+  }
+
   std::vector<NeighborBatch> partials(num_chunks);
   pool.ParallelFor(num_chunks, [&](std::size_t c) {
     const std::size_t begin = c * chunk;
     const std::size_t end = std::min(seeds.size(), begin + chunk);
     if (begin >= end) return;
-    Xoshiro256 rng(seed ^ (0x9E3779B97F4A7C15ULL * (c + 1)));
+    Xoshiro256& rng = rngs[c];
     NeighborBatch& p = partials[c];
     p.offsets.reserve(end - begin + 1);
     p.offsets.push_back(0);

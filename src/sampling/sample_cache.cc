@@ -1,6 +1,7 @@
 #include "sampling/sample_cache.h"
 
 #include <algorithm>
+#include <iterator>
 #include <list>
 #include <unordered_map>
 #include <utility>
@@ -47,9 +48,19 @@ struct SampleCache::Entry {
             std::vector<VertexId>* out) const {
     out->reserve(out->size() + k);
     if (weighted) {
-      for (std::size_t i = 0; i < k; ++i) {
-        out->push_back(ids[alias.Sample(rng)]);
+      // A batch request is served by ONE alias call: the whole fanout
+      // resolves inside AliasTable::SampleBatch (same draw sequence as
+      // k single Sample() calls), instead of paying per-draw call and
+      // size-load overhead k times on the hottest path in the system.
+      std::uint32_t stack_idx[64];
+      std::vector<std::uint32_t> heap_idx;
+      std::uint32_t* idx = stack_idx;
+      if (k > std::size(stack_idx)) {
+        heap_idx.resize(k);
+        idx = heap_idx.data();
       }
+      alias.SampleBatch(k, rng, idx);
+      for (std::size_t i = 0; i < k; ++i) out->push_back(ids[idx[i]]);
     } else {
       const std::uint64_t n = ids.size();
       for (std::size_t i = 0; i < k; ++i) {

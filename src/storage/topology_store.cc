@@ -3,7 +3,12 @@
 namespace platod2gl {
 
 TopologyStore::TopologyStore(SamtreeConfig config, std::size_t num_shards)
-    : config_(config), trees_(num_shards) {}
+    : config_(config), trees_(num_shards) {
+  // Every tree this store creates allocates its nodes from the store's
+  // arena; a caller-supplied arena pointer is overridden — the arena must
+  // be owned by (and die with) the store.
+  config_.arena = &arena_;
+}
 
 void TopologyStore::AddEdge(VertexId src, VertexId dst, Weight w) {
   WithTree(src, [&](Samtree& tree) {
@@ -28,6 +33,10 @@ void TopologyStore::InstallTree(VertexId src, Samtree&& tree) {
     if (existing.empty()) {
       delta = tree.size();
       existing = std::move(tree);
+      // The adopted tree was built outside the store (heap-allocated
+      // nodes, e.g. checkpoint restore's BulkBuild). Those nodes keep
+      // their origin, but splits from now on land in the shard arena.
+      existing.SetArena(config_.arena);
       return;
     }
     // Merge path: the slower but lossless fallback.
@@ -151,6 +160,9 @@ MemoryBreakdown TopologyStore::Memory() const {
     mem.index_bytes += m.index_bytes;
     mem.other_bytes += m.other_bytes;
   });
+  // Per-node sizes are already counted by tree.Memory(); what remains of
+  // the arena is its reserved-but-idle space (chunk slack + free lists).
+  mem.other_bytes += arena_.SlackBytes();
   return mem;
 }
 
