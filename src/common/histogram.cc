@@ -10,6 +10,7 @@ std::uint64_t LatencyHistogram::PercentileNanos(double pct) const {
 
   std::uint64_t running = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
+    // order: stat tally, read for reporting only
     running += buckets_[i].load(std::memory_order_relaxed);
     if (running >= target) {
       // Upper edge of bucket i: 2^i - 1 (bucket 0 holds the zeros).

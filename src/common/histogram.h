@@ -21,6 +21,7 @@ class LatencyHistogram {
 
   /// Record one sample. Thread-safe.
   void Record(std::uint64_t nanos) {
+    // order: stat tally, read for reporting only
     buckets_[BucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
   }
   void RecordMicros(double micros) {
@@ -29,6 +30,7 @@ class LatencyHistogram {
 
   std::uint64_t Count() const {
     std::uint64_t n = 0;
+    // order: stat tally, read for reporting only
     for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
     return n;
   }
@@ -41,6 +43,7 @@ class LatencyHistogram {
   }
 
   void Reset() {
+    // order: racy reset is advisory; buckets are stats only
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   }
 

@@ -14,6 +14,9 @@
 #include <mutex>
 
 #include "common/thread_annotations.h"
+#if defined(PD2GL_SCHEDCHECK)
+#include "common/sched_hooks.h"
+#endif
 
 namespace platod2gl {
 
@@ -23,9 +26,32 @@ class CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ACQUIRE() { mu_.lock(); }
-  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
+  void lock() ACQUIRE() {
+#if defined(PD2GL_SCHEDCHECK)
+    // Virtual while a schedule model is active: ownership lives in the
+    // scheduler and the real mutex is never touched (see sched_hooks.h).
+    if (sched::ModelActive()) {
+      sched::LockAcquire(this, "Mutex");
+      return;
+    }
+#endif
+    mu_.lock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+#if defined(PD2GL_SCHEDCHECK)
+    if (sched::ModelActive()) return sched::LockTryAcquire(this, "Mutex");
+#endif
+    return mu_.try_lock();
+  }
+  void unlock() RELEASE() {
+#if defined(PD2GL_SCHEDCHECK)
+    if (sched::ModelActive()) {
+      sched::LockRelease(this, "Mutex");
+      return;
+    }
+#endif
+    mu_.unlock();
+  }
 
  private:
   std::mutex mu_;
@@ -44,9 +70,61 @@ class SCOPED_CAPABILITY MutexLock {
   Mutex& mu_;
 };
 
+#if defined(PD2GL_SCHEDCHECK)
+/// Condition variable compatible with the annotated Mutex. Under the
+/// schedule checker, waits on a model-active thread are routed through
+/// the scheduler: the waiter registers BEFORE releasing the lock (the
+/// atomic release-and-wait of a real condvar, so notifies landing in the
+/// gap are consumed, not lost), blocks until a modelled notify, then
+/// reacquires. Notifies with no registered waiter do nothing — lost
+/// wakeups surface as modelled deadlocks.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  template <typename Lock>
+  void wait(Lock& lk) {
+    if (sched::ModelActive()) {
+      sched::CondPrepareWait(this, "CondVar");
+      lk.unlock();
+      sched::CondCommitWait(this);
+      lk.lock();
+      return;
+    }
+    impl_.wait(lk);
+  }
+
+  template <typename Lock, typename Pred>
+  void wait(Lock& lk, Pred pred) {
+    while (!pred()) wait(lk);
+  }
+
+  void notify_one() {
+    if (sched::ModelActive()) {
+      sched::CondNotifyOne(this, "CondVar");
+      return;
+    }
+    impl_.notify_one();
+  }
+
+  void notify_all() {
+    if (sched::ModelActive()) {
+      sched::CondNotify(this, "CondVar");
+      return;
+    }
+    impl_.notify_all();
+  }
+
+ private:
+  std::condition_variable_any impl_;
+};
+#else
 /// Condition variable compatible with the annotated Mutex. wait(mu) is
 /// called with the capability held; the transient release inside is
 /// invisible to (and irrelevant for) the static analysis.
 using CondVar = std::condition_variable_any;
+#endif
 
 }  // namespace platod2gl

@@ -1,0 +1,217 @@
+// Schedule-checker instrumentation hooks (docs/schedule_checker.md).
+//
+// The deterministic schedule-exploration harness in src/schedcheck/
+// serialises the threads of a small concurrent scenario onto one
+// controlled runner and explores their interleavings (exhaustive DFS with
+// a preemption bound, or seeded random-walk / PCT). For that to mean
+// anything, the production synchronisation surface must expose its
+// decision points to the scheduler. This header is that seam:
+//
+//  * sched::Atomic<T> — what concurrent structures declare instead of
+//    std::atomic<T>. In normal builds it IS std::atomic<T> (a template
+//    alias: zero overhead, identical codegen — bench_sampling_batched
+//    enforces this stays true). Under -DPD2GL_SCHEDCHECK it becomes
+//    sched::InstrumentedAtomic<T>, which announces every load/store/RMW
+//    to the active scheduler as a possible preemption point.
+//  * entry points (Point, LockAcquire, ...) — called by the #ifdef'd
+//    hooks in Spinlock / Mutex / CondVar. Every entry point no-ops
+//    unless the calling thread is a registered scenario thread, so
+//    ordinary tests in an instrumented build behave normally. While a
+//    model is active the locks are *virtual*: ownership lives in the
+//    scheduler (threads are serialised, so mutual exclusion is enforced
+//    by construction) and the real primitive is never touched — which is
+//    what makes forced teardown of a failing schedule UB-free.
+//  * sched::NonAtomic<T> — a deliberately plain cell whose accesses span
+//    two schedule points; the scheduler reports overlapping conflicting
+//    accesses from different threads as a data race. Production code
+//    never uses it except behind test toggles that reintroduce known
+//    races (e.g. the pre-PR2 CuckooMap shard-size counter) so the
+//    checker can prove it rediscovers them.
+//
+// Production code includes only this header. The scheduler itself lives
+// in src/schedcheck/ (always compiled into the library — the entry
+// points are cheap thread-local checks — but only scenario tests ever
+// activate a model).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace platod2gl::sched {
+
+/// What kind of operation a schedule point announces. Trace lines and the
+/// exploration heuristics both key off this.
+enum class OpKind : std::uint8_t {
+  kThreadStart,  ///< scenario thread about to run its first instruction
+  kAtomicLoad,
+  kAtomicStore,
+  kAtomicRmw,
+  kLockAcquire,  ///< about to (re)attempt taking a virtual lock
+  kLockRelease,
+  kCondWait,  ///< about to release the lock and block on a condvar
+  kCondNotify,
+  kPlainLoad,   ///< open a racy (non-atomic) read interval
+  kPlainStore,  ///< open a racy (non-atomic) write interval
+  kPlainEnd,    ///< close the racy interval opened by the same thread
+  kYield,       ///< explicit sched::Yield in scenario code
+};
+
+const char* OpKindName(OpKind kind);
+
+/// True when the calling thread is a scenario thread of an active model.
+bool ModelActive();
+
+/// Announce an operation and hand control to the scheduler, which may run
+/// any other enabled thread before this one proceeds. No-op when no model
+/// is active on this thread.
+void Point(OpKind kind, const void* obj, const char* what);
+
+/// Explicit preemption point for scenario code.
+inline void Yield(const char* what = "yield") {
+  Point(OpKind::kYield, nullptr, what);
+}
+
+// --- Virtual locks ---------------------------------------------------------
+// Only meaningful while a model is active (callers gate on ModelActive()).
+// The scheduler tracks ownership; blocked acquirers are descheduled until
+// the owner releases, so modelled waiting never spins and never touches
+// the real primitive.
+
+void LockAcquire(const void* obj, const char* what);
+bool LockTryAcquire(const void* obj, const char* what);
+void LockRelease(const void* obj, const char* what);
+
+/// Condvar wait body: the caller has already released the (virtual) lock;
+/// blocks until CondNotify on `cv`. Lost wakeups are modelled faithfully:
+/// a notify with no waiters does nothing, which is exactly how the
+/// checker turns a lost-wakeup bug into a reported deadlock.
+void CondBlock(const void* cv, const char* what);
+void CondNotify(const void* cv, const char* what);
+/// notify_one counterpart: wakes (or pre-signals) the earliest registered
+/// waiter only — deterministic, since waiters register in schedule order.
+void CondNotifyOne(const void* cv, const char* what);
+
+/// CondBlock split in two so a modelled condvar wait can register BEFORE
+/// releasing its lock — the atomic release-and-wait of a real condition
+/// variable. A notify landing between the two halves is consumed, not
+/// lost:
+///   CondPrepareWait(cv); lock.unlock(); CondCommitWait(cv); lock.lock();
+void CondPrepareWait(const void* cv, const char* what);
+void CondCommitWait(const void* cv);
+
+// --- Racy (plain) accesses -------------------------------------------------
+// An access is modelled as an open interval spanning two schedule points;
+// a conflicting access from another thread that lands inside the interval
+// is reported as a data race (and fails the schedule deterministically).
+
+void PlainBegin(const void* obj, bool is_write, const char* what);
+void PlainEnd(const void* obj);
+
+// --- Test toggles ----------------------------------------------------------
+
+/// Reintroduce the pre-PR2 CuckooMap shard-size race (a plain counter
+/// written under the shard lock but read lock-free by Size()). Only
+/// consulted by code compiled under PD2GL_SCHEDCHECK; exists so
+/// tests/test_schedcheck_scenarios.cc can prove the checker finds the
+/// race that TSan originally caught by luck.
+void SetCuckooShardSizeRace(bool reintroduce);
+bool CuckooShardSizeRace();
+
+// --- Instrumented cell types ----------------------------------------------
+
+/// std::atomic<T> with a schedule point before every operation. Always
+/// defined (the harness self-tests use it in every build); production
+/// code reaches it through the sched::Atomic alias below.
+template <typename T>
+class InstrumentedAtomic {
+ public:
+  InstrumentedAtomic() noexcept = default;
+  constexpr InstrumentedAtomic(T v) noexcept : v_(v) {}  // NOLINT(google-explicit-constructor)
+  InstrumentedAtomic(const InstrumentedAtomic&) = delete;
+  InstrumentedAtomic& operator=(const InstrumentedAtomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    Point(OpKind::kAtomicLoad, this, "atomic");
+    return v_.load(mo);
+  }
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    Point(OpKind::kAtomicStore, this, "atomic");
+    v_.store(v, mo);
+  }
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    Point(OpKind::kAtomicRmw, this, "atomic");
+    return v_.exchange(v, mo);
+  }
+  T fetch_add(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    Point(OpKind::kAtomicRmw, this, "atomic");
+    return v_.fetch_add(v, mo);
+  }
+  T fetch_sub(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    Point(OpKind::kAtomicRmw, this, "atomic");
+    return v_.fetch_sub(v, mo);
+  }
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure) {
+    Point(OpKind::kAtomicRmw, this, "atomic");
+    return v_.compare_exchange_weak(expected, desired, success, failure);
+  }
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) {
+    Point(OpKind::kAtomicRmw, this, "atomic");
+    return v_.compare_exchange_weak(expected, desired, mo);
+  }
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) {
+    Point(OpKind::kAtomicRmw, this, "atomic");
+    return v_.compare_exchange_strong(expected, desired, mo);
+  }
+
+ private:
+  std::atomic<T> v_{};
+};
+
+/// A deliberately plain cell: loads and stores are modelled as racy
+/// intervals. Outside a model it behaves like a plain T (no atomicity —
+/// this type exists to put known races back under the checker's eye, not
+/// to be used in production paths).
+template <typename T>
+class NonAtomic {
+ public:
+  NonAtomic() noexcept = default;
+  constexpr NonAtomic(T v) noexcept : v_(v) {}  // NOLINT(google-explicit-constructor)
+  NonAtomic(const NonAtomic&) = delete;
+  NonAtomic& operator=(const NonAtomic&) = delete;
+
+  T load() const {
+    if (!ModelActive()) return v_;
+    PlainBegin(this, /*is_write=*/false, "plain");
+    T v = v_;
+    PlainEnd(this);
+    return v;
+  }
+  void store(T v) {
+    if (!ModelActive()) {
+      v_ = v;
+      return;
+    }
+    PlainBegin(this, /*is_write=*/true, "plain");
+    v_ = v;
+    PlainEnd(this);
+  }
+
+ private:
+  T v_{};
+};
+
+#if defined(PD2GL_SCHEDCHECK)
+template <typename T>
+using Atomic = InstrumentedAtomic<T>;
+#else
+/// Production alias: a sched::Atomic member IS a std::atomic member.
+template <typename T>
+using Atomic = std::atomic<T>;
+#endif
+
+}  // namespace platod2gl::sched

@@ -123,9 +123,11 @@ void AddToRange(Weight* a, std::size_t begin, std::size_t end, Weight delta) {
   AddToRangeScalar(a, begin, end, delta);
 }
 
+// order: independent feature flag; no data is published through it
 bool PrefetchEnabled() { return g_prefetch.load(std::memory_order_relaxed); }
 
 void SetPrefetchEnabled(bool enabled) {
+  // order: independent feature flag; no data is published through it
   g_prefetch.store(enabled, std::memory_order_relaxed);
 }
 

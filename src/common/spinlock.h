@@ -15,6 +15,9 @@
 #include <thread>
 
 #include "common/thread_annotations.h"
+#if defined(PD2GL_SCHEDCHECK)
+#include "common/sched_hooks.h"
+#endif
 
 namespace platod2gl {
 
@@ -25,10 +28,20 @@ class CAPABILITY("mutex") Spinlock {
   Spinlock& operator=(const Spinlock&) = delete;
 
   void lock() ACQUIRE() {
+#if defined(PD2GL_SCHEDCHECK)
+    // Under an active schedule model the lock is virtual: ownership lives
+    // in the scheduler and flag_ is never touched (threads are serialised,
+    // so mutual exclusion holds by construction).
+    if (sched::ModelActive()) {
+      sched::LockAcquire(this, "Spinlock");
+      return;
+    }
+#endif
     int spins = 0;
     while (true) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
       // Spin on a relaxed load to avoid cache-line ping-pong.
+      // order: stat tally, read for reporting only
       while (flag_.load(std::memory_order_relaxed)) {
         if (++spins >= kSpinLimit) {
           std::this_thread::yield();
@@ -43,10 +56,21 @@ class CAPABILITY("mutex") Spinlock {
   }
 
   bool try_lock() TRY_ACQUIRE(true) {
+#if defined(PD2GL_SCHEDCHECK)
+    if (sched::ModelActive()) return sched::LockTryAcquire(this, "Spinlock");
+#endif
     return !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() RELEASE() { flag_.store(false, std::memory_order_release); }
+  void unlock() RELEASE() {
+#if defined(PD2GL_SCHEDCHECK)
+    if (sched::ModelActive()) {
+      sched::LockRelease(this, "Spinlock");
+      return;
+    }
+#endif
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   static constexpr int kSpinLimit = 64;

@@ -52,6 +52,7 @@ void BatchUpdater::ApplyBatch(std::vector<EdgeUpdate> batch) {
     pool_->Submit([&] {
       while (true) {
         const std::size_t begin =
+            // order: ticket draw only; group results are published by the join, not this counter
             next_group.fetch_add(stride, std::memory_order_relaxed);
         if (begin >= num_groups) return;
         const std::size_t end = std::min(num_groups, begin + stride);

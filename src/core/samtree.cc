@@ -171,6 +171,7 @@ std::uint64_t Samtree::NextVersion() {
   // reused heap address cannot revalidate a cache entry of its
   // predecessor.
   static std::atomic<std::uint64_t> clock{0};
+  // order: unique-stamp draw; publication happens via the version_ release store
   return clock.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
@@ -187,6 +188,7 @@ Samtree::Samtree(Samtree&& other) noexcept
       root_(std::move(other.root_)),
       count_(other.count_),
       stats_(other.stats_),
+      // order: moves are externally synchronised; no concurrent observer of either tree
       version_(other.version_.load(std::memory_order_relaxed)) {
   other.count_ = 0;
   other.stats_ = {};
@@ -201,6 +203,7 @@ Samtree& Samtree::operator=(Samtree&& other) noexcept {
     stats_ = other.stats_;
     // Adopt the source's stamp: it uniquely identifies the moved content,
     // while any entry cached against this tree's old stamp now mismatches.
+    // order: moves are externally synchronised; no concurrent observer of either tree
     version_.store(other.version_.load(std::memory_order_relaxed),
                    std::memory_order_release);
     other.count_ = 0;

@@ -31,6 +31,7 @@
 
 #include "common/memory.h"
 #include "common/random.h"
+#include "common/sched_hooks.h"
 #include "common/types.h"
 #include "core/compressed_ids.h"
 #include "index/cstable.h"
@@ -291,7 +292,8 @@ class Samtree {
   std::size_t count_ = 0;
   std::uint32_t self_check_tick_ = 0;  // sampling counter for MaybeSelfCheck
   SamtreeOpStats stats_;
-  std::atomic<std::uint64_t> version_{0};  // assigned in the constructor
+  // sched::Atomic == std::atomic outside PD2GL_SCHEDCHECK builds.
+  sched::Atomic<std::uint64_t> version_{0};  // assigned in the constructor
 };
 
 }  // namespace platod2gl

@@ -12,7 +12,9 @@ FaultInjector::FaultInjector(FaultConfig config, std::size_t num_shards)
       crashed_(std::make_unique<std::atomic<bool>[]>(num_shards)),
       draws_(std::make_unique<std::atomic<std::uint64_t>[]>(num_shards)) {
   for (std::size_t i = 0; i < num_shards_; ++i) {
+    // order: constructor; nothing runs concurrently yet
     crashed_[i].store(false, std::memory_order_relaxed);
+    // order: constructor; nothing runs concurrently yet
     draws_[i].store(0, std::memory_order_relaxed);
   }
 }
@@ -42,6 +44,7 @@ std::uint64_t FaultInjector::Draw(std::size_t shard) {
   // apart from the per-shard counter, so concurrent RPCs against
   // *different* shards cannot perturb each other's fault sequences.
   const std::uint64_t n =
+      // order: per-shard draw tally; shards never read each other's
       draws_[shard].fetch_add(1, std::memory_order_relaxed);
   SplitMix64 sm(config_.seed ^ (0x9E3779B97F4A7C15ULL * (shard + 1)) ^
                 (0xD1B54A32D192ED03ULL * n));

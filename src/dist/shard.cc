@@ -10,6 +10,7 @@ GraphShard::GraphShard(GraphStoreConfig config)
     : config_(config), store_(std::make_unique<GraphStore>(config)) {}
 
 void GraphShard::Apply(const EdgeUpdate& update) {
+  // order: stat tally, read for reporting only
   requests_.fetch_add(1, std::memory_order_relaxed);
   // WAL first: the sequence number is strictly increasing, so Append can
   // never hit a time regression here.
@@ -21,6 +22,7 @@ bool GraphShard::SampleNeighbors(VertexId src, std::size_t k, bool weighted,
                                  Xoshiro256& rng, std::vector<VertexId>* out,
                                  EdgeType type) const {
   if (crashed_) return false;
+  // order: stat tally, read for reporting only
   requests_.fetch_add(1, std::memory_order_relaxed);
   return store_->SampleNeighbors(src, k, weighted, rng, out, type);
 }

@@ -76,6 +76,7 @@ class GraphShard {
   std::uint64_t checkpoint_seq() const { return checkpoint_seq_; }
 
   std::uint64_t requests_served() const {
+    // order: stat tally, read for reporting only
     return requests_.load(std::memory_order_relaxed);
   }
 

@@ -54,6 +54,18 @@ bool ReadPod(std::FILE* f, T* value) {
   return std::fread(value, sizeof(T), 1, f) == 1;
 }
 
+/// Bytes between the current position and EOF (0 on error). Length
+/// prefixes are checked against this BEFORE allocating: v1 files carry no
+/// CRC footer, so a lying prefix in a 13-byte file must not be allowed to
+/// drive a multi-gigabyte vector reserve (fuzz-found hazard).
+long RemainingBytes(std::FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return 0;
+  const long end = std::ftell(f);
+  if (std::fseek(f, pos, SEEK_SET) != 0) return 0;
+  return end >= pos ? end - pos : 0;
+}
+
 /// Verify the CRC-32 footer of an already-open file: checksum every byte
 /// except the trailing 4, compare, and rewind to the start on success.
 /// `min_size` guards the smallest structurally valid file.
@@ -255,6 +267,10 @@ Status LoadGraph(const std::string& path, GraphStore* graph) {
       return Status::InvalidArgument("truncated feature length");
     }
     if (len > 0) {
+      if (static_cast<std::uint64_t>(RemainingBytes(f.get())) <
+          static_cast<std::uint64_t>(len) * sizeof(float)) {
+        return Status::InvalidArgument("feature length exceeds file size");
+      }
       std::vector<float> feats(len);
       if (std::fread(feats.data(), sizeof(float), len, f.get()) != len) {
         return Status::InvalidArgument("truncated features");

@@ -28,6 +28,7 @@
 #include <cstdint>
 
 #include "common/mutex.h"
+#include "common/sched_hooks.h"
 #include "common/thread_annotations.h"
 
 namespace platod2gl {
@@ -111,7 +112,8 @@ class EpochCoordinator {
   std::size_t active_readers_ GUARDED_BY(mu_) = 0;
   std::size_t writers_waiting_ GUARDED_BY(mu_) = 0;
   bool writer_active_ GUARDED_BY(mu_) = false;
-  std::atomic<std::uint64_t> epoch_{0};
+  // std::atomic in production; a schedule point under PD2GL_SCHEDCHECK.
+  sched::Atomic<std::uint64_t> epoch_{0};
 };
 
 }  // namespace platod2gl

@@ -98,6 +98,7 @@ std::size_t MicroBatcher::PumpOnce(bool force) {
   const std::size_t carried = pending_.size();
   const std::size_t drained = ingestor_->DrainAll(&pending_);
   if (drained > 0) {
+    // order: stat tallies, snapshot for reporting only
     updates_ingested_.fetch_add(drained, std::memory_order_relaxed);
     const auto mid = pending_.begin() + static_cast<std::ptrdiff_t>(carried);
     std::sort(mid, pending_.end(), ByTimeThenSeq);
@@ -116,6 +117,7 @@ std::size_t MicroBatcher::PumpOnce(bool force) {
   for (std::size_t i = 0; i < take; ++i) {
     const TimedUpdate& u = pending_[i].update;
     if (u.update.edge.type >= graph_->num_relations()) {
+      // order: stat tallies, snapshot for reporting only
       invalid_dropped_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -144,6 +146,7 @@ std::size_t MicroBatcher::PumpOnce(bool force) {
                                               scratch_.size() - first_ok);
   if (log_ != nullptr) {
     log_->AppendBatch(accepted);
+    // order: stat tallies, snapshot for reporting only
     log_rejected_.fetch_add(first_ok, std::memory_order_relaxed);
   }
   if (accepted.empty()) return take;
@@ -154,6 +157,7 @@ std::size_t MicroBatcher::PumpOnce(bool force) {
   folded.reserve(accepted.size());
   for (const TimedUpdate& u : accepted) folded.push_back(u.update);
   if (config_.coalesce) {
+    // order: stat tallies, snapshot for reporting only
     coalesced_.fetch_add(Coalesce(&folded), std::memory_order_relaxed);
   }
   std::vector<std::vector<EdgeUpdate>> by_relation(graph_->num_relations());
@@ -175,10 +179,12 @@ std::size_t MicroBatcher::PumpOnce(bool force) {
       applied += by_relation[rel].size();
       updaters_[rel]->ApplyBatch(std::move(by_relation[rel]));
     }
+    // order: stat tallies, snapshot for reporting only
     updates_applied_.fetch_add(applied, std::memory_order_relaxed);
     applied_watermark_.store(accepted.back().timestamp,
                              std::memory_order_release);
   }
+  // order: stat tallies, snapshot for reporting only
   batches_applied_.fetch_add(1, std::memory_order_relaxed);
   return take;
 }
@@ -194,6 +200,7 @@ std::size_t MicroBatcher::Flush() {
 
 MicroBatcherStats MicroBatcher::Stats() const {
   MicroBatcherStats s;
+  // order: stat tallies, snapshot for reporting only
   s.batches_applied = batches_applied_.load(std::memory_order_relaxed);
   s.updates_ingested = updates_ingested_.load(std::memory_order_relaxed);
   s.updates_applied = updates_applied_.load(std::memory_order_relaxed);

@@ -26,12 +26,16 @@ UpdateIngestor::Shard& UpdateIngestor::ShardFor(const EdgeUpdate& u) {
 }
 
 void UpdateIngestor::NoteAccepted(std::uint64_t timestamp) {
+  // order: stat tallies, snapshot for reporting only
   accepted_.fetch_add(1, std::memory_order_relaxed);
   queued_.fetch_add(1, std::memory_order_release);
+  // order: monotonic-max update; the successful CAS publishes with
+  // release, the failed order and the initial read only feed a retry.
   std::uint64_t seen = watermark_.load(std::memory_order_relaxed);
   while (timestamp > seen &&
          !watermark_.compare_exchange_weak(seen, timestamp,
                                            std::memory_order_release,
+                                           // order: failed-CAS retry only
                                            std::memory_order_relaxed)) {
   }
 }
@@ -39,17 +43,20 @@ void UpdateIngestor::NoteAccepted(std::uint64_t timestamp) {
 Status UpdateIngestor::Offer(const TimedUpdate& u) {
   if (config_.num_relations > 0 &&
       u.update.edge.type >= config_.num_relations) {
+    // order: stat tallies, snapshot for reporting only
     invalid_.fetch_add(1, std::memory_order_relaxed);
     return Status::InvalidArgument("edge type " +
                                    std::to_string(u.update.edge.type) +
                                    " out of range");
   }
   if (closed()) {
+    // order: stat tallies, snapshot for reporting only
     closed_rejects_.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("ingestor closed");
   }
 
   Shard& shard = ShardFor(u.update);
+  // order: uniqueness only; consumers order by (timestamp, seq) after drain
   const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   {
     MutexLock lock(shard.mu);
@@ -60,15 +67,18 @@ Status UpdateIngestor::Offer(const TimedUpdate& u) {
             shard.space_cv.wait(shard.mu);
           }
           if (closed()) {
+            // order: stat tallies, snapshot for reporting only
             closed_rejects_.fetch_add(1, std::memory_order_relaxed);
             return Status::Unavailable("ingestor closed");
           }
           break;
         case BackpressurePolicy::kReject:
+          // order: stat tallies, snapshot for reporting only
           rejected_.fetch_add(1, std::memory_order_relaxed);
           return Status::ResourceExhausted("ingest queue full");
         case BackpressurePolicy::kDropOldest:
           shard.queue.pop_front();
+          // order: stat tallies, snapshot for reporting only
           dropped_.fetch_add(1, std::memory_order_relaxed);
           queued_.fetch_sub(1, std::memory_order_release);
           break;
@@ -83,7 +93,17 @@ Status UpdateIngestor::Offer(const TimedUpdate& u) {
 void UpdateIngestor::Close() {
   closed_.store(true, std::memory_order_release);
   // Wake every producer blocked on space so it can observe the close.
-  for (auto& shard : shards_) shard->space_cv.notify_all();
+  // The notify must happen under the shard lock: a kBlock producer
+  // evaluates `!closed()` and calls wait() inside its critical section,
+  // so an unlocked notify can land in the gap between its check and its
+  // wait and be lost — the producer then sleeps forever because nothing
+  // else will ever signal space_cv (found by the schedule checker,
+  // tests/test_schedcheck_scenarios.cc IngestorScenario). Taking the
+  // lock serialises this notify against that check-then-wait window.
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    shard->space_cv.notify_all();
+  }
 }
 
 std::size_t UpdateIngestor::DrainAll(std::vector<IngestedUpdate>* out) {
@@ -107,6 +127,7 @@ std::size_t UpdateIngestor::DrainAll(std::vector<IngestedUpdate>* out) {
 
 IngestorStats UpdateIngestor::Stats() const {
   IngestorStats s;
+  // order: stat tallies, snapshot for reporting only
   s.accepted = accepted_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.dropped = dropped_.load(std::memory_order_relaxed);

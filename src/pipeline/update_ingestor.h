@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/sched_hooks.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/types.h"
@@ -131,16 +132,19 @@ class UpdateIngestor {
 
   IngestorConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<bool> closed_{false};
-  std::atomic<std::uint64_t> next_seq_{0};
-  std::atomic<std::uint64_t> watermark_{0};
-  std::atomic<std::size_t> queued_{0};
+  // sched::Atomic == std::atomic in production builds; under
+  // PD2GL_SCHEDCHECK every access is a schedule point so the checker can
+  // interleave producers, the consumer, and shutdown around them.
+  sched::Atomic<bool> closed_{false};
+  sched::Atomic<std::uint64_t> next_seq_{0};
+  sched::Atomic<std::uint64_t> watermark_{0};
+  sched::Atomic<std::size_t> queued_{0};
 
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> dropped_{0};
-  std::atomic<std::uint64_t> invalid_{0};
-  std::atomic<std::uint64_t> closed_rejects_{0};
+  sched::Atomic<std::uint64_t> accepted_{0};
+  sched::Atomic<std::uint64_t> rejected_{0};
+  sched::Atomic<std::uint64_t> dropped_{0};
+  sched::Atomic<std::uint64_t> invalid_{0};
+  sched::Atomic<std::uint64_t> closed_rejects_{0};
 };
 
 }  // namespace platod2gl

@@ -163,6 +163,7 @@ bool SampleCache::Sample(VertexId v, EdgeType type, const Samtree& tree,
   }
 
   if (entry && entry->version == now) {
+    // order: stat tallies, snapshot for reporting only
     hits_.fetch_add(1, std::memory_order_relaxed);
     entry->Draw(weighted, k, rng, out);
     return true;
@@ -170,6 +171,7 @@ bool SampleCache::Sample(VertexId v, EdgeType type, const Samtree& tree,
 
   if (entry) {
     // Invalidation path: the tree changed since the entry was built.
+    // order: stat tallies, snapshot for reporting only
     stale_hits_.fetch_add(1, std::memory_order_relaxed);
     entry = BuildEntry(tree);
     std::size_t evicted;
@@ -177,12 +179,14 @@ bool SampleCache::Sample(VertexId v, EdgeType type, const Samtree& tree,
       SpinlockGuard lock(shard.mu);
       evicted = shard.Put(key, entry, shard_capacity_);
     }
+    // order: stat tallies, snapshot for reporting only
     rebuilds_.fetch_add(1, std::memory_order_relaxed);
     if (evicted) evictions_.fetch_add(evicted, std::memory_order_relaxed);
     entry->Draw(weighted, k, rng, out);
     return true;
   }
 
+  // order: stat tallies, snapshot for reporting only
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (tree.size() < config_.min_degree) {
     cold_rejects_.fetch_add(1, std::memory_order_relaxed);
@@ -202,6 +206,7 @@ bool SampleCache::Sample(VertexId v, EdgeType type, const Samtree& tree,
     }
   }
   if (!admit) {
+    // order: stat tallies, snapshot for reporting only
     cold_rejects_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -212,6 +217,7 @@ bool SampleCache::Sample(VertexId v, EdgeType type, const Samtree& tree,
     SpinlockGuard lock(shard.mu);
     evicted = shard.Put(key, entry, shard_capacity_);
   }
+  // order: stat tallies, snapshot for reporting only
   admissions_.fetch_add(1, std::memory_order_relaxed);
   if (evicted) evictions_.fetch_add(evicted, std::memory_order_relaxed);
   entry->Draw(weighted, k, rng, out);
@@ -251,6 +257,7 @@ std::size_t SampleCache::MemoryUsage() const {
 
 SampleCacheStats SampleCache::Stats() const {
   SampleCacheStats s;
+  // order: stat tallies, snapshot for reporting only
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.stale_hits = stale_hits_.load(std::memory_order_relaxed);
@@ -262,6 +269,7 @@ SampleCacheStats SampleCache::Stats() const {
 }
 
 void SampleCache::ResetStats() {
+  // order: stat tallies, snapshot for reporting only
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   stale_hits_.store(0, std::memory_order_relaxed);

@@ -1,0 +1,784 @@
+// Schedule-exploration runtime (see sched.h and docs/schedule_checker.md).
+//
+// One Runner instance executes one Explore() call. Per schedule it spawns
+// the scenario threads as real std::threads but serialises them: a thread
+// runs only while it holds the grant, and hands control back to the
+// controller at every instrumented operation. The controller picks the
+// next thread per the exploration strategy (DFS prefix, random walk, PCT
+// priorities, or an explicit replay list).
+//
+// The runtime's own synchronisation deliberately uses raw std primitives
+// (std::mutex / std::condition_variable / std::unique_lock): the
+// annotated project wrappers are exactly the types being *modelled*, so
+// routing the model through them would recurse. pd2gl_lint exempts this
+// file for that reason.
+#include "schedcheck/sched.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/random.h"
+
+namespace platod2gl::sched {
+
+// Lets the runtime (anonymous-namespace Runner) reach Test's registration
+// lists without widening Test's public API.
+struct TestAccess {
+  static std::vector<Test::Entry>& Threads(Test& t) { return t.threads_; }
+  static std::vector<std::function<void()>>& Checks(Test& t) {
+    return t.checks_;
+  }
+};
+
+namespace {
+
+/// Thrown by hooks when a schedule is being torn down; caught by the
+/// worker wrapper. Never escapes the runtime.
+struct SchedAbortException {};
+
+/// Thrown by Check / race detection; carries the failure message.
+struct SchedFailureException {
+  std::string msg;
+};
+
+struct Pending {
+  OpKind kind = OpKind::kThreadStart;
+  const void* obj = nullptr;
+  const char* what = "";
+};
+
+class Runner;
+thread_local Runner* tl_runner = nullptr;
+thread_local int tl_idx = -1;
+
+std::atomic<bool> g_cuckoo_race{false};
+
+class Runner {
+ public:
+  explicit Runner(const Options& opts) : opts_(opts) {}
+
+  bool aborting() const { return aborting_.load(std::memory_order_acquire); }
+
+  // --- hook implementations (called on scenario threads) -------------------
+
+  void Point(OpKind kind, const void* obj, const char* what) {
+    std::unique_lock<std::mutex> lk(m_);
+    YieldLocked(lk, kind, obj, what);
+  }
+
+  void LockAcquire(const void* obj, const char* what) {
+    for (;;) {
+      Point(OpKind::kLockAcquire, obj, what);
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        if (lock_owner_.find(obj) == lock_owner_.end()) {
+          lock_owner_[obj] = tl_idx;
+          return;
+        }
+      }
+      Block(obj);
+    }
+  }
+
+  bool LockTryAcquire(const void* obj, const char* what) {
+    Point(OpKind::kLockAcquire, obj, what);
+    std::lock_guard<std::mutex> lk(m_);
+    if (lock_owner_.find(obj) != lock_owner_.end()) return false;
+    lock_owner_[obj] = tl_idx;
+    return true;
+  }
+
+  void LockRelease(const void* obj, const char* what) {
+    Point(OpKind::kLockRelease, obj, what);
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = lock_owner_.find(obj);
+    if (it == lock_owner_.end() || it->second != tl_idx) {
+      // A genuine bug in the code under test, not in the model.
+      throw SchedFailureException{
+          std::string("unlock of a virtual lock not held by this thread (") +
+          what + ")"};
+    }
+    lock_owner_.erase(it);
+    UnblockAllLocked(obj);
+  }
+
+  void CondPrepareWait(const void* cv, const char* what) {
+    // Registered BEFORE the caller releases the lock, so a notify landing
+    // between release and block is not lost — this models the atomic
+    // release-and-wait of a real condition variable.
+    Point(OpKind::kCondWait, cv, what);
+    std::lock_guard<std::mutex> lk(m_);
+    cond_waiting_[cv].push_back(tl_idx);
+    signalled_[tl_idx] = false;
+  }
+
+  void CondCommitWait(const void* cv) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      if (signalled_[tl_idx]) {
+        signalled_[tl_idx] = false;
+        return;  // notified while we were releasing the lock
+      }
+      BlockLocked(lk, cv);
+    }
+  }
+
+  void CondNotify(const void* cv, const char* what, bool all) {
+    Point(OpKind::kCondNotify, cv, what);
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = cond_waiting_.find(cv);
+    if (it == cond_waiting_.end() || it->second.empty()) return;  // lost
+    const std::size_t n = all ? it->second.size() : 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int w = it->second[i];
+      signalled_[w] = true;
+      if (threads_[w].state == St::kBlocked && threads_[w].blocked_on == cv) {
+        threads_[w].state = St::kRunnable;
+        threads_[w].blocked_on = nullptr;
+      }
+    }
+    it->second.erase(it->second.begin(),
+                     it->second.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+
+  void PlainBegin(const void* obj, bool is_write, const char* what) {
+    Point(is_write ? OpKind::kPlainStore : OpKind::kPlainLoad, obj, what);
+    std::lock_guard<std::mutex> lk(m_);
+    auto& open = open_[obj];
+    for (const auto& [thread, write] : open) {
+      if (thread != tl_idx && (is_write || write)) {
+        throw SchedFailureException{
+            "data race on " + ObjNameLocked(obj, what) + ": plain " +
+            (is_write ? std::string("store") : std::string("load")) + " by " +
+            ThreadName(tl_idx) + " overlaps plain " +
+            (write ? std::string("store") : std::string("load")) + " by " +
+            ThreadName(thread)};
+      }
+    }
+    open[tl_idx] = is_write;
+  }
+
+  void PlainEnd(const void* obj) {
+    Point(OpKind::kPlainEnd, obj, "plain");
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = open_.find(obj);
+    if (it != open_.end()) it->second.erase(tl_idx);
+  }
+
+  // --- exploration ----------------------------------------------------------
+
+  Result Explore(const std::function<void(Test&)>& build) {
+    Result res;
+    res.seed = opts_.seed;
+    if (!opts_.replay.empty()) {
+      RunReplaySchedule(build, res);
+      return res;
+    }
+    switch (opts_.mode) {
+      case Mode::kExhaustive:
+        RunDfs(build, res);
+        break;
+      case Mode::kRandomWalk:
+      case Mode::kPct:
+        RunRandomFamily(build, res);
+        break;
+    }
+    return res;
+  }
+
+ private:
+  enum class St { kNew, kRunnable, kBlocked, kFinished };
+
+  struct ThreadRec {
+    std::string name;
+    std::function<void()> body;
+    std::thread thread;
+    St state = St::kNew;
+    const void* blocked_on = nullptr;
+    bool granted = false;
+  };
+
+  struct Decision {
+    std::vector<int> order;  // candidates, exploration order (default first)
+    int pos = 0;             // index into `order` actually taken
+    int preempt_before = 0;  // preemptions used before this decision
+    bool has_last = false;   // order[0] continues the previous thread
+  };
+
+  // Strategy callback: given the decision about to be made (step index,
+  // candidate order, preemptions used), return the position to take.
+  using Chooser = std::function<int(std::size_t step, const Decision& d)>;
+
+  // --- worker side ----------------------------------------------------------
+
+  void WorkerMain(int idx) {
+    tl_runner = this;
+    tl_idx = idx;
+    bool skip_body = false;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      threads_[idx].state = St::kRunnable;
+      pending_[idx] =
+          Pending{OpKind::kThreadStart, nullptr, threads_[idx].name.c_str()};
+      ++started_;
+      cv_.notify_all();
+      cv_.wait(lk, [&] { return threads_[idx].granted; });
+      threads_[idx].granted = false;
+      skip_body = aborting();
+    }
+    if (!skip_body) {
+      try {
+        threads_[idx].body();
+      } catch (const SchedAbortException&) {
+      } catch (const SchedFailureException& f) {
+        FailFromWorker(f.msg);
+      } catch (const std::exception& e) {
+        FailFromWorker(std::string("uncaught exception in ") +
+                       ThreadName(idx) + ": " + e.what());
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      threads_[idx].state = St::kFinished;
+      control_with_worker_ = false;
+      cv_.notify_all();
+    }
+    tl_runner = nullptr;
+    tl_idx = -1;
+  }
+
+  /// Record the op this thread is about to perform and hand control back.
+  void YieldLocked(std::unique_lock<std::mutex>& lk, OpKind kind,
+                   const void* obj, const char* what) {
+    pending_[tl_idx] = Pending{kind, obj, what};
+    control_with_worker_ = false;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return threads_[tl_idx].granted; });
+    threads_[tl_idx].granted = false;
+    if (aborting()) throw SchedAbortException{};
+  }
+
+  void Block(const void* obj) {
+    std::unique_lock<std::mutex> lk(m_);
+    BlockLocked(lk, obj);
+  }
+
+  void BlockLocked(std::unique_lock<std::mutex>& lk, const void* obj) {
+    threads_[tl_idx].state = St::kBlocked;
+    threads_[tl_idx].blocked_on = obj;
+    control_with_worker_ = false;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return threads_[tl_idx].granted; });
+    threads_[tl_idx].granted = false;
+    if (aborting()) throw SchedAbortException{};
+  }
+
+  void UnblockAllLocked(const void* obj) {
+    for (auto& t : threads_) {
+      if (t.state == St::kBlocked && t.blocked_on == obj) {
+        t.state = St::kRunnable;
+        t.blocked_on = nullptr;
+      }
+    }
+  }
+
+  void FailFromWorker(const std::string& msg) {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!failed_) {
+      failed_ = true;
+      failure_ = msg;
+    }
+    BeginAbortLocked();
+  }
+
+  void BeginAbortLocked() {
+    aborting_.store(true, std::memory_order_release);
+    // Everything blocked becomes grantable so it can observe the abort,
+    // unwind (hooks no-op while aborting) and finish.
+    for (auto& t : threads_) {
+      if (t.state == St::kBlocked) {
+        t.state = St::kRunnable;
+        t.blocked_on = nullptr;
+      }
+    }
+  }
+
+  // --- controller side ------------------------------------------------------
+
+  std::string ThreadName(int idx) const {
+    return "T" + std::to_string(idx) + "<" + threads_[idx].name + ">";
+  }
+
+  /// Stable per-schedule object naming: ids are assigned in first-trace
+  /// order, so two runs of the same schedule print identical traces (no
+  /// raw pointers — they would differ across processes under ASLR).
+  std::string ObjNameLocked(const void* obj, const char* what) {
+    if (obj == nullptr) return what;
+    auto [it, inserted] = obj_ids_.emplace(
+        obj, std::make_pair(static_cast<int>(obj_ids_.size()), what));
+    (void)inserted;
+    return "obj#" + std::to_string(it->second.first) + "<" +
+           it->second.second + ">";
+  }
+
+  void AppendTraceLocked(std::size_t step, int thread, const Pending& op) {
+    std::ostringstream line;
+    line << "  step " << step << ": " << ThreadName(thread) << " "
+         << OpKindName(op.kind);
+    if (op.obj != nullptr) {
+      line << " " << ObjNameLocked(op.obj, op.what);
+    } else if (op.kind != OpKind::kThreadStart) {
+      line << " (" << op.what << ")";
+    }
+    trace_lines_.push_back(line.str());
+  }
+
+  std::string DescribeStuckLocked() const {
+    std::string out;
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      if (threads_[i].state == St::kFinished) continue;
+      if (!out.empty()) out += ", ";
+      out += ThreadName(static_cast<int>(i));
+      out += threads_[i].state == St::kBlocked ? " blocked at " : " parked at ";
+      out += OpKindName(pending_[i].kind);
+    }
+    return out;
+  }
+
+  /// Execute one schedule: fresh scenario state, threads serialised, the
+  /// chooser consulted at every decision. Returns true when the schedule
+  /// (and its AfterRun checks) passed.
+  bool RunSchedule(const std::function<void(Test&)>& build,
+                  const Chooser& choose) {
+    // Fresh per-schedule state.
+    Test test;
+    build(test);
+    auto& entries = TestAccess::Threads(test);
+    threads_.clear();
+    threads_.resize(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      threads_[i].name = entries[i].name;
+      threads_[i].body = std::move(entries[i].body);
+    }
+    pending_.assign(threads_.size(), Pending{});
+    signalled_.assign(threads_.size(), false);
+    decisions_.clear();
+    trace_lines_.clear();
+    obj_ids_.clear();
+    lock_owner_.clear();
+    cond_waiting_.clear();
+    open_.clear();
+    failed_ = false;
+    failure_.clear();
+    choices_.clear();
+    aborting_.store(false, std::memory_order_release);
+    started_ = 0;
+    control_with_worker_ = false;
+
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      threads_[i].thread =
+          std::thread([this, i] { WorkerMain(static_cast<int>(i)); });
+    }
+
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait(lk, [&] { return started_ == threads_.size(); });
+
+      int last_running = -1;
+      int preemptions = 0;
+      std::size_t step = 0;
+      for (;;) {
+        std::vector<int> cand;
+        bool all_finished = true;
+        for (std::size_t i = 0; i < threads_.size(); ++i) {
+          if (threads_[i].state == St::kRunnable) {
+            cand.push_back(static_cast<int>(i));
+          }
+          if (threads_[i].state != St::kFinished) all_finished = false;
+        }
+        if (cand.empty()) {
+          if (all_finished) break;
+          if (!failed_) {
+            failed_ = true;
+            failure_ = "deadlock: no enabled thread (" +
+                       DescribeStuckLocked() + ")";
+          }
+          BeginAbortLocked();
+          continue;
+        }
+
+        Decision d;
+        d.order = cand;
+        d.has_last = false;
+        if (last_running >= 0) {
+          auto it = std::find(d.order.begin(), d.order.end(), last_running);
+          if (it != d.order.end()) {
+            std::rotate(d.order.begin(), it, it + 1);
+            d.has_last = true;
+          }
+        }
+        d.preempt_before = preemptions;
+        d.pos = aborting() ? 0 : choose(step, d);
+        if (d.pos < 0 || d.pos >= static_cast<int>(d.order.size())) d.pos = 0;
+        const int chosen = d.order[static_cast<std::size_t>(d.pos)];
+        if (d.has_last && chosen != last_running) ++preemptions;
+        if (!aborting()) {
+          decisions_.push_back(d);
+          if (!choices_.empty()) choices_ += ",";
+          choices_ += std::to_string(chosen);
+          AppendTraceLocked(step, chosen, pending_[chosen]);
+        }
+
+        threads_[chosen].granted = true;
+        control_with_worker_ = true;
+        cv_.notify_all();
+        cv_.wait(lk, [&] { return !control_with_worker_; });
+        last_running = chosen;
+        ++step;
+        if (step > opts_.max_steps && !aborting()) {
+          failed_ = true;
+          failure_ = "livelock: schedule exceeded max_steps=" +
+                     std::to_string(opts_.max_steps);
+          BeginAbortLocked();
+        }
+      }
+    }
+
+    for (auto& t : threads_) t.thread.join();
+
+    if (!failed_) {
+      try {
+        for (const auto& check : TestAccess::Checks(test)) check();
+      } catch (const SchedFailureException& f) {
+        failed_ = true;
+        failure_ = f.msg;
+      }
+    }
+    return !failed_;
+  }
+
+  void FillFailure(Result& res, std::uint64_t index) {
+    res.ok = false;
+    res.failing_index = index;
+    res.failure = failure_;
+    res.choices = choices_;
+    std::string t;
+    for (const auto& line : trace_lines_) {
+      t += line;
+      t += "\n";
+    }
+    res.trace = t;
+  }
+
+  // --- strategies -----------------------------------------------------------
+
+  bool DfsAllowed(const Decision& d, int pos) const {
+    if (pos == 0) return true;
+    if (!d.has_last) return true;  // forced or free switch
+    return d.preempt_before < opts_.preemption_bound;
+  }
+
+  void RunDfs(const std::function<void(Test&)>& build, Result& res) {
+    std::vector<int> prefix;
+    for (std::uint64_t index = 0;; ++index) {
+      const Chooser choose = [&](std::size_t step, const Decision& d) -> int {
+        if (step < prefix.size()) return prefix[step];
+        return 0;  // default: continue the running thread (non-preemptive)
+      };
+      const bool ok = RunSchedule(build, choose);
+      ++res.schedules;
+      if (!ok) {
+        FillFailure(res, index);
+        return;
+      }
+      if (opts_.max_schedules > 0 && res.schedules >= opts_.max_schedules) {
+        return;
+      }
+      // Backtrack: deepest decision with an untried, bound-respecting
+      // alternative becomes the next prefix.
+      bool advanced = false;
+      for (std::size_t i = decisions_.size(); i-- > 0;) {
+        const Decision& d = decisions_[i];
+        for (int pos = d.pos + 1; pos < static_cast<int>(d.order.size());
+             ++pos) {
+          if (!DfsAllowed(d, pos)) continue;
+          prefix.clear();
+          for (std::size_t j = 0; j < i; ++j) {
+            prefix.push_back(decisions_[j].pos);
+          }
+          prefix.push_back(pos);
+          advanced = true;
+          break;
+        }
+        if (advanced) break;
+      }
+      if (!advanced) return;  // enumeration complete
+    }
+  }
+
+  void RunRandomFamily(const std::function<void(Test&)>& build, Result& res) {
+    const std::uint64_t n =
+        opts_.max_schedules == 0 ? 1000 : opts_.max_schedules;
+    std::size_t length_estimate = 128;  // PCT change-point range, adapted
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const std::uint64_t index = opts_.start_index + k;
+      // Schedule `index` is a pure function of (seed, index).
+      Xoshiro256 rng(opts_.seed + 0x9E3779B97F4A7C15ULL * (index + 1));
+      Chooser choose;
+      std::vector<int> prio;
+      std::vector<std::size_t> change_points;
+      if (opts_.mode == Mode::kPct) {
+        prio.resize(16);
+        for (std::size_t i = 0; i < prio.size(); ++i) {
+          prio[i] = static_cast<int>(i) + 1;
+        }
+        for (std::size_t i = prio.size(); i-- > 1;) {
+          std::swap(prio[i], prio[rng.NextUint64(i + 1)]);
+        }
+        for (int i = 0; i < opts_.pct_depth; ++i) {
+          change_points.push_back(
+              1 + rng.NextUint64(std::max<std::size_t>(1, length_estimate)));
+        }
+        int next_demoted = 0;
+        choose = [this, prio, change_points, next_demoted,
+                  &rng](std::size_t step, const Decision& d) mutable -> int {
+          (void)this;
+          int best_pos = 0;
+          for (int pos = 1; pos < static_cast<int>(d.order.size()); ++pos) {
+            if (prio[static_cast<std::size_t>(d.order[pos])] >
+                prio[static_cast<std::size_t>(d.order[best_pos])]) {
+              best_pos = pos;
+            }
+          }
+          if (std::find(change_points.begin(), change_points.end(), step) !=
+              change_points.end()) {
+            // Demote the thread we are about to run below every other.
+            prio[static_cast<std::size_t>(d.order[best_pos])] = --next_demoted;
+          }
+          return best_pos;
+        };
+      } else {
+        choose = [&rng](std::size_t, const Decision& d) -> int {
+          return static_cast<int>(rng.NextUint64(d.order.size()));
+        };
+      }
+      const bool ok = RunSchedule(build, choose);
+      ++res.schedules;
+      length_estimate = std::max<std::size_t>(decisions_.size(), 16);
+      if (!ok) {
+        FillFailure(res, index);
+        return;
+      }
+    }
+  }
+
+  void RunReplaySchedule(const std::function<void(Test&)>& build,
+                         Result& res) {
+    std::vector<int> want;
+    std::stringstream ss(opts_.replay);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) want.push_back(std::stoi(tok));
+    }
+    const Chooser choose = [&](std::size_t step, const Decision& d) -> int {
+      if (step < want.size()) {
+        auto it = std::find(d.order.begin(), d.order.end(), want[step]);
+        if (it != d.order.end()) {
+          return static_cast<int>(it - d.order.begin());
+        }
+      }
+      return 0;
+    };
+    const bool ok = RunSchedule(build, choose);
+    res.schedules = 1;
+    if (!ok) FillFailure(res, 0);
+  }
+
+  const Options opts_;
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<ThreadRec> threads_;
+  std::vector<Pending> pending_;
+  std::vector<bool> signalled_;  // condvar notify landed pre-block
+  std::size_t started_ = 0;
+  bool control_with_worker_ = false;
+  std::atomic<bool> aborting_{false};
+
+  std::map<const void*, int> lock_owner_;
+  std::map<const void*, std::vector<int>> cond_waiting_;
+  std::map<const void*, std::map<int, bool>> open_;  // racy-cell intervals
+
+  std::vector<Decision> decisions_;
+  std::vector<std::string> trace_lines_;
+  std::map<const void*, std::pair<int, const char*>> obj_ids_;
+  std::string choices_;
+  bool failed_ = false;
+  std::string failure_;
+};
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kThreadStart:
+      return "thread-start";
+    case OpKind::kAtomicLoad:
+      return "atomic-load";
+    case OpKind::kAtomicStore:
+      return "atomic-store";
+    case OpKind::kAtomicRmw:
+      return "atomic-rmw";
+    case OpKind::kLockAcquire:
+      return "lock-acquire";
+    case OpKind::kLockRelease:
+      return "lock-release";
+    case OpKind::kCondWait:
+      return "cond-wait";
+    case OpKind::kCondNotify:
+      return "cond-notify";
+    case OpKind::kPlainLoad:
+      return "plain-load";
+    case OpKind::kPlainStore:
+      return "plain-store";
+    case OpKind::kPlainEnd:
+      return "plain-end";
+    case OpKind::kYield:
+      return "yield";
+  }
+  return "?";
+}
+
+bool ModelActive() { return tl_runner != nullptr; }
+
+void Point(OpKind kind, const void* obj, const char* what) {
+  Runner* r = tl_runner;
+  if (r == nullptr || r->aborting()) return;
+  r->Point(kind, obj, what);
+}
+
+void LockAcquire(const void* obj, const char* what) {
+  Runner* r = tl_runner;
+  if (r == nullptr || r->aborting()) return;
+  r->LockAcquire(obj, what);
+}
+
+bool LockTryAcquire(const void* obj, const char* what) {
+  Runner* r = tl_runner;
+  if (r == nullptr || r->aborting()) return true;
+  return r->LockTryAcquire(obj, what);
+}
+
+void LockRelease(const void* obj, const char* what) {
+  Runner* r = tl_runner;
+  if (r == nullptr || r->aborting()) return;
+  r->LockRelease(obj, what);
+}
+
+void CondBlock(const void* cv, const char* what) {
+  Runner* r = tl_runner;
+  if (r == nullptr || r->aborting()) return;
+  r->CondPrepareWait(cv, what);
+  r->CondCommitWait(cv);
+}
+
+void CondNotify(const void* cv, const char* what) {
+  Runner* r = tl_runner;
+  if (r == nullptr || r->aborting()) return;
+  r->CondNotify(cv, what, /*all=*/true);
+}
+
+void CondNotifyOne(const void* cv, const char* what) {
+  Runner* r = tl_runner;
+  if (r == nullptr || r->aborting()) return;
+  r->CondNotify(cv, what, /*all=*/false);
+}
+
+void CondPrepareWait(const void* cv, const char* what) {
+  Runner* r = tl_runner;
+  if (r == nullptr || r->aborting()) return;
+  r->CondPrepareWait(cv, what);
+}
+
+void CondCommitWait(const void* cv) {
+  Runner* r = tl_runner;
+  if (r == nullptr || r->aborting()) return;
+  r->CondCommitWait(cv);
+}
+
+void PlainBegin(const void* obj, bool is_write, const char* what) {
+  Runner* r = tl_runner;
+  if (r == nullptr || r->aborting()) return;
+  r->PlainBegin(obj, is_write, what);
+}
+
+void PlainEnd(const void* obj) {
+  Runner* r = tl_runner;
+  if (r == nullptr || r->aborting()) return;
+  r->PlainEnd(obj);
+}
+
+void SetCuckooShardSizeRace(bool reintroduce) {
+  g_cuckoo_race.store(reintroduce, std::memory_order_release);
+}
+
+bool CuckooShardSizeRace() {
+  return g_cuckoo_race.load(std::memory_order_acquire);
+}
+
+void Check(bool ok, const std::string& msg) {
+  if (ok) return;
+  Runner* r = tl_runner;
+  if (r != nullptr && r->aborting()) return;  // schedule already torn down
+  throw SchedFailureException{msg};
+}
+
+void Test::Spawn(std::string name, std::function<void()> body) {
+  threads_.push_back(Entry{std::move(name), std::move(body)});
+}
+
+void Test::AfterRun(std::function<void()> check) {
+  checks_.push_back(std::move(check));
+}
+
+Result Explore(const Options& opts, const std::function<void(Test&)>& build) {
+  Runner runner(opts);
+  return runner.Explore(build);
+}
+
+struct TestMutex::Impl {
+  std::mutex mu;
+};
+
+TestMutex::TestMutex() : impl_(new Impl) {}
+TestMutex::~TestMutex() { delete impl_; }
+
+void TestMutex::lock() {
+  if (ModelActive()) {
+    LockAcquire(this, "TestMutex");
+    return;
+  }
+  impl_->mu.lock();
+}
+
+bool TestMutex::try_lock() {
+  if (ModelActive()) return LockTryAcquire(this, "TestMutex");
+  return impl_->mu.try_lock();
+}
+
+void TestMutex::unlock() {
+  if (ModelActive()) {
+    LockRelease(this, "TestMutex");
+    return;
+  }
+  impl_->mu.unlock();
+}
+
+}  // namespace platod2gl::sched

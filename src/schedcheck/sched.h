@@ -1,0 +1,153 @@
+#pragma once
+// Deterministic schedule exploration for small concurrent scenarios
+// (model-checker-lite in the loom / CHESS / PCT tradition; see
+// docs/schedule_checker.md).
+//
+// TSan stress runs observe whichever interleavings the OS happens to
+// schedule; this harness *controls* the interleaving instead. A scenario
+// registers 2..8 thread bodies; the runner serialises them — exactly one
+// scenario thread executes at any moment — and decides, at every
+// instrumented operation (sched::Atomic access, virtual lock acquire/
+// release, condvar wait/notify, racy-cell access), which thread runs
+// next. Exploration modes:
+//
+//  * kExhaustive — depth-first enumeration of every schedule whose number
+//    of preemptions (switching away from a thread that could have
+//    continued) is <= preemption_bound. Small bounds find most real
+//    concurrency bugs (CHESS's empirical result) while keeping the
+//    schedule count tractable for 2-3 thread scenarios.
+//  * kRandomWalk — at each decision, pick uniformly among enabled
+//    threads, seeded; schedule i of a run is a pure function of
+//    (seed, i), so any failure replays from (seed, index).
+//  * kPct — probabilistic concurrency testing: each schedule assigns
+//    random thread priorities and demotes the running thread at d
+//    random change points; finds depth-d bugs with known probability.
+//
+// Every run is reproducible: scenarios must be deterministic apart from
+// scheduling (seeded RNGs only, no wall-clock, no thread pools), and a
+// failing schedule reports a replayable trace (step x thread x operation
+// x object) plus the decision list that reproduces it exactly.
+//
+// What the checker reports as failures:
+//  * a sched::Check(...) that evaluates false (scenario invariant);
+//  * a data race: two threads' plain (NonAtomic) access intervals to the
+//    same cell overlap with at least one write;
+//  * deadlock: no thread is enabled but some have not finished (this is
+//    also how lost wakeups surface, since notifies are not sticky);
+//  * livelock: a single schedule exceeding max_steps.
+//
+// The model explores *interleavings* under sequential consistency; it
+// does not model C++ weak-memory reorderings (that is TSan's and the
+// `// order:` lint rule's job).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/sched_hooks.h"
+
+namespace platod2gl::sched {
+
+enum class Mode {
+  kExhaustive,
+  kRandomWalk,
+  kPct,
+};
+
+struct Options {
+  Mode mode = Mode::kExhaustive;
+  /// Exhaustive mode: max context switches away from a runnable thread.
+  int preemption_bound = 2;
+  /// Schedules to run. 0 = no cap for exhaustive (enumerate fully);
+  /// random modes treat 0 as 1000.
+  std::uint64_t max_schedules = 0;
+  /// Seed for the random modes; schedule i derives its own generator from
+  /// (seed, start_index + i).
+  std::uint64_t seed = 1;
+  /// First schedule index (random modes) — set to a failing index to
+  /// replay exactly that schedule.
+  std::uint64_t start_index = 0;
+  /// PCT: number of priority-change points per schedule.
+  int pct_depth = 3;
+  /// Livelock guard: a single schedule exceeding this many granted steps
+  /// fails.
+  std::size_t max_steps = 50000;
+  /// Replay an explicit decision list (comma-separated thread indices, as
+  /// reported in Result::choices). When non-empty, exactly one schedule
+  /// runs and mode/seed are ignored.
+  std::string replay;
+};
+
+struct Result {
+  bool ok = true;
+  /// Schedules fully executed (including the failing one).
+  std::uint64_t schedules = 0;
+  /// Index of the failing schedule (mode-relative; for random modes this
+  /// is the absolute index usable as Options::start_index).
+  std::uint64_t failing_index = 0;
+  std::uint64_t seed = 0;
+  /// Human-readable failure cause; empty when ok.
+  std::string failure;
+  /// Replayable trace of the failing schedule (step x thread x op x obj).
+  std::string trace;
+  /// Decision list of the failing schedule for Options::replay.
+  std::string choices;
+};
+
+/// Per-schedule scenario builder handle. The builder callback passed to
+/// Explore runs once per schedule and must create *fresh* state (capture
+/// it in shared_ptrs inside the thread closures).
+class Test {
+ public:
+  /// Register a scenario thread. Bodies run serialised under the model;
+  /// they may use sched::Check and any instrumented structure, but must
+  /// not spawn further threads or use thread pools.
+  void Spawn(std::string name, std::function<void()> body);
+
+  /// Register a check that runs single-threaded after all scenario
+  /// threads joined (postcondition checks via sched::Check).
+  void AfterRun(std::function<void()> check);
+
+ private:
+  friend struct TestAccess;  // runtime-internal accessor (sched.cc)
+  struct Entry {
+    std::string name;
+    std::function<void()> body;
+  };
+  std::vector<Entry> threads_;
+  std::vector<std::function<void()>> checks_;
+};
+
+/// Run the scenario under every schedule the options call for. Stops at
+/// the first failing schedule and reports it; otherwise returns ok with
+/// the number of schedules explored.
+Result Explore(const Options& opts, const std::function<void(Test&)>& build);
+
+/// Scenario assertion: records the failure, aborts the current schedule
+/// cleanly and surfaces `msg` (plus the trace) through Result. Usable
+/// from scenario threads and AfterRun checks.
+void Check(bool ok, const std::string& msg);
+
+/// A lock routed through the virtual-lock model when one is active and
+/// through a real mutex otherwise. This is exactly the shim Spinlock and
+/// Mutex compile to under PD2GL_SCHEDCHECK, exposed unconditionally so
+/// the harness self-tests (tests/test_schedcheck.cc) exercise the model
+/// in every build.
+class TestMutex {
+ public:
+  TestMutex();
+  ~TestMutex();
+  TestMutex(const TestMutex&) = delete;
+  TestMutex& operator=(const TestMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+ private:
+  struct Impl;
+  Impl* impl_;  // raw fallback mutex, unused while a model is active
+};
+
+}  // namespace platod2gl::sched

@@ -34,6 +34,7 @@
 
 #include "common/memory.h"
 #include "common/random.h"
+#include "common/sched_hooks.h"
 #include "common/spinlock.h"
 #include "common/thread_annotations.h"
 #include "common/types.h"
@@ -117,7 +118,7 @@ class CuckooMap {
       for (auto& slot : b.slots) {
         if (slot.value && slot.key == key) {
           slot.value.reset();
-          shard.size.fetch_sub(1, std::memory_order_relaxed);
+          BumpSizeLocked(shard, -1);
           return true;
         }
       }
@@ -131,6 +132,14 @@ class CuckooMap {
   std::size_t Size() const {
     std::size_t n = 0;
     for (const auto& s : shards_) {
+#if defined(PD2GL_SCHEDCHECK)
+      if (sched::CuckooShardSizeRace()) {  // pre-PR2 racy read, tests only
+        n += s.racy_size.load();
+        continue;
+      }
+#endif
+      // order: pure counter snapshot; carries no ordering with bucket
+      // state, which Size() deliberately does not observe.
       n += s.size.load(std::memory_order_relaxed);
     }
     return n;
@@ -177,9 +186,40 @@ class CuckooMap {
     std::vector<Bucket> buckets GUARDED_BY(mu);  // power-of-two size
     // Written under mu, read lock-free by Size(): relaxed atomic instead
     // of GUARDED_BY so the unlocked aggregate read stays race-free.
-    std::atomic<std::size_t> size{0};
+    // (sched::Atomic == std::atomic in production builds.)
+    sched::Atomic<std::size_t> size{0};
+#if defined(PD2GL_SCHEDCHECK)
+    // The pre-PR2 bug: a plain counter written under mu but read lock-free
+    // by Size(). Kept compilable (checker builds only) behind the runtime
+    // toggle sched::SetCuckooShardSizeRace so the schedule checker can
+    // prove it rediscovers the race deterministically.
+    sched::NonAtomic<std::size_t> racy_size{0};
+#endif
     Xoshiro256 rng GUARDED_BY(mu){0xC0C0C0C0DEADBEEFULL};
   };
+
+  // Size-counter bump with the shard lock held. Routed through the racy
+  // plain counter when the reintroduce-race test toggle is on.
+  static void BumpSizeLocked(Shard& shard, std::ptrdiff_t delta)
+      REQUIRES(shard.mu) {
+#if defined(PD2GL_SCHEDCHECK)
+    if (sched::CuckooShardSizeRace()) {
+      shard.racy_size.store(shard.racy_size.load() +
+                            static_cast<std::size_t>(delta));
+      return;
+    }
+#endif
+    if (delta >= 0) {
+      // order: counter only; Size() sums a snapshot and never infers
+      // bucket state from it.
+      shard.size.fetch_add(static_cast<std::size_t>(delta),
+                           std::memory_order_relaxed);
+    } else {
+      // order: counter only, as above.
+      shard.size.fetch_sub(static_cast<std::size_t>(-delta),
+                           std::memory_order_relaxed);
+    }
+  }
 
   static std::size_t RoundPow2(std::size_t n) {
     std::size_t p = 1;
@@ -217,7 +257,7 @@ class CuckooMap {
     auto value = std::make_unique<V>();
     V* raw = value.get();
     InsertLocked(shard, key, std::move(value));
-    shard.size.fetch_add(1, std::memory_order_relaxed);
+    BumpSizeLocked(shard, +1);
     return raw;
   }
 

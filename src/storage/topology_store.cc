@@ -15,6 +15,7 @@ void TopologyStore::AddEdge(VertexId src, VertexId dst, Weight w) {
     const std::size_t before = tree.size();
     tree.Insert(dst, w);
     if (tree.size() != before) {
+      // order: stat tally, read for reporting only
       num_edges_.fetch_add(1, std::memory_order_relaxed);
     }
   });
@@ -23,6 +24,7 @@ void TopologyStore::AddEdge(VertexId src, VertexId dst, Weight w) {
 void TopologyStore::AddEdgeUnchecked(VertexId src, VertexId dst, Weight w) {
   WithTree(src, [&](Samtree& tree) {
     tree.InsertUnchecked(dst, w);
+    // order: stat tally, read for reporting only
     num_edges_.fetch_add(1, std::memory_order_relaxed);
   });
 }
@@ -45,6 +47,7 @@ void TopologyStore::InstallTree(VertexId src, Samtree&& tree) {
         [&](VertexId dst, Weight w) { existing.Insert(dst, w); });
     delta = existing.size() - before;
   });
+  // order: stat tally, read for reporting only
   num_edges_.fetch_add(delta, std::memory_order_relaxed);
 }
 
@@ -59,6 +62,7 @@ bool TopologyStore::RemoveEdge(VertexId src, VertexId dst) {
   bool removed = false;
   trees_.WithExisting(src,
                       [&](Samtree& tree) { removed = tree.Remove(dst); });
+  // order: stat tally, read for reporting only
   if (removed) num_edges_.fetch_sub(1, std::memory_order_relaxed);
   return removed;
 }
@@ -130,6 +134,7 @@ std::size_t TopologyStore::RemoveSource(VertexId src) {
   });
   if (removed > 0) {
     trees_.Erase(src);
+    // order: stat tally, read for reporting only
     num_edges_.fetch_sub(removed, std::memory_order_relaxed);
   }
   return removed;

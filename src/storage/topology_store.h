@@ -95,15 +95,18 @@ class TopologyStore {
 
   /// Number of live edges.
   std::size_t NumEdges() const {
+    // order: stat tally, read for reporting only
     return num_edges_.load(std::memory_order_relaxed);
   }
 
   /// Edge-counter hooks for external updaters (the batch updater) that
   /// mutate samtrees through FindTree() rather than the Apply() path.
   void NoteEdgeInserted() {
+    // order: stat tally, read for reporting only
     num_edges_.fetch_add(1, std::memory_order_relaxed);
   }
   void NoteEdgeRemoved() {
+    // order: stat tally, read for reporting only
     num_edges_.fetch_sub(1, std::memory_order_relaxed);
   }
 

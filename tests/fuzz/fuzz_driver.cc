@@ -1,0 +1,153 @@
+// Standalone driver for the libFuzzer-ABI harnesses in this directory.
+//
+// The harnesses export the standard entry point
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t*, size_t);
+// so the same .cc files link against clang's -fsanitize=fuzzer engine
+// (cmake -DPD2GL_LIBFUZZER=ON) for real coverage-guided runs. This
+// driver is the GCC-compatible fallback: it replays every corpus input
+// and then runs a *deterministic* seeded mutation sweep over each one —
+// byte flips, truncations, extensions, and integer-field smashes — which
+// is what the CI smoke job exercises on toolchains without libFuzzer.
+//
+// Usage:
+//   fuzz_X <corpus-file-or-dir>... [--mutate N] [--seed S] [--max-seconds T]
+//
+// Every execution path is a pure function of (corpus bytes, seed), so a
+// crash reproduces from the same command line.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::uint64_t SplitMix(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::uint8_t> ReadFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) return {};
+  const std::streamsize n = f.tellg();
+  f.seekg(0);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(n));
+  if (n > 0) f.read(reinterpret_cast<char*>(buf.data()), n);
+  return buf;
+}
+
+/// One deterministic mutant of `base` (pure function of seed material).
+std::vector<std::uint8_t> Mutate(const std::vector<std::uint8_t>& base,
+                                 std::uint64_t rng_seed) {
+  std::uint64_t s = rng_seed;
+  std::vector<std::uint8_t> m = base;
+  switch (SplitMix(s) % 5) {
+    case 0:  // flip 1..8 random bits
+      if (!m.empty()) {
+        const int flips = 1 + static_cast<int>(SplitMix(s) % 8);
+        for (int i = 0; i < flips; ++i) {
+          m[SplitMix(s) % m.size()] ^=
+              static_cast<std::uint8_t>(1u << (SplitMix(s) % 8));
+        }
+      }
+      break;
+    case 1:  // truncate at a random point
+      if (!m.empty()) m.resize(SplitMix(s) % m.size());
+      break;
+    case 2:  // extend with random bytes
+      for (std::uint64_t i = 0, n = SplitMix(s) % 64; i < n; ++i) {
+        m.push_back(static_cast<std::uint8_t>(SplitMix(s)));
+      }
+      break;
+    case 3:  // smash an aligned 4-byte field with an extreme value
+      if (m.size() >= 4) {
+        const std::size_t off = (SplitMix(s) % (m.size() - 3)) & ~std::size_t{3};
+        const std::uint32_t v = (SplitMix(s) % 2) ? 0xFFFFFFFFu
+                                                  : static_cast<std::uint32_t>(
+                                                        SplitMix(s));
+        std::memcpy(m.data() + off, &v, 4);
+      }
+      break;
+    default:  // overwrite a random run with one repeated byte
+      if (!m.empty()) {
+        const std::size_t off = SplitMix(s) % m.size();
+        const std::size_t len = 1 + SplitMix(s) % (m.size() - off);
+        std::memset(m.data() + off, static_cast<int>(SplitMix(s) % 256), len);
+      }
+      break;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::uint64_t mutants_per_input = 0;
+  std::uint64_t seed = 1;
+  long max_seconds = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mutate" && i + 1 < argc) {
+      mutants_per_input = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-seconds" && i + 1 < argc) {
+      max_seconds = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::filesystem::is_directory(arg)) {
+      std::vector<std::string> found;
+      for (const auto& e : std::filesystem::directory_iterator(arg)) {
+        if (e.is_regular_file()) found.push_back(e.path().string());
+      }
+      std::sort(found.begin(), found.end());  // deterministic order
+      inputs.insert(inputs.end(), found.begin(), found.end());
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <corpus-file-or-dir>... [--mutate N] [--seed S]"
+                 " [--max-seconds T]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const std::time_t start = std::time(nullptr);
+  std::uint64_t executed = 0;
+  bool out_of_time = false;
+  for (const std::string& path : inputs) {
+    const std::vector<std::uint8_t> base = ReadFile(path);
+    LLVMFuzzerTestOneInput(base.data(), base.size());
+    ++executed;
+    for (std::uint64_t k = 0; k < mutants_per_input && !out_of_time; ++k) {
+      // Mutant identity = (file index is implicit in base bytes, seed, k):
+      // reproducible without any global RNG state threading.
+      std::uint64_t material = seed;
+      for (const std::uint8_t b : base) material = material * 131 + b;
+      const std::vector<std::uint8_t> m = Mutate(base, material + k);
+      LLVMFuzzerTestOneInput(m.data(), m.size());
+      ++executed;
+      if (max_seconds > 0 && (executed & 0x3FF) == 0 &&
+          std::time(nullptr) - start >= max_seconds) {
+        out_of_time = true;
+      }
+    }
+    if (out_of_time) break;
+  }
+  std::printf("fuzz-driver: executed %llu inputs (%s)\n",
+              static_cast<unsigned long long>(executed),
+              out_of_time ? "time budget reached" : "complete");
+  return 0;
+}

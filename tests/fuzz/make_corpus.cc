@@ -1,0 +1,150 @@
+// Seed-corpus generator for the fuzz harnesses in this directory.
+//
+// Usage: make_corpus <output-dir>
+//
+// Writes wire/, checkpoint/ and wal/ subdirectories of small, VALID
+// inputs produced by the real encoders (plus a few deliberately edgy
+// ones: empty, header-only, v1-without-footer). The checked-in corpora
+// under tests/fuzz/corpus/ were produced by this tool; rerun it after a
+// format change and commit the diff.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dist/wire.h"
+#include "gnn/model.h"
+#include "io/checkpoint.h"
+#include "io/wal.h"
+#include "storage/graph_store.h"
+
+namespace {
+
+using platod2gl::Edge;
+using platod2gl::EdgeUpdate;
+using platod2gl::TimedUpdate;
+using platod2gl::UpdateKind;
+
+void WriteFile(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  std::printf("  %s (%zu bytes)\n", path.c_str(), bytes.size());
+}
+
+std::string Tagged(char tag, const std::string& payload) {
+  return std::string(1, tag) + payload;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f), {});
+}
+
+void MakeWireCorpus(const std::filesystem::path& dir) {
+  namespace wire = platod2gl::wire;
+  wire::SampleRequest req;
+  req.edge_type = 1;
+  req.fanout = 8;
+  req.weighted = true;
+  req.seeds = {1, 2, 3, 42};
+  WriteFile(dir / "sample_request.bin",
+            Tagged('\x00', wire::EncodeSampleRequest(req)));
+
+  platod2gl::NeighborBatch batch;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    batch.offsets.push_back(batch.neighbors.size());
+    for (std::uint64_t n = 0; n < 4; ++n) {
+      batch.neighbors.push_back(seed * 100 + n);
+    }
+  }
+  batch.offsets.push_back(batch.neighbors.size());
+  WriteFile(dir / "sample_response.bin",
+            Tagged('\x01', wire::EncodeSampleResponse(batch)));
+
+  std::vector<EdgeUpdate> updates;
+  updates.push_back({UpdateKind::kInsert, Edge{1, 2, 0.5, 0}});
+  updates.push_back({UpdateKind::kInPlaceUpdate, Edge{1, 2, 1.5, 0}});
+  updates.push_back({UpdateKind::kDelete, Edge{1, 2, 0.0, 0}});
+  WriteFile(dir / "update_batch.bin",
+            Tagged('\x02', wire::EncodeUpdateBatch(updates)));
+
+  WriteFile(dir / "empty_payload.bin", "\x00");
+}
+
+void MakeCheckpointCorpus(const std::filesystem::path& dir) {
+  using platod2gl::GraphSageConfig;
+  using platod2gl::GraphSageModel;
+  using platod2gl::GraphStore;
+  using platod2gl::GraphStoreConfig;
+
+  const std::string scratch = (dir / "scratch.tmp").string();
+
+  GraphStoreConfig cfg;
+  cfg.num_shards = 2;
+  cfg.num_relations = 2;
+  GraphStore store(cfg);
+  store.AddEdge(Edge{1, 2, 1.0, 0});
+  store.AddEdge(Edge{1, 3, 2.0, 0});
+  store.AddEdge(Edge{2, 3, 0.5, 1});
+  store.attributes().SetFeatures(1, {0.1f, 0.2f});
+  store.attributes().SetLabel(2, 7);
+  (void)platod2gl::SaveGraph(store, scratch);
+  const std::string v2 = FileBytes(scratch);
+  WriteFile(dir / "graph_v2.bin", Tagged('\x00', v2));
+
+  // Synthesise a v1 image: strip the CRC footer, patch version 2 -> 1.
+  // v1 is the interesting loader surface — every record is parsed from
+  // unverified bytes.
+  std::string v1 = v2.substr(0, v2.size() - 4);
+  v1[4] = '\x01';
+  WriteFile(dir / "graph_v1.bin", Tagged('\x00', v1));
+
+  GraphSageConfig mcfg;
+  mcfg.in_dim = 4;
+  mcfg.hidden_dim = 4;
+  mcfg.num_classes = 2;
+  GraphSageModel model(mcfg, /*seed=*/1);
+  (void)platod2gl::SaveModel(model, scratch);
+  WriteFile(dir / "model_v2.bin", Tagged('\x01', FileBytes(scratch)));
+
+  std::filesystem::remove(scratch);
+}
+
+void MakeWalCorpus(const std::filesystem::path& dir) {
+  std::vector<TimedUpdate> entries;
+  entries.push_back({10, {UpdateKind::kInsert, Edge{1, 2, 1.0, 0}}});
+  entries.push_back({11, {UpdateKind::kInPlaceUpdate, Edge{1, 2, 2.0, 0}}});
+  entries.push_back({12, {UpdateKind::kDelete, Edge{1, 2, 0.0, 0}}});
+
+  const auto v2 = platod2gl::EncodeWal(entries, 2);
+  WriteFile(dir / "wal_v2.bin",
+            std::string(v2.begin(), v2.end()));
+  const auto v1 = platod2gl::EncodeWal(entries, 1);
+  WriteFile(dir / "wal_v1.bin",
+            std::string(v1.begin(), v1.end()));
+  const auto empty = platod2gl::EncodeWal({}, 2);
+  WriteFile(dir / "wal_empty.bin",
+            std::string(empty.begin(), empty.end()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root = argv[1];
+  for (const char* sub : {"wire", "checkpoint", "wal"}) {
+    std::filesystem::create_directories(root / sub);
+  }
+  std::printf("wire:\n");
+  MakeWireCorpus(root / "wire");
+  std::printf("checkpoint:\n");
+  MakeCheckpointCorpus(root / "checkpoint");
+  std::printf("wal:\n");
+  MakeWalCorpus(root / "wal");
+  return 0;
+}

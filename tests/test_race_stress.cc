@@ -69,6 +69,7 @@ TEST(RaceStressTest, SamplersVsBatchUpdaterOnDisjointPartitions) {
         out.clear();
         const VertexId src = rng.NextUint64(kReadPartition);
         if (graph.SampleNeighbors(src, 16, (t & 1) != 0, rng, &out)) {
+          // order: test tally; joins order the final read
           draws.fetch_add(out.size(), std::memory_order_relaxed);
         }
       }
@@ -240,6 +241,7 @@ TEST(RaceStressTest, ThreadPoolSubmitAndParallelForStorm) {
   for (int t = 0; t < kSubmitters; ++t) {
     submitters.emplace_back([&] {
       for (int i = 0; i < kTasksEach; ++i) {
+        // order: test tally; joins order the final read
         pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
       }
     });
@@ -251,11 +253,13 @@ TEST(RaceStressTest, ThreadPoolSubmitAndParallelForStorm) {
   counter.store(0);
   std::thread a([&] {
     pool.ParallelForBlocked(5000, 64, [&](std::size_t) {
+      // order: test tally; joins order the final read
       counter.fetch_add(1, std::memory_order_relaxed);
     });
   });
   std::thread b([&] {
     pool.ParallelForBlocked(5000, 64, [&](std::size_t) {
+      // order: test tally; joins order the final read
       counter.fetch_add(1, std::memory_order_relaxed);
     });
   });

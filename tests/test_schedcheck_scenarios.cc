@@ -1,0 +1,478 @@
+// Production concurrency scenarios under the deterministic schedule
+// checker (PD2GL_SCHEDCHECK builds only; build with the `schedcheck`
+// CMake preset and run `ctest -L schedcheck`).
+//
+// These are the model-checked ports of the wall-clock stress shapes in
+// tests/test_race_stress.cc: instead of hammering big structures from 8
+// threads and hoping the OS schedules the bad interleaving, each
+// scenario is a 2-3 thread, few-operation skeleton whose *every*
+// schedule (up to the preemption bound) is enumerated, plus a seeded
+// random-walk sweep whose size CI cranks up via
+// PD2GL_SCHEDCHECK_RANDOM_SCHEDULES (seed: PD2GL_SCHEDCHECK_SEED; both
+// echoed in the gtest failure message so any CI failure replays
+// locally).
+//
+// The suite also proves the checker catches real bugs: the CuckooMap
+// shard-size race fixed in the TSan-regression era is reintroduced
+// behind sched::SetCuckooShardSizeRace(true), and the checker must find
+// it — deterministically, with the identical schedule across two runs
+// and under replay of the reported decision list.
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/memory.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/samtree.h"
+#include "pipeline/epoch_coordinator.h"
+#include "pipeline/update_ingestor.h"
+#include "sampling/sample_cache.h"
+#include "schedcheck/sched.h"
+#include "storage/cuckoo_map.h"
+
+#ifndef PD2GL_SCHEDCHECK
+#error "test_schedcheck_scenarios.cc requires -DPD2GL_SCHEDCHECK (schedcheck preset)"
+#endif
+
+namespace {
+
+using platod2gl::CuckooMap;
+using platod2gl::Edge;
+using platod2gl::EpochCoordinator;
+using platod2gl::IngestedUpdate;
+using platod2gl::IngestorConfig;
+using platod2gl::NodeArena;
+using platod2gl::SampleCache;
+using platod2gl::SampleCacheConfig;
+using platod2gl::SampleCacheStats;
+using platod2gl::Samtree;
+using platod2gl::SamtreeConfig;
+using platod2gl::Status;
+using platod2gl::StatusCode;
+using platod2gl::UpdateIngestor;
+using platod2gl::VertexId;
+using platod2gl::Xoshiro256;
+namespace sched = platod2gl::sched;
+
+std::uint64_t EnvU64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? def : std::strtoull(v, nullptr, 10);
+}
+
+sched::Options Exhaustive(int preemption_bound = 2) {
+  sched::Options opts;
+  opts.mode = sched::Mode::kExhaustive;
+  opts.preemption_bound = preemption_bound;
+  return opts;
+}
+
+/// Random-walk options honouring the CI knobs; defaults keep local runs
+/// fast (CI sets PD2GL_SCHEDCHECK_RANDOM_SCHEDULES=10000).
+sched::Options RandomWalk() {
+  sched::Options opts;
+  opts.mode = sched::Mode::kRandomWalk;
+  opts.seed = EnvU64("PD2GL_SCHEDCHECK_SEED", 1);
+  opts.max_schedules = EnvU64("PD2GL_SCHEDCHECK_RANDOM_SCHEDULES", 1000);
+  return opts;
+}
+
+/// Assert a passing exploration; on failure echo everything needed to
+/// replay (seed, failing index, decision list, trace).
+void ExpectOk(const sched::Result& r) {
+  EXPECT_TRUE(r.ok) << "failing schedule: seed=" << r.seed
+                    << " index=" << r.failing_index
+                    << " choices=" << r.choices << "\n"
+                    << r.failure << "\n"
+                    << r.trace;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1 — EpochCoordinator: reader pins vs writer apply.
+//
+// Port of RaceStressTest.SamplersVsBatchUpdaterOnDisjointPartitions,
+// reduced to the barrier itself: the writer mutates a *plain* cell under
+// its WriteGuard; the reader reads it under a ReadGuard. If the barrier
+// ever admitted both at once the checker reports the plain-access data
+// race; the sched::Checks tie the pinned epoch to the data actually
+// visible.
+// ---------------------------------------------------------------------------
+
+struct EpochState {
+  EpochCoordinator coord;
+  sched::NonAtomic<int> cell{0};
+};
+
+void EpochScenario(sched::Test& t) {
+  auto s = std::make_shared<EpochState>();
+  t.Spawn("writer", [s] {
+    auto g = s->coord.BeginWrite();
+    s->cell.store(s->cell.load() + 1);
+  });
+  t.Spawn("reader", [s] {
+    auto g = s->coord.PinRead();
+    const int seen = s->cell.load();
+    sched::Check(s->coord.epoch() == g.epoch(),
+                 "epoch is stable while a reader is pinned");
+    sched::Check(seen == static_cast<int>(g.epoch()),
+                 "reader sees exactly the writes of its pinned epoch");
+  });
+  t.AfterRun([s] {
+    sched::Check(s->coord.epoch() == 1, "one apply advanced the epoch once");
+    sched::Check(s->coord.readers_active() == 0, "all readers unpinned");
+    sched::Check(s->cell.load() == 1, "the write landed");
+  });
+}
+
+TEST(SchedCheckEpoch, ReaderWriterExclusionHoldsExhaustively) {
+  const sched::Result r = sched::Explore(Exhaustive(), EpochScenario);
+  ExpectOk(r);
+  EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(SchedCheckEpoch, ReaderWriterExclusionHoldsUnderRandomWalk) {
+  ExpectOk(sched::Explore(RandomWalk(), EpochScenario));
+}
+
+// Two readers + one writer: write preference (a waiting writer holds off
+// new readers) must not deadlock, and both readers' epoch/data coupling
+// must hold in every schedule.
+void EpochTwoReaderScenario(sched::Test& t) {
+  auto s = std::make_shared<EpochState>();
+  const auto reader = [s] {
+    auto g = s->coord.PinRead();
+    sched::Check(s->cell.load() == static_cast<int>(g.epoch()),
+                 "reader sees exactly the writes of its pinned epoch");
+  };
+  t.Spawn("writer", [s] {
+    auto g = s->coord.BeginWrite();
+    s->cell.store(s->cell.load() + 1);
+  });
+  t.Spawn("reader-a", reader);
+  t.Spawn("reader-b", reader);
+  t.AfterRun([s] {
+    sched::Check(s->coord.epoch() == 1, "one apply advanced the epoch once");
+  });
+}
+
+TEST(SchedCheckEpoch, WritePreferenceNeverDeadlocksTwoReaders) {
+  ExpectOk(sched::Explore(Exhaustive(), EpochTwoReaderScenario));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2 — UpdateIngestor: blocked producer vs consumer drain vs
+// Close() shutdown.
+//
+// shard_capacity=1 forces the producer's second Offer to block; the
+// consumer's drain and the closer's Close() race to wake it. Every
+// schedule must terminate (a lost wakeup in the space_cv protocol shows
+// up as a modeled deadlock), and the books must balance afterwards.
+// ---------------------------------------------------------------------------
+
+struct IngestorState {
+  IngestorState() : ing(Config()) {}
+  static IngestorConfig Config() {
+    IngestorConfig c;
+    c.num_shards = 1;
+    c.shard_capacity = 1;
+    c.policy = platod2gl::BackpressurePolicy::kBlock;
+    return c;
+  }
+  UpdateIngestor ing;
+  std::vector<IngestedUpdate> drained;
+  Status st1 = Status::Ok();
+  Status st2 = Status::Ok();
+};
+
+void IngestorScenario(sched::Test& t) {
+  auto s = std::make_shared<IngestorState>();
+  t.Spawn("producer", [s] {
+    s->st1 = s->ing.OfferInsert(5, Edge{1, 2, 1.0, 0});
+    s->st2 = s->ing.OfferInsert(6, Edge{1, 3, 1.0, 0});
+  });
+  t.Spawn("consumer", [s] { s->ing.DrainAll(&s->drained); });
+  t.Spawn("closer", [s] { s->ing.Close(); });
+  t.AfterRun([s] {
+    std::vector<IngestedUpdate> rest;
+    s->ing.DrainAll(&rest);
+    const auto stats = s->ing.Stats();
+    const std::uint64_t offers_ok = (s->st1.ok() ? 1u : 0u) +
+                                    (s->st2.ok() ? 1u : 0u);
+    sched::Check(s->st1.ok() || s->st1.code() == StatusCode::kUnavailable,
+                 "first offer either lands or hits the close");
+    sched::Check(s->st2.ok() || s->st2.code() == StatusCode::kUnavailable,
+                 "second offer either lands or hits the close");
+    sched::Check(!(s->st1.code() == StatusCode::kUnavailable && s->st2.ok()),
+                 "closed_ is sticky: once an offer is refused, later ones are");
+    sched::Check(stats.accepted == offers_ok, "accepted matches ok offers");
+    sched::Check(stats.closed_rejects == 2 - offers_ok,
+                 "every non-accepted offer is a counted close-reject");
+    sched::Check(s->drained.size() + rest.size() == offers_ok,
+                 "every accepted update is drained exactly once");
+    sched::Check(s->ing.QueueDepth() == 0, "queue empty after final drain");
+    const std::uint64_t want_wm = s->st2.ok() ? 6u : (s->st1.ok() ? 5u : 0u);
+    sched::Check(stats.watermark == want_wm,
+                 "watermark is the newest accepted timestamp");
+    // Per-edge FIFO: the shard queue hands updates back in offer order.
+    std::uint64_t last_ts = 0;
+    for (const auto& v : {s->drained, rest}) {
+      for (const auto& u : v) {
+        sched::Check(u.update.timestamp >= last_ts, "drain preserves FIFO");
+        last_ts = u.update.timestamp;
+      }
+    }
+  });
+}
+
+TEST(SchedCheckIngestor, BlockedProducerDrainAndCloseAlwaysTerminate) {
+  const sched::Result r = sched::Explore(Exhaustive(), IngestorScenario);
+  ExpectOk(r);
+  EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(SchedCheckIngestor, ShutdownBooksBalanceUnderRandomWalk) {
+  ExpectOk(sched::Explore(RandomWalk(), IngestorScenario));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3 — CuckooMap: concurrent inserts vs lock-free Size polling.
+//
+// Port of RaceStressTest.CuckooMapConcurrentWritersAndSizePolling. One
+// shard, so both writers and the poll contend on the same lock and the
+// same size counter. With the production atomic counter every schedule
+// is clean; SchedCheckCuckooRace below flips the counter back to the
+// pre-fix plain size_t and demands the checker find the race.
+// ---------------------------------------------------------------------------
+
+void CuckooScenario(sched::Test& t) {
+  auto map = std::make_shared<CuckooMap<std::uint64_t>>(
+      /*num_shards=*/1, /*initial_buckets_per_shard=*/2);
+  t.Spawn("insert-a", [map] {
+    map->With(1, [](std::uint64_t& v) { v = 10; });
+  });
+  t.Spawn("insert-b", [map] {
+    map->With(2, [](std::uint64_t& v) { v = 20; });
+    const std::size_t n = map->Size();
+    sched::Check(n >= 1 && n <= 2, "size stays within inserted bounds");
+  });
+  t.AfterRun([map] {
+    sched::Check(map->Size() == 2, "both inserts counted");
+    sched::Check(map->Contains(1) && map->Contains(2), "both keys present");
+  });
+}
+
+TEST(SchedCheckCuckoo, InsertsAndSizePollingAreCleanExhaustively) {
+  const sched::Result r = sched::Explore(Exhaustive(), CuckooScenario);
+  ExpectOk(r);
+  EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(SchedCheckCuckoo, InsertsAndSizePollingAreCleanUnderRandomWalk) {
+  ExpectOk(sched::Explore(RandomWalk(), CuckooScenario));
+}
+
+/// Reintroduces the historical bug for the duration of one test: shard
+/// sizes kept in a plain size_t, written under the shard lock but read
+/// lock-free by Size().
+struct ShardSizeRaceToggle {
+  ShardSizeRaceToggle() { sched::SetCuckooShardSizeRace(true); }
+  ~ShardSizeRaceToggle() { sched::SetCuckooShardSizeRace(false); }
+};
+
+TEST(SchedCheckCuckooRace, ReintroducedShardSizeRaceIsFoundDeterministically) {
+  ShardSizeRaceToggle toggle;
+  const sched::Result r1 = sched::Explore(Exhaustive(), CuckooScenario);
+  ASSERT_FALSE(r1.ok) << "checker failed to find the reintroduced race";
+  EXPECT_NE(r1.failure.find("data race"), std::string::npos) << r1.failure;
+  EXPECT_FALSE(r1.trace.empty());
+  EXPECT_FALSE(r1.choices.empty());
+
+  // Determinism: a second full exploration finds the *same* schedule.
+  const sched::Result r2 = sched::Explore(Exhaustive(), CuckooScenario);
+  ASSERT_FALSE(r2.ok);
+  EXPECT_EQ(r1.failing_index, r2.failing_index);
+  EXPECT_EQ(r1.failure, r2.failure);
+  EXPECT_EQ(r1.trace, r2.trace);
+  EXPECT_EQ(r1.choices, r2.choices);
+
+  // And the reported decision list replays to the identical failure.
+  sched::Options replay;
+  replay.replay = r1.choices;
+  const sched::Result r3 = sched::Explore(replay, CuckooScenario);
+  ASSERT_FALSE(r3.ok);
+  EXPECT_EQ(r1.failure, r3.failure);
+  EXPECT_EQ(r1.trace, r3.trace);
+}
+
+TEST(SchedCheckCuckooRace, ReintroducedShardSizeRaceIsFoundByRandomWalk) {
+  ShardSizeRaceToggle toggle;
+  sched::Options opts = RandomWalk();
+  opts.max_schedules = 10000;  // plenty; typically found within a handful
+  const sched::Result r = sched::Explore(opts, CuckooScenario);
+  ASSERT_FALSE(r.ok) << "random walk (seed=" << opts.seed
+                     << ") failed to find the reintroduced race";
+  // Replays from (seed, failing_index) alone.
+  sched::Options again = opts;
+  again.start_index = r.failing_index;
+  again.max_schedules = 1;
+  const sched::Result rr = sched::Explore(again, CuckooScenario);
+  ASSERT_FALSE(rr.ok);
+  EXPECT_EQ(r.failure, rr.failure);
+  EXPECT_EQ(r.trace, rr.trace);
+  EXPECT_EQ(r.choices, rr.choices);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4 — SampleCache: valid hit vs stale-entry rebuild on one
+// shard.
+//
+// Port of RaceStressTest.SampleCacheAdmissionEvictionRebuildChurn,
+// honouring the cache's contract (tree mutations happen in quiescent
+// gaps, here: before the threads start). tree1's entry is staled by a
+// pre-scenario Remove, so one thread exercises the stale->rebuild->serve
+// path while the other takes a valid hit on the same shard's LRU; the
+// rebuilt entry must never serve the removed neighbour.
+// ---------------------------------------------------------------------------
+
+struct CacheState {
+  CacheState()
+      : cache(Config()),
+        tree1(Samtree::BulkBuild({{1, 1.0}, {2, 1.0}})),
+        tree2(Samtree::BulkBuild({{5, 1.0}, {6, 1.0}})) {
+    // Admit both entries, then invalidate tree1's (quiescent gap — no
+    // scenario thread is running yet).
+    Xoshiro256 rng(3);
+    std::vector<VertexId> out;
+    cache.Sample(1, 0, tree1, /*weighted=*/false, 1, rng, &out);
+    cache.Sample(2, 0, tree2, /*weighted=*/false, 1, rng, &out);
+    tree1.Remove(2);
+  }
+  static SampleCacheConfig Config() {
+    SampleCacheConfig c;
+    c.capacity = 4;
+    c.num_shards = 1;
+    c.min_degree = 1;
+    c.admit_after_misses = 0;
+    return c;
+  }
+  SampleCache cache;
+  Samtree tree1;
+  Samtree tree2;
+};
+
+void CacheScenario(sched::Test& t) {
+  auto s = std::make_shared<CacheState>();
+  t.Spawn("stale-sampler", [s] {
+    Xoshiro256 rng(7);
+    std::vector<VertexId> out;
+    const bool served =
+        s->cache.Sample(1, 0, s->tree1, /*weighted=*/false, 3, rng, &out);
+    sched::Check(served, "stale entry is rebuilt and served, not dropped");
+    for (const VertexId v : out) {
+      sched::Check(v == 1, "rebuilt entry never serves the removed neighbour");
+    }
+  });
+  t.Spawn("hot-sampler", [s] {
+    Xoshiro256 rng(9);
+    std::vector<VertexId> out;
+    const bool served =
+        s->cache.Sample(2, 0, s->tree2, /*weighted=*/false, 3, rng, &out);
+    sched::Check(served, "valid entry is a hit");
+    for (const VertexId v : out) {
+      sched::Check(v == 5 || v == 6, "hit serves the live neighbourhood");
+    }
+  });
+  t.AfterRun([s] {
+    const SampleCacheStats stats = s->cache.Stats();
+    // 2 warm-up misses + 1 stale hit + 1 valid hit; every call in
+    // exactly one bucket, rebuilds mirror stale hits.
+    sched::Check(stats.misses == 2, "warm-up misses counted");
+    sched::Check(stats.hits == 1, "exactly one valid hit");
+    sched::Check(stats.stale_hits == 1, "exactly one stale hit");
+    sched::Check(stats.rebuilds == stats.stale_hits,
+                 "every stale hit was rebuilt in place");
+    sched::Check(stats.evictions == 0, "capacity 4 never evicts 2 entries");
+    sched::Check(s->cache.size() == 2, "both entries resident");
+  });
+}
+
+TEST(SchedCheckSampleCache, HitAndInvalidationRebuildAreCleanExhaustively) {
+  const sched::Result r = sched::Explore(Exhaustive(), CacheScenario);
+  ExpectOk(r);
+  EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(SchedCheckSampleCache, HitAndInvalidationRebuildAreCleanUnderRandomWalk) {
+  ExpectOk(sched::Explore(RandomWalk(), CacheScenario));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 5 — NodeArena: concurrent carve/return across size classes
+// plus a live Samtree switched onto the arena mid-flight (SetArena is
+// what TopologyStore::InstallTree does to adopted trees).
+// ---------------------------------------------------------------------------
+
+struct ArenaState {
+  // Tiny chunks so the scenario crosses a chunk refill; members ordered
+  // so the tree (optional) dies before the arena it allocates from.
+  NodeArena arena{1024};
+  std::optional<Samtree> tree;
+};
+
+void ArenaScenario(sched::Test& t) {
+  auto s = std::make_shared<ArenaState>();
+  SamtreeConfig cfg;
+  cfg.node_capacity = 4;  // minimal capacity: 3 extra inserts force a split
+  s->tree = Samtree::BulkBuild({{1, 1.0}, {2, 1.0}, {3, 1.0}, {4, 1.0}}, cfg);
+  t.Spawn("grower", [s] {
+    // Heap-built tree adopts the arena mid-flight; the split below must
+    // carve its new nodes from the arena while "mixer" churns it.
+    s->tree->SetArena(&s->arena);
+    s->tree->Insert(5, 1.0);
+    s->tree->Insert(6, 1.0);
+    s->tree->Insert(7, 1.0);
+  });
+  t.Spawn("mixer", [s] {
+    void* a = s->arena.Allocate(48);
+    void* b = s->arena.Allocate(200);  // distinct size class
+    s->arena.Deallocate(a, 48);
+    void* c = s->arena.Allocate(48);  // free-list reuse of a's class
+    s->arena.Deallocate(b, 200);
+    s->arena.Deallocate(c, 48);
+    sched::Check(s->arena.MemoryUsage() > 0, "arena reserved a chunk");
+  });
+  t.AfterRun([s] {
+    std::string err;
+    sched::Check(s->tree->CheckInvariants(&err),
+                 "tree consistent after arena adoption: " + err);
+    sched::Check(s->tree->size() == 7, "all inserts landed");
+    const std::size_t live = s->arena.LiveBytes();
+    sched::Check(live > 0, "split nodes were carved from the arena");
+    sched::Check(live <= s->arena.MemoryUsage(),
+                 "live bytes bounded by reserved bytes");
+    // Destroying the tree must return every arena node: the mixed
+    // heap/arena origins route through NodeDeleter correctly.
+    s->tree.reset();
+    sched::Check(s->arena.LiveBytes() == 0,
+                 "every arena node returned on destruction");
+    sched::Check(s->arena.SlackBytes() == s->arena.MemoryUsage(),
+                 "all reserved bytes idle after teardown");
+  });
+}
+
+TEST(SchedCheckArena, ConcurrentCarveReturnAndAdoptionAreCleanExhaustively) {
+  const sched::Result r = sched::Explore(Exhaustive(), ArenaScenario);
+  ExpectOk(r);
+  EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(SchedCheckArena, ConcurrentCarveReturnAndAdoptionUnderRandomWalk) {
+  ExpectOk(sched::Explore(RandomWalk(), ArenaScenario));
+}
+
+}  // namespace

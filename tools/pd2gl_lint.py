@@ -21,6 +21,17 @@ compiler nor clang-tidy enforces:
                     mark the file `// pd2gl-lint: allow-unguarded-mutex`
                     with a rationale.
   include-guard     headers must start protection with `#pragma once`.
+  relaxed-order     `memory_order_relaxed` on an atomic that is not a
+                    plain counter (name suffix _count/_counts/_stat/_stats)
+                    needs an adjacent `// order:` comment saying why the
+                    relaxation is sound — relaxed loads/stores carry no
+                    happens-before edge, and the schedule checker
+                    (src/schedcheck/) explores interleavings but not weak
+                    memory, so the reasoning must live next to the code.
+  nts-comment       NO_THREAD_SAFETY_ANALYSIS without an adjacent comment
+                    explaining why the analysis is opted out. An
+                    unexplained opt-out is indistinguishable from a
+                    silenced bug.
 
 Comments and string literals are stripped before matching, so prose about
 "new insertions" does not trip the allocator rule. Suppress a single line
@@ -39,12 +50,25 @@ SOURCE_SUFFIXES = {".h", ".cc"}
 
 # Files exempt per rule (repo-relative, POSIX slashes).
 EXEMPT = {
-    "naked-new": {"src/common/memory.h"},
+    "naked-new": {
+        "src/common/memory.h",
+        # TestMutex pimpl: one raw std::mutex behind a pointer so sched.h
+        # stays <mutex>-free in production translation units.
+        "src/schedcheck/sched.cc",
+    },
     # The annotated wrappers themselves, and the macro definitions.
     "unguarded-mutex": {
         "src/common/spinlock.h",
         "src/common/mutex.h",
         "src/common/thread_annotations.h",
+        # The schedule checker's own runtime. It is the thing Spinlock /
+        # Mutex route *into* under PD2GL_SCHEDCHECK — its internals must
+        # use raw std primitives or every lock would recurse into the
+        # model being run.
+        "src/schedcheck/sched.cc",
+    },
+    "raw-lock-guard": {
+        "src/schedcheck/sched.cc",  # same reason as unguarded-mutex
     },
 }
 
@@ -60,6 +84,18 @@ RE_MUTEX_MEMBER = re.compile(
     r"[a-z_][A-Za-z0-9_]*_?\s*(?:\{[^}]*\})?\s*;")
 RE_TSA_ANNOTATION = re.compile(
     r"\b(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|EXCLUDES)\b")
+RE_RELAXED = re.compile(r"\bmemory_order_relaxed\b")
+# The atomic variable an operation targets: `name.load(...)`,
+# `name->fetch_add(...)`, etc. Searched over a small window of joined
+# lines so multi-line compare_exchange calls still resolve their target.
+RE_ATOMIC_OP_TARGET = re.compile(
+    r"(\w+)\s*(?:\.|->)\s*(?:load|store|exchange|fetch_(?:add|sub|and|or|"
+    r"xor)|compare_exchange_(?:weak|strong))\s*\(")
+# Counter suffixes that are self-evidently relaxed-safe: the value is a
+# monotonic tally read for reporting, never used to publish other state.
+RE_COUNTER_NAME = re.compile(r"(?:_counts?|_stats?)_?$")
+RE_ORDER_COMMENT = re.compile(r"//\s*order:")
+RE_NTS = re.compile(r"\bNO_THREAD_SAFETY_ANALYSIS\b")
 
 
 def strip_comments_and_strings(text):
@@ -99,6 +135,14 @@ def lint_file(path, rel):
     raw = path.read_text(encoding="utf-8", errors="replace")
     code = strip_comments_and_strings(raw)
     lines = code.splitlines()
+    raw_lines = raw.splitlines()
+
+    def has_nearby_comment(lineno, pattern, reach):
+        """True when `pattern` matches a raw line in [lineno-reach, lineno]
+        (1-based; comments live in raw, not in the stripped code)."""
+        lo = max(0, lineno - 1 - reach)
+        return any(pattern.search(raw_lines[k])
+                   for k in range(lo, min(lineno, len(raw_lines))))
 
     def check(rule, lineno, message):
         if rel in EXEMPT.get(rule, set()):
@@ -125,6 +169,29 @@ def lint_file(path, rel):
             check("raw-lock-guard", lineno,
                   "std lock guards are invisible to -Wthread-safety: use "
                   "SpinlockGuard / MutexLock")
+        if RE_RELAXED.search(line):
+            # Resolve the atomic this relaxation targets; a multi-line
+            # call keeps the target a few lines up.
+            window = " ".join(lines[max(0, lineno - 4):lineno])
+            targets = RE_ATOMIC_OP_TARGET.findall(window)
+            name = targets[-1] if targets else ""
+            # One comment may head an unbroken run of relaxed operations
+            # (stats snapshot/reset blocks): walk up through the run.
+            k = lineno
+            while not has_nearby_comment(k, RE_ORDER_COMMENT, 3) and \
+                    k >= 2 and RE_RELAXED.search(lines[k - 2]):
+                k -= 1
+            if not RE_COUNTER_NAME.search(name) and \
+                    not has_nearby_comment(k, RE_ORDER_COMMENT, 3):
+                check("relaxed-order", lineno,
+                      "memory_order_relaxed on non-counter atomic "
+                      f"`{name or '?'}`: add an adjacent `// order:` "
+                      "comment justifying the relaxation")
+        if RE_NTS.search(line) and \
+                not has_nearby_comment(lineno, re.compile(r"//"), 3):
+            check("nts-comment", lineno,
+                  "NO_THREAD_SAFETY_ANALYSIS without an explanation: add "
+                  "a comment saying why the analysis is opted out")
 
     if path.suffix == ".h":
         head = "\n".join(raw.splitlines()[:40])
