@@ -20,6 +20,7 @@ enum class StatusCode {
   kUnavailable,        ///< target (e.g. a crashed shard) cannot serve now
   kDeadlineExceeded,   ///< retry budget / per-call deadline exhausted
   kDataLoss,           ///< integrity check failed (corrupt/truncated data)
+  kUnimplemented,      ///< peer speaks a protocol version we do not
 };
 
 /// Lightweight status object: a code plus an optional human-readable message.
@@ -56,6 +57,9 @@ class Status {
   }
   static Status DataLoss(std::string m = "data loss") {
     return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status Unimplemented(std::string m = "unimplemented") {
+    return Status(StatusCode::kUnimplemented, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

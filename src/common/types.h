@@ -43,6 +43,8 @@ enum class UpdateKind : std::uint8_t {
 struct EdgeUpdate {
   UpdateKind kind = UpdateKind::kInsert;
   Edge edge;
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
 };
 
 /// A sampled neighbour: destination vertex plus the weight of the edge

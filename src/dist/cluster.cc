@@ -27,6 +27,69 @@ GraphCluster::GraphCluster(ClusterConfig config)
   for (std::size_t i = 0; i < partitioner_.num_shards(); ++i) {
     shards_.push_back(std::make_unique<GraphShard>(config_.shard_config));
   }
+  if (config_.replication.num_replicas > 0) {
+    std::vector<GraphShard*> primaries;
+    primaries.reserve(shards_.size());
+    for (auto& s : shards_) primaries.push_back(s.get());
+    replication_ = std::make_unique<ReplicationManager>(
+        config_.replication, config_.shard_config, std::move(primaries),
+        &injector_, &cutover_);
+  }
+}
+
+void GraphCluster::ReplicationHealthCheck() {
+  if (!replication_) return;
+  const ReplicationManager::HealthReport health =
+      replication_->AdvanceTime(stats_.virtual_network_us);
+  stats_.failovers += health.failovers;
+  stats_.failover_replayed += health.replayed_entries;
+}
+
+void GraphCluster::PumpReplication() {
+  if (!replication_) return;
+  replication_->Kick();
+  ReplicationHealthCheck();
+}
+
+void GraphCluster::AdvanceVirtualTime(std::uint64_t us) {
+  stats_.virtual_network_us += us;
+  ReplicationHealthCheck();
+}
+
+Status GraphCluster::FlushReplication() {
+  if (!replication_) return Status::Ok();
+  return replication_->Flush();
+}
+
+ReplicationManager::AntiEntropyReport GraphCluster::RunAntiEntropy() {
+  if (!replication_) return {};
+  const ReplicationManager::AntiEntropyReport r =
+      replication_->RunAntiEntropyAll();
+  stats_.digest_rounds += r.digest_rounds;
+  stats_.digest_mismatches += r.digest_mismatches;
+  stats_.antientropy_repairs += r.repaired_replicas;
+  stats_.antientropy_edges += r.repaired_edges;
+  return r;
+}
+
+void GraphCluster::CrashReplica(std::size_t s, std::size_t r) {
+  injector_.CrashReplica(s, r);
+  // The replica process died: its volatile store is gone with it.
+  if (replication_) replication_->WipeReplica(s, r);
+}
+
+void GraphCluster::RecoverReplica(std::size_t s, std::size_t r) {
+  // Rejoin empty; the next ship round replays the log (or bootstraps a
+  // snapshot when the log was truncated past seq 0).
+  injector_.RestoreReplica(s, r);
+}
+
+void GraphCluster::PartitionReplica(std::size_t s, std::size_t r) {
+  injector_.PartitionReplica(s, r);
+}
+
+void GraphCluster::HealReplica(std::size_t s, std::size_t r) {
+  injector_.HealReplica(s, r);
 }
 
 template <typename Body>
@@ -145,6 +208,7 @@ Status GraphCluster::Apply(const EdgeUpdate& update) {
   stats_.bytes_sent += out.attempts * (5 + 29);
   stats_.bytes_received += out.resp_bytes;
   if (handoff) ++stats_.wal_handoffs;
+  PumpReplication();
   if (!out.delivered) {
     ++stats_.lost_updates;
     return Status::DeadlineExceeded("update lost: shard " +
@@ -185,6 +249,7 @@ Status GraphCluster::ApplyBatch(const std::vector<EdgeUpdate>& batch) {
       }
     }
   }
+  PumpReplication();
   return result;
 }
 
@@ -265,15 +330,47 @@ SampleReport GraphCluster::SampleNeighborsChecked(
     stats_.bytes_sent += out.attempts * (14 + group.size() * sizeof(VertexId));
     stats_.bytes_received += out.resp_bytes;
     if (!out.delivered) {
-      // Degrade this shard's seeds: empty ranges, flagged per seed.
-      for (std::size_t pos : group) {
-        results[pos].clear();
-        report.seed_status[pos] = SeedStatus::kDegraded;
+      // Bounded-staleness fallback: an unreachable primary's seeds may be
+      // served by its freshest replica if one is within the staleness
+      // budget — real data flagged kStale, not an empty degraded marker.
+      // Seeded identically to the primary attempt, so a caught-up replica
+      // returns bit-identical samples. Only on primary failure: a
+      // fault-free run never touches replicas and stays bit-identical to
+      // a replication-disabled run.
+      bool served = false;
+      if (replication_ != nullptr) {
+        std::vector<VertexId> group_seeds;
+        group_seeds.reserve(group.size());
+        for (std::size_t pos : group) group_seeds.push_back(seeds[pos]);
+        std::optional<ReplicationManager::ReplicaServe> serve =
+            replication_->SampleFromReplica(s, group_seeds, fanout, weighted,
+                                            seed ^ (kShardSeedSalt * (s + 1)),
+                                            type);
+        if (serve.has_value()) {
+          for (std::size_t i = 0; i < group.size(); ++i) {
+            results[group[i]] = std::move(serve->neighbors[i]);
+            report.seed_status[group[i]] = SeedStatus::kStale;
+          }
+          stats_.replica_read_seeds += group.size();
+          if (serve->lag > 0) stats_.stale_replica_seeds += group.size();
+          served = true;
+        }
       }
-      report.degraded_seeds += group.size();
+      if (!served) {
+        // Degrade this shard's seeds: empty ranges, flagged per seed.
+        for (std::size_t pos : group) {
+          results[pos].clear();
+          report.seed_status[pos] = SeedStatus::kDegraded;
+        }
+        report.degraded_seeds += group.size();
+      }
     }
   }
   stats_.degraded_seeds += report.degraded_seeds;
+  // Sampling ships nothing new, but its virtual-time cost does age
+  // suspicions — the health monitor runs so a dead primary eventually
+  // fails over under a read-only workload too.
+  ReplicationHealthCheck();
 
   // Re-assemble in seed order.
   report.batch.offsets.reserve(seeds.size() + 1);

@@ -17,6 +17,18 @@
 // shard keeps accepting WAL writes (hinted handoff) and RecoverShard()
 // rebuilds it from checkpoint + WAL replay to the exact never-crashed
 // state.
+//
+// Replication (DESIGN.md §13, docs/replication.md): with
+// config.replication.num_replicas > 0 each shard additionally feeds N read
+// replicas by WAL shipping (dist/replication.h). Sampling falls back to a
+// replica within the staleness budget when a primary stays unreachable
+// (seeds flagged kStale instead of kDegraded), a virtual-time health
+// monitor promotes the best replica of a primary that stays crashed past
+// the suspicion timeout (under the epoch barrier, bit-identical to a
+// sequential log replay), and RunAntiEntropy() repairs injected
+// divergence via per-keyrange CRC digests. With num_replicas == 0 (the
+// default) none of this machinery is constructed and the cluster behaves
+// exactly as before.
 #pragma once
 
 #include <cstddef>
@@ -31,7 +43,9 @@
 #include "common/types.h"
 #include "dist/fault_injector.h"
 #include "dist/partitioner.h"
+#include "dist/replication.h"
 #include "dist/shard.h"
+#include "pipeline/epoch_coordinator.h"
 #include "sampling/neighbor_sampler.h"
 
 namespace platod2gl {
@@ -59,6 +73,8 @@ struct ClusterConfig {
   std::size_t num_client_threads = 4;
   RetryPolicy retry;
   FaultConfig fault;
+  /// Per-shard read replication; num_replicas == 0 disables it.
+  ReplicationConfig replication;
 };
 
 struct ClusterStats {
@@ -79,6 +95,15 @@ struct ClusterStats {
   std::uint64_t lost_updates = 0;      ///< updates undeliverable AND unlogged
   std::uint64_t recoveries = 0;        ///< RecoverShard completions
   std::uint64_t replayed_updates = 0;  ///< WAL entries replayed on recovery
+  // --- replication observability (docs/replication.md) ---
+  std::uint64_t replica_read_seeds = 0;  ///< seeds served by replica fallback
+  std::uint64_t stale_replica_seeds = 0; ///< ...of those, behind the primary
+  std::uint64_t failovers = 0;           ///< replica promotions
+  std::uint64_t failover_replayed = 0;   ///< WAL entries replayed at promotion
+  std::uint64_t digest_rounds = 0;       ///< anti-entropy comparisons run
+  std::uint64_t digest_mismatches = 0;   ///< digest buckets that disagreed
+  std::uint64_t antientropy_repairs = 0; ///< replicas repaired by a round
+  std::uint64_t antientropy_edges = 0;   ///< edges re-shipped by repairs
 };
 
 /// Batched sampling result plus per-seed delivery status: `batch` always
@@ -143,6 +168,44 @@ class GraphCluster {
   FaultInjector& fault_injector() { return injector_; }
   const FaultInjector& fault_injector() const { return injector_; }
 
+  // --- Replication (no-ops / empty results when num_replicas == 0) --------
+
+  bool has_replication() const { return replication_ != nullptr; }
+  /// The manager itself (tests / tools); nullptr when disabled.
+  ReplicationManager* replication() { return replication_.get(); }
+
+  /// Advance the virtual clock by `us` and run the replica health monitor:
+  /// suspicion starts/ages here, and a primary crashed past the suspicion
+  /// timeout is failed over (stats().failovers).
+  void AdvanceVirtualTime(std::uint64_t us);
+
+  /// Ship until every reachable replica is caught up (see
+  /// ReplicationManager::Flush).
+  Status FlushReplication();
+
+  /// One anti-entropy digest round over every shard; outcomes are also
+  /// accumulated into stats().
+  ReplicationManager::AntiEntropyReport RunAntiEntropy();
+
+  /// Kill replica r of shard s: its store is wiped; after RecoverReplica
+  /// the next ship round re-feeds it (snapshot bootstrap if the WAL was
+  /// truncated meanwhile).
+  void CrashReplica(std::size_t s, std::size_t r);
+  void RecoverReplica(std::size_t s, std::size_t r);
+  /// Partition / heal the primary<->replica link (the replica keeps
+  /// serving stale reads while cut off).
+  void PartitionReplica(std::size_t s, std::size_t r);
+  void HealReplica(std::size_t s, std::size_t r);
+
+  /// Read/write barrier ordering replica reads against failover cut-overs;
+  /// epoch() counts completed promotions.
+  EpochCoordinator& cutover() { return cutover_; }
+
+  /// Transport-level replication counters (zeros when disabled).
+  ReplicationStats replication_stats() const {
+    return replication_ ? replication_->stats() : ReplicationStats{};
+  }
+
   /// Degree/NumEdges read the live stores directly; a crashed shard
   /// contributes its wiped (empty) store until recovered.
   std::size_t Degree(VertexId src, EdgeType type = 0) const;
@@ -190,6 +253,12 @@ class GraphCluster {
   /// Fold one logical RPC's outcome into stats_ (serial sections only).
   void MergeOutcome(const RpcOutcome& out);
 
+  /// Ship outstanding WAL entries and run the failover health monitor
+  /// against the current virtual clock (serial sections only).
+  void PumpReplication();
+  /// Health monitor only (read paths: nothing new to ship).
+  void ReplicationHealthCheck();
+
   ClusterConfig config_;
   HashBySourcePartitioner partitioner_;
   std::vector<std::unique_ptr<GraphShard>> shards_;
@@ -197,6 +266,8 @@ class GraphCluster {
   FaultInjector injector_;
   ClusterStats stats_;
   LatencyHistogram rpc_latency_;
+  EpochCoordinator cutover_;
+  std::unique_ptr<ReplicationManager> replication_;  // null when disabled
 };
 
 }  // namespace platod2gl

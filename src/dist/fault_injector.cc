@@ -8,14 +8,27 @@ FaultInjector::FaultInjector(FaultConfig config, std::size_t num_shards)
     : config_(config),
       passive_(config.failure_prob <= 0 && config.timeout_prob <= 0 &&
                config.corrupt_prob <= 0 && config.slow_prob <= 0),
+      rep_passive_(config.rep_drop_prob <= 0 &&
+                   config.rep_duplicate_prob <= 0 &&
+                   config.rep_reorder_prob <= 0),
       num_shards_(num_shards),
       crashed_(std::make_unique<std::atomic<bool>[]>(num_shards)),
-      draws_(std::make_unique<std::atomic<std::uint64_t>[]>(num_shards)) {
+      draws_(std::make_unique<std::atomic<std::uint64_t>[]>(num_shards)),
+      replica_state_(std::make_unique<std::atomic<std::uint8_t>[]>(
+          num_shards * kMaxReplicas)),
+      rep_draws_(std::make_unique<std::atomic<std::uint64_t>[]>(
+          num_shards * kMaxReplicas)) {
   for (std::size_t i = 0; i < num_shards_; ++i) {
     // order: constructor; nothing runs concurrently yet
     crashed_[i].store(false, std::memory_order_relaxed);
     // order: constructor; nothing runs concurrently yet
     draws_[i].store(0, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < num_shards_ * kMaxReplicas; ++i) {
+    // order: constructor; nothing runs concurrently yet
+    replica_state_[i].store(0, std::memory_order_relaxed);
+    // order: constructor; nothing runs concurrently yet
+    rep_draws_[i].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -64,6 +77,75 @@ FaultInjector::Fault FaultInjector::NextFault(std::size_t shard) {
   edge += config_.slow_prob;
   if (u < edge) return Fault::kSlow;
   return Fault::kNone;
+}
+
+namespace {
+constexpr std::uint8_t kReplicaCrashedBit = 1;
+constexpr std::uint8_t kReplicaPartitionedBit = 2;
+}  // namespace
+
+void FaultInjector::CrashReplica(std::size_t shard, std::size_t replica) {
+  replica_state_[Channel(shard, replica)].fetch_or(kReplicaCrashedBit,
+                                                   std::memory_order_release);
+}
+
+void FaultInjector::RestoreReplica(std::size_t shard, std::size_t replica) {
+  replica_state_[Channel(shard, replica)].fetch_and(
+      static_cast<std::uint8_t>(~kReplicaCrashedBit),
+      std::memory_order_release);
+}
+
+bool FaultInjector::IsReplicaCrashed(std::size_t shard,
+                                     std::size_t replica) const {
+  return (replica_state_[Channel(shard, replica)].load(
+              std::memory_order_acquire) &
+          kReplicaCrashedBit) != 0;
+}
+
+void FaultInjector::PartitionReplica(std::size_t shard, std::size_t replica) {
+  replica_state_[Channel(shard, replica)].fetch_or(kReplicaPartitionedBit,
+                                                   std::memory_order_release);
+}
+
+void FaultInjector::HealReplica(std::size_t shard, std::size_t replica) {
+  replica_state_[Channel(shard, replica)].fetch_and(
+      static_cast<std::uint8_t>(~kReplicaPartitionedBit),
+      std::memory_order_release);
+}
+
+bool FaultInjector::IsReplicaPartitioned(std::size_t shard,
+                                         std::size_t replica) const {
+  return (replica_state_[Channel(shard, replica)].load(
+              std::memory_order_acquire) &
+          kReplicaPartitionedBit) != 0;
+}
+
+std::uint64_t FaultInjector::RepDraw(std::size_t shard, std::size_t replica) {
+  // Mirrors Draw(): the n-th draw on a channel is SplitMix64 of
+  // (seed, shard, replica, n). The salts differ from Draw()'s so the RPC
+  // and replication fault streams never alias even for shard 0.
+  const std::uint64_t n =
+      // order: per-channel draw tally; channels never read each other's
+      rep_draws_[Channel(shard, replica)].fetch_add(
+          1, std::memory_order_relaxed);
+  SplitMix64 sm(config_.seed ^ (0xBF58476D1CE4E5B9ULL * (shard + 1)) ^
+                (0x94D049BB133111EBULL * (replica + 1)) ^
+                (0x2545F4914F6CDD1DULL * n));
+  return sm.Next();
+}
+
+FaultInjector::RepFault FaultInjector::NextRepFault(std::size_t shard,
+                                                    std::size_t replica) {
+  if (rep_passive_) return RepFault::kNone;
+  const double u =
+      static_cast<double>(RepDraw(shard, replica) >> 11) * 0x1.0p-53;
+  double edge = config_.rep_drop_prob;
+  if (u < edge) return RepFault::kDrop;
+  edge += config_.rep_duplicate_prob;
+  if (u < edge) return RepFault::kDuplicate;
+  edge += config_.rep_reorder_prob;
+  if (u < edge) return RepFault::kReorder;
+  return RepFault::kNone;
 }
 
 void FaultInjector::CorruptBytes(std::size_t shard, std::string* bytes) {

@@ -44,11 +44,28 @@ struct FaultConfig {
   double corrupt_prob = 0.0;  ///< response bytes damaged in flight
   double slow_prob = 0.0;     ///< response delayed by slow_extra_us
   std::uint64_t slow_extra_us = 2000;
+  // Replication-channel faults (primary -> replica log stream; see
+  // docs/replication.md). Drawn per message from a stream independent of
+  // the RPC fault draws, keyed by (shard, replica), so replication chaos
+  // never perturbs the client-RPC fault schedule and vice versa.
+  double rep_drop_prob = 0.0;       ///< replication message lost in flight
+  double rep_duplicate_prob = 0.0;  ///< message delivered twice
+  double rep_reorder_prob = 0.0;    ///< message swapped with its successor
 };
 
 class FaultInjector {
  public:
   enum class Fault : std::uint8_t { kNone, kFail, kTimeout, kCorrupt, kSlow };
+
+  /// Fault classes on a replication channel (one primary -> one replica).
+  /// kDrop models a lost message, kDuplicate an at-least-once transport,
+  /// kReorder a message overtaken by its successor; the replica's
+  /// contiguity check turns all three into deterministic retransmits.
+  enum class RepFault : std::uint8_t { kNone, kDrop, kDuplicate, kReorder };
+
+  /// Hard cap on replicas per shard the injector tracks state for
+  /// (replication configs are validated against it).
+  static constexpr std::size_t kMaxReplicas = 8;
 
   FaultInjector(FaultConfig config, std::size_t num_shards);
 
@@ -64,6 +81,32 @@ class FaultInjector {
   /// Deterministic per shard (see file header); thread-safe across shards.
   Fault NextFault(std::size_t shard);
 
+  // --- Replica lifecycle + replication-channel faults --------------------
+
+  /// Kill one replica process of a shard: its store is volatile (the
+  /// ReplicationManager wipes it) and it neither receives log messages nor
+  /// serves reads until RestoreReplica + re-bootstrap. Thread-safe.
+  void CrashReplica(std::size_t shard, std::size_t replica);
+  void RestoreReplica(std::size_t shard, std::size_t replica);
+  bool IsReplicaCrashed(std::size_t shard, std::size_t replica) const;
+
+  /// Partition the primary<->replica link: messages in BOTH directions are
+  /// withheld (the replica falls behind, its acks stop) until HealReplica.
+  /// Unlike a crash the replica keeps its store and may still serve reads.
+  void PartitionReplica(std::size_t shard, std::size_t replica);
+  void HealReplica(std::size_t shard, std::size_t replica);
+  bool IsReplicaPartitioned(std::size_t shard, std::size_t replica) const;
+
+  /// Fault decision for the next message on the (shard, replica) channel.
+  /// The n-th draw is a pure function of (seed, shard, replica, n) —
+  /// independent of RPC draws and of thread interleaving across channels.
+  RepFault NextRepFault(std::size_t shard, std::size_t replica);
+
+  /// Next raw 64-bit draw on the (shard, replica) channel — the
+  /// deterministic randomness source for replication tests that need to
+  /// pick a victim record (anti-entropy divergence injection).
+  std::uint64_t RepDraw(std::size_t shard, std::size_t replica);
+
   /// Deterministically damage an encoded response in a way a length-
   /// prefixed codec must detect: flip the tag, blow up a length prefix,
   /// truncate the tail, or append trailing garbage. Never a silent payload
@@ -75,16 +118,28 @@ class FaultInjector {
   /// skip the draw entirely.
   bool PassiveExceptCrashes() const { return passive_; }
 
+  /// True when every replication-channel probability is zero.
+  bool PassiveReplication() const { return rep_passive_; }
+
   const FaultConfig& config() const { return config_; }
 
  private:
   std::uint64_t Draw(std::size_t shard);  // next raw 64-bit draw for shard
+  std::size_t Channel(std::size_t shard, std::size_t replica) const {
+    return shard * kMaxReplicas + replica;
+  }
 
   FaultConfig config_;
   bool passive_ = true;
+  bool rep_passive_ = true;
   std::size_t num_shards_;
   std::unique_ptr<std::atomic<bool>[]> crashed_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> draws_;
+  // Per-(shard, replica) state, indexed by Channel(): bit 0 = crashed,
+  // bit 1 = partitioned. Sized num_shards x kMaxReplicas up front so a
+  // cluster can enable replication without resizing the injector.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> replica_state_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> rep_draws_;
 };
 
 }  // namespace platod2gl

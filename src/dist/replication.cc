@@ -1,0 +1,751 @@
+#include "dist/replication.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <utility>
+
+#include "common/crc32.h"
+#include "io/checkpoint.h"
+
+namespace platod2gl {
+
+namespace {
+
+// order: stat tally — all counter bumps in this file are pure tallies
+// snapshot by stats(); they never order other memory.
+constexpr auto kTally = std::memory_order_relaxed;
+
+/// RAII meter for work billed to the *replica* machine (decode + apply).
+/// Thread-CPU clock, not wall: on a shared-host simulation the pump and
+/// the client time-slice one core, and only actual cycles burnt by the
+/// replica's side should land in replica_apply_nanos.
+class ReplicaCpuMeter {
+ public:
+  explicit ReplicaCpuMeter(std::atomic<std::uint64_t>* sink) : sink_(sink) {
+    start_ = Now();
+  }
+  ~ReplicaCpuMeter() { sink_->fetch_add(Now() - start_, kTally); }
+
+ private:
+  static std::uint64_t Now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+  std::atomic<std::uint64_t>* sink_;
+  std::uint64_t start_ = 0;
+};
+
+struct FilePtr {
+  std::FILE* f = nullptr;
+  ~FilePtr() {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  FilePtr fp{std::fopen(path.c_str(), "rb")};
+  if (fp.f == nullptr) return false;
+  out->clear();
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), fp.f)) > 0) {
+    out->append(buf, n);
+  }
+  return std::ferror(fp.f) == 0;
+}
+
+/// Keyrange bucket of a source vertex: SplitMix64-mixed so contiguous id
+/// ranges spread across buckets (primary and replica agree by construction).
+std::size_t BucketOf(VertexId src, std::size_t buckets) {
+  SplitMix64 sm(src);
+  return static_cast<std::size_t>(sm.Next() % buckets);
+}
+
+/// CRC-32 of one edge's topology record (type, src, dst, weight), packed
+/// little-endian-independent via memcpy — attributes are out of digest
+/// scope (docs/replication.md).
+std::uint32_t EdgeCrc(EdgeType type, VertexId src, VertexId dst, Weight w) {
+  unsigned char buf[4 + 8 + 8 + 8];
+  std::uint32_t t = type;
+  std::memcpy(buf, &t, 4);
+  std::memcpy(buf + 4, &src, 8);
+  std::memcpy(buf + 12, &dst, 8);
+  std::memcpy(buf + 20, &w, 8);
+  return Crc32(buf, sizeof(buf), 0);
+}
+
+/// Per-bucket (edge count, CRC xor) digest of a store's topology. The xor
+/// combine is order-insensitive: two stores with the same edge *set*
+/// digest identically even if their iteration orders differ (a replica
+/// bootstrapped from a snapshot may iterate differently from one that
+/// replayed the whole log).
+void ComputeDigest(const GraphStore& store, std::size_t buckets,
+                   std::vector<std::uint64_t>* counts,
+                   std::vector<std::uint32_t>* crcs) {
+  counts->assign(buckets, 0);
+  crcs->assign(buckets, 0);
+  for (std::size_t rel = 0; rel < store.num_relations(); ++rel) {
+    const auto type = static_cast<EdgeType>(rel);
+    store.topology(type).ForEachSource([&](VertexId src, const Samtree& tree) {
+      const std::size_t b = BucketOf(src, buckets);
+      tree.ForEachNeighbor([&](VertexId dst, Weight w) {
+        (*counts)[b] += 1;
+        (*crcs)[b] ^= EdgeCrc(type, src, dst, w);
+      });
+    });
+  }
+}
+
+/// Every edge of `store` whose source hashes into `bucket`.
+std::vector<Edge> BucketEdges(const GraphStore& store, std::size_t buckets,
+                              std::size_t bucket) {
+  std::vector<Edge> out;
+  for (std::size_t rel = 0; rel < store.num_relations(); ++rel) {
+    const auto type = static_cast<EdgeType>(rel);
+    store.topology(type).ForEachSource([&](VertexId src, const Samtree& tree) {
+      if (BucketOf(src, buckets) != bucket) return;
+      tree.ForEachNeighbor([&](VertexId dst, Weight w) {
+        out.push_back(Edge{src, dst, w, type});
+      });
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- AckWindow ------------------------------------------------------------
+
+void AckWindow::Ack(std::uint64_t seq) {
+  MutexLock lock(mu_);
+  if (seq <= acked_) return;
+  acked_ = seq;
+  // Notify while still holding mu_: a waiter between its predicate check
+  // and cv_.wait() would otherwise miss this wakeup forever (the
+  // schedcheck scenario pins exactly this).
+  cv_.notify_all();
+}
+
+void AckWindow::WaitForAcked(std::uint64_t seq) {
+  MutexLock lock(mu_);
+  while (acked_ < seq) cv_.wait(mu_);
+}
+
+std::uint64_t AckWindow::acked() const {
+  MutexLock lock(mu_);
+  return acked_;
+}
+
+// --- ReplicationManager ---------------------------------------------------
+
+ReplicationManager::ReplicationManager(const ReplicationConfig& config,
+                                       const GraphStoreConfig& store_config,
+                                       std::vector<GraphShard*> primaries,
+                                       FaultInjector* injector,
+                                       EpochCoordinator* cutover)
+    : config_(config),
+      store_config_(store_config),
+      primaries_(std::move(primaries)),
+      injector_(injector),
+      cutover_(cutover) {
+  if (config_.num_replicas > FaultInjector::kMaxReplicas) {
+    config_.num_replicas = FaultInjector::kMaxReplicas;
+  }
+  if (config_.max_entries_per_append == 0) config_.max_entries_per_append = 1;
+  if (config_.digest_buckets == 0) config_.digest_buckets = 1;
+  reps_.reserve(primaries_.size());
+  for (std::size_t s = 0; s < primaries_.size(); ++s) {
+    auto sr = std::make_unique<ShardRep>();
+    MutexLock lock(sr->mu);
+    sr->replicas.resize(config_.num_replicas);
+    for (auto& r : sr->replicas) {
+      r.store = std::make_unique<GraphStore>(store_config_);
+    }
+    reps_.push_back(std::move(sr));
+  }
+  if (config_.async_ship) {
+    pump_ = std::thread([this] { PumpLoop(); });
+  }
+}
+
+ReplicationManager::~ReplicationManager() {
+  if (pump_.joinable()) {
+    {
+      MutexLock lock(pump_mu_);
+      pump_stop_ = true;
+      pump_cv_.notify_all();
+    }
+    pump_.join();
+  }
+}
+
+void ReplicationManager::Kick() {
+  if (!config_.async_ship) {
+    for (std::size_t s = 0; s < primaries_.size(); ++s) {
+      Ship(s, /*allow_bootstrap=*/true);
+    }
+    return;
+  }
+  MutexLock lock(pump_mu_);
+  pump_work_ = true;
+  pump_cv_.notify_all();
+}
+
+void ReplicationManager::PumpLoop() {
+  for (;;) {
+    {
+      MutexLock lock(pump_mu_);
+      while (!pump_stop_ && !pump_work_) pump_cv_.wait(pump_mu_);
+      if (pump_stop_) return;
+      pump_work_ = false;
+    }
+    // Meter the whole round: pump_cpu - replica_apply isolates the
+    // primary-side ship cost for the bench's cost accounting.
+    ReplicaCpuMeter round_meter(&counters_.pump_cpu_nanos);
+    // Bootstrapping snapshots the primary's *live* store, which may be
+    // receiving applies right now — only the client-serial paths (Kick in
+    // sync mode, Flush) are allowed to do that.
+    for (std::size_t s = 0; s < primaries_.size(); ++s) {
+      Ship(s, /*allow_bootstrap=*/false);
+    }
+  }
+}
+
+void ReplicationManager::Ship(std::size_t shard, bool allow_bootstrap) {
+  ShardRep& sr = *reps_[shard];
+  MutexLock lock(sr.mu);
+  if (allow_bootstrap) {
+    for (std::size_t r = 0; r < sr.replicas.size(); ++r) {
+      Replica& rep = sr.replicas[r];
+      if (rep.incompatible || injector_->IsReplicaCrashed(shard, r) ||
+          injector_->IsReplicaPartitioned(shard, r)) {
+        continue;
+      }
+      if (rep.applied_seq < primaries_[shard]->wal_truncated_through()) {
+        BootstrapReplica(shard, r, rep);
+      }
+    }
+  }
+  ShipLocked(shard, sr, allow_bootstrap);
+}
+
+void ReplicationManager::ShipLocked(std::size_t shard, ShardRep& sr,
+                                    bool allow_bootstrap) {
+  (void)allow_bootstrap;
+  GraphShard* pri = primaries_[shard];
+  const std::uint64_t head = pri->wal_seq();
+  counters_.ship_rounds.fetch_add(1, kTally);
+  for (std::size_t r = 0; r < sr.replicas.size(); ++r) {
+    Replica& rep = sr.replicas[r];
+    if (rep.incompatible) continue;
+    if (injector_->IsReplicaCrashed(shard, r)) continue;
+    if (injector_->IsReplicaPartitioned(shard, r)) continue;
+    // Below the truncation point and not bootstrapped this round: the log
+    // cannot reach this replica, skip until a bootstrap-capable pass.
+    if (rep.applied_seq < pri->wal_truncated_through()) continue;
+    if (rep.applied_seq < head) {
+      std::vector<TimedUpdate>& window = sr.window_scratch;
+      pri->WalWindowInto(rep.applied_seq, head, &window);
+      // Chunk the window into append messages, encoding straight from
+      // the WAL entries (no intermediate RepLogAppend materialisation).
+      std::vector<std::string> msgs;
+      msgs.reserve(window.size() / config_.max_entries_per_append + 1);
+      for (std::size_t i = 0; i < window.size();
+           i += config_.max_entries_per_append) {
+        const std::size_t end =
+            std::min(window.size(), i + config_.max_entries_per_append);
+        msgs.push_back(wire::EncodeRepLogAppendWindow(
+            static_cast<std::uint32_t>(shard), rep.applied_seq + i + 1,
+            window.data() + i, end - i, config_.wire_version));
+      }
+      // Deliver under the injected channel-fault schedule. All three
+      // fault classes resolve into retransmits: the contiguity check in
+      // DeliverAppend refuses anything that does not extend applied_seq.
+      std::size_t i = 0;
+      while (i < msgs.size() && !rep.incompatible) {
+        switch (injector_->NextRepFault(shard, r)) {
+          case FaultInjector::RepFault::kDrop:
+            counters_.dropped_messages.fetch_add(1, kTally);
+            ++i;
+            break;
+          case FaultInjector::RepFault::kDuplicate:
+            counters_.duplicated_messages.fetch_add(1, kTally);
+            DeliverAppend(msgs[i], rep);
+            DeliverAppend(msgs[i], rep);
+            ++i;
+            break;
+          case FaultInjector::RepFault::kReorder:
+            if (i + 1 < msgs.size()) {
+              counters_.reordered_messages.fetch_add(1, kTally);
+              DeliverAppend(msgs[i + 1], rep);
+              DeliverAppend(msgs[i], rep);
+              i += 2;
+            } else {
+              DeliverAppend(msgs[i], rep);
+              ++i;
+            }
+            break;
+          case FaultInjector::RepFault::kNone:
+            DeliverAppend(msgs[i], rep);
+            ++i;
+            break;
+        }
+      }
+    }
+    // Ack only when the watermark can actually move — an idle ship round
+    // over a caught-up, fully-acked replica sends nothing.
+    if (!rep.incompatible && rep.acked_seq < rep.applied_seq) {
+      SendAck(shard, r, sr);
+    }
+  }
+}
+
+void ReplicationManager::DeliverAppend(const std::string& bytes,
+                                       Replica& rep) {
+  counters_.append_messages.fetch_add(1, kTally);
+  counters_.bytes_shipped.fetch_add(bytes.size(), kTally);
+  ReplicaCpuMeter meter(&counters_.replica_apply_nanos);
+  wire::RepLogAppend msg;
+  switch (wire::DecodeRepLogAppend(bytes, &msg)) {
+    case wire::DecodeResult::kUnsupportedVersion:
+      // Version negotiation: the peer speaks a format we do not. Mark it
+      // incompatible once — it is excluded from shipping, reads and
+      // promotion until reconfigured.
+      if (!rep.incompatible) {
+        rep.incompatible = true;
+        rep.last_error = Status::Unimplemented(
+            "replica rejected replication wire version");
+        counters_.unimplemented_peers.fetch_add(1, kTally);
+      }
+      return;
+    case wire::DecodeResult::kMalformed:
+      rep.last_error = Status::DataLoss("malformed replication append");
+      return;
+    case wire::DecodeResult::kOk:
+      break;
+  }
+  for (const wire::RepLogEntry& e : msg.entries) {
+    if (e.seq <= rep.applied_seq) {
+      // At-least-once transport: silently skip the duplicate prefix.
+      counters_.duplicate_entries.fetch_add(1, kTally);
+      continue;
+    }
+    if (e.seq != rep.applied_seq + 1) {
+      // Gap (a predecessor was dropped or is still in flight behind a
+      // reorder): refuse the suffix; the next ship round retransmits
+      // from applied_seq + 1.
+      counters_.rejected_appends.fetch_add(1, kTally);
+      return;
+    }
+    rep.store->Apply(e.update);
+    rep.applied_seq = e.seq;
+    counters_.entries_applied.fetch_add(1, kTally);
+  }
+}
+
+void ReplicationManager::SendAck(std::size_t shard, std::size_t replica,
+                                 ShardRep& sr) {
+  Replica& rep = sr.replicas[replica];
+  wire::RepAck ack;
+  ack.shard = static_cast<std::uint32_t>(shard);
+  ack.replica = static_cast<std::uint32_t>(replica);
+  ack.applied_seq = rep.applied_seq;
+  const std::string bytes = wire::EncodeRepAck(ack, config_.wire_version);
+  counters_.ack_messages.fetch_add(1, kTally);
+  counters_.bytes_shipped.fetch_add(bytes.size(), kTally);
+  // The reverse channel is just as lossy as the forward one. A dropped
+  // ack leaves acked_seq stale; the next round's cumulative ack covers it
+  // (and AckWindow waiters are woken then — the lost-ack wakeup path).
+  if (injector_->NextRepFault(shard, replica) ==
+      FaultInjector::RepFault::kDrop) {
+    counters_.dropped_messages.fetch_add(1, kTally);
+    return;
+  }
+  wire::RepAck decoded;
+  if (wire::DecodeRepAck(bytes, &decoded) != wire::DecodeResult::kOk) return;
+  rep.acked_seq = std::max(rep.acked_seq, decoded.applied_seq);
+  sr.acks.Ack(decoded.applied_seq);
+}
+
+bool ReplicationManager::BootstrapReplica(std::size_t shard,
+                                          std::size_t replica, Replica& rep) {
+  GraphShard* pri = primaries_[shard];
+  std::string image;
+  std::uint64_t covered = 0;
+  if (!pri->crashed()) {
+    // Live primary: snapshot the serving store (covers the full log).
+    covered = pri->wal_seq();
+    if (!SaveGraphToBytes(pri->store(), &image).ok()) return false;
+  } else if (!pri->checkpoint_path().empty()) {
+    // Crashed primary: its disk checkpoint is still authoritative for the
+    // truncated prefix; log shipping covers the rest.
+    covered = pri->checkpoint_seq();
+    if (!ReadFileToString(pri->checkpoint_path(), &image)) return false;
+  } else {
+    return false;  // nothing to bootstrap from yet
+  }
+  wire::RepSnapshot snap;
+  snap.shard = static_cast<std::uint32_t>(shard);
+  snap.covered_seq = covered;
+  snap.checkpoint = std::move(image);
+  const std::string bytes =
+      wire::EncodeRepSnapshot(snap, config_.wire_version);
+  counters_.bytes_shipped.fetch_add(bytes.size(), kTally);
+  if (injector_->NextRepFault(shard, replica) ==
+      FaultInjector::RepFault::kDrop) {
+    counters_.dropped_messages.fetch_add(1, kTally);
+    return false;  // retried next bootstrap-capable round
+  }
+  // Decoding and loading the image are the receiving replica's work.
+  ReplicaCpuMeter meter(&counters_.replica_apply_nanos);
+  wire::RepSnapshot decoded;
+  switch (wire::DecodeRepSnapshot(bytes, &decoded)) {
+    case wire::DecodeResult::kUnsupportedVersion:
+      if (!rep.incompatible) {
+        rep.incompatible = true;
+        rep.last_error = Status::Unimplemented(
+            "replica rejected replication wire version");
+        counters_.unimplemented_peers.fetch_add(1, kTally);
+      }
+      return false;
+    case wire::DecodeResult::kMalformed:
+      rep.last_error = Status::DataLoss("malformed snapshot message");
+      return false;
+    case wire::DecodeResult::kOk:
+      break;
+  }
+  auto fresh = std::make_unique<GraphStore>(store_config_);
+  Status s = LoadGraphFromBytes(decoded.checkpoint, fresh.get());
+  if (!s.ok()) {  // CRC mismatch or structural damage: refuse the image
+    rep.last_error = s;
+    return false;
+  }
+  rep.store = std::move(fresh);
+  rep.applied_seq = decoded.covered_seq;
+  rep.last_error = Status::Ok();
+  counters_.snapshot_bootstraps.fetch_add(1, kTally);
+  return true;
+}
+
+Status ReplicationManager::Flush() {
+  for (int round = 0; round < kMaxFlushRounds; ++round) {
+    bool all_caught_up = true;
+    for (std::size_t s = 0; s < primaries_.size(); ++s) {
+      Ship(s, /*allow_bootstrap=*/true);
+      ShardRep& sr = *reps_[s];
+      MutexLock lock(sr.mu);
+      const std::uint64_t head = primaries_[s]->wal_seq();
+      for (std::size_t r = 0; r < sr.replicas.size(); ++r) {
+        const Replica& rep = sr.replicas[r];
+        if (rep.incompatible || injector_->IsReplicaCrashed(s, r) ||
+            injector_->IsReplicaPartitioned(s, r)) {
+          continue;  // unreachable by contract, not by flakiness
+        }
+        if (rep.applied_seq < head || rep.acked_seq < head) {
+          all_caught_up = false;
+        }
+      }
+    }
+    if (all_caught_up) return Status::Ok();
+  }
+  return Status::DeadlineExceeded(
+      "replication flush: channels still lossy after max rounds");
+}
+
+std::optional<ReplicationManager::ReplicaServe>
+ReplicationManager::SampleFromReplica(std::size_t shard,
+                                      const std::vector<VertexId>& seeds,
+                                      std::size_t fanout, bool weighted,
+                                      std::uint64_t rng_seed, EdgeType type) {
+  ShardRep& sr = *reps_[shard];
+  // Lock order: shard mutex, then the epoch coordinator pin — the same
+  // order PromoteLocked uses (mutex, then write barrier), so the two can
+  // never deadlock.
+  MutexLock lock(sr.mu);
+  const std::uint64_t head = primaries_[shard]->wal_seq();
+  std::size_t best = sr.replicas.size();
+  for (std::size_t r = 0; r < sr.replicas.size(); ++r) {
+    const Replica& rep = sr.replicas[r];
+    // A partitioned replica is cut off from its *primary*, not from
+    // clients — it may still serve (stale) reads. A crashed one may not.
+    if (rep.incompatible || injector_->IsReplicaCrashed(shard, r)) continue;
+    if (best == sr.replicas.size() ||
+        rep.applied_seq > sr.replicas[best].applied_seq) {
+      best = r;
+    }
+  }
+  if (best == sr.replicas.size()) return std::nullopt;
+  Replica& rep = sr.replicas[best];
+  const std::uint64_t lag = head - rep.applied_seq;
+  if (lag > config_.staleness_budget) return std::nullopt;
+  auto pin = cutover_->PinRead();
+  ReplicaServe serve;
+  serve.replica = best;
+  serve.lag = lag;
+  serve.neighbors.resize(seeds.size());
+  // Seeded exactly like the primary-path attempt so a caught-up replica
+  // (lag 0) returns bit-identical samples.
+  Xoshiro256 rng(rng_seed);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    rep.store->SampleNeighbors(seeds[i], fanout, weighted, rng,
+                               &serve.neighbors[i], type);
+  }
+  return serve;
+}
+
+ReplicationManager::HealthReport ReplicationManager::AdvanceTime(
+    std::uint64_t now_us) {
+  HealthReport report;
+  for (std::size_t s = 0; s < primaries_.size(); ++s) {
+    ShardRep& sr = *reps_[s];
+    MutexLock lock(sr.mu);
+    if (!injector_->IsCrashed(s)) {
+      sr.suspected_since_us = kNotSuspected;  // healthy (or recovered)
+      continue;
+    }
+    if (sr.suspected_since_us == kNotSuspected) {
+      // First observation of the crash: start the suspicion clock. The
+      // timeout is measured from here, so promotion needs a later
+      // AdvanceTime call — a blip recovered before then never fails over.
+      sr.suspected_since_us = now_us;
+      continue;
+    }
+    if (now_us - sr.suspected_since_us < config_.suspicion_timeout_us) {
+      continue;
+    }
+    std::optional<std::uint64_t> replayed = PromoteLocked(s, sr);
+    if (replayed.has_value()) {
+      report.failovers += 1;
+      report.replayed_entries += *replayed;
+      sr.suspected_since_us = kNotSuspected;
+    }
+    // else: no promotable replica yet — stay suspected and retry on the
+    // next health check.
+  }
+  return report;
+}
+
+std::optional<std::uint64_t> ReplicationManager::PromoteLocked(std::size_t s,
+                                                               ShardRep& sr) {
+  GraphShard* pri = primaries_[s];
+  const std::uint64_t head = pri->wal_seq();
+  // Candidate: the furthest-applied live, connected, compatible replica;
+  // ties break to the lowest index — both deterministic.
+  std::size_t best = sr.replicas.size();
+  for (std::size_t r = 0; r < sr.replicas.size(); ++r) {
+    const Replica& rep = sr.replicas[r];
+    if (rep.incompatible) continue;
+    if (injector_->IsReplicaCrashed(s, r)) continue;
+    if (injector_->IsReplicaPartitioned(s, r)) continue;
+    if (rep.applied_seq < pri->wal_truncated_through()) continue;
+    if (best == sr.replicas.size() ||
+        rep.applied_seq > sr.replicas[best].applied_seq) {
+      best = r;
+    }
+  }
+  if (best == sr.replicas.size()) return std::nullopt;
+  Replica& rep = sr.replicas[best];
+  // Roll the candidate forward to the log head: replaying (applied, head]
+  // of the durable WAL makes its store bit-identical to a sequential
+  // replay of the primary's whole log (tests pin this byte-for-byte).
+  std::size_t replayed = 0;
+  Status st = pri->CheckedWalReplay(rep.store.get(), rep.applied_seq, head,
+                                    &replayed);
+  if (!st.ok()) return std::nullopt;  // truncation gap: not promotable
+  {
+    // Take over the keyrange under the epoch barrier: pinned readers
+    // drain before the store pointer swaps, and the epoch advance
+    // publishes the hand-off.
+    auto wg = cutover_->BeginWrite();
+    pri->Promote(std::move(rep.store));
+  }
+  injector_->RestoreShard(s);
+  // The promoted slot is now an empty replica; it re-bootstraps (or
+  // re-replays from seq 0) on subsequent ship rounds.
+  rep.store = std::make_unique<GraphStore>(store_config_);
+  rep.applied_seq = 0;
+  rep.acked_seq = 0;
+  return static_cast<std::uint64_t>(replayed);
+}
+
+ReplicationManager::AntiEntropyReport ReplicationManager::RunAntiEntropy(
+    std::size_t shard) {
+  AntiEntropyReport report;
+  GraphShard* pri = primaries_[shard];
+  ShardRep& sr = *reps_[shard];
+  MutexLock lock(sr.mu);
+  if (pri->crashed()) {
+    // No authoritative side to digest against; every replica is skipped.
+    report.skipped_replicas += sr.replicas.size();
+    return report;
+  }
+  const std::uint64_t head = pri->wal_seq();
+  std::vector<std::uint64_t> pri_counts;
+  std::vector<std::uint32_t> pri_crcs;
+  ComputeDigest(pri->store(), config_.digest_buckets, &pri_counts, &pri_crcs);
+  for (std::size_t r = 0; r < sr.replicas.size(); ++r) {
+    Replica& rep = sr.replicas[r];
+    if (rep.incompatible || injector_->IsReplicaCrashed(shard, r) ||
+        injector_->IsReplicaPartitioned(shard, r) ||
+        rep.applied_seq != head) {
+      // Only caught-up, reachable replicas are compared: digesting a
+      // lagging store would flag honest lag as divergence (false
+      // positive), which the acceptance tests forbid.
+      report.skipped_replicas += 1;
+      continue;
+    }
+    wire::RepDigest digest;
+    digest.shard = static_cast<std::uint32_t>(shard);
+    digest.through_seq = head;
+    digest.bucket_edges = pri_counts;
+    digest.bucket_crcs = pri_crcs;
+    const std::string bytes =
+        wire::EncodeRepDigest(digest, config_.wire_version);
+    counters_.bytes_shipped.fetch_add(bytes.size(), kTally);
+    if (injector_->NextRepFault(shard, r) ==
+        FaultInjector::RepFault::kDrop) {
+      counters_.dropped_messages.fetch_add(1, kTally);
+      report.skipped_replicas += 1;
+      continue;
+    }
+    wire::RepDigest decoded;
+    switch (wire::DecodeRepDigest(bytes, &decoded)) {
+      case wire::DecodeResult::kUnsupportedVersion:
+        if (!rep.incompatible) {
+          rep.incompatible = true;
+          rep.last_error = Status::Unimplemented(
+              "replica rejected replication wire version");
+          counters_.unimplemented_peers.fetch_add(1, kTally);
+        }
+        report.skipped_replicas += 1;
+        continue;
+      case wire::DecodeResult::kMalformed:
+        report.skipped_replicas += 1;
+        continue;
+      case wire::DecodeResult::kOk:
+        break;
+    }
+    report.digest_rounds += 1;
+    std::vector<std::uint64_t> rep_counts;
+    std::vector<std::uint32_t> rep_crcs;
+    ComputeDigest(*rep.store, config_.digest_buckets, &rep_counts, &rep_crcs);
+    bool repaired = false;
+    for (std::size_t b = 0; b < config_.digest_buckets; ++b) {
+      if (decoded.bucket_edges[b] == rep_counts[b] &&
+          decoded.bucket_crcs[b] == rep_crcs[b]) {
+        continue;
+      }
+      report.digest_mismatches += 1;
+      repaired = true;
+      // Repair = re-ship the bucket delta: drop everything the replica
+      // holds in the bucket, then re-insert the primary's bucket edges.
+      // Delete-then-insert handles both phantom and missing edges.
+      for (const Edge& e : BucketEdges(*rep.store, config_.digest_buckets, b)) {
+        rep.store->Apply(EdgeUpdate{UpdateKind::kDelete, e});
+      }
+      const std::vector<Edge> truth =
+          BucketEdges(pri->store(), config_.digest_buckets, b);
+      for (const Edge& e : truth) {
+        rep.store->Apply(EdgeUpdate{UpdateKind::kInsert, e});
+      }
+      report.repaired_edges += truth.size();
+    }
+    if (repaired) report.repaired_replicas += 1;
+  }
+  return report;
+}
+
+ReplicationManager::AntiEntropyReport ReplicationManager::RunAntiEntropyAll() {
+  AntiEntropyReport total;
+  for (std::size_t s = 0; s < primaries_.size(); ++s) {
+    const AntiEntropyReport r = RunAntiEntropy(s);
+    total.digest_rounds += r.digest_rounds;
+    total.digest_mismatches += r.digest_mismatches;
+    total.repaired_replicas += r.repaired_replicas;
+    total.repaired_edges += r.repaired_edges;
+    total.skipped_replicas += r.skipped_replicas;
+  }
+  return total;
+}
+
+void ReplicationManager::WipeReplica(std::size_t shard, std::size_t replica) {
+  ShardRep& sr = *reps_[shard];
+  MutexLock lock(sr.mu);
+  Replica& rep = sr.replicas[replica];
+  rep.store = std::make_unique<GraphStore>(store_config_);
+  rep.applied_seq = 0;
+  rep.acked_seq = 0;
+  rep.last_error = Status::Ok();
+}
+
+bool ReplicationManager::CorruptReplicaEdgeForTest(std::size_t shard,
+                                                   std::size_t replica) {
+  ShardRep& sr = *reps_[shard];
+  MutexLock lock(sr.mu);
+  Replica& rep = sr.replicas[replica];
+  std::vector<Edge> edges;
+  for (std::size_t b = 0; b < config_.digest_buckets; ++b) {
+    const std::vector<Edge> bucket =
+        BucketEdges(*rep.store, config_.digest_buckets, b);
+    edges.insert(edges.end(), bucket.begin(), bucket.end());
+  }
+  if (edges.empty()) return false;
+  Edge victim = edges[injector_->RepDraw(shard, replica) % edges.size()];
+  victim.weight += 1.5;  // weight is part of the topology digest
+  rep.store->Apply(EdgeUpdate{UpdateKind::kInPlaceUpdate, victim});
+  return true;
+}
+
+ReplicationStats ReplicationManager::stats() const {
+  ReplicationStats s;
+  s.ship_rounds = counters_.ship_rounds.load(kTally);
+  s.append_messages = counters_.append_messages.load(kTally);
+  s.ack_messages = counters_.ack_messages.load(kTally);
+  s.bytes_shipped = counters_.bytes_shipped.load(kTally);
+  s.entries_applied = counters_.entries_applied.load(kTally);
+  s.duplicate_entries = counters_.duplicate_entries.load(kTally);
+  s.rejected_appends = counters_.rejected_appends.load(kTally);
+  s.dropped_messages = counters_.dropped_messages.load(kTally);
+  s.duplicated_messages = counters_.duplicated_messages.load(kTally);
+  s.reordered_messages = counters_.reordered_messages.load(kTally);
+  s.snapshot_bootstraps = counters_.snapshot_bootstraps.load(kTally);
+  s.unimplemented_peers = counters_.unimplemented_peers.load(kTally);
+  s.replica_apply_nanos = counters_.replica_apply_nanos.load(kTally);
+  s.pump_cpu_nanos = counters_.pump_cpu_nanos.load(kTally);
+  return s;
+}
+
+Status ReplicationManager::SnapshotReplica(std::size_t shard,
+                                           std::size_t replica,
+                                           std::string* out) {
+  ShardRep& sr = *reps_[shard];
+  MutexLock lock(sr.mu);
+  return SaveGraphToBytes(*sr.replicas[replica].store, out);
+}
+
+std::vector<ReplicationManager::ReplicaProbe> ReplicationManager::Probe(
+    std::size_t shard) {
+  ShardRep& sr = *reps_[shard];
+  MutexLock lock(sr.mu);
+  std::vector<ReplicaProbe> out;
+  out.reserve(sr.replicas.size());
+  for (std::size_t r = 0; r < sr.replicas.size(); ++r) {
+    const Replica& rep = sr.replicas[r];
+    ReplicaProbe p;
+    p.applied_seq = rep.applied_seq;
+    p.acked_seq = rep.acked_seq;
+    p.head_seq = primaries_[shard]->wal_seq();
+    p.crashed = injector_->IsReplicaCrashed(shard, r);
+    p.partitioned = injector_->IsReplicaPartitioned(shard, r);
+    p.incompatible = rep.incompatible;
+    p.edges = rep.store->NumEdges();
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace platod2gl

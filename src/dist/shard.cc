@@ -12,23 +12,27 @@ GraphShard::GraphShard(GraphStoreConfig config)
 void GraphShard::Apply(const EdgeUpdate& update) {
   // order: stat tally, read for reporting only
   requests_.fetch_add(1, std::memory_order_relaxed);
-  // WAL first: the sequence number is strictly increasing, so Append can
-  // never hit a time regression here.
-  wal_.Append(++wal_seq_, update);
-  if (!crashed_) store_->Apply(update);
+  {
+    // WAL first: the sequence number is strictly increasing, so Append can
+    // never hit a time regression here. Locked because a replication pump
+    // may be reading a window concurrently (docs/replication.md).
+    SpinlockGuard g(wal_mu_);
+    wal_.Append(++wal_seq_, update);
+  }
+  if (!crashed()) store_->Apply(update);
 }
 
 bool GraphShard::SampleNeighbors(VertexId src, std::size_t k, bool weighted,
                                  Xoshiro256& rng, std::vector<VertexId>* out,
                                  EdgeType type) const {
-  if (crashed_) return false;
+  if (crashed()) return false;
   // order: stat tally, read for reporting only
   requests_.fetch_add(1, std::memory_order_relaxed);
   return store_->SampleNeighbors(src, k, weighted, rng, out, type);
 }
 
 void GraphShard::Crash() {
-  crashed_ = true;
+  crashed_.store(true, std::memory_order_release);
   // The serving process is gone: release the volatile store. Recover()
   // rebuilds it; until then sampling is refused while the WAL (durable)
   // keeps accepting writes.
@@ -36,11 +40,12 @@ void GraphShard::Crash() {
 }
 
 Status GraphShard::Checkpoint(const std::string& path) {
-  if (crashed_) {
+  if (crashed()) {
     return Status::Unavailable("cannot checkpoint a crashed shard");
   }
   Status s = SaveGraph(*store_, path);
   if (!s.ok()) return s;
+  SpinlockGuard g(wal_mu_);
   checkpoint_path_ = path;
   checkpoint_seq_ = wal_seq_;
   wal_.TruncateThrough(checkpoint_seq_);
@@ -49,15 +54,35 @@ Status GraphShard::Checkpoint(const std::string& path) {
 
 Status GraphShard::Recover(std::size_t* replayed) {
   auto fresh = std::make_unique<GraphStore>(config_);
-  if (!checkpoint_path_.empty()) {
-    Status s = LoadGraph(checkpoint_path_, fresh.get());
+  std::string ckpt_path;
+  std::uint64_t ckpt_seq = 0;
+  {
+    SpinlockGuard g(wal_mu_);
+    ckpt_path = checkpoint_path_;
+    ckpt_seq = checkpoint_seq_;
+  }
+  if (!ckpt_path.empty()) {
+    Status s = LoadGraph(ckpt_path, fresh.get());
     if (!s.ok()) return s;
   }
-  const std::size_t n = wal_.ReplayInto(fresh.get(), checkpoint_seq_, wal_seq_);
-  if (replayed != nullptr) *replayed = n;
+  {
+    SpinlockGuard g(wal_mu_);
+    // Checked replay: the checkpoint must cover the truncated prefix
+    // exactly — a gap here means the durable state is unrecoverable and
+    // must be reported, never silently skipped (tests/test_temporal.cc
+    // pins the boundary).
+    Status s =
+        wal_.CheckedReplayInto(fresh.get(), ckpt_seq, wal_seq_, replayed);
+    if (!s.ok()) return s;
+  }
   store_ = std::move(fresh);
-  crashed_ = false;
+  crashed_.store(false, std::memory_order_release);
   return Status::Ok();
+}
+
+void GraphShard::Promote(std::unique_ptr<GraphStore> store) {
+  store_ = std::move(store);
+  crashed_.store(false, std::memory_order_release);
 }
 
 }  // namespace platod2gl

@@ -16,6 +16,14 @@
 // shard still accepts durable WAL writes (the log service outlives the
 // serving process, as in GNNFlow's log-structured recovery) but refuses
 // sampling.
+//
+// Replication (DESIGN.md §13, docs/replication.md): the durable WAL
+// doubles as the replication log. The ReplicationManager reads windows of
+// it to ship to replicas — possibly from a pump thread concurrent with
+// Apply — so the WAL and its watermarks are guarded by a spinlock and
+// exposed through the locked accessors below. Promote() is the failover
+// hand-off: a caught-up replica store is installed as the serving store
+// and the shard returns to service.
 #pragma once
 
 #include <atomic>
@@ -25,7 +33,9 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/spinlock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "storage/graph_store.h"
 #include "temporal/edge_log.h"
@@ -55,7 +65,9 @@ class GraphShard {
   /// Kill the serving process: the in-memory store is destroyed. The WAL
   /// and the last checkpoint survive (they are the "disk").
   void Crash();
-  bool crashed() const { return crashed_; }
+  bool crashed() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
 
   /// Persist the current store to `path` (io/checkpoint format) and
   /// truncate the WAL prefix the checkpoint now covers. Refused while
@@ -69,11 +81,71 @@ class GraphShard {
   /// Returns the number of WAL updates replayed via `replayed` (optional).
   Status Recover(std::size_t* replayed = nullptr);
 
-  const TemporalEdgeLog& wal() const { return wal_; }
+  /// Failover hand-off: install `store` (a promoted replica's store,
+  /// already rolled forward to wal_seq by the caller) as the serving store
+  /// and return to service. The WAL and checkpoint state are untouched —
+  /// the new serving process inherits the same durable log.
+  void Promote(std::unique_ptr<GraphStore> store);
+
+  // --- Durable-log access -------------------------------------------------
+
+  /// Direct WAL reference for quiesced inspection (tests, single-threaded
+  /// recovery drills). NOT safe against a concurrent Apply(); the
+  /// replication layer uses the locked window/watermark accessors instead.
+  // NO_THREAD_SAFETY_ANALYSIS: quiesced-only escape hatch — callers
+  // guarantee no concurrent Apply/Checkpoint (see accessor contract).
+  const TemporalEdgeLog& wal() const NO_THREAD_SAFETY_ANALYSIS {
+    return wal_;
+  }
+
   /// Sequence number of the last durably logged update (0 = none).
-  std::uint64_t wal_seq() const { return wal_seq_; }
+  std::uint64_t wal_seq() const EXCLUDES(wal_mu_) {
+    SpinlockGuard g(wal_mu_);
+    return wal_seq_;
+  }
   /// Sequence number covered by the last checkpoint (0 = never).
-  std::uint64_t checkpoint_seq() const { return checkpoint_seq_; }
+  std::uint64_t checkpoint_seq() const EXCLUDES(wal_mu_) {
+    SpinlockGuard g(wal_mu_);
+    return checkpoint_seq_;
+  }
+  /// Path of the last checkpoint ("" = never checkpointed) — the snapshot
+  /// source when a crashed primary must bootstrap a replica.
+  std::string checkpoint_path() const EXCLUDES(wal_mu_) {
+    SpinlockGuard g(wal_mu_);
+    return checkpoint_path_;
+  }
+  /// The WAL's erased-prefix watermark (see TemporalEdgeLog).
+  std::uint64_t wal_truncated_through() const EXCLUDES(wal_mu_) {
+    SpinlockGuard g(wal_mu_);
+    return wal_.truncated_through();
+  }
+
+  /// Copy of the WAL entries in (from, to] — the replication sender's
+  /// read path, safe against concurrent Apply().
+  std::vector<TimedUpdate> WalWindow(std::uint64_t from,
+                                     std::uint64_t to) const
+      EXCLUDES(wal_mu_) {
+    SpinlockGuard g(wal_mu_);
+    return wal_.Window(from, to);
+  }
+
+  /// WalWindow() into a reusable buffer — keeps the hot ship path free of
+  /// per-round allocations (and so keeps the spinlock hold short).
+  void WalWindowInto(std::uint64_t from, std::uint64_t to,
+                     std::vector<TimedUpdate>* out) const EXCLUDES(wal_mu_) {
+    SpinlockGuard g(wal_mu_);
+    wal_.WindowInto(from, to, out);
+  }
+
+  /// Truncation-gap-checked WAL replay into `graph` (see
+  /// TemporalEdgeLog::CheckedReplayInto) under the WAL lock — the
+  /// promotion path's roll-forward.
+  Status CheckedWalReplay(GraphStore* graph, std::uint64_t from,
+                          std::uint64_t to, std::size_t* applied) const
+      EXCLUDES(wal_mu_) {
+    SpinlockGuard g(wal_mu_);
+    return wal_.CheckedReplayInto(graph, from, to, applied);
+  }
 
   std::uint64_t requests_served() const {
     // order: stat tally, read for reporting only
@@ -83,11 +155,15 @@ class GraphShard {
  private:
   GraphStoreConfig config_;
   std::unique_ptr<GraphStore> store_;  // volatile (lost on Crash)
-  TemporalEdgeLog wal_;                // durable
-  std::uint64_t wal_seq_ = 0;
-  std::uint64_t checkpoint_seq_ = 0;
-  std::string checkpoint_path_;  // empty = never checkpointed
-  bool crashed_ = false;
+  /// Guards the durable-log state: Apply appends while a replication pump
+  /// may concurrently read windows/watermarks. Held only for short log
+  /// operations, never across a store apply.
+  mutable Spinlock wal_mu_;
+  TemporalEdgeLog wal_ GUARDED_BY(wal_mu_);  // durable
+  std::uint64_t wal_seq_ GUARDED_BY(wal_mu_) = 0;
+  std::uint64_t checkpoint_seq_ GUARDED_BY(wal_mu_) = 0;
+  std::string checkpoint_path_ GUARDED_BY(wal_mu_);  // "" = never
+  std::atomic<bool> crashed_{false};
   mutable std::atomic<std::uint64_t> requests_{0};
 };
 

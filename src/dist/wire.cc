@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "temporal/edge_log.h"
+
 namespace platod2gl::wire {
 namespace {
 
@@ -147,6 +149,198 @@ bool DecodeUpdateBatch(const std::string& bytes,
     batch->push_back(u);
   }
   return pos == bytes.size();
+}
+
+namespace {
+
+/// Shared header check for the versioned replication messages: consumes
+/// the tag and version byte. kUnsupportedVersion is only reported once the
+/// tag matched — an unknown tag is plain malformed input.
+DecodeResult GetRepHeader(const std::string& bytes, char tag,
+                          std::size_t* pos) {
+  if (bytes.size() < 2 || bytes[0] != tag) return DecodeResult::kMalformed;
+  const auto version = static_cast<std::uint8_t>(bytes[1]);
+  if (version != kReplicationWireVersion) {
+    return DecodeResult::kUnsupportedVersion;
+  }
+  *pos = 2;
+  return DecodeResult::kOk;
+}
+
+}  // namespace
+
+std::string EncodeRepLogAppend(const RepLogAppend& msg, std::uint8_t version) {
+  std::string out;
+  out.reserve(10 + msg.entries.size() * 37);
+  out.push_back('L');
+  Put(&out, version);
+  Put(&out, msg.shard);
+  Put(&out, static_cast<std::uint32_t>(msg.entries.size()));
+  for (const RepLogEntry& e : msg.entries) {
+    Put(&out, e.seq);
+    Put(&out, static_cast<std::uint8_t>(e.update.kind));
+    Put(&out, e.update.edge.type);
+    Put(&out, e.update.edge.src);
+    Put(&out, e.update.edge.dst);
+    Put(&out, e.update.edge.weight);
+  }
+  return out;
+}
+
+std::string EncodeRepLogAppendWindow(std::uint32_t shard,
+                                     std::uint64_t first_seq,
+                                     const TimedUpdate* window,
+                                     std::size_t count,
+                                     std::uint8_t version) {
+  std::string out;
+  out.reserve(10 + count * 37);
+  out.push_back('L');
+  Put(&out, version);
+  Put(&out, shard);
+  Put(&out, static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    const EdgeUpdate& u = window[i].update;
+    Put(&out, first_seq + i);
+    Put(&out, static_cast<std::uint8_t>(u.kind));
+    Put(&out, u.edge.type);
+    Put(&out, u.edge.src);
+    Put(&out, u.edge.dst);
+    Put(&out, u.edge.weight);
+  }
+  return out;
+}
+
+DecodeResult DecodeRepLogAppend(const std::string& bytes, RepLogAppend* out) {
+  std::size_t pos = 0;
+  const DecodeResult head = GetRepHeader(bytes, 'L', &pos);
+  if (head != DecodeResult::kOk) return head;
+  std::uint32_t count;
+  if (!Get(bytes, &pos, &out->shard) || !Get(bytes, &pos, &count)) {
+    return DecodeResult::kMalformed;
+  }
+  // Entries are fixed 37-byte records and the whole remaining payload:
+  // exact arithmetic check before the reserve (same hardening discipline
+  // as DecodeUpdateBatch — absurd counts must not drive an allocation).
+  if (bytes.size() - pos != static_cast<std::size_t>(count) * 37) {
+    return DecodeResult::kMalformed;
+  }
+  out->entries.clear();
+  out->entries.reserve(count);
+  std::uint64_t prev_seq = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RepLogEntry e;
+    std::uint8_t kind;
+    if (!Get(bytes, &pos, &e.seq) || !Get(bytes, &pos, &kind) ||
+        !Get(bytes, &pos, &e.update.edge.type) ||
+        !Get(bytes, &pos, &e.update.edge.src) ||
+        !Get(bytes, &pos, &e.update.edge.dst) ||
+        !Get(bytes, &pos, &e.update.edge.weight)) {
+      return DecodeResult::kMalformed;
+    }
+    if (kind > static_cast<std::uint8_t>(UpdateKind::kDelete)) {
+      return DecodeResult::kMalformed;
+    }
+    // Sequence numbers must be strictly increasing within a message — a
+    // run that is not contiguous-sorted can never be a valid WAL window.
+    if (i > 0 && e.seq != prev_seq + 1) return DecodeResult::kMalformed;
+    prev_seq = e.seq;
+    e.update.kind = static_cast<UpdateKind>(kind);
+    out->entries.push_back(e);
+  }
+  return pos == bytes.size() ? DecodeResult::kOk : DecodeResult::kMalformed;
+}
+
+std::string EncodeRepAck(const RepAck& msg, std::uint8_t version) {
+  std::string out;
+  out.reserve(18);
+  out.push_back('A');
+  Put(&out, version);
+  Put(&out, msg.shard);
+  Put(&out, msg.replica);
+  Put(&out, msg.applied_seq);
+  return out;
+}
+
+DecodeResult DecodeRepAck(const std::string& bytes, RepAck* out) {
+  std::size_t pos = 0;
+  const DecodeResult head = GetRepHeader(bytes, 'A', &pos);
+  if (head != DecodeResult::kOk) return head;
+  if (!Get(bytes, &pos, &out->shard) || !Get(bytes, &pos, &out->replica) ||
+      !Get(bytes, &pos, &out->applied_seq)) {
+    return DecodeResult::kMalformed;
+  }
+  return pos == bytes.size() ? DecodeResult::kOk : DecodeResult::kMalformed;
+}
+
+std::string EncodeRepDigest(const RepDigest& msg, std::uint8_t version) {
+  std::string out;
+  out.reserve(18 + msg.bucket_edges.size() * 12);
+  out.push_back('G');
+  Put(&out, version);
+  Put(&out, msg.shard);
+  Put(&out, msg.through_seq);
+  Put(&out, static_cast<std::uint32_t>(msg.bucket_edges.size()));
+  for (std::size_t i = 0; i < msg.bucket_edges.size(); ++i) {
+    Put(&out, msg.bucket_edges[i]);
+    Put(&out, msg.bucket_crcs[i]);
+  }
+  return out;
+}
+
+DecodeResult DecodeRepDigest(const std::string& bytes, RepDigest* out) {
+  std::size_t pos = 0;
+  const DecodeResult head = GetRepHeader(bytes, 'G', &pos);
+  if (head != DecodeResult::kOk) return head;
+  std::uint32_t count;
+  if (!Get(bytes, &pos, &out->shard) || !Get(bytes, &pos, &out->through_seq) ||
+      !Get(bytes, &pos, &count)) {
+    return DecodeResult::kMalformed;
+  }
+  // Buckets are fixed 12-byte records and the whole remaining payload.
+  if (bytes.size() - pos != static_cast<std::size_t>(count) * 12) {
+    return DecodeResult::kMalformed;
+  }
+  out->bucket_edges.assign(count, 0);
+  out->bucket_crcs.assign(count, 0);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!Get(bytes, &pos, &out->bucket_edges[i]) ||
+        !Get(bytes, &pos, &out->bucket_crcs[i])) {
+      return DecodeResult::kMalformed;
+    }
+  }
+  return pos == bytes.size() ? DecodeResult::kOk : DecodeResult::kMalformed;
+}
+
+std::string EncodeRepSnapshot(const RepSnapshot& msg, std::uint8_t version) {
+  std::string out;
+  out.reserve(18 + msg.checkpoint.size());
+  out.push_back('B');
+  Put(&out, version);
+  Put(&out, msg.shard);
+  Put(&out, msg.covered_seq);
+  Put(&out, static_cast<std::uint32_t>(msg.checkpoint.size()));
+  out.append(msg.checkpoint);
+  return out;
+}
+
+DecodeResult DecodeRepSnapshot(const std::string& bytes, RepSnapshot* out) {
+  std::size_t pos = 0;
+  const DecodeResult head = GetRepHeader(bytes, 'B', &pos);
+  if (head != DecodeResult::kOk) return head;
+  std::uint32_t len;
+  if (!Get(bytes, &pos, &out->shard) || !Get(bytes, &pos, &out->covered_seq) ||
+      !Get(bytes, &pos, &len)) {
+    return DecodeResult::kMalformed;
+  }
+  // The checkpoint image is the whole remaining payload: exact check
+  // before the copy. Its *contents* are verified separately by the
+  // io/checkpoint CRC-32 footer on load.
+  if (bytes.size() - pos != static_cast<std::size_t>(len)) {
+    return DecodeResult::kMalformed;
+  }
+  out->checkpoint.assign(bytes, pos, len);
+  pos += len;
+  return pos == bytes.size() ? DecodeResult::kOk : DecodeResult::kMalformed;
 }
 
 }  // namespace platod2gl::wire

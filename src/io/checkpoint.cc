@@ -29,17 +29,29 @@ struct FileCloser {
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 /// Write-side wrapper keeping a running CRC-32 of every byte written
-/// through it; the footer itself is written raw at the end.
+/// through it; the footer itself is written raw at the end. Sinks either
+/// to a FILE* or, when `buf` is set, to an in-memory string (the
+/// snapshot-bootstrap shipping path) — both produce identical bytes.
 struct CrcWriter {
   std::FILE* f = nullptr;
   std::uint32_t crc = 0;
+  std::string* buf = nullptr;
 
   bool Write(const void* p, std::size_t n) {
     crc = Crc32(p, n, crc);
-    return n == 0 || std::fwrite(p, 1, n, f) == n;
+    if (n == 0) return true;
+    if (buf != nullptr) {
+      buf->append(static_cast<const char*>(p), n);
+      return true;
+    }
+    return std::fwrite(p, 1, n, f) == n;
   }
   bool WriteFooter() {
     const std::uint32_t value = crc;
+    if (buf != nullptr) {
+      buf->append(reinterpret_cast<const char*>(&value), sizeof(value));
+      return true;
+    }
     return std::fwrite(&value, sizeof(value), 1, f) == 1;
   }
 };
@@ -107,13 +119,9 @@ Status VerifyCrcFooter(std::FILE* f, const std::string& path,
   return Status::Ok();
 }
 
-}  // namespace
-
-Status SaveGraph(const GraphStore& graph, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::Internal("cannot open " + path + " for writing");
-  CrcWriter w{f.get()};
-
+/// The shared serialisation body behind SaveGraph and SaveGraphToBytes:
+/// everything between opening the sink and closing it.
+Status SaveGraphInto(const GraphStore& graph, CrcWriter& w) {
   if (!w.Write(kMagic, sizeof(kMagic)) || !WritePod(w, kVersion) ||
       !WritePod(w, static_cast<std::uint32_t>(graph.num_relations()))) {
     return Status::Internal("short write (header)");
@@ -175,32 +183,32 @@ Status SaveGraph(const GraphStore& graph, const std::string& path) {
   return Status::Ok();
 }
 
-Status LoadGraph(const std::string& path, GraphStore* graph) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::NotFound("cannot open " + path);
-
+/// The shared parse body behind LoadGraph and LoadGraphFromBytes: `f` is
+/// positioned at the start; `path` only labels error messages.
+Status LoadGraphStream(std::FILE* f, const std::string& path,
+                       GraphStore* graph) {
   char magic[4];
   std::uint32_t version = 0, num_relations = 0;
-  if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+  if (std::fread(magic, sizeof(magic), 1, f) != 1 ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not a PlatoD2GL checkpoint: " + path);
   }
-  if (!ReadPod(f.get(), &version) || version == 0 || version > kVersion) {
+  if (!ReadPod(f, &version) || version == 0 || version > kVersion) {
     return Status::InvalidArgument("unsupported checkpoint version");
   }
   if (version >= 2) {
     // Integrity first: verify the whole file against its footer BEFORE
     // applying any record, then rewind and re-read the header.
-    Status s = VerifyCrcFooter(f.get(), path, /*min_size=*/12);
+    Status s = VerifyCrcFooter(f, path, /*min_size=*/12);
     if (!s.ok()) return s;
     char skip_magic[4];
     std::uint32_t skip_version;
-    if (std::fread(skip_magic, sizeof(skip_magic), 1, f.get()) != 1 ||
-        !ReadPod(f.get(), &skip_version)) {
+    if (std::fread(skip_magic, sizeof(skip_magic), 1, f) != 1 ||
+        !ReadPod(f, &skip_version)) {
       return Status::Internal("reread failed: " + path);
     }
   }
-  if (!ReadPod(f.get(), &num_relations)) {
+  if (!ReadPod(f, &num_relations)) {
     return Status::InvalidArgument("truncated header");
   }
   if (num_relations > graph->num_relations()) {
@@ -213,7 +221,7 @@ Status LoadGraph(const std::string& path, GraphStore* graph) {
 
   for (std::uint32_t r = 0; r < num_relations; ++r) {
     std::uint64_t count = 0;
-    if (!ReadPod(f.get(), &count)) {
+    if (!ReadPod(f, &count)) {
       return Status::InvalidArgument("truncated relation header");
     }
     TopologyStore& topo = graph->topology(static_cast<EdgeType>(r));
@@ -232,8 +240,8 @@ Status LoadGraph(const std::string& path, GraphStore* graph) {
     for (std::uint64_t i = 0; i < count; ++i) {
       VertexId src, dst;
       Weight weight;
-      if (!ReadPod(f.get(), &src) || !ReadPod(f.get(), &dst) ||
-          !ReadPod(f.get(), &weight)) {
+      if (!ReadPod(f, &src) || !ReadPod(f, &dst) ||
+          !ReadPod(f, &weight)) {
         return Status::InvalidArgument("truncated edge records");
       }
       if (src != run_src) {
@@ -246,39 +254,72 @@ Status LoadGraph(const std::string& path, GraphStore* graph) {
   }
 
   std::uint64_t attr_count = 0;
-  if (!ReadPod(f.get(), &attr_count)) {
+  if (!ReadPod(f, &attr_count)) {
     return Status::InvalidArgument("truncated attribute header");
   }
   for (std::uint64_t i = 0; i < attr_count; ++i) {
     VertexId id;
     std::uint8_t has_label;
-    if (!ReadPod(f.get(), &id) || !ReadPod(f.get(), &has_label)) {
+    if (!ReadPod(f, &id) || !ReadPod(f, &has_label)) {
       return Status::InvalidArgument("truncated attribute record");
     }
     if (has_label) {
       std::int64_t label;
-      if (!ReadPod(f.get(), &label)) {
+      if (!ReadPod(f, &label)) {
         return Status::InvalidArgument("truncated label");
       }
       graph->attributes().SetLabel(id, label);
     }
     std::uint32_t len;
-    if (!ReadPod(f.get(), &len)) {
+    if (!ReadPod(f, &len)) {
       return Status::InvalidArgument("truncated feature length");
     }
     if (len > 0) {
-      if (static_cast<std::uint64_t>(RemainingBytes(f.get())) <
+      if (static_cast<std::uint64_t>(RemainingBytes(f)) <
           static_cast<std::uint64_t>(len) * sizeof(float)) {
         return Status::InvalidArgument("feature length exceeds file size");
       }
       std::vector<float> feats(len);
-      if (std::fread(feats.data(), sizeof(float), len, f.get()) != len) {
+      if (std::fread(feats.data(), sizeof(float), len, f) != len) {
         return Status::InvalidArgument("truncated features");
       }
       graph->attributes().SetFeatures(id, std::move(feats));
     }
   }
   return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveGraph(const GraphStore& graph, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::Internal("cannot open " + path + " for writing");
+  CrcWriter w{f.get()};
+  return SaveGraphInto(graph, w);
+}
+
+Status SaveGraphToBytes(const GraphStore& graph, std::string* out) {
+  out->clear();
+  CrcWriter w;
+  w.buf = out;
+  return SaveGraphInto(graph, w);
+}
+
+Status LoadGraph(const std::string& path, GraphStore* graph) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open " + path);
+  return LoadGraphStream(f.get(), path, graph);
+}
+
+Status LoadGraphFromBytes(const std::string& bytes, GraphStore* graph) {
+  if (bytes.empty()) {
+    return Status::InvalidArgument("empty checkpoint image");
+  }
+  // fmemopen (POSIX; the deployment is Linux) gives the stream parser —
+  // and its CRC-footer verification — a read-only view of the buffer.
+  FilePtr f(fmemopen(const_cast<char*>(bytes.data()), bytes.size(), "rb"));
+  if (!f) return Status::Internal("fmemopen failed");
+  return LoadGraphStream(f.get(), "<bytes>", graph);
 }
 
 namespace {

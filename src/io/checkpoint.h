@@ -36,6 +36,18 @@ Status SaveGraph(const GraphStore& graph, const std::string& path);
 /// >= the checkpoint's relation count.
 Status LoadGraph(const std::string& path, GraphStore* graph);
 
+/// SaveGraph into an in-memory buffer — byte-identical to what SaveGraph
+/// would write to disk (same format, same CRC-32 footer). Serialisation
+/// order is deterministic, so two stores that applied the same updates in
+/// the same order produce equal bytes: the replication layer uses this
+/// both to ship snapshot-bootstrap images and to prove replica stores
+/// bit-identical to a primary (docs/replication.md).
+Status SaveGraphToBytes(const GraphStore& graph, std::string* out);
+
+/// LoadGraph from an in-memory buffer (CRC verified first, like the file
+/// path). The receive side of snapshot-bootstrap shipping.
+Status LoadGraphFromBytes(const std::string& bytes, GraphStore* graph);
+
 /// Serialise a trained GraphSAGE model (all weights and biases plus the
 /// architecture dimensions, which are validated on load).
 Status SaveModel(const GraphSageModel& model, const std::string& path);

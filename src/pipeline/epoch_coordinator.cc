@@ -45,4 +45,9 @@ std::size_t EpochCoordinator::readers_active() const {
   return active_readers_;
 }
 
+std::size_t EpochCoordinator::writers_waiting() const {
+  MutexLock lock(mu_);
+  return writers_waiting_;
+}
+
 }  // namespace platod2gl

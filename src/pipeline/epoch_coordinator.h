@@ -103,6 +103,10 @@ class EpochCoordinator {
   /// Readers currently pinned (tests / stats).
   std::size_t readers_active() const EXCLUDES(mu_);
 
+  /// Writers blocked in BeginWrite() right now (tests / schedcheck
+  /// scenarios asserting that a promotion is parked behind pinned readers).
+  std::size_t writers_waiting() const EXCLUDES(mu_);
+
  private:
   void EndRead() EXCLUDES(mu_);
   void EndWrite() EXCLUDES(mu_);

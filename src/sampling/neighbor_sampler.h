@@ -33,8 +33,11 @@ struct NeighborBatch {
 /// owning shard could not be reached within the retry budget / deadline:
 /// by contract its range in the batch is empty (the degraded-result
 /// marker), distinguishable from a genuinely isolated vertex only through
-/// this status — callers that care must check it.
-enum class SeedStatus : std::uint8_t { kOk = 0, kDegraded = 1 };
+/// this status — callers that care must check it. kStale marks a seed
+/// served by a read replica after its primary failed (docs/replication.md):
+/// the range is real neighbour data, at most `staleness_budget` log
+/// entries behind the primary (and exact when the replica was caught up).
+enum class SeedStatus : std::uint8_t { kOk = 0, kDegraded = 1, kStale = 2 };
 
 class NeighborSampler {
  public:

@@ -37,6 +37,10 @@ std::size_t TemporalEdgeLog::AppendBatch(std::span<const TimedUpdate> batch) {
 std::size_t TemporalEdgeLog::TruncateThrough(std::uint64_t t) {
   const std::size_t n = UpperBound(t);
   log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(n));
+  // Record the watermark even when the window was empty: a checkpoint that
+  // covers (and truncates) through t makes every replay from below t
+  // unsound whether or not entries happened to exist there.
+  truncated_through_ = std::max(truncated_through_, t);
   return n;
 }
 
@@ -59,11 +63,36 @@ std::size_t TemporalEdgeLog::ReplayInto(GraphStore* graph, std::uint64_t from,
   return end - begin;
 }
 
+Status TemporalEdgeLog::CheckedReplayInto(GraphStore* graph,
+                                          std::uint64_t from, std::uint64_t to,
+                                          std::size_t* applied) const {
+  if (from < truncated_through_) {
+    // The half-open window (from, to] starts inside the erased prefix:
+    // entries in (from, truncated_through_] are gone, so the replay would
+    // be missing updates. Note the boundary: from == truncated_through_
+    // is sound (nothing below it is requested), one less is not.
+    return Status::DataLoss(
+        "replay window (" + std::to_string(from) + ", " + std::to_string(to) +
+        "] starts below the truncation watermark " +
+        std::to_string(truncated_through_));
+  }
+  const std::size_t n = ReplayInto(graph, from, to);
+  if (applied != nullptr) *applied = n;
+  return Status::Ok();
+}
+
 std::vector<TimedUpdate> TemporalEdgeLog::Window(std::uint64_t from,
                                                  std::uint64_t to) const {
   const std::size_t begin = UpperBound(from);
   const std::size_t end = UpperBound(to);
   return std::vector<TimedUpdate>(log_.begin() + begin, log_.begin() + end);
+}
+
+void TemporalEdgeLog::WindowInto(std::uint64_t from, std::uint64_t to,
+                                 std::vector<TimedUpdate>* out) const {
+  const std::size_t begin = UpperBound(from);
+  const std::size_t end = UpperBound(to);
+  out->assign(log_.begin() + begin, log_.begin() + end);
 }
 
 }  // namespace platod2gl

@@ -65,6 +65,17 @@ class TemporalEdgeLog {
   std::size_t ReplayInto(GraphStore* graph, std::uint64_t from,
                          std::uint64_t to) const;
 
+  /// ReplayInto with a truncation-gap check: replaying from below the
+  /// truncation watermark would silently skip the erased prefix and build
+  /// a wrong store, so it is rejected with kDataLoss and applies NOTHING.
+  /// `from == truncated_through()` is the exact boundary and is legal (the
+  /// caller's base state already covers the erased prefix);
+  /// `from == truncated_through() - 1` is the off-by-one this guards
+  /// (regression test in tests/test_temporal.cc). The shard recovery and
+  /// replica bootstrap/promotion paths all replay through this entry.
+  Status CheckedReplayInto(GraphStore* graph, std::uint64_t from,
+                           std::uint64_t to, std::size_t* applied) const;
+
   /// Build G^(t) from scratch into an empty store (every update with
   /// timestamp <= t). Returns the number applied.
   std::size_t SnapshotInto(GraphStore* graph, std::uint64_t t) const {
@@ -74,11 +85,24 @@ class TemporalEdgeLog {
   /// The raw log entries in the half-open window (from, to].
   std::vector<TimedUpdate> Window(std::uint64_t from, std::uint64_t to) const;
 
+  /// Window() into a caller-owned buffer, reusing its capacity — the
+  /// replication sender calls this once per ship round, and the windows
+  /// are similarly sized round over round.
+  void WindowInto(std::uint64_t from, std::uint64_t to,
+                  std::vector<TimedUpdate>* out) const;
+
   /// Drop every entry with timestamp <= t (checkpoint truncation: once a
   /// checkpoint covers G^(t), the prefix is no longer needed for
   /// recovery). Later ReplayInto(from >= t, ...) calls are unaffected.
-  /// Returns the number of entries removed.
+  /// Advances truncated_through() to max(truncated_through(), t) even when
+  /// nothing is erased, so the covered-prefix watermark survives empty
+  /// windows. Returns the number of entries removed.
   std::size_t TruncateThrough(std::uint64_t t);
+
+  /// Highest timestamp a TruncateThrough call has ever covered: entries at
+  /// or below it may be gone, so replays must start at or above it (see
+  /// CheckedReplayInto). 0 = never truncated, the full history is intact.
+  std::uint64_t truncated_through() const { return truncated_through_; }
 
   std::size_t MemoryUsage() const {
     return log_.capacity() * sizeof(TimedUpdate);
@@ -90,6 +114,7 @@ class TemporalEdgeLog {
 
   std::vector<TimedUpdate> log_;  // sorted by timestamp (append-enforced)
   std::uint64_t rejected_ = 0;    // appends refused (time regression)
+  std::uint64_t truncated_through_ = 0;  // erased-prefix watermark
 };
 
 }  // namespace platod2gl

@@ -1,0 +1,84 @@
+// Fuzz harness for the replication wire decoders (dist/wire.cc; libFuzzer
+// ABI — see fuzz_driver.cc for the GCC fallback driver).
+//
+// The first input byte selects the decoder; the rest is the wire payload.
+// These decoders return a tri-state DecodeResult (kOk / kMalformed /
+// kUnsupportedVersion), so the oracle is:
+//   * any crash, sanitizer report, or runaway allocation is a real bug
+//     (the hardening contract: exact bounds checks before any allocation,
+//     full consumption required);
+//   * every kOk decode must re-encode (at the current wire version) and
+//     re-decode to the identical message — decode is a hard reject or a
+//     full parse, never partial;
+//   * kUnsupportedVersion may only be reported when the payload is long
+//     enough to actually contain a version byte under a recognised tag —
+//     negotiation is never conjured out of structural damage.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dist/wire.h"
+
+namespace {
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    // Abort (not exit) so both libFuzzer and the fallback driver treat a
+    // broken oracle exactly like a crash.
+    std::fprintf(stderr, "fuzz_replication oracle failed: %s\n", what);
+    std::abort();
+  }
+}
+
+template <typename Msg, typename DecodeFn, typename EncodeFn>
+void Exercise(const std::string& payload, DecodeFn decode, EncodeFn encode) {
+  namespace wire = platod2gl::wire;
+  Msg msg;
+  const wire::DecodeResult r = decode(payload, &msg);
+  if (r == wire::DecodeResult::kUnsupportedVersion) {
+    Require(payload.size() >= 2, "version verdict from a tagless stub");
+    Require(payload[1] !=
+                static_cast<char>(wire::kReplicationWireVersion),
+            "current version reported as unsupported");
+    return;
+  }
+  if (r != wire::DecodeResult::kOk) return;
+  const std::string enc = encode(msg, wire::kReplicationWireVersion);
+  Msg again;
+  Require(decode(enc, &again) == wire::DecodeResult::kOk, "re-decode");
+  // Compare re-encoded bytes, not structs: a mutated payload can carry a
+  // NaN edge weight, and NaN != NaN would fail a field-wise comparison
+  // for a perfectly faithful round trip.
+  Require(encode(again, wire::kReplicationWireVersion) == enc,
+          "round-trip mismatch");
+  Require(enc.size() == payload.size(), "partial parse slipped through");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::string payload(reinterpret_cast<const char*>(data + 1),
+                            size - 1);
+  namespace wire = platod2gl::wire;
+  switch (data[0] % 4) {
+    case 0:
+      Exercise<wire::RepLogAppend>(payload, wire::DecodeRepLogAppend,
+                                   wire::EncodeRepLogAppend);
+      break;
+    case 1:
+      Exercise<wire::RepAck>(payload, wire::DecodeRepAck, wire::EncodeRepAck);
+      break;
+    case 2:
+      Exercise<wire::RepDigest>(payload, wire::DecodeRepDigest,
+                                wire::EncodeRepDigest);
+      break;
+    default:
+      Exercise<wire::RepSnapshot>(payload, wire::DecodeRepSnapshot,
+                                  wire::EncodeRepSnapshot);
+      break;
+  }
+  return 0;
+}

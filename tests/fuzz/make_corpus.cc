@@ -2,7 +2,8 @@
 //
 // Usage: make_corpus <output-dir>
 //
-// Writes wire/, checkpoint/ and wal/ subdirectories of small, VALID
+// Writes wire/, replication/, checkpoint/ and wal/ subdirectories of
+// small, VALID
 // inputs produced by the real encoders (plus a few deliberately edgy
 // ones: empty, header-only, v1-without-footer). The checked-in corpora
 // under tests/fuzz/corpus/ were produced by this tool; rerun it after a
@@ -73,6 +74,56 @@ void MakeWireCorpus(const std::filesystem::path& dir) {
   WriteFile(dir / "empty_payload.bin", "\x00");
 }
 
+void MakeReplicationCorpus(const std::filesystem::path& dir) {
+  namespace wire = platod2gl::wire;
+
+  wire::RepLogAppend append;
+  append.shard = 3;
+  append.entries = {
+      {11, {UpdateKind::kInsert, Edge{1, 2, 1.5, 0}}},
+      {12, {UpdateKind::kInPlaceUpdate, Edge{3, 4, -2.0, 1}}},
+      {13, {UpdateKind::kDelete, Edge{5, 6, 0.0, 0}}}};
+  WriteFile(dir / "rep_append.bin",
+            Tagged('\x00', wire::EncodeRepLogAppend(append)));
+  // Version negotiation is part of the format surface: seed one append
+  // from a "future" peer so mutation sweeps explore the boundary between
+  // kUnsupportedVersion and kMalformed.
+  WriteFile(dir / "rep_append_v99.bin",
+            Tagged('\x00', wire::EncodeRepLogAppend(append, 99)));
+  wire::RepLogAppend empty_append;
+  empty_append.shard = 0;
+  WriteFile(dir / "rep_append_empty.bin",
+            Tagged('\x00', wire::EncodeRepLogAppend(empty_append)));
+
+  WriteFile(dir / "rep_ack.bin",
+            Tagged('\x01', wire::EncodeRepAck({2, 1, 987654321ULL})));
+
+  wire::RepDigest digest;
+  digest.shard = 1;
+  digest.through_seq = 42;
+  digest.bucket_edges = {3, 0, 17, 2};
+  digest.bucket_crcs = {0xDEADBEEF, 0, 0x12345678, 0xFF};
+  WriteFile(dir / "rep_digest.bin",
+            Tagged('\x02', wire::EncodeRepDigest(digest)));
+
+  // A real checkpoint image as the snapshot payload, so sweeps that
+  // mutate the embedded bytes exercise the CRC-checked loader boundary
+  // the bootstrap path depends on.
+  platod2gl::GraphStoreConfig cfg;
+  cfg.num_shards = 1;
+  platod2gl::GraphStore store(cfg);
+  store.AddEdge(Edge{1, 2, 1.0, 0});
+  store.AddEdge(Edge{2, 3, 0.5, 0});
+  wire::RepSnapshot snap;
+  snap.shard = 0;
+  snap.covered_seq = 2;
+  (void)platod2gl::SaveGraphToBytes(store, &snap.checkpoint);
+  WriteFile(dir / "rep_snapshot.bin",
+            Tagged('\x03', wire::EncodeRepSnapshot(snap)));
+
+  WriteFile(dir / "empty_payload.bin", "\x02");
+}
+
 void MakeCheckpointCorpus(const std::filesystem::path& dir) {
   using platod2gl::GraphSageConfig;
   using platod2gl::GraphSageModel;
@@ -137,11 +188,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::filesystem::path root = argv[1];
-  for (const char* sub : {"wire", "checkpoint", "wal"}) {
+  for (const char* sub : {"wire", "replication", "checkpoint", "wal"}) {
     std::filesystem::create_directories(root / sub);
   }
   std::printf("wire:\n");
   MakeWireCorpus(root / "wire");
+  std::printf("replication:\n");
+  MakeReplicationCorpus(root / "replication");
   std::printf("checkpoint:\n");
   MakeCheckpointCorpus(root / "checkpoint");
   std::printf("wal:\n");

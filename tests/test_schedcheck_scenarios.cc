@@ -30,6 +30,9 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/samtree.h"
+#include "dist/fault_injector.h"
+#include "dist/replication.h"
+#include "dist/shard.h"
 #include "pipeline/epoch_coordinator.h"
 #include "pipeline/update_ingestor.h"
 #include "sampling/sample_cache.h"
@@ -473,6 +476,138 @@ TEST(SchedCheckArena, ConcurrentCarveReturnAndAdoptionAreCleanExhaustively) {
 
 TEST(SchedCheckArena, ConcurrentCarveReturnAndAdoptionUnderRandomWalk) {
   ExpectOk(sched::Explore(RandomWalk(), ArenaScenario));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 6 — AckWindow: waiter vs two concurrent cumulative acks.
+//
+// The replication ack watermark (dist/replication.h) is a classic
+// monitor: WaitForAcked sleeps on a condvar, Ack advances the watermark
+// and notifies *under the mutex*. A notify outside the lock (or a missed
+// one) is a lost wakeup, which every schedule here would surface as a
+// modeled deadlock of "waiter".
+// ---------------------------------------------------------------------------
+
+void AckWindowScenario(sched::Test& t) {
+  auto w = std::make_shared<platod2gl::AckWindow>();
+  t.Spawn("waiter", [w] {
+    w->WaitForAcked(2);
+    sched::Check(w->acked() >= 2, "wait returns only once the ack landed");
+  });
+  t.Spawn("acker-a", [w] { w->Ack(1); });
+  t.Spawn("acker-b", [w] { w->Ack(2); });
+  t.AfterRun([w] {
+    sched::Check(w->acked() == 2,
+                 "cumulative watermark is the max seq acked, in any order");
+  });
+}
+
+TEST(SchedCheckAckWindow, NoLostWakeupExhaustively) {
+  const sched::Result r = sched::Explore(Exhaustive(), AckWindowScenario);
+  ExpectOk(r);
+  EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(SchedCheckAckWindow, NoLostWakeupUnderRandomWalk) {
+  ExpectOk(sched::Explore(RandomWalk(), AckWindowScenario));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 7 — ReplicationManager: failover promotion racing the epoch
+// barrier.
+//
+// Promotion swaps the primary's store under cutover->BeginWrite(); the
+// replica read path pins cutover->PinRead() *while already holding the
+// shard's replication mutex* — the same lock order promotion uses, so
+// the checker proves the pair can never ABBA-deadlock. A third thread
+// holds a bare read pin (the cluster's client-serial read path), forcing
+// the promoter to wait at the barrier in some schedules; write
+// preference must still terminate every schedule, and the promoted
+// store must serve exactly the replicated edges.
+// ---------------------------------------------------------------------------
+
+struct PromoteState {
+  PromoteState() : injector({}, /*num_shards=*/1) {
+    platod2gl::ReplicationConfig rc;
+    rc.num_replicas = 1;
+    rc.suspicion_timeout_us = 100;
+    rc.staleness_budget = 0;  // only a fully caught-up replica may serve
+    mgr = std::make_unique<platod2gl::ReplicationManager>(
+        rc, platod2gl::GraphStoreConfig{},
+        std::vector<platod2gl::GraphShard*>{&primary}, &injector, &coord);
+    using platod2gl::UpdateKind;
+    primary.Apply({UpdateKind::kInsert, Edge{1, 2, 1.0, 0}});
+    primary.Apply({UpdateKind::kInsert, Edge{1, 3, 2.0, 0}});
+    mgr->Kick();  // fault-free sync ship: replica is caught up at seq 2
+    injector.CrashShard(0);
+    primary.Crash();
+    mgr->AdvanceTime(1);  // first observation starts the suspicion clock
+  }
+  platod2gl::GraphShard primary;
+  platod2gl::FaultInjector injector;
+  EpochCoordinator coord;
+  std::unique_ptr<platod2gl::ReplicationManager> mgr;
+  std::size_t failovers = 0;
+};
+
+void PromoteScenario(sched::Test& t) {
+  auto s = std::make_shared<PromoteState>();
+  t.Spawn("promoter", [s] {
+    const auto hr = s->mgr->AdvanceTime(200);  // suspicion timeout elapsed
+    s->failovers = hr.failovers;
+  });
+  t.Spawn("replica-reader", [s] {
+    const auto serve = s->mgr->SampleFromReplica(0, {1}, /*fanout=*/2,
+                                                 /*weighted=*/false,
+                                                 /*rng_seed=*/42, 0);
+    if (serve.has_value()) {
+      // Served before the promotion consumed the replica: caught up
+      // (budget 0) and drawn from the replicated neighbourhood.
+      sched::Check(serve->lag == 0, "budget 0 only admits a caught-up serve");
+      for (const VertexId v : serve->neighbors.at(0)) {
+        sched::Check(v == 2 || v == 3, "replica serves replicated edges only");
+      }
+    }
+    // else: promotion won the shard mutex first and emptied the slot.
+  });
+  t.Spawn("pinned-reader", [s] {
+    auto g = s->coord.PinRead();
+    sched::Check(s->coord.epoch() == g.epoch(),
+                 "epoch is stable while the read pin is held");
+    sched::Check(s->coord.writers_waiting() <= 1,
+                 "at most the promoter is parked at the barrier");
+  });
+  t.AfterRun([s] {
+    sched::Check(s->failovers == 1, "exactly one promotion happened");
+    sched::Check(s->coord.epoch() == 1, "promotion ran under the barrier");
+    sched::Check(s->coord.writers_waiting() == 0, "barrier drained");
+    sched::Check(s->coord.readers_active() == 0, "all readers unpinned");
+    sched::Check(!s->primary.crashed(), "promoted store is serving");
+    Xoshiro256 rng(5);
+    std::vector<VertexId> out;
+    sched::Check(s->primary.SampleNeighbors(1, 2, /*weighted=*/false, rng,
+                                            &out, 0),
+                 "promoted primary serves the shard");
+    for (const VertexId v : out) {
+      sched::Check(v == 2 || v == 3,
+                   "promoted store holds exactly the replicated edges");
+    }
+  });
+}
+
+TEST(SchedCheckReplication, PromotionVsEpochBarrierIsCleanExhaustively) {
+  // Promotion + store sampling are long threads (many sync ops each), so
+  // bound 2 explodes to minutes; one preemption already covers the
+  // interesting handoffs (mutex acquisition order, barrier park/resume).
+  // The random-walk companion covers deeper interleavings.
+  const sched::Result r =
+      sched::Explore(Exhaustive(/*preemption_bound=*/1), PromoteScenario);
+  ExpectOk(r);
+  EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(SchedCheckReplication, PromotionVsEpochBarrierUnderRandomWalk) {
+  ExpectOk(sched::Explore(RandomWalk(), PromoteScenario));
 }
 
 }  // namespace

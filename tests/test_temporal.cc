@@ -58,6 +58,56 @@ TEST(TemporalLogTest, TruncateThroughDropsCoveredPrefix) {
   EXPECT_TRUE(log.AppendInsert(50, {2, 3, 1.0, 0}).ok());
 }
 
+TEST(TemporalLogTest, TruncationWatermarkSurvivesEmptyTruncates) {
+  TemporalEdgeLog log;
+  EXPECT_EQ(log.truncated_through(), 0u);
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    ASSERT_TRUE(log.AppendInsert(t, {1, 100 + t, 1.0, 0}).ok());
+  }
+  log.TruncateThrough(6);
+  EXPECT_EQ(log.truncated_through(), 6u);
+  // Truncating an already-erased prefix drops nothing but must keep the
+  // watermark monotone (a second checkpoint at the same sequence).
+  log.TruncateThrough(6);
+  EXPECT_EQ(log.truncated_through(), 6u);
+  log.TruncateThrough(3);  // older checkpoint replayed late: no regression
+  EXPECT_EQ(log.truncated_through(), 6u);
+  log.TruncateThrough(8);
+  EXPECT_EQ(log.truncated_through(), 8u);
+}
+
+TEST(TemporalLogTest, CheckedReplayRefusesWindowBelowTruncation) {
+  // Regression for the checkpoint/TruncateThrough off-by-one: a bootstrap
+  // covering sequences <= 6 may replay (6, head] — but a caller whose
+  // coverage ends at 5 must be refused when the prefix through 6 is gone,
+  // or entry 6 would be silently skipped (a watermark gap).
+  TemporalEdgeLog log;
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    ASSERT_TRUE(log.AppendInsert(t, {1, 100 + t, 1.0, 0}).ok());
+  }
+  log.TruncateThrough(6);
+
+  GraphStore ok_store;
+  std::size_t applied = 0;
+  // Boundary-legal: from == truncated_through() — nothing missing.
+  ASSERT_TRUE(log.CheckedReplayInto(&ok_store, 6, 10, &applied).ok());
+  EXPECT_EQ(applied, 4u);
+  EXPECT_EQ(ok_store.NumEdges(), 4u);
+
+  // The off-by-one: from == truncated_through() - 1 needs entry 6, which
+  // the truncation erased. This must surface as data loss, not a replay
+  // of 4 entries that quietly lost one.
+  GraphStore gap_store;
+  applied = 1234;
+  const Status s = log.CheckedReplayInto(&gap_store, 5, 10, &applied);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(gap_store.NumEdges(), 0u) << "no partial replay on refusal";
+
+  // Far below the watermark: refused just the same.
+  EXPECT_EQ(log.CheckedReplayInto(&gap_store, 0, 10, nullptr).code(),
+            StatusCode::kDataLoss);
+}
+
 TEST(TemporalLogTest, SnapshotReconstructsGraphAtT) {
   TemporalEdgeLog log;
   log.AppendInsert(1, {1, 2, 1.0, 0});

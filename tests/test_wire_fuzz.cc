@@ -236,5 +236,251 @@ TEST(WireFuzzTest, EmptyMessagesRoundTrip) {
   EXPECT_TRUE(decoded.empty());
 }
 
+// --- Replication messages (versioned; see docs/replication.md) -------------
+
+using wire::DecodeRepAck;
+using wire::DecodeRepDigest;
+using wire::DecodeRepLogAppend;
+using wire::DecodeRepSnapshot;
+using wire::DecodeResult;
+using wire::EncodeRepAck;
+using wire::EncodeRepDigest;
+using wire::EncodeRepLogAppend;
+using wire::EncodeRepSnapshot;
+using wire::RepAck;
+using wire::RepDigest;
+using wire::RepLogAppend;
+using wire::RepSnapshot;
+
+RepLogAppend MakeAppend() {
+  RepLogAppend msg;
+  msg.shard = 3;
+  msg.entries = {
+      {11, {UpdateKind::kInsert, Edge{1, 2, 1.5, 0}}},
+      {12, {UpdateKind::kInPlaceUpdate, Edge{3, 4, -2.0, 1}}},
+      {13, {UpdateKind::kDelete, Edge{5, 6, 0.0, 0}}}};
+  return msg;
+}
+
+RepAck MakeAck() { return RepAck{2, 1, 987654321ULL}; }
+
+RepDigest MakeDigest() {
+  RepDigest msg;
+  msg.shard = 1;
+  msg.through_seq = 42;
+  msg.bucket_edges = {3, 0, 17, 2};
+  msg.bucket_crcs = {0xDEADBEEF, 0, 0x12345678, 0xFF};
+  return msg;
+}
+
+RepSnapshot MakeSnapshot() {
+  RepSnapshot msg;
+  msg.shard = 0;
+  msg.covered_seq = 100;
+  msg.checkpoint = "PD2Gfake-checkpoint-bytes";  // payload is opaque here
+  return msg;
+}
+
+DecodeResult TryAppend(const std::string& bytes) {
+  RepLogAppend out;
+  return DecodeRepLogAppend(bytes, &out);
+}
+DecodeResult TryAck(const std::string& bytes) {
+  RepAck out;
+  return DecodeRepAck(bytes, &out);
+}
+DecodeResult TryDigest(const std::string& bytes) {
+  RepDigest out;
+  return DecodeRepDigest(bytes, &out);
+}
+DecodeResult TrySnapshot(const std::string& bytes) {
+  RepSnapshot out;
+  return DecodeRepSnapshot(bytes, &out);
+}
+
+TEST(RepWireFuzzTest, CleanMessagesRoundTripExactly) {
+  RepLogAppend a;
+  ASSERT_EQ(DecodeRepLogAppend(EncodeRepLogAppend(MakeAppend()), &a),
+            DecodeResult::kOk);
+  EXPECT_EQ(a, MakeAppend());
+  RepAck k;
+  ASSERT_EQ(DecodeRepAck(EncodeRepAck(MakeAck()), &k), DecodeResult::kOk);
+  EXPECT_EQ(k, MakeAck());
+  RepDigest d;
+  ASSERT_EQ(DecodeRepDigest(EncodeRepDigest(MakeDigest()), &d),
+            DecodeResult::kOk);
+  EXPECT_EQ(d, MakeDigest());
+  RepSnapshot s;
+  ASSERT_EQ(DecodeRepSnapshot(EncodeRepSnapshot(MakeSnapshot()), &s),
+            DecodeResult::kOk);
+  EXPECT_EQ(s, MakeSnapshot());
+}
+
+TEST(RepWireFuzzTest, EveryTruncationIsRejected) {
+  const std::string msgs[] = {
+      EncodeRepLogAppend(MakeAppend()), EncodeRepAck(MakeAck()),
+      EncodeRepDigest(MakeDigest()), EncodeRepSnapshot(MakeSnapshot())};
+  DecodeResult (*decoders[])(const std::string&) = {TryAppend, TryAck,
+                                                    TryDigest, TrySnapshot};
+  for (int m = 0; m < 4; ++m) {
+    for (std::size_t n = 0; n < msgs[m].size(); ++n) {
+      EXPECT_NE(decoders[m](msgs[m].substr(0, n)), DecodeResult::kOk)
+          << "message " << m << " prefix length " << n;
+    }
+    EXPECT_EQ(decoders[m](msgs[m]), DecodeResult::kOk) << "message " << m;
+  }
+}
+
+TEST(RepWireFuzzTest, TrailingGarbageIsRejected) {
+  for (const char extra : {'\0', 'L', '\xFF'}) {
+    EXPECT_NE(TryAppend(EncodeRepLogAppend(MakeAppend()) + extra),
+              DecodeResult::kOk);
+    EXPECT_NE(TryAck(EncodeRepAck(MakeAck()) + extra), DecodeResult::kOk);
+    EXPECT_NE(TryDigest(EncodeRepDigest(MakeDigest()) + extra),
+              DecodeResult::kOk);
+    EXPECT_NE(TrySnapshot(EncodeRepSnapshot(MakeSnapshot()) + extra),
+              DecodeResult::kOk);
+  }
+}
+
+TEST(RepWireFuzzTest, AbsurdCountsAreRejectedWithoutAllocating) {
+  {  // entry count far beyond the remaining bytes
+    std::string bytes = "L";
+    Append<std::uint8_t>(&bytes, wire::kReplicationWireVersion);
+    Append<std::uint32_t>(&bytes, 3);            // shard
+    Append<std::uint32_t>(&bytes, 0xFFFFFFFFu);  // count
+    bytes += "xx";
+    EXPECT_EQ(TryAppend(bytes), DecodeResult::kMalformed);
+  }
+  {  // digest bucket count
+    std::string bytes = "G";
+    Append<std::uint8_t>(&bytes, wire::kReplicationWireVersion);
+    Append<std::uint32_t>(&bytes, 1);
+    Append<std::uint64_t>(&bytes, 42);
+    Append<std::uint32_t>(&bytes, 0xFFFFFFFFu);
+    bytes += "xx";
+    EXPECT_EQ(TryDigest(bytes), DecodeResult::kMalformed);
+  }
+  {  // snapshot length prefix
+    std::string bytes = "B";
+    Append<std::uint8_t>(&bytes, wire::kReplicationWireVersion);
+    Append<std::uint32_t>(&bytes, 0);
+    Append<std::uint64_t>(&bytes, 100);
+    Append<std::uint32_t>(&bytes, 0xFFFFFFFFu);
+    bytes += "xx";
+    EXPECT_EQ(TrySnapshot(bytes), DecodeResult::kMalformed);
+  }
+}
+
+TEST(RepWireFuzzTest, UnknownVersionIsNegotiationFailureNotCorruption) {
+  // An old/new-format peer must surface as kUnsupportedVersion (mapped to
+  // Status::Unimplemented by the manager), strictly distinct from
+  // kMalformed — so operators see "upgrade the peer", not "data loss".
+  for (const std::uint8_t v : {std::uint8_t{0}, std::uint8_t{2},
+                               std::uint8_t{99}, std::uint8_t{255}}) {
+    EXPECT_EQ(TryAppend(EncodeRepLogAppend(MakeAppend(), v)),
+              DecodeResult::kUnsupportedVersion)
+        << "version " << int{v};
+    EXPECT_EQ(TryAck(EncodeRepAck(MakeAck(), v)),
+              DecodeResult::kUnsupportedVersion);
+    EXPECT_EQ(TryDigest(EncodeRepDigest(MakeDigest(), v)),
+              DecodeResult::kUnsupportedVersion);
+    EXPECT_EQ(TrySnapshot(EncodeRepSnapshot(MakeSnapshot(), v)),
+              DecodeResult::kUnsupportedVersion);
+  }
+  // A wrong tag is NOT a version problem, even with a plausible version
+  // byte in position 1.
+  EXPECT_EQ(TryAppend(EncodeRepAck(MakeAck())), DecodeResult::kMalformed);
+  EXPECT_EQ(TryAck(EncodeRepLogAppend(MakeAppend())),
+            DecodeResult::kMalformed);
+  EXPECT_EQ(TryAppend(""), DecodeResult::kMalformed);
+}
+
+TEST(RepWireFuzzTest, NonContiguousEntriesAreRejected) {
+  // The decoder pins the transport invariant the replica's contiguity
+  // check relies on: entries within one message are strictly sequential.
+  RepLogAppend gap = MakeAppend();
+  gap.entries[2].seq = 99;
+  RepLogAppend out;
+  EXPECT_EQ(DecodeRepLogAppend(EncodeRepLogAppend(gap), &out),
+            DecodeResult::kMalformed);
+}
+
+template <typename DecodeFn, typename EncodeFn, typename Msg>
+void RepBitFlipSweep(const std::string& clean, DecodeFn decode,
+                     EncodeFn encode, Msg* scratch) {
+  std::size_t accepted = 0;
+  for (std::size_t byte = 0; byte < clean.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = clean;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      const DecodeResult r = decode(mutated, scratch);
+      if (byte == 1) {
+        // The version byte: any flip must be a clean negotiation failure.
+        ASSERT_EQ(r, DecodeResult::kUnsupportedVersion)
+            << "bit " << bit << " of the version byte";
+        continue;
+      }
+      if (r != DecodeResult::kOk) continue;
+      ++accepted;
+      const std::string re = encode(*scratch, wire::kReplicationWireVersion);
+      ASSERT_EQ(re.size(), mutated.size())
+          << "byte " << byte << " bit " << bit
+          << ": partial parse slipped through";
+      Msg again;
+      ASSERT_EQ(decode(re, &again), DecodeResult::kOk);
+    }
+  }
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST(RepWireFuzzTest, AppendSurvivesFullBitFlipSweep) {
+  RepLogAppend scratch;
+  RepBitFlipSweep(EncodeRepLogAppend(MakeAppend()), DecodeRepLogAppend,
+                  EncodeRepLogAppend, &scratch);
+}
+
+TEST(RepWireFuzzTest, AckSurvivesFullBitFlipSweep) {
+  RepAck scratch;
+  RepBitFlipSweep(EncodeRepAck(MakeAck()), DecodeRepAck, EncodeRepAck,
+                  &scratch);
+}
+
+TEST(RepWireFuzzTest, DigestSurvivesFullBitFlipSweep) {
+  RepDigest scratch;
+  RepBitFlipSweep(EncodeRepDigest(MakeDigest()), DecodeRepDigest,
+                  EncodeRepDigest, &scratch);
+}
+
+TEST(RepWireFuzzTest, SnapshotSurvivesFullBitFlipSweep) {
+  RepSnapshot scratch;
+  RepBitFlipSweep(EncodeRepSnapshot(MakeSnapshot()), DecodeRepSnapshot,
+                  EncodeRepSnapshot, &scratch);
+}
+
+TEST(RepWireFuzzTest, RandomGarbageNeverCrashesDecoders) {
+  SplitMix64 rng(0x2EB11CA7E5EEDULL);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t len = rng.Next() % 80;
+    std::string bytes;
+    bytes.reserve(len + 2);
+    if (rng.Next() & 1) {
+      bytes.push_back("LAGB"[rng.Next() % 4]);
+      // A valid version byte half the time, so sweeps get past the
+      // negotiation gate and into the structural checks.
+      if (rng.Next() & 1) {
+        bytes.push_back(static_cast<char>(wire::kReplicationWireVersion));
+      }
+    }
+    while (bytes.size() < len) {
+      bytes.push_back(static_cast<char>(rng.Next()));
+    }
+    TryAppend(bytes);
+    TryAck(bytes);
+    TryDigest(bytes);
+    TrySnapshot(bytes);
+  }
+}
+
 }  // namespace
 }  // namespace platod2gl

@@ -11,7 +11,10 @@
 //   pd2gl verify-store <edges.txt | graph.ckpt>
 //       run the full structural invariant sweep over every samtree of
 //       every relation (Definition-1 bounds, routing order, FSTable /
-//       CSTable sum agreement, CP-ID round-trips, edge-counter drift)
+//       CSTable sum agreement, CP-ID round-trips, edge-counter drift),
+//       then a replication echo drill: stream the graph through a
+//       replicated 2-shard cluster and require anti-entropy to find
+//       zero divergence (docs/replication.md)
 //   pd2gl stream-train <steps> [producers] [rate] [block|reject|drop] [seed]
 //       run the streaming pipeline end to end: `producers` threads feed
 //       timestamped edge updates into the UpdateIngestor while the
@@ -201,6 +204,81 @@ int CmdSample(int argc, char** argv) {
   return 0;
 }
 
+/// Replication echo drill (docs/replication.md): stream every edge of
+/// the verified graph through a 2-shard, 1-replica cluster with sync
+/// WAL shipping, flush, and run one anti-entropy round. A structurally
+/// sound store must replicate with zero digest mismatches and zero
+/// repairs — a divergence here means the log-shipping path mangled an
+/// update the local invariant sweep cannot see. Prints the replication
+/// counters; returns false on any divergence.
+bool ReplicationEchoDrill(const GraphStore& graph) {
+  ClusterConfig cfg;
+  cfg.num_shards = 2;
+  cfg.shard_config = EightRelations();
+  cfg.replication.num_replicas = 1;
+  GraphCluster cluster(cfg);
+
+  std::vector<EdgeUpdate> batch;
+  batch.reserve(4096);
+  std::uint64_t streamed = 0;
+  Status apply = Status::Ok();
+  for (std::size_t rel = 0; rel < graph.num_relations(); ++rel) {
+    const TopologyStore& topo = graph.topology(static_cast<EdgeType>(rel));
+    topo.ForEachSource([&](VertexId src, const Samtree&) {
+      for (const auto& [dst, w] : topo.Neighbors(src)) {
+        batch.push_back(EdgeUpdate{
+            UpdateKind::kInsert,
+            Edge{src, dst, w, static_cast<EdgeType>(rel)}});
+        if (batch.size() == 4096) {
+          if (Status s = cluster.ApplyBatch(batch); !s.ok()) apply = s;
+          streamed += batch.size();
+          batch.clear();
+        }
+      }
+    });
+  }
+  if (!batch.empty()) {
+    if (Status s = cluster.ApplyBatch(batch); !s.ok()) apply = s;
+    streamed += batch.size();
+  }
+  if (!apply.ok()) {
+    std::fprintf(stderr, "replication drill: apply failed: %s\n",
+                 apply.ToString().c_str());
+    return false;
+  }
+  if (Status s = cluster.FlushReplication(); !s.ok()) {
+    std::fprintf(stderr, "replication drill: flush failed: %s\n",
+                 s.ToString().c_str());
+    return false;
+  }
+  (void)cluster.RunAntiEntropy();
+
+  const ReplicationStats rs = cluster.replication_stats();
+  const ClusterStats& cs = cluster.stats();
+  std::printf(
+      "replication drill: %llu updates shipped in %llu appends "
+      "(%llu bytes), %llu applied, %llu retransmits\n",
+      (unsigned long long)streamed, (unsigned long long)rs.append_messages,
+      (unsigned long long)rs.bytes_shipped,
+      (unsigned long long)rs.entries_applied,
+      (unsigned long long)(rs.rejected_appends + rs.duplicate_entries));
+  std::printf(
+      "replication drill: digest rounds %llu, mismatches %llu, repairs "
+      "%llu, failovers %llu\n",
+      (unsigned long long)cs.digest_rounds,
+      (unsigned long long)cs.digest_mismatches,
+      (unsigned long long)cs.antientropy_repairs,
+      (unsigned long long)cs.failovers);
+  if (cs.digest_mismatches != 0 || cs.antientropy_repairs != 0 ||
+      cs.failovers != 0) {
+    std::fprintf(stderr,
+                 "replication drill: DIVERGENCE (clean stream must "
+                 "replicate with zero mismatches/repairs/failovers)\n");
+    return false;
+  }
+  return true;
+}
+
 int CmdVerifyStore(int argc, char** argv) {
   if (argc < 1) return Usage();
   GraphStore graph(EightRelations());
@@ -225,6 +303,7 @@ int CmdVerifyStore(int argc, char** argv) {
                    err.c_str());
     }
   }
+  all_ok = ReplicationEchoDrill(graph) && all_ok;
   std::printf("%s: %zu sources, %zu edges across %zu relations\n",
               all_ok ? "verify-store PASSED" : "verify-store FAILED",
               total_sources, total_edges, graph.num_relations());
