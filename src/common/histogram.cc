@@ -2,19 +2,32 @@
 
 namespace platod2gl {
 
-std::uint64_t LatencyHistogram::PercentileNanos(double pct) const {
+std::uint64_t HistogramSnapshot::PercentileNanos(double pct) const {
   const std::uint64_t total = Count();
   if (total == 0) return 0;
-  const std::uint64_t target = static_cast<std::uint64_t>(
+  std::uint64_t target = static_cast<std::uint64_t>(
       (pct / 100.0) * static_cast<double>(total) + 0.5);
+  // Rank 0 would satisfy the scan at the first (possibly empty) bucket;
+  // any percentile of a non-empty histogram is at least the smallest
+  // sample.
+  if (target == 0) target = 1;
 
   std::uint64_t running = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    // order: stat tally, read for reporting only
-    running += buckets_[i].load(std::memory_order_relaxed);
+    const std::uint64_t in_bucket = buckets[i];
+    running += in_bucket;
     if (running >= target) {
-      // Upper edge of bucket i: 2^i - 1 (bucket 0 holds the zeros).
-      return i == 0 ? 0 : (1ULL << i) - 1;
+      // Bucket 0 holds the zeros; bucket i >= 1 spans [2^(i-1), 2^i - 1].
+      if (i == 0) return 0;
+      const std::uint64_t lo = 1ULL << (i - 1);
+      const std::uint64_t hi = (1ULL << i) - 1;
+      // Interpolate by rank within the bucket: the upper-edge estimate
+      // alone is up to 2x off at the tail of a wide bucket.
+      const std::uint64_t before = running - in_bucket;
+      const double frac = static_cast<double>(target - before) /
+                          static_cast<double>(in_bucket);
+      return lo + static_cast<std::uint64_t>(frac *
+                                             static_cast<double>(hi - lo));
     }
   }
   return ~0ULL;

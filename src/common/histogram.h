@@ -1,9 +1,17 @@
 // LatencyHistogram: lock-free log-bucketed latency tracking.
 //
 // Production graph servers report per-request latency percentiles; the
-// cluster simulation records its per-RPC service times here. Buckets are
-// powers of two in nanoseconds, so Record() is one CLZ plus one relaxed
-// atomic increment, safe from any thread.
+// cluster simulation records its per-RPC service times here and the
+// serving layer records per-request latencies. Buckets are powers of two
+// in nanoseconds, so Record() is one CLZ plus one relaxed atomic
+// increment, safe from any thread.
+//
+// SLO windows want interval percentiles ("p99 over the last window"),
+// which the racy advisory Reset() cannot provide: a Reset() concurrent
+// with Record() silently drops or double-counts samples. Snapshot()
+// instead copies the monotone counters into a plain HistogramSnapshot
+// value; DeltaSince() of two snapshots is exact per-bucket subtraction,
+// so windowed percentiles never clear the live histogram at all.
 #pragma once
 
 #include <array>
@@ -13,9 +21,44 @@
 
 namespace platod2gl {
 
+/// A plain (non-atomic) copy of histogram counters. Cheap to copy,
+/// supports the same percentile queries as the live histogram, and can
+/// be subtracted to get an interval view.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 64;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  std::uint64_t Count() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t b : buckets) n += b;
+    return n;
+  }
+
+  /// Percentile (pct in (0, 100]) in nanoseconds with linear
+  /// interpolation inside the containing power-of-two bucket. 0 when
+  /// empty.
+  std::uint64_t PercentileNanos(double pct) const;
+  double PercentileMicros(double pct) const {
+    return static_cast<double>(PercentileNanos(pct)) / 1e3;
+  }
+
+  /// Per-bucket difference against an earlier snapshot of the same
+  /// histogram. Counters are monotone, so subtraction is exact; clamps
+  /// at zero defensively if given snapshots from different histograms.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const {
+    HistogramSnapshot d;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      d.buckets[i] =
+          buckets[i] < earlier.buckets[i] ? 0 : buckets[i] - earlier.buckets[i];
+    }
+    return d;
+  }
+};
+
 class LatencyHistogram {
  public:
-  static constexpr std::size_t kBuckets = 64;
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
 
   LatencyHistogram() = default;
 
@@ -35,9 +78,24 @@ class LatencyHistogram {
     return n;
   }
 
-  /// Approximate percentile (pct in (0, 100]) in nanoseconds, using the
-  /// upper edge of the containing bucket. 0 when empty.
-  std::uint64_t PercentileNanos(double pct) const;
+  /// Race-free interval basis: copy the current counters. Each bucket
+  /// read is individually atomic; the snapshot as a whole is a
+  /// consistent-enough basis for windowed stats because counters only
+  /// grow.
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot s;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      // order: stat tally, read for reporting only
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  /// Approximate percentile (pct in (0, 100]) in nanoseconds, linearly
+  /// interpolated within the containing bucket. 0 when empty.
+  std::uint64_t PercentileNanos(double pct) const {
+    return Snapshot().PercentileNanos(pct);
+  }
   double PercentileMicros(double pct) const {
     return static_cast<double>(PercentileNanos(pct)) / 1e3;
   }

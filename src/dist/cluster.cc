@@ -253,30 +253,53 @@ Status GraphCluster::ApplyBatch(const std::vector<EdgeUpdate>& batch) {
   return result;
 }
 
-SampleReport GraphCluster::SampleNeighborsChecked(
-    const std::vector<VertexId>& seeds, std::size_t fanout, bool weighted,
-    std::uint64_t seed, EdgeType type) {
-  // Group seed positions by owning shard.
-  std::vector<std::vector<std::size_t>> shard_seeds(shards_.size());
-  for (std::size_t i = 0; i < seeds.size(); ++i) {
-    shard_seeds[partitioner_.ShardOf(seeds[i])].push_back(i);
+template <typename Fill, typename Fallback>
+MultiSampleReport GraphCluster::NeighborRound(
+    const std::vector<const std::vector<VertexId>*>& item_seeds, Fill&& fill,
+    Fallback&& fallback) {
+  MultiSampleReport multi;
+  multi.reports.resize(item_seeds.size());
+  if (item_seeds.empty()) return multi;
+
+  // Group each item's seed positions by owning shard:
+  // shard_groups[s] = [(item, positions-in-item), ...] in item order.
+  struct ShardGroup {
+    std::size_t item;
+    std::vector<std::size_t> positions;
+  };
+  std::vector<std::vector<ShardGroup>> shard_groups(shards_.size());
+  for (std::size_t w = 0; w < item_seeds.size(); ++w) {
+    const std::vector<VertexId>& seeds = *item_seeds[w];
+    std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      by_shard[partitioner_.ShardOf(seeds[i])].push_back(i);
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (!by_shard[s].empty()) {
+        shard_groups[s].push_back(ShardGroup{w, std::move(by_shard[s])});
+      }
+    }
   }
 
-  // One parallel logical RPC (with retries) per non-empty shard.
-  std::vector<std::vector<VertexId>> results(seeds.size());
+  // One parallel logical RPC (with retries) per touched shard, carrying
+  // every item's seeds for that shard.
+  std::vector<std::vector<std::vector<VertexId>>> results(item_seeds.size());
+  for (std::size_t w = 0; w < item_seeds.size(); ++w) {
+    results[w].resize(item_seeds[w]->size());
+  }
   std::vector<RpcOutcome> outcomes(shards_.size());
   pool_.ParallelFor(shards_.size(), [&](std::size_t s) {
-    const std::vector<std::size_t>& group = shard_seeds[s];
-    if (group.empty()) return;
+    const std::vector<ShardGroup>& groups = shard_groups[s];
+    if (groups.empty()) return;
     outcomes[s] = RunRpc(s, [&](bool corrupt, RpcOutcome& out) {
-      // Fresh RNG per attempt: a retry replays the exact draw sequence of
-      // the failed attempt, so faults never perturb sampling results.
-      Xoshiro256 rng(seed ^ (kShardSeedSalt * (s + 1)));
       Timer rpc;
-      std::vector<std::vector<VertexId>> local(group.size());
-      for (std::size_t i = 0; i < group.size(); ++i) {
-        shards_[s]->SampleNeighbors(seeds[group[i]], fanout, weighted, rng,
-                                    &local[i], type);
+      // local[g][i] = range for groups[g].positions[i]. `fill` re-derives
+      // any RNG state per item per attempt, so a retry replays the exact
+      // draw sequence and batching never perturbs an item's stream.
+      std::vector<std::vector<std::vector<VertexId>>> local(groups.size());
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        local[g].resize(groups[g].positions.size());
+        fill(s, groups[g].item, groups[g].positions, &local[g]);
       }
       rpc_latency_.RecordMicros(rpc.ElapsedMicros());
       if (corrupt) {
@@ -284,103 +307,304 @@ SampleReport GraphCluster::SampleNeighborsChecked(
         // and let the hardened decoder judge it (docs/fault_tolerance.md).
         NeighborBatch resp;
         resp.offsets.push_back(0);
-        for (const auto& r : local) {
-          resp.neighbors.insert(resp.neighbors.end(), r.begin(), r.end());
-          resp.offsets.push_back(resp.neighbors.size());
+        std::size_t total_ranges = 0;
+        for (const auto& item_local : local) {
+          for (const auto& r : item_local) {
+            resp.neighbors.insert(resp.neighbors.end(), r.begin(), r.end());
+            resp.offsets.push_back(resp.neighbors.size());
+            ++total_ranges;
+          }
         }
         std::string bytes = wire::EncodeSampleResponse(resp);
         out.resp_bytes += bytes.size();  // shipped before the damage
         injector_.CorruptBytes(s, &bytes);
         NeighborBatch decoded;
         if (!wire::DecodeSampleResponse(bytes, &decoded) ||
-            decoded.NumSeeds() != group.size()) {
+            decoded.NumSeeds() != total_ranges) {
           return false;  // rejected by the codec; RunRpc retries
         }
         // Structurally valid despite the damage — accept what decoded.
         // (CorruptBytes guarantees structural damage, so this is a
         // belt-and-braces path, not an expected one.)
-        for (std::size_t i = 0; i < group.size(); ++i) {
-          results[group[i]].assign(
-              decoded.neighbors.begin() +
-                  static_cast<std::ptrdiff_t>(decoded.offsets[i]),
-              decoded.neighbors.begin() +
-                  static_cast<std::ptrdiff_t>(decoded.offsets[i + 1]));
+        std::size_t k = 0;
+        for (const ShardGroup& grp : groups) {
+          for (std::size_t pos : grp.positions) {
+            results[grp.item][pos].assign(
+                decoded.neighbors.begin() +
+                    static_cast<std::ptrdiff_t>(decoded.offsets[k]),
+                decoded.neighbors.begin() +
+                    static_cast<std::ptrdiff_t>(decoded.offsets[k + 1]));
+            ++k;
+          }
         }
         return true;
       }
-      // SampleResponse wire size: header + per seed (4 B len + 8 B each).
-      std::uint64_t resp = 5;
-      for (const auto& r : local) resp += 4 + r.size() * sizeof(VertexId);
+      // One logical SampleResponse per item bundled into the RPC:
+      // header + per seed (4 B len + 8 B each).
+      std::uint64_t resp = 0;
+      for (const auto& item_local : local) {
+        resp += 5;
+        for (const auto& r : item_local) resp += 4 + r.size() * sizeof(VertexId);
+      }
       out.resp_bytes += resp;
-      for (std::size_t i = 0; i < group.size(); ++i) {
-        results[group[i]] = std::move(local[i]);
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        const ShardGroup& grp = groups[g];
+        for (std::size_t i = 0; i < grp.positions.size(); ++i) {
+          results[grp.item][grp.positions[i]] = std::move(local[g][i]);
+        }
       }
       return true;
     });
   });
 
-  SampleReport report;
-  report.seed_status.assign(seeds.size(), SeedStatus::kOk);
+  for (std::size_t w = 0; w < item_seeds.size(); ++w) {
+    multi.reports[w].seed_status.assign(item_seeds[w]->size(),
+                                        SeedStatus::kOk);
+  }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    const std::vector<std::size_t>& group = shard_seeds[s];
-    if (group.empty()) continue;
+    const std::vector<ShardGroup>& groups = shard_groups[s];
+    if (groups.empty()) continue;
     const RpcOutcome& out = outcomes[s];
     MergeOutcome(out);
-    // SampleRequest wire size (dist/wire.h): header + 8 B per seed.
-    stats_.bytes_sent += out.attempts * (14 + group.size() * sizeof(VertexId));
+    // One logical SampleRequest per item bundled into the RPC (dist/wire.h
+    // layout): header + 8 B per seed.
+    std::size_t shard_seeds = 0;
+    for (const ShardGroup& grp : groups) shard_seeds += grp.positions.size();
+    stats_.bytes_sent +=
+        out.attempts * (14 * groups.size() + shard_seeds * sizeof(VertexId));
     stats_.bytes_received += out.resp_bytes;
+    // The round's virtual wall time is the slowest of the parallel RPCs.
+    multi.round_virtual_us = std::max(multi.round_virtual_us, out.virtual_us);
     if (!out.delivered) {
-      // Bounded-staleness fallback: an unreachable primary's seeds may be
-      // served by its freshest replica if one is within the staleness
-      // budget — real data flagged kStale, not an empty degraded marker.
-      // Seeded identically to the primary attempt, so a caught-up replica
-      // returns bit-identical samples. Only on primary failure: a
-      // fault-free run never touches replicas and stays bit-identical to
-      // a replication-disabled run.
-      bool served = false;
-      if (replication_ != nullptr) {
-        std::vector<VertexId> group_seeds;
-        group_seeds.reserve(group.size());
-        for (std::size_t pos : group) group_seeds.push_back(seeds[pos]);
-        std::optional<ReplicationManager::ReplicaServe> serve =
-            replication_->SampleFromReplica(s, group_seeds, fanout, weighted,
-                                            seed ^ (kShardSeedSalt * (s + 1)),
-                                            type);
-        if (serve.has_value()) {
-          for (std::size_t i = 0; i < group.size(); ++i) {
-            results[group[i]] = std::move(serve->neighbors[i]);
-            report.seed_status[group[i]] = SeedStatus::kStale;
-          }
-          stats_.replica_read_seeds += group.size();
-          if (serve->lag > 0) stats_.stale_replica_seeds += group.size();
-          served = true;
+      for (const ShardGroup& grp : groups) {
+        SampleReport& report = multi.reports[grp.item];
+        if (fallback(s, grp.item, grp.positions, &results[grp.item],
+                     &report)) {
+          continue;
         }
-      }
-      if (!served) {
-        // Degrade this shard's seeds: empty ranges, flagged per seed.
-        for (std::size_t pos : group) {
-          results[pos].clear();
+        // Degrade this item's seeds on this shard: empty ranges, flagged.
+        for (std::size_t pos : grp.positions) {
+          results[grp.item][pos].clear();
           report.seed_status[pos] = SeedStatus::kDegraded;
         }
-        report.degraded_seeds += group.size();
+        report.degraded_seeds += grp.positions.size();
       }
     }
   }
-  stats_.degraded_seeds += report.degraded_seeds;
+  for (const SampleReport& r : multi.reports) {
+    stats_.degraded_seeds += r.degraded_seeds;
+  }
   // Sampling ships nothing new, but its virtual-time cost does age
   // suspicions — the health monitor runs so a dead primary eventually
   // fails over under a read-only workload too.
   ReplicationHealthCheck();
 
-  // Re-assemble in seed order.
-  report.batch.offsets.reserve(seeds.size() + 1);
-  report.batch.offsets.push_back(0);
-  for (const auto& r : results) {
-    report.batch.neighbors.insert(report.batch.neighbors.end(), r.begin(),
-                                  r.end());
-    report.batch.offsets.push_back(report.batch.neighbors.size());
+  // Re-assemble each item in seed order.
+  for (std::size_t w = 0; w < item_seeds.size(); ++w) {
+    SampleReport& report = multi.reports[w];
+    report.batch.offsets.reserve(item_seeds[w]->size() + 1);
+    report.batch.offsets.push_back(0);
+    for (const auto& r : results[w]) {
+      report.batch.neighbors.insert(report.batch.neighbors.end(), r.begin(),
+                                    r.end());
+      report.batch.offsets.push_back(report.batch.neighbors.size());
+    }
   }
-  return report;
+  return multi;
+}
+
+MultiSampleReport GraphCluster::SampleMany(
+    const std::vector<SampleWorkItem>& work) {
+  std::vector<const std::vector<VertexId>*> item_seeds;
+  item_seeds.reserve(work.size());
+  for (const SampleWorkItem& w : work) item_seeds.push_back(w.seeds);
+  return NeighborRound(
+      item_seeds,
+      [&](std::size_t s, std::size_t item,
+          const std::vector<std::size_t>& positions,
+          std::vector<std::vector<VertexId>>* local) {
+        const SampleWorkItem& w = work[item];
+        // Fresh RNG per item per attempt: batched results are
+        // bit-identical to issuing the item alone, and a retry replays
+        // the exact draw sequence of the failed attempt.
+        Xoshiro256 rng(w.rng_seed ^ (kShardSeedSalt * (s + 1)));
+        for (std::size_t i = 0; i < positions.size(); ++i) {
+          shards_[s]->SampleNeighbors((*w.seeds)[positions[i]], w.fanout,
+                                      w.weighted, rng, &(*local)[i], w.type);
+        }
+      },
+      [&](std::size_t s, std::size_t item,
+          const std::vector<std::size_t>& positions,
+          std::vector<std::vector<VertexId>>* item_results,
+          SampleReport* report) {
+        // Bounded-staleness fallback: an unreachable primary's seeds may
+        // be served by its freshest replica if one is within the
+        // staleness budget — real data flagged kStale, not an empty
+        // degraded marker. Seeded identically to the primary attempt, so
+        // a caught-up replica returns bit-identical samples. Only on
+        // primary failure: a fault-free run never touches replicas and
+        // stays bit-identical to a replication-disabled run.
+        if (replication_ == nullptr) return false;
+        const SampleWorkItem& w = work[item];
+        std::vector<VertexId> group_seeds;
+        group_seeds.reserve(positions.size());
+        for (std::size_t pos : positions) {
+          group_seeds.push_back((*w.seeds)[pos]);
+        }
+        std::optional<ReplicationManager::ReplicaServe> serve =
+            replication_->SampleFromReplica(
+                s, group_seeds, w.fanout, w.weighted,
+                w.rng_seed ^ (kShardSeedSalt * (s + 1)), w.type);
+        if (!serve.has_value()) return false;
+        for (std::size_t i = 0; i < positions.size(); ++i) {
+          (*item_results)[positions[i]] = std::move(serve->neighbors[i]);
+          report->seed_status[positions[i]] = SeedStatus::kStale;
+        }
+        stats_.replica_read_seeds += positions.size();
+        if (serve->lag > 0) stats_.stale_replica_seeds += positions.size();
+        return true;
+      });
+}
+
+SampleReport GraphCluster::SampleNeighborsChecked(
+    const std::vector<VertexId>& seeds, std::size_t fanout, bool weighted,
+    std::uint64_t seed, EdgeType type) {
+  SampleWorkItem item;
+  item.seeds = &seeds;
+  item.fanout = fanout;
+  item.weighted = weighted;
+  item.rng_seed = seed;
+  item.type = type;
+  MultiSampleReport multi = SampleMany({item});
+  return std::move(multi.reports[0]);
+}
+
+MultiSampleReport GraphCluster::TraverseMany(
+    const std::vector<TraverseWorkItem>& work) {
+  std::vector<const std::vector<VertexId>*> item_seeds;
+  item_seeds.reserve(work.size());
+  for (const TraverseWorkItem& w : work) item_seeds.push_back(w.seeds);
+  return NeighborRound(
+      item_seeds,
+      [&](std::size_t s, std::size_t item,
+          const std::vector<std::size_t>& positions,
+          std::vector<std::vector<VertexId>>* local) {
+        const TraverseWorkItem& w = work[item];
+        for (std::size_t i = 0; i < positions.size(); ++i) {
+          shards_[s]->Traverse((*w.seeds)[positions[i]], w.cap, &(*local)[i],
+                               w.type);
+        }
+      },
+      [](std::size_t, std::size_t, const std::vector<std::size_t>&,
+         std::vector<std::vector<VertexId>>*, SampleReport*) {
+        // No replica fallback for traversal: degraded frontiers must stay
+        // visible to the serving layer's SLO accounting.
+        return false;
+      });
+}
+
+MultiGatherReport GraphCluster::GatherMany(
+    const std::vector<GatherWorkItem>& work) {
+  MultiGatherReport multi;
+  multi.reports.resize(work.size());
+  if (work.empty()) return multi;
+
+  struct ShardGroup {
+    std::size_t item;
+    std::vector<std::size_t> positions;
+  };
+  std::vector<std::vector<ShardGroup>> shard_groups(shards_.size());
+  for (std::size_t w = 0; w < work.size(); ++w) {
+    const std::vector<VertexId>& ids = *work[w].ids;
+    std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      by_shard[partitioner_.ShardOf(ids[i])].push_back(i);
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (!by_shard[s].empty()) {
+        shard_groups[s].push_back(ShardGroup{w, std::move(by_shard[s])});
+      }
+    }
+  }
+
+  // rows[w][i] = feature vector for (*work[w].ids)[i] (empty = zero row).
+  std::vector<std::vector<std::vector<float>>> rows(work.size());
+  for (std::size_t w = 0; w < work.size(); ++w) {
+    rows[w].resize(work[w].ids->size());
+  }
+  std::vector<RpcOutcome> outcomes(shards_.size());
+  pool_.ParallelFor(shards_.size(), [&](std::size_t s) {
+    const std::vector<ShardGroup>& groups = shard_groups[s];
+    if (groups.empty()) return;
+    outcomes[s] = RunRpc(s, [&](bool corrupt, RpcOutcome& out) {
+      if (corrupt) {
+        // A damaged feature payload fails its checksum; modelled as a
+        // rejected response so RunRpc retries (same stance as update acks).
+        return false;
+      }
+      Timer rpc;
+      std::uint64_t resp = 0;
+      std::vector<float> row;
+      for (const ShardGroup& grp : groups) {
+        const std::vector<VertexId>& ids = *work[grp.item].ids;
+        resp += 5;
+        for (std::size_t pos : grp.positions) {
+          shards_[s]->GatherFeatures(ids[pos], &row);
+          resp += 4 + row.size() * sizeof(float);
+          rows[grp.item][pos] = row;
+        }
+      }
+      rpc_latency_.RecordMicros(rpc.ElapsedMicros());
+      out.resp_bytes += resp;
+      return true;
+    });
+  });
+
+  for (std::size_t w = 0; w < work.size(); ++w) {
+    multi.reports[w].row_status.assign(work[w].ids->size(), SeedStatus::kOk);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::vector<ShardGroup>& groups = shard_groups[s];
+    if (groups.empty()) continue;
+    const RpcOutcome& out = outcomes[s];
+    MergeOutcome(out);
+    std::size_t shard_ids = 0;
+    for (const ShardGroup& grp : groups) shard_ids += grp.positions.size();
+    stats_.bytes_sent +=
+        out.attempts * (14 * groups.size() + shard_ids * sizeof(VertexId));
+    stats_.bytes_received += out.resp_bytes;
+    multi.round_virtual_us = std::max(multi.round_virtual_us, out.virtual_us);
+    if (!out.delivered) {
+      for (const ShardGroup& grp : groups) {
+        GatherReport& report = multi.reports[grp.item];
+        for (std::size_t pos : grp.positions) {
+          rows[grp.item][pos].clear();
+          report.row_status[pos] = SeedStatus::kDegraded;
+        }
+        report.degraded_rows += grp.positions.size();
+      }
+    }
+  }
+  ReplicationHealthCheck();
+
+  // Dense [ids x dim] assembly; dim = widest row seen this round, shorter
+  // or absent rows are zero-padded.
+  std::size_t dim = 0;
+  for (const auto& item_rows : rows) {
+    for (const auto& r : item_rows) dim = std::max(dim, r.size());
+  }
+  multi.dim = static_cast<std::uint32_t>(dim);
+  for (std::size_t w = 0; w < work.size(); ++w) {
+    GatherReport& report = multi.reports[w];
+    report.features.assign(rows[w].size() * dim, 0.0f);
+    for (std::size_t i = 0; i < rows[w].size(); ++i) {
+      const std::vector<float>& r = rows[w][i];
+      std::copy(r.begin(), r.end(),
+                report.features.begin() +
+                    static_cast<std::ptrdiff_t>(i * dim));
+    }
+  }
+  return multi;
 }
 
 void GraphCluster::CrashShard(std::size_t i) {

@@ -117,6 +117,56 @@ struct SampleReport {
   bool complete() const { return degraded_seeds == 0; }
 };
 
+/// One request's sampling work inside a cross-request batched round
+/// (src/serve): its own seeds, fanout, and RNG seed. The round ships ONE
+/// RPC per touched shard covering every item, but each item's per-shard
+/// RNG stream is derived exactly as SampleNeighborsChecked would derive
+/// it, so batched results are bit-identical to issuing the items one by
+/// one (pinned in tests/test_serve.cc).
+struct SampleWorkItem {
+  const std::vector<VertexId>* seeds = nullptr;
+  std::size_t fanout = 0;
+  bool weighted = true;
+  std::uint64_t rng_seed = 0;
+  EdgeType type = 0;
+};
+
+/// Traversal work: up to `cap` neighbours per seed in store order
+/// (RNG-free).
+struct TraverseWorkItem {
+  const std::vector<VertexId>* seeds = nullptr;
+  std::size_t cap = 0;
+  EdgeType type = 0;
+};
+
+/// Attribute-gather work: feature rows for `ids`.
+struct GatherWorkItem {
+  const std::vector<VertexId>* ids = nullptr;
+};
+
+/// Result of one cross-request round: one report per work item plus the
+/// round's virtual wall time — the max across the per-shard RPCs, since
+/// they fan out in parallel (vs. stats().virtual_network_us, which sums
+/// every RPC's cost).
+struct MultiSampleReport {
+  std::vector<SampleReport> reports;
+  std::uint64_t round_virtual_us = 0;
+};
+
+/// Per-item gather result: dense row-major rows over this item's ids
+/// (missing vertices get zero rows, flagged in `row_status`).
+struct GatherReport {
+  std::vector<float> features;          // ids.size() x dim
+  std::vector<SeedStatus> row_status;   // kOk / kDegraded per id
+  std::uint64_t degraded_rows = 0;
+};
+
+struct MultiGatherReport {
+  std::vector<GatherReport> reports;
+  std::uint32_t dim = 0;
+  std::uint64_t round_virtual_us = 0;
+};
+
 class GraphCluster {
  public:
   explicit GraphCluster(ClusterConfig config = {});
@@ -149,6 +199,29 @@ class GraphCluster {
                                 std::uint64_t seed, EdgeType type = 0) {
     return SampleNeighborsChecked(seeds, fanout, weighted, seed, type).batch;
   }
+
+  // --- Cross-request batched rounds (the serving layer's data plane) ------
+
+  /// Sample many requests' seed sets in ONE round: one RPC per touched
+  /// shard carries every item's seeds for that shard, amortising the
+  /// per-RPC virtual latency across requests. Each item's per-shard RNG is
+  /// re-derived from its own rng_seed, so reports[i] is bit-identical to
+  /// SampleNeighborsChecked(*work[i].seeds, ...) issued alone (in fact
+  /// SampleNeighborsChecked is now the 1-item special case). Retries,
+  /// replica fallback, and per-seed degradation behave per item exactly as
+  /// in the single-request path.
+  MultiSampleReport SampleMany(const std::vector<SampleWorkItem>& work);
+
+  /// Batched traversal round: up to `cap` neighbours per seed in store
+  /// order, deterministic and RNG-free. Unreachable shards degrade their
+  /// seeds (no replica fallback: traversal is a serving-plan operator, and
+  /// degraded frontiers must be visible to the SLO accounting).
+  MultiSampleReport TraverseMany(const std::vector<TraverseWorkItem>& work);
+
+  /// Batched attribute-gather round: dense [ids x dim] rows per item,
+  /// zero rows (flagged kDegraded) for ids on unreachable shards. `dim` is
+  /// taken from the widest feature vector seen this round.
+  MultiGatherReport GatherMany(const std::vector<GatherWorkItem>& work);
 
   // --- Fault-tolerance lifecycle -----------------------------------------
 
@@ -244,6 +317,18 @@ class GraphCluster {
   /// whether the client accepted the response.
   template <typename Body>
   RpcOutcome RunRpc(std::size_t s, Body&& body);
+
+  /// Shared engine for neighbour-shaped cross-request rounds (SampleMany /
+  /// TraverseMany): groups every item's seeds by shard, ships one RPC per
+  /// touched shard via RunRpc, and reassembles per-item SampleReports.
+  /// `fill(s, item, positions, local)` performs one item group's
+  /// shard-side work for one attempt; `fallback(s, item, positions,
+  /// item_results, report)` may serve a failed shard's seeds from a
+  /// replica, returning whether it did.
+  template <typename Fill, typename Fallback>
+  MultiSampleReport NeighborRound(
+      const std::vector<const std::vector<VertexId>*>& item_seeds,
+      Fill&& fill, Fallback&& fallback);
 
   /// Update delivery to one shard (crash handoff / retry loop). Pure
   /// w.r.t. stats_; the caller merges the outcome serially.

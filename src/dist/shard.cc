@@ -1,5 +1,6 @@
 #include "dist/shard.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "io/checkpoint.h"
@@ -29,6 +30,37 @@ bool GraphShard::SampleNeighbors(VertexId src, std::size_t k, bool weighted,
   // order: stat tally, read for reporting only
   requests_.fetch_add(1, std::memory_order_relaxed);
   return store_->SampleNeighbors(src, k, weighted, rng, out, type);
+}
+
+bool GraphShard::Traverse(VertexId src, std::size_t cap,
+                          std::vector<VertexId>* out, EdgeType type) const {
+  if (crashed()) return false;
+  // order: stat tally, read for reporting only
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<std::pair<VertexId, Weight>> nbrs =
+      store_->Neighbors(src, type);
+  const std::size_t n = std::min(cap, nbrs.size());
+  out->reserve(out->size() + n);
+  for (std::size_t i = 0; i < n; ++i) out->push_back(nbrs[i].first);
+  return true;
+}
+
+bool GraphShard::GatherFeatures(VertexId v, std::vector<float>* out,
+                                bool* served) const {
+  if (crashed()) {
+    if (served != nullptr) *served = false;
+    return false;
+  }
+  if (served != nullptr) *served = true;
+  // order: stat tally, read for reporting only
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<float>* f = store_->attributes().GetFeatures(v);
+  if (f == nullptr) {
+    out->clear();
+    return false;
+  }
+  *out = *f;
+  return true;
 }
 
 void GraphShard::Crash() {

@@ -60,6 +60,19 @@ class GraphShard {
                        Xoshiro256& rng, std::vector<VertexId>* out,
                        EdgeType type = 0) const;
 
+  /// Serve a traversal request: append up to `cap` of src's neighbours in
+  /// store order (deterministic, RNG-free — the serving layer's traverse
+  /// operator). Returns false without touching `out` while crashed.
+  bool Traverse(VertexId src, std::size_t cap, std::vector<VertexId>* out,
+                EdgeType type = 0) const;
+
+  /// Serve an attribute gather: copy v's feature vector into `out`
+  /// (cleared when absent), returning whether the vertex had features.
+  /// `served` distinguishes "no features" from "shard crashed": it is set
+  /// false without touching `out` while crashed.
+  bool GatherFeatures(VertexId v, std::vector<float>* out,
+                      bool* served = nullptr) const;
+
   // --- Fault-tolerance lifecycle -----------------------------------------
 
   /// Kill the serving process: the in-memory store is destroyed. The WAL

@@ -44,6 +44,7 @@
 
 #include "common/types.h"
 #include "sampling/neighbor_sampler.h"
+#include "serve/query_plan.h"
 
 namespace platod2gl {
 struct TimedUpdate;  // temporal/edge_log.h
@@ -162,5 +163,38 @@ DecodeResult DecodeRepDigest(const std::string& bytes, RepDigest* out);
 std::string EncodeRepSnapshot(const RepSnapshot& msg,
                               std::uint8_t version = kReplicationWireVersion);
 DecodeResult DecodeRepSnapshot(const std::string& bytes, RepSnapshot* out);
+
+// --- Serving protocol (client -> server query execution) ------------------
+//
+// The serving front end (src/serve) speaks its own versioned messages —
+// clients are long-lived and upgrade independently of the cluster, so the
+// decoders negotiate exactly like the replication codecs: recognised tag +
+// unknown version byte => kUnsupportedVersion, anything structurally off
+// => kMalformed (exact bounds checks before any allocation, full
+// consumption required).
+//
+//   QueryRequest:  tag 'Q' | ver u8 | tenant u32 | request_id u64 |
+//                  rng_seed u64 | seed_count u32 | seed_count x u64 |
+//                  op_count u32 | op_count x (kind u8, input u32,
+//                  edge_type u32, fanout u32, weighted u8, count u32,
+//                  range_lo u64, range_hi u64)                [34 B per op]
+//   QueryResponse: tag 'P' | ver u8 | tenant u32 | request_id u64 |
+//                  status u8 | epoch u64 | stage_count u32 | stage_count x
+//                  (ids_len u32, ids_len x u64, off_len u32, off_len x u64,
+//                   feature_dim u32, feat_len u32, feat_len x f32)
+
+/// Current serving wire version; decoders refuse anything else with
+/// kUnsupportedVersion.
+inline constexpr std::uint8_t kServeWireVersion = 1;
+
+std::string EncodeQueryRequest(const serve::QueryRequest& req,
+                               std::uint8_t version = kServeWireVersion);
+DecodeResult DecodeQueryRequest(const std::string& bytes,
+                                serve::QueryRequest* out);
+
+std::string EncodeQueryResponse(const serve::QueryResponse& resp,
+                                std::uint8_t version = kServeWireVersion);
+DecodeResult DecodeQueryResponse(const std::string& bytes,
+                                 serve::QueryResponse* out);
 
 }  // namespace platod2gl::wire

@@ -58,6 +58,12 @@
 #include "pipeline/micro_batcher.h"       // IWYU pragma: export
 #include "pipeline/update_ingestor.h"     // IWYU pragma: export
 
+#include "serve/admission.h"        // IWYU pragma: export
+#include "serve/executor.h"         // IWYU pragma: export
+#include "serve/query_plan.h"       // IWYU pragma: export
+#include "serve/request_batcher.h"  // IWYU pragma: export
+#include "serve/server.h"           // IWYU pragma: export
+
 #include "analytics/graph_metrics.h"  // IWYU pragma: export
 #include "io/checkpoint.h"         // IWYU pragma: export
 #include "io/edge_list_reader.h"   // IWYU pragma: export

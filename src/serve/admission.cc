@@ -1,0 +1,121 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace platod2gl::serve {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  config_.max_in_flight = std::max<std::size_t>(1, config_.max_in_flight);
+  config_.tenant_quota =
+      std::min(std::max<std::size_t>(1, config_.tenant_quota),
+               config_.max_in_flight);
+}
+
+bool AdmissionController::HasRoom(std::uint32_t tenant) const {
+  if (in_flight_ >= config_.max_in_flight) return false;
+  return tenant >= tenant_in_flight_.size() ||
+         tenant_in_flight_[tenant] < config_.tenant_quota;
+}
+
+void AdmissionController::AdmitLocked(std::uint32_t tenant) {
+  ++in_flight_;
+  if (tenant >= tenant_in_flight_.size()) {
+    tenant_in_flight_.resize(static_cast<std::size_t>(tenant) + 1, 0);
+  }
+  ++tenant_in_flight_[tenant];
+  in_flight_snapshot_.store(in_flight_, std::memory_order_release);
+  // order: stat tallies, snapshot for reporting only
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+AdmissionController::Verdict AdmissionController::TryAdmit(
+    std::uint32_t tenant, bool count_reject) {
+  if (closed()) {
+    // order: stat tallies, snapshot for reporting only
+    closed_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Verdict::kClosed;
+  }
+  MutexLock lock(mu_);
+  if (in_flight_ >= config_.max_in_flight) {
+    if (count_reject) {
+      // order: stat tallies, snapshot for reporting only
+      window_rejects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Verdict::kWindowFull;
+  }
+  if (tenant < tenant_in_flight_.size() &&
+      tenant_in_flight_[tenant] >= config_.tenant_quota) {
+    if (count_reject) {
+      // order: stat tallies, snapshot for reporting only
+      quota_rejects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Verdict::kQuotaFull;
+  }
+  AdmitLocked(tenant);
+  return Verdict::kAdmitted;
+}
+
+AdmissionController::Verdict AdmissionController::Admit(std::uint32_t tenant) {
+  if (closed()) {
+    // order: stat tallies, snapshot for reporting only
+    closed_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Verdict::kClosed;
+  }
+  MutexLock lock(mu_);
+  bool waited = false;
+  while (!HasRoom(tenant) && !closed()) {
+    if (!waited) {
+      waited = true;
+      // order: stat tallies, snapshot for reporting only
+      blocked_waits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    space_cv_.wait(mu_);
+  }
+  if (closed()) {
+    // order: stat tallies, snapshot for reporting only
+    closed_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Verdict::kClosed;
+  }
+  AdmitLocked(tenant);
+  return Verdict::kAdmitted;
+}
+
+void AdmissionController::Release(std::uint32_t tenant) {
+  MutexLock lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  if (tenant < tenant_in_flight_.size() && tenant_in_flight_[tenant] > 0) {
+    --tenant_in_flight_[tenant];
+  }
+  in_flight_snapshot_.store(in_flight_, std::memory_order_release);
+  // The notify must happen under the lock: a kBlock submitter evaluates
+  // HasRoom() and calls wait() inside its critical section, so an
+  // unlocked notify can land in the gap between its check and its wait
+  // and be lost — the submitter then sleeps forever because nothing else
+  // signals space_cv (same bug class the schedule checker found in
+  // UpdateIngestor::Close(); pinned by AdmissionWindowScenario in
+  // tests/test_schedcheck_scenarios.cc).
+  space_cv_.notify_all();
+}
+
+void AdmissionController::Close() {
+  closed_.store(true, std::memory_order_release);
+  // Wake every blocked submitter so it can observe the close; under the
+  // lock for the same lost-wakeup reason as Release().
+  MutexLock lock(mu_);
+  space_cv_.notify_all();
+}
+
+AdmissionStats AdmissionController::Stats() const {
+  AdmissionStats s;
+  // order: stat tallies, snapshot for reporting only
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.window_rejects = window_rejects_.load(std::memory_order_relaxed);
+  s.quota_rejects = quota_rejects_.load(std::memory_order_relaxed);
+  s.closed_rejects = closed_rejects_.load(std::memory_order_relaxed);
+  s.blocked_waits = blocked_waits_.load(std::memory_order_relaxed);
+  s.in_flight = in_flight();
+  return s;
+}
+
+}  // namespace platod2gl::serve

@@ -1,0 +1,126 @@
+// AdmissionController: the serving layer's bounded in-flight window.
+//
+// A serving front end must bound the work it holds — queued plus
+// executing — or a burst converts into unbounded memory and collapsed
+// tail latency for everyone. This controller enforces two limits with
+// counted outcomes, mirroring UpdateIngestor's backpressure design
+// (src/pipeline/update_ingestor.h):
+//
+//  * a global window: at most `max_in_flight` requests admitted and not
+//    yet released, and
+//  * a per-tenant quota: at most `tenant_quota` of those per tenant, so
+//    one hot tenant cannot starve the rest of the window.
+//
+// What a submitter experiences at a full window is the policy matrix the
+// GraphServer drives (serve/server.h): kBlock waits here on a condvar
+// until Release()/Close(); kReject fails fast via TryAdmit(); kShedOldest
+// lets the server evict the oldest queued request and retry the probe.
+// Every outcome is a counter, and shed decisions are made by the
+// single-threaded server pump from arrival order alone, so admission
+// outcomes are a pure function of (seed, arrival order) — pinned in
+// tests/test_serve.cc.
+//
+// Synchronisation uses the instrumented Mutex/CondVar/sched::Atomic so
+// the deterministic schedule checker can interleave submitters against
+// Release()/Close() (tests/test_schedcheck_scenarios.cc: the notify in
+// both MUST happen under the lock, or a kBlock submitter's
+// check-then-wait window loses the wakeup — the same bug class the
+// checker found in UpdateIngestor::Close()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/sched_hooks.h"
+#include "common/thread_annotations.h"
+
+namespace platod2gl::serve {
+
+/// What a submitter experiences when the window (or its quota) is full.
+enum class AdmissionPolicy : std::uint8_t {
+  kBlock,      ///< wait for a Release (lossless, may stall the submitter)
+  kReject,     ///< fail fast (caller sheds/retries)
+  kShedOldest  ///< evict the oldest queued request, admit the new one
+};
+
+struct AdmissionConfig {
+  std::size_t max_in_flight = 256;  ///< global window bound
+  std::size_t tenant_quota = 64;    ///< per-tenant share of the window
+  AdmissionPolicy policy = AdmissionPolicy::kReject;
+};
+
+/// Monotonic counters + a point-in-time window snapshot.
+struct AdmissionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t window_rejects = 0;  ///< probes refused: window full
+  std::uint64_t quota_rejects = 0;   ///< probes refused: tenant over quota
+  std::uint64_t closed_rejects = 0;  ///< probes after Close()
+  std::uint64_t blocked_waits = 0;   ///< kBlock submitters that had to wait
+  std::size_t in_flight = 0;         ///< admitted - released right now
+};
+
+class AdmissionController {
+ public:
+  enum class Verdict : std::uint8_t {
+    kAdmitted = 0,
+    kWindowFull = 1,
+    kQuotaFull = 2,
+    kClosed = 3,
+  };
+
+  explicit AdmissionController(AdmissionConfig config = {});
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Non-blocking probe: admit `tenant` if both the window and its quota
+  /// have room. `count_reject` suppresses the reject counters when the
+  /// caller is probing inside its own shed loop (the shed itself is the
+  /// counted outcome there).
+  Verdict TryAdmit(std::uint32_t tenant, bool count_reject = true);
+
+  /// Blocking admit (the kBlock policy): waits on the window/quota until
+  /// admitted or closed. Never returns kWindowFull/kQuotaFull.
+  Verdict Admit(std::uint32_t tenant);
+
+  /// Return one admitted slot (request completed, shed, or failed).
+  void Release(std::uint32_t tenant);
+
+  /// Stop admitting: every subsequent (and currently blocked) Admit
+  /// returns kClosed. Released slots still drain normally.
+  void Close();
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  std::size_t in_flight() const {
+    return in_flight_snapshot_.load(std::memory_order_acquire);
+  }
+
+  AdmissionStats Stats() const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  bool HasRoom(std::uint32_t tenant) const REQUIRES(mu_);
+  void AdmitLocked(std::uint32_t tenant) REQUIRES(mu_);
+
+  AdmissionConfig config_;
+  mutable Mutex mu_;
+  CondVar space_cv_;  // kBlock submitters wait here for Release or Close
+  std::size_t in_flight_ GUARDED_BY(mu_) = 0;
+  std::vector<std::size_t> tenant_in_flight_ GUARDED_BY(mu_);
+
+  // sched::Atomic == std::atomic in production builds; under
+  // PD2GL_SCHEDCHECK every access is a schedule point so the checker can
+  // interleave submitters, the pump's releases, and shutdown around them.
+  sched::Atomic<bool> closed_{false};
+  sched::Atomic<std::size_t> in_flight_snapshot_{0};
+  sched::Atomic<std::uint64_t> admitted_{0};
+  sched::Atomic<std::uint64_t> window_rejects_{0};
+  sched::Atomic<std::uint64_t> quota_rejects_{0};
+  sched::Atomic<std::uint64_t> closed_rejects_{0};
+  sched::Atomic<std::uint64_t> blocked_waits_{0};
+};
+
+}  // namespace platod2gl::serve

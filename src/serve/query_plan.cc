@@ -1,0 +1,123 @@
+#include "serve/query_plan.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace platod2gl::serve {
+
+namespace {
+std::string OpName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kTraverse:
+      return "traverse";
+    case OpKind::kSample:
+      return "sample";
+    case OpKind::kNegativeSample:
+      return "negative-sample";
+    case OpKind::kGather:
+      return "gather";
+  }
+  return "unknown";
+}
+}  // namespace
+
+Status ValidateAndLower(const QueryPlan& plan, std::size_t num_seeds,
+                        const PlannerLimits& limits, LoweredPlan* out) {
+  if (plan.ops.empty()) {
+    return Status::InvalidArgument("plan has no ops");
+  }
+  if (plan.ops.size() > limits.max_ops) {
+    return Status::InvalidArgument("plan has " +
+                                   std::to_string(plan.ops.size()) +
+                                   " ops, limit " +
+                                   std::to_string(limits.max_ops));
+  }
+  if (num_seeds == 0 || num_seeds > limits.max_seeds) {
+    return Status::InvalidArgument("request has " + std::to_string(num_seeds) +
+                                   " seeds, limit 1.." +
+                                   std::to_string(limits.max_seeds));
+  }
+
+  LoweredPlan lowered;
+  lowered.steps.reserve(plan.ops.size());
+  // bound[slot] = worst-case vertices that slot can hold; slot 0 = seeds.
+  std::vector<std::size_t> bound(plan.ops.size() + 1, 0);
+  bound[0] = num_seeds;
+  lowered.max_frontier = num_seeds;
+
+  for (std::size_t j = 0; j < plan.ops.size(); ++j) {
+    const PlanOp& op = plan.ops[j];
+    const std::string where = "op " + std::to_string(j) + " (" +
+                              OpName(op.kind) + ")";
+    // Resolve the input slot: the request seeds, or an earlier
+    // vertex-producing op.
+    std::size_t input_slot = 0;
+    if (op.input != kPlanInputSeeds) {
+      if (op.input >= j) {
+        return Status::InvalidArgument(
+            where + ": input " + std::to_string(op.input) +
+            " does not reference an earlier op");
+      }
+      if (plan.ops[op.input].kind == OpKind::kGather) {
+        return Status::InvalidArgument(
+            where + ": input " + std::to_string(op.input) +
+            " is a gather sink, which produces feature rows, not vertices");
+      }
+      input_slot = static_cast<std::size_t>(op.input) + 1;
+    }
+
+    std::size_t produced = 0;
+    switch (op.kind) {
+      case OpKind::kTraverse:
+      case OpKind::kSample:
+        if (op.fanout == 0 || op.fanout > limits.max_fanout) {
+          return Status::InvalidArgument(
+              where + ": fanout " + std::to_string(op.fanout) +
+              " outside 1.." + std::to_string(limits.max_fanout));
+        }
+        if (op.edge_type >= limits.num_relations) {
+          return Status::InvalidArgument(
+              where + ": edge type " + std::to_string(op.edge_type) +
+              " >= num_relations " + std::to_string(limits.num_relations));
+        }
+        produced = bound[input_slot] * op.fanout;
+        ++lowered.rpc_rounds;
+        break;
+      case OpKind::kNegativeSample:
+        if (op.count == 0 || op.count > limits.max_negatives) {
+          return Status::InvalidArgument(
+              where + ": count " + std::to_string(op.count) + " outside 1.." +
+              std::to_string(limits.max_negatives));
+        }
+        if (op.range_hi <= op.range_lo) {
+          return Status::InvalidArgument(where + ": empty candidate range");
+        }
+        produced = op.count;
+        break;
+      case OpKind::kGather:
+        produced = 0;  // sink: feature rows, not a frontier
+        ++lowered.rpc_rounds;
+        break;
+      default:
+        return Status::InvalidArgument(where + ": unknown op kind");
+    }
+    if (produced > limits.max_frontier) {
+      return Status::InvalidArgument(
+          where + ": worst-case frontier " + std::to_string(produced) +
+          " exceeds limit " + std::to_string(limits.max_frontier));
+    }
+    bound[j + 1] = produced;
+    if (produced > lowered.max_frontier) lowered.max_frontier = produced;
+
+    LoweredStep step;
+    step.op = op;
+    step.input_slot = input_slot;
+    lowered.steps.push_back(step);
+  }
+
+  *out = std::move(lowered);
+  return Status::Ok();
+}
+
+}  // namespace platod2gl::serve

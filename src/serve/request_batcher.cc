@@ -1,0 +1,101 @@
+#include "serve/request_batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace platod2gl::serve {
+
+RequestBatcher::RequestBatcher(BatcherConfig config) : config_(config) {
+  config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+}
+
+Status RequestBatcher::Enqueue(PendingRequest req, std::uint64_t now_us) {
+  // The closed check and the push must be one critical section: an
+  // unlocked check-then-lock lets a concurrent Close() land in between
+  // and strand the request in a queue nothing will drain (pinned by
+  // BatcherCloseScenario in tests/test_schedcheck_scenarios.cc).
+  MutexLock lock(mu_);
+  if (closed()) {
+    // order: stat tallies, snapshot for reporting only
+    closed_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("batcher closed");
+  }
+  req.enqueue_us = now_us;
+  queue_.push_back(std::move(req));
+  depth_snapshot_.store(queue_.size(), std::memory_order_release);
+  // order: stat tallies, snapshot for reporting only
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+bool RequestBatcher::Due(std::uint64_t now_us) const {
+  MutexLock lock(mu_);
+  if (queue_.empty()) return false;
+  if (queue_.size() >= config_.max_batch) return true;
+  return now_us >= queue_.front().enqueue_us + config_.window_us;
+}
+
+std::vector<PendingRequest> RequestBatcher::FormBatch(std::uint64_t now_us,
+                                                      bool force) {
+  std::vector<PendingRequest> batch;
+  MutexLock lock(mu_);
+  if (queue_.empty()) return batch;
+  const bool size_trigger = queue_.size() >= config_.max_batch;
+  const bool deadline_trigger =
+      now_us >= queue_.front().enqueue_us + config_.window_us;
+  if (!size_trigger && !deadline_trigger && !force) return batch;
+  const std::size_t n = std::min(config_.max_batch, queue_.size());
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  depth_snapshot_.store(queue_.size(), std::memory_order_release);
+  // order: stat tallies, snapshot for reporting only
+  dispatched_.fetch_add(n, std::memory_order_relaxed);
+  // order: stat tallies, snapshot for reporting only
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  return batch;
+}
+
+std::optional<PendingRequest> RequestBatcher::ShedOldest(
+    std::optional<std::uint32_t> tenant) {
+  MutexLock lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (tenant.has_value() && it->request.tenant != *tenant) continue;
+    PendingRequest victim = std::move(*it);
+    queue_.erase(it);
+    depth_snapshot_.store(queue_.size(), std::memory_order_release);
+    // order: stat tallies, snapshot for reporting only
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return victim;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t RequestBatcher::NextDeadline() const {
+  MutexLock lock(mu_);
+  if (queue_.empty()) return ~0ULL;
+  return queue_.front().enqueue_us + config_.window_us;
+}
+
+void RequestBatcher::Close() {
+  // Under the lock so the flag cannot flip inside a concurrent Enqueue's
+  // check-then-push window (see Enqueue).
+  MutexLock lock(mu_);
+  closed_.store(true, std::memory_order_release);
+}
+
+BatcherStats RequestBatcher::Stats() const {
+  BatcherStats s;
+  // order: stat tallies, snapshot for reporting only
+  s.enqueued = enqueued_.load(std::memory_order_relaxed);
+  s.dispatched = dispatched_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.closed_rejects = closed_rejects_.load(std::memory_order_relaxed);
+  s.queued = Depth();
+  return s;
+}
+
+}  // namespace platod2gl::serve

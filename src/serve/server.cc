@@ -1,0 +1,268 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace platod2gl::serve {
+
+GraphServer::GraphServer(GraphCluster* cluster, EpochCoordinator* epochs,
+                         ServeConfig config)
+    : config_(config),
+      executor_(cluster, epochs),
+      admission_(config.admission),
+      batcher_(config.batcher) {
+  config_.num_tenants = std::max<std::size_t>(1, config_.num_tenants);
+  config_.limits.num_relations =
+      std::max<std::size_t>(1, config_.limits.num_relations);
+  tenant_latency_.reserve(config_.num_tenants);
+  for (std::size_t t = 0; t < config_.num_tenants; ++t) {
+    tenant_latency_.push_back(std::make_unique<LatencyHistogram>());
+  }
+}
+
+void GraphServer::RetireLocked(std::uint64_t now_us, bool all) {
+  while (!in_flight_.empty() &&
+         (all || in_flight_.top().completion_us <= now_us)) {
+    // priority_queue::top is const; the move is safe because we pop
+    // immediately and never touch the moved-from top again.
+    InFlightBatch batch =
+        std::move(const_cast<InFlightBatch&>(in_flight_.top()));
+    in_flight_.pop();
+    for (std::size_t i = 0; i < batch.responses.size(); ++i) {
+      QueryResponse& resp = batch.responses[i];
+      admission_.Release(batch.tenants[i]);
+      const std::uint64_t nanos = resp.latency_us * 1000;
+      latency_.Record(nanos);
+      if (resp.tenant < tenant_latency_.size()) {
+        tenant_latency_[resp.tenant]->Record(nanos);
+      }
+      // order: stat tallies, snapshot for reporting only
+      completed_count_.fetch_add(1, std::memory_order_relaxed);
+      if (resp.status == RequestStatus::kDegraded) {
+        // order: stat tallies, snapshot for reporting only
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // order: stat tallies, snapshot for reporting only
+        ok_.fetch_add(1, std::memory_order_relaxed);
+      }
+      completed_.push_back(std::move(resp));
+    }
+  }
+}
+
+void GraphServer::CompleteShedLocked(PendingRequest victim,
+                                     std::uint64_t now_us) {
+  admission_.Release(victim.request.tenant);
+  QueryResponse resp;
+  resp.tenant = victim.request.tenant;
+  resp.request_id = victim.request.request_id;
+  resp.status = RequestStatus::kShed;
+  resp.latency_us = now_us - victim.arrival_us;
+  // Shed latencies are intentionally NOT recorded into the SLO
+  // histograms: a shed is its own counted outcome, not a served latency.
+  // order: stat tallies, snapshot for reporting only
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  // order: stat tallies, snapshot for reporting only
+  completed_count_.fetch_add(1, std::memory_order_relaxed);
+  completed_.push_back(std::move(resp));
+}
+
+Status GraphServer::Submit(QueryRequest req, std::uint64_t now_us) {
+  // order: stat tallies, snapshot for reporting only
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Free any window slots whose virtual completion the clock passed —
+    // admission pressure must reflect "now", not the last Pump.
+    MutexLock lock(mu_);
+    RetireLocked(now_us, /*all=*/false);
+  }
+  if (req.tenant >= config_.num_tenants) {
+    // order: stat tallies, snapshot for reporting only
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("tenant " + std::to_string(req.tenant) +
+                                   " >= num_tenants " +
+                                   std::to_string(config_.num_tenants));
+  }
+  PendingRequest pending;
+  Status valid = ValidateAndLower(req.plan, req.seeds.size(), config_.limits,
+                                  &pending.plan);
+  if (!valid.ok()) {
+    // order: stat tallies, snapshot for reporting only
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    return valid;
+  }
+
+  // Admission: the policy matrix decides what a full window means.
+  switch (config_.admission.policy) {
+    case AdmissionPolicy::kBlock: {
+      const AdmissionController::Verdict v = admission_.Admit(req.tenant);
+      if (v != AdmissionController::Verdict::kAdmitted) {
+        return Status::Unavailable("server closed");
+      }
+      break;
+    }
+    case AdmissionPolicy::kReject: {
+      const AdmissionController::Verdict v = admission_.TryAdmit(req.tenant);
+      if (v == AdmissionController::Verdict::kClosed) {
+        return Status::Unavailable("server closed");
+      }
+      if (v != AdmissionController::Verdict::kAdmitted) {
+        // order: stat tallies, snapshot for reporting only
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted(
+            v == AdmissionController::Verdict::kWindowFull
+                ? "admission window full"
+                : "tenant quota exhausted");
+      }
+      break;
+    }
+    case AdmissionPolicy::kShedOldest: {
+      // Shed-oldest: evict the longest-waiting queued request (same
+      // tenant when it is the quota that is full) until the probe
+      // succeeds. Probes don't count as rejects — the shed is the
+      // counted outcome. Deterministic: driven purely by arrival order.
+      while (true) {
+        const AdmissionController::Verdict v =
+            admission_.TryAdmit(req.tenant, /*count_reject=*/false);
+        if (v == AdmissionController::Verdict::kAdmitted) break;
+        if (v == AdmissionController::Verdict::kClosed) {
+          return Status::Unavailable("server closed");
+        }
+        std::optional<PendingRequest> victim = batcher_.ShedOldest(
+            v == AdmissionController::Verdict::kQuotaFull
+                ? std::optional<std::uint32_t>(req.tenant)
+                : std::nullopt);
+        if (!victim.has_value()) {
+          // Nothing sheddable (the window is held by executing batches):
+          // fall back to a counted reject.
+          // order: stat tallies, snapshot for reporting only
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          return Status::ResourceExhausted(
+              "admission window full of in-flight work");
+        }
+        MutexLock lock(mu_);
+        CompleteShedLocked(std::move(*victim), now_us);
+      }
+      break;
+    }
+  }
+
+  const std::uint32_t tenant = req.tenant;
+  pending.request = std::move(req);
+  pending.arrival_us = now_us;
+  Status queued = batcher_.Enqueue(std::move(pending), now_us);
+  if (!queued.ok()) {
+    // Closed between admission and enqueue: hand the slot back.
+    admission_.Release(tenant);
+    return queued;
+  }
+  return Status::Ok();
+}
+
+std::size_t GraphServer::DispatchLocked(std::uint64_t now_us, bool force) {
+  std::size_t dispatched = 0;
+  while (true) {
+    std::vector<PendingRequest> batch = batcher_.FormBatch(now_us, force);
+    if (batch.empty()) break;
+    const std::uint64_t start = std::max(now_us, busy_until_us_);
+    ExecOutcome exec = executor_.ExecuteBatch(batch);
+    const std::uint64_t completion = start + exec.virtual_us;
+    busy_until_us_ = completion;
+    busy_until_snapshot_.store(completion, std::memory_order_release);
+
+    InFlightBatch in_flight;
+    in_flight.completion_us = completion;
+    in_flight.seq = next_batch_seq_++;
+    in_flight.tenants.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      exec.responses[i].latency_us = completion - batch[i].arrival_us;
+      in_flight.tenants.push_back(batch[i].request.tenant);
+    }
+    in_flight.responses = std::move(exec.responses);
+    in_flight_.push(std::move(in_flight));
+
+    dispatched += batch.size();
+    // order: stat tallies, snapshot for reporting only
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    // order: stat tallies, snapshot for reporting only
+    batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+    // order: stat tallies, snapshot for reporting only
+    rpc_rounds_.fetch_add(exec.rounds, std::memory_order_relaxed);
+    // order: stat tallies, snapshot for reporting only
+    virtual_busy_us_.fetch_add(exec.virtual_us, std::memory_order_relaxed);
+  }
+  return dispatched;
+}
+
+std::size_t GraphServer::Pump(std::uint64_t now_us) {
+  MutexLock lock(mu_);
+  RetireLocked(now_us, /*all=*/false);
+  const std::size_t dispatched = DispatchLocked(now_us, /*force=*/false);
+  RetireLocked(now_us, /*all=*/false);
+  return dispatched;
+}
+
+std::size_t GraphServer::Drain(std::uint64_t now_us) {
+  MutexLock lock(mu_);
+  const std::size_t dispatched = DispatchLocked(now_us, /*force=*/true);
+  RetireLocked(now_us, /*all=*/true);
+  return dispatched;
+}
+
+void GraphServer::Close() {
+  admission_.Close();
+  batcher_.Close();
+}
+
+std::vector<QueryResponse> GraphServer::TakeCompleted() {
+  MutexLock lock(mu_);
+  std::vector<QueryResponse> out = std::move(completed_);
+  completed_.clear();
+  return out;
+}
+
+SloReport GraphServer::EndSloWindow() {
+  MutexLock lock(mu_);
+  const HistogramSnapshot snap = latency_.Snapshot();
+  const HistogramSnapshot window = snap.DeltaSince(slo_window_base_);
+  slo_window_base_ = snap;
+  SloReport report;
+  report.count = window.Count();
+  report.p50_us = window.PercentileMicros(50.0);
+  report.p99_us = window.PercentileMicros(99.0);
+  report.violated = config_.slo_target_p99_us > 0 && report.count > 0 &&
+                    report.p99_us >
+                        static_cast<double>(config_.slo_target_p99_us);
+  // order: stat tallies, snapshot for reporting only
+  slo_windows_.fetch_add(1, std::memory_order_relaxed);
+  if (report.violated) {
+    // order: stat tallies, snapshot for reporting only
+    slo_violations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return report;
+}
+
+ServeStats GraphServer::Stats() const {
+  ServeStats s;
+  // order: stat tallies, snapshot for reporting only
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_count_.load(std::memory_order_relaxed);
+  s.ok = ok_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.invalid = invalid_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.rpc_rounds = rpc_rounds_.load(std::memory_order_relaxed);
+  s.virtual_busy_us = virtual_busy_us_.load(std::memory_order_relaxed);
+  s.slo_windows = slo_windows_.load(std::memory_order_relaxed);
+  s.slo_violations = slo_violations_.load(std::memory_order_relaxed);
+  s.admission = admission_.Stats();
+  s.batcher = batcher_.Stats();
+  return s;
+}
+
+}  // namespace platod2gl::serve

@@ -1,0 +1,74 @@
+// Fuzz harness for the serving wire decoders (dist/wire.cc; libFuzzer
+// ABI — see fuzz_driver.cc for the GCC fallback driver).
+//
+// The first input byte selects the decoder; the rest is the wire payload.
+// QueryRequest/QueryResponse are the serving layer's client-facing edge —
+// the one surface that parses bytes from outside the trust boundary — so
+// the oracle is the same hardening contract as the replication formats:
+//   * any crash, sanitizer report, or runaway allocation is a real bug
+//     (exact bounds checks before any allocation, full consumption
+//     required);
+//   * every kOk decode must re-encode (at the current wire version) and
+//     re-decode to the identical bytes — decode is a hard reject or a
+//     full parse, never partial;
+//   * kUnsupportedVersion may only be reported when the payload actually
+//     contains a version byte under a recognised tag, and never for the
+//     current version.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dist/wire.h"
+
+namespace {
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    // Abort (not exit) so both libFuzzer and the fallback driver treat a
+    // broken oracle exactly like a crash.
+    std::fprintf(stderr, "fuzz_serve oracle failed: %s\n", what);
+    std::abort();
+  }
+}
+
+template <typename Msg, typename DecodeFn, typename EncodeFn>
+void Exercise(const std::string& payload, DecodeFn decode, EncodeFn encode) {
+  namespace wire = platod2gl::wire;
+  Msg msg;
+  const wire::DecodeResult r = decode(payload, &msg);
+  if (r == wire::DecodeResult::kUnsupportedVersion) {
+    Require(payload.size() >= 2, "version verdict from a tagless stub");
+    Require(payload[1] != static_cast<char>(wire::kServeWireVersion),
+            "current version reported as unsupported");
+    return;
+  }
+  if (r != wire::DecodeResult::kOk) return;
+  const std::string enc = encode(msg, wire::kServeWireVersion);
+  Msg again;
+  Require(decode(enc, &again) == wire::DecodeResult::kOk, "re-decode");
+  // Compare re-encoded bytes, not structs: mutated payloads can carry
+  // NaN feature floats, and NaN != NaN would fail a field-wise compare
+  // for a perfectly faithful round trip.
+  Require(encode(again, wire::kServeWireVersion) == enc,
+          "round-trip mismatch");
+  Require(enc.size() == payload.size(), "partial parse slipped through");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::string payload(reinterpret_cast<const char*>(data + 1),
+                            size - 1);
+  namespace wire = platod2gl::wire;
+  if (data[0] % 2 == 0) {
+    Exercise<platod2gl::serve::QueryRequest>(
+        payload, wire::DecodeQueryRequest, wire::EncodeQueryRequest);
+  } else {
+    Exercise<platod2gl::serve::QueryResponse>(
+        payload, wire::DecodeQueryResponse, wire::EncodeQueryResponse);
+  }
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include "gnn/model.h"
 #include "io/checkpoint.h"
 #include "io/wal.h"
+#include "serve/query_plan.h"
 #include "storage/graph_store.h"
 
 namespace {
@@ -163,6 +164,65 @@ void MakeCheckpointCorpus(const std::filesystem::path& dir) {
   std::filesystem::remove(scratch);
 }
 
+void MakeServeCorpus(const std::filesystem::path& dir) {
+  namespace wire = platod2gl::wire;
+  namespace serve = platod2gl::serve;
+
+  // A full GSL-style plan: 2-hop sample, negatives, attribute gather.
+  serve::QueryRequest req;
+  req.tenant = 2;
+  req.request_id = 77;
+  req.rng_seed = 0xBEEF;
+  req.seeds = {1, 2, 3, 42};
+  req.plan.Sample(/*fanout=*/8, /*weighted=*/true)
+      .Sample(/*fanout=*/4, /*weighted=*/false, /*input=*/0)
+      .NegativeSample(/*count=*/16, /*range_lo=*/0, /*range_hi=*/1000,
+                      /*input=*/1)
+      .Gather(/*input=*/1);
+  WriteFile(dir / "query_request.bin",
+            Tagged('\x00', wire::EncodeQueryRequest(req)));
+  // Version negotiation is part of the format surface: a "future" client
+  // seeds the boundary between kUnsupportedVersion and kMalformed.
+  WriteFile(dir / "query_request_v99.bin",
+            Tagged('\x00', wire::EncodeQueryRequest(req, 99)));
+
+  serve::QueryRequest tiny;
+  tiny.tenant = 0;
+  tiny.request_id = 1;
+  tiny.rng_seed = 7;
+  tiny.seeds = {5};
+  tiny.plan.Traverse(/*cap=*/4);
+  WriteFile(dir / "query_request_tiny.bin",
+            Tagged('\x00', wire::EncodeQueryRequest(tiny)));
+
+  serve::QueryResponse resp;
+  resp.tenant = 2;
+  resp.request_id = 77;
+  resp.status = serve::RequestStatus::kOk;
+  resp.epoch = 12;
+  serve::StageOutput frontier;
+  frontier.ids = {10, 11, 12, 20, 21};
+  frontier.offsets = {0, 3, 5};
+  serve::StageOutput feats;
+  feats.feature_dim = 2;
+  feats.features = {0.5f, -1.0f, 0.0f, 3.25f};
+  resp.stages = {frontier, feats};
+  WriteFile(dir / "query_response.bin",
+            Tagged('\x01', wire::EncodeQueryResponse(resp)));
+  WriteFile(dir / "query_response_v99.bin",
+            Tagged('\x01', wire::EncodeQueryResponse(resp, 99)));
+
+  serve::QueryResponse shed;
+  shed.tenant = 1;
+  shed.request_id = 9;
+  shed.status = serve::RequestStatus::kShed;
+  shed.epoch = 0;
+  WriteFile(dir / "query_response_shed.bin",
+            Tagged('\x01', wire::EncodeQueryResponse(shed)));
+
+  WriteFile(dir / "empty_payload.bin", "\x01");
+}
+
 void MakeWalCorpus(const std::filesystem::path& dir) {
   std::vector<TimedUpdate> entries;
   entries.push_back({10, {UpdateKind::kInsert, Edge{1, 2, 1.0, 0}}});
@@ -188,7 +248,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::filesystem::path root = argv[1];
-  for (const char* sub : {"wire", "replication", "checkpoint", "wal"}) {
+  for (const char* sub : {"wire", "replication", "checkpoint", "wal",
+                          "serve"}) {
     std::filesystem::create_directories(root / sub);
   }
   std::printf("wire:\n");
@@ -199,5 +260,7 @@ int main(int argc, char** argv) {
   MakeCheckpointCorpus(root / "checkpoint");
   std::printf("wal:\n");
   MakeWalCorpus(root / "wal");
+  std::printf("serve:\n");
+  MakeServeCorpus(root / "serve");
   return 0;
 }

@@ -76,5 +76,77 @@ TEST(HistogramTest, MicrosConversion) {
   EXPECT_LT(h.PercentileMicros(100), 2.1);  // bucket edge 2047 ns
 }
 
+TEST(HistogramTest, SnapshotIsConsistentPointInTime) {
+  LatencyHistogram h;
+  h.Record(100);
+  h.Record(100000);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.Count(), 2u);
+  // Mutating the live histogram after the snapshot leaves it untouched.
+  for (int i = 0; i < 50; ++i) h.Record(1);
+  EXPECT_EQ(snap.Count(), 2u);
+  EXPECT_EQ(h.Count(), 52u);
+}
+
+TEST(HistogramTest, SnapshotPercentileMatchesLive) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100000; v *= 3) h.Record(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  for (double p : {10.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(snap.PercentileNanos(p), h.PercentileNanos(p)) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, DeltaSinceIsolatesWindow) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1000);  // window 1: ~1 us
+  const HistogramSnapshot base = h.Snapshot();
+  for (int i = 0; i < 100; ++i) h.Record(1000000);  // window 2: ~1 ms
+  const HistogramSnapshot now = h.Snapshot();
+  const HistogramSnapshot delta = now.DeltaSince(base);
+  EXPECT_EQ(delta.Count(), 100u);
+  // The delta must only see window 2's slow samples — the cumulative
+  // histogram's p50 would still be fast.
+  EXPECT_GT(delta.PercentileNanos(50), 500000u);
+  EXPECT_LT(h.PercentileNanos(50), 5000u);
+}
+
+TEST(HistogramTest, DeltaSinceEmptyWindow) {
+  LatencyHistogram h;
+  h.Record(42);
+  const HistogramSnapshot snap = h.Snapshot();
+  const HistogramSnapshot delta = snap.DeltaSince(snap);
+  EXPECT_EQ(delta.Count(), 0u);
+  EXPECT_EQ(delta.PercentileNanos(99), 0u);
+}
+
+TEST(HistogramTest, InterpolationWithinBucket) {
+  // 1024 samples all landing in bucket [1024, 2047]: percentiles should
+  // interpolate linearly across the bucket instead of pinning to the
+  // upper edge.
+  LatencyHistogram h;
+  for (int i = 0; i < 1024; ++i) h.Record(1500);
+  const std::uint64_t p10 = h.PercentileNanos(10);
+  const std::uint64_t p50 = h.PercentileNanos(50);
+  const std::uint64_t p100 = h.PercentileNanos(100);
+  EXPECT_GE(p10, 1024u);
+  EXPECT_LT(p10, p50);
+  EXPECT_LT(p50, p100);
+  EXPECT_EQ(p100, 2047u);
+  // p50 lands near the middle of the bucket.
+  EXPECT_GT(p50, 1300u);
+  EXPECT_LT(p50, 1800u);
+}
+
+TEST(HistogramTest, InterpolationPreservesSingleSampleEdge) {
+  // With one sample, every percentile is that sample's bucket upper
+  // edge — the interpolation's frac = 1 endpoint (SingleSample above
+  // depends on this).
+  LatencyHistogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.PercentileNanos(1), 1023u);
+  EXPECT_EQ(h.PercentileNanos(99), 1023u);
+}
+
 }  // namespace
 }  // namespace platod2gl

@@ -37,6 +37,8 @@
 #include "pipeline/update_ingestor.h"
 #include "sampling/sample_cache.h"
 #include "schedcheck/sched.h"
+#include "serve/admission.h"
+#include "serve/request_batcher.h"
 #include "storage/cuckoo_map.h"
 
 #ifndef PD2GL_SCHEDCHECK
@@ -608,6 +610,142 @@ TEST(SchedCheckReplication, PromotionVsEpochBarrierIsCleanExhaustively) {
 
 TEST(SchedCheckReplication, PromotionVsEpochBarrierUnderRandomWalk) {
   ExpectOk(sched::Explore(RandomWalk(), PromoteScenario));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 8 — AdmissionController: blocked kBlock submitter vs Release
+// vs Close.
+//
+// The serving layer's admission window (src/serve/admission.h) is the
+// same monitor shape as the ingestor's space_cv: a full window parks the
+// kBlock submitter in Admit(); Release() frees the only slot and
+// Close() shuts the window, racing to wake it. A notify outside the
+// lock — or none at all — is a lost wakeup every schedule here surfaces
+// as a modeled deadlock of "blocked-submitter"; afterwards the window
+// books must balance regardless of who won.
+// ---------------------------------------------------------------------------
+
+struct AdmissionState {
+  AdmissionState() : ac(Config()) {
+    // Fill the 1-slot window before any scenario thread runs, so the
+    // submitter below finds it full in schedules where it goes first.
+    verdict0 = ac.TryAdmit(/*tenant=*/0);
+  }
+  static platod2gl::serve::AdmissionConfig Config() {
+    platod2gl::serve::AdmissionConfig c;
+    c.max_in_flight = 1;
+    c.tenant_quota = 1;
+    c.policy = platod2gl::serve::AdmissionPolicy::kBlock;
+    return c;
+  }
+  platod2gl::serve::AdmissionController ac;
+  platod2gl::serve::AdmissionController::Verdict verdict0;
+  platod2gl::serve::AdmissionController::Verdict verdict =
+      platod2gl::serve::AdmissionController::Verdict::kWindowFull;
+};
+
+void AdmissionWindowScenario(sched::Test& t) {
+  using Verdict = platod2gl::serve::AdmissionController::Verdict;
+  auto s = std::make_shared<AdmissionState>();
+  sched::Check(s->verdict0 == Verdict::kAdmitted, "pre-fill took the slot");
+  t.Spawn("blocked-submitter", [s] { s->verdict = s->ac.Admit(1); });
+  t.Spawn("releaser", [s] { s->ac.Release(0); });
+  t.Spawn("closer", [s] { s->ac.Close(); });
+  t.AfterRun([s] {
+    using Verdict = platod2gl::serve::AdmissionController::Verdict;
+    sched::Check(s->verdict == Verdict::kAdmitted ||
+                     s->verdict == Verdict::kClosed,
+                 "a blocking admit either lands or observes the close");
+    const auto stats = s->ac.Stats();
+    const std::uint64_t admitted =
+        1 + (s->verdict == Verdict::kAdmitted ? 1u : 0u);
+    sched::Check(stats.admitted == admitted, "admissions counted exactly");
+    sched::Check(stats.closed_rejects ==
+                     (s->verdict == Verdict::kClosed ? 1u : 0u),
+                 "a closed verdict is a counted close-reject");
+    // One Release for the pre-filled slot: whatever the submitter won is
+    // still in flight.
+    sched::Check(s->ac.in_flight() == admitted - 1,
+                 "window occupancy balances admissions minus releases");
+    sched::Check(stats.blocked_waits <= 1, "the submitter parks at most once");
+    sched::Check(s->ac.closed(), "close is sticky");
+    sched::Check(s->ac.TryAdmit(2) == Verdict::kClosed,
+                 "new arrivals observe the close");
+  });
+}
+
+TEST(SchedCheckAdmission, BlockedSubmitterReleaseAndCloseAlwaysTerminate) {
+  const sched::Result r = sched::Explore(Exhaustive(), AdmissionWindowScenario);
+  ExpectOk(r);
+  EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(SchedCheckAdmission, WindowBooksBalanceUnderRandomWalk) {
+  ExpectOk(sched::Explore(RandomWalk(), AdmissionWindowScenario));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 9 — RequestBatcher: Close() racing two Enqueues.
+//
+// Enqueue's closed check and its push must be one critical section: an
+// unlocked check-then-lock would let Close() land in the gap and strand
+// an "accepted" request in a queue nothing will ever drain. Every
+// schedule checks the no-stranding invariant directly: a force-formed
+// batch after the race returns exactly the accepted requests.
+// ---------------------------------------------------------------------------
+
+struct BatcherState {
+  BatcherState() : b(Config()) {}
+  static platod2gl::serve::BatcherConfig Config() {
+    platod2gl::serve::BatcherConfig c;
+    c.max_batch = 4;
+    c.window_us = 10;
+    return c;
+  }
+  static platod2gl::serve::PendingRequest Pending(std::uint32_t tenant) {
+    platod2gl::serve::PendingRequest p;
+    p.request.tenant = tenant;
+    p.request.request_id = tenant;
+    return p;
+  }
+  platod2gl::serve::RequestBatcher b;
+  Status st1 = Status::Ok();
+  Status st2 = Status::Ok();
+};
+
+void BatcherCloseScenario(sched::Test& t) {
+  auto s = std::make_shared<BatcherState>();
+  t.Spawn("submitter-a", [s] { s->st1 = s->b.Enqueue(BatcherState::Pending(0), 0); });
+  t.Spawn("submitter-b", [s] { s->st2 = s->b.Enqueue(BatcherState::Pending(1), 0); });
+  t.Spawn("closer", [s] { s->b.Close(); });
+  t.AfterRun([s] {
+    const std::uint64_t accepted = (s->st1.ok() ? 1u : 0u) +
+                                   (s->st2.ok() ? 1u : 0u);
+    for (const Status* st : {&s->st1, &s->st2}) {
+      sched::Check(st->ok() || st->code() == StatusCode::kUnavailable,
+                   "enqueue either lands or observes the close");
+    }
+    const auto stats = s->b.Stats();
+    sched::Check(stats.enqueued == accepted, "accepted enqueues counted");
+    sched::Check(stats.closed_rejects == 2 - accepted,
+                 "every refused enqueue is a counted close-reject");
+    // The no-stranding invariant: a drain recovers exactly what was
+    // accepted, even though the batcher is closed.
+    const auto batch = s->b.FormBatch(/*now_us=*/0, /*force=*/true);
+    sched::Check(batch.size() == accepted,
+                 "force-formed batch returns every accepted request");
+    sched::Check(s->b.Depth() == 0, "queue empty after the drain");
+  });
+}
+
+TEST(SchedCheckBatcher, CloseVsEnqueueNeverStrandsARequest) {
+  const sched::Result r = sched::Explore(Exhaustive(), BatcherCloseScenario);
+  ExpectOk(r);
+  EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(SchedCheckBatcher, CloseVsEnqueueUnderRandomWalk) {
+  ExpectOk(sched::Explore(RandomWalk(), BatcherCloseScenario));
 }
 
 }  // namespace

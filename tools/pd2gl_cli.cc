@@ -21,7 +21,13 @@
 //       ContinuousTrainer interleaves micro-batch application with
 //       GraphSAGE minibatch steps, reporting loss / staleness / epoch
 //       (docs/streaming_pipeline.md)
+//   pd2gl serve-bench <requests> [rate] [max_batch] [seed]
+//       replay an open-loop Zipf query mix (4 tenants) against the
+//       online serving layer over a 4-shard cluster while an ingest
+//       thread churns edges; reports virtual-time p50/p99, throughput,
+//       batching and admission counters (docs/serving.md)
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,7 +51,9 @@ int Usage() {
                "  pd2gl sample <edges.txt | graph.ckpt> <vertex> <k>\n"
                "  pd2gl verify-store <edges.txt | graph.ckpt>\n"
                "  pd2gl stream-train <steps> [producers] [rate] "
-               "[block|reject|drop] [seed]\n");
+               "[block|reject|drop] [seed]\n"
+               "  pd2gl serve-bench <requests> [rate] [max_batch] "
+               "[seed]\n");
   return 2;
 }
 
@@ -434,6 +442,147 @@ int CmdStreamTrain(int argc, char** argv) {
   return 0;
 }
 
+int CmdServeBench(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::size_t requests = std::strtoull(argv[0], nullptr, 10);
+  const double rate =  // open-loop arrivals per virtual second
+      argc > 1 ? std::strtod(argv[1], nullptr) : 8000.0;
+  const std::size_t max_batch =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 32;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+  if (requests == 0 || rate <= 0.0 || max_batch == 0) return Usage();
+
+  constexpr std::size_t kVertices = 5000;
+  constexpr std::uint32_t kTenants = 4;
+  GraphCluster cluster(ClusterConfig{.num_shards = 4});
+  {
+    Xoshiro256 rng(seed);
+    std::vector<EdgeUpdate> batch;
+    for (VertexId v = 0; v < kVertices; ++v) {
+      for (int k = 0; k < 8; ++k) {
+        batch.push_back({UpdateKind::kInsert,
+                         Edge{v, rng.NextUint64(kVertices),
+                              1.0 + static_cast<double>(k), 0}});
+      }
+    }
+    (void)cluster.ApplyBatch(batch);
+    for (VertexId v = 0; v < kVertices; ++v) {
+      const std::size_t s = cluster.partitioner().ShardOf(v);
+      cluster.shard(s).store().attributes().SetFeatures(
+          v, {static_cast<float>(v % 97), static_cast<float>(v % 31)});
+    }
+  }
+
+  EpochCoordinator epochs;
+  serve::ServeConfig scfg;
+  scfg.num_tenants = kTenants;
+  scfg.admission.policy = serve::AdmissionPolicy::kShedOldest;
+  scfg.batcher.max_batch = max_batch;
+  scfg.batcher.window_us = max_batch > 1 ? 400 : 0;
+  scfg.slo_target_p99_us = 5000;
+  serve::GraphServer server(&cluster, &epochs, scfg);
+
+  // Concurrent edge churn through the cluster's real update path.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ingested{0};
+  std::thread ingest([&] {
+    Xoshiro256 rng(seed + 1);
+    std::vector<EdgeUpdate> batch(256);
+    // order: stop flag polled per batch; join() below synchronizes.
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (EdgeUpdate& u : batch) {
+        u.kind = rng.NextUint64(4) == 0 ? UpdateKind::kDelete
+                                        : UpdateKind::kInsert;
+        u.edge = {rng.NextUint64(kVertices), rng.NextUint64(kVertices),
+                  1.0, 0};
+      }
+      (void)cluster.ApplyBatch(batch);
+      // order: stat tally, read for reporting only after join().
+      ingested.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+  });
+
+  // Zipf-ish seeds (hot head): rank = floor(U^2 * n) concentrates a
+  // quarter of the draws on the first 6% of ids — close enough for a
+  // smoke; the bench binary uses an exact Zipf CDF.
+  Xoshiro256 rng(seed + 2);
+  Timer wall;
+  double clock_us = 0.0;
+  const double mean_gap_us = 1e6 / rate;
+  std::uint64_t last_us = 0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    clock_us += -mean_gap_us * std::log(1.0 - rng.NextDouble());
+    last_us = static_cast<std::uint64_t>(clock_us);
+    serve::QueryRequest req;
+    req.tenant = static_cast<std::uint32_t>(rng.NextUint64(kTenants));
+    req.request_id = i;
+    req.rng_seed = seed ^ (i * 0x9E3779B97F4A7C15ULL);
+    const std::size_t num_seeds = 2 + rng.NextUint64(4);
+    for (std::size_t s = 0; s < num_seeds; ++s) {
+      const double u = rng.NextDouble();
+      req.seeds.push_back(
+          static_cast<VertexId>(u * u * static_cast<double>(kVertices)));
+    }
+    if (rng.NextUint64(10) < 7) {
+      req.plan.Sample(10).Sample(5, true, 0);
+    } else {
+      req.plan.Sample(10).Gather(0);
+    }
+    (void)server.Submit(req, last_us);
+    server.Pump(last_us);
+  }
+  server.Drain(last_us + 1);
+  const double secs = wall.ElapsedSeconds();
+  stop.store(true);
+  ingest.join();
+
+  const serve::ServeStats stats = server.Stats();
+  const serve::SloReport slo = server.EndSloWindow();
+  std::printf("serve-bench: %zu requests at %.0f rps (virtual), "
+              "max_batch %zu, %.2fs wall\n",
+              requests, rate, max_batch, secs);
+  std::printf("latency: p50 %.1fus  p99 %.1fus  (SLO p99<%lluus: %s)\n",
+              slo.p50_us, slo.p99_us,
+              (unsigned long long)scfg.slo_target_p99_us,
+              slo.violated ? "VIOLATED" : "ok");
+  std::printf("admitted %llu  completed %llu  shed %llu  rejected %llu  "
+              "invalid %llu\n",
+              (unsigned long long)stats.admission.admitted,
+              (unsigned long long)stats.completed,
+              (unsigned long long)stats.shed,
+              (unsigned long long)stats.rejected,
+              (unsigned long long)stats.invalid);
+  std::printf("batches %llu (mean %.1f req)  rpc rounds %llu  "
+              "virtual busy %.1fms\n",
+              (unsigned long long)stats.batches,
+              stats.batches ? static_cast<double>(stats.batched_requests) /
+                                  static_cast<double>(stats.batches)
+                            : 0.0,
+              (unsigned long long)stats.rpc_rounds,
+              static_cast<double>(stats.virtual_busy_us) / 1e3);
+  std::printf("concurrent ingest: %llu updates (%.0f/s wall)\n",
+              (unsigned long long)ingested.load(),
+              secs > 0 ? static_cast<double>(ingested.load()) / secs : 0.0);
+  for (std::uint32_t t = 0; t < kTenants; ++t) {
+    const LatencyHistogram* h = server.tenant_latency(t);
+    std::printf("tenant %u: %llu served, p99 %.1fus\n", t,
+                (unsigned long long)h->Count(), h->PercentileMicros(99));
+  }
+
+  // Smoke gate: every submitted request must be accounted for.
+  const std::uint64_t accounted =
+      stats.completed + stats.rejected + stats.invalid;
+  if (accounted != stats.submitted) {
+    std::fprintf(stderr, "FAIL: %llu submitted but %llu accounted\n",
+                 (unsigned long long)stats.submitted,
+                 (unsigned long long)accounted);
+    return 1;
+  }
+  std::printf("request accounting: OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -445,5 +594,6 @@ int main(int argc, char** argv) {
   if (cmd == "sample") return CmdSample(argc - 2, argv + 2);
   if (cmd == "verify-store") return CmdVerifyStore(argc - 2, argv + 2);
   if (cmd == "stream-train") return CmdStreamTrain(argc - 2, argv + 2);
+  if (cmd == "serve-bench") return CmdServeBench(argc - 2, argv + 2);
   return Usage();
 }
