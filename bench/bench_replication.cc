@@ -114,16 +114,24 @@ RunResult RunIngest(std::size_t replicas) {
   const double cpu = ProcessCpuSeconds() - cpu0;
 
   if (replicas > 0) {
-    const ReplicationStats rs = cluster.replication_stats();
+    // Read through the cluster's metric registry — the same page `pd2gl
+    // metrics` exports — so the JSON the perf trajectory tracks is the
+    // exported series, not a parallel bookkeeping path.
+    const obs::RegistrySnapshot snap = cluster.metrics().Snapshot();
     r.replica_apply_secs =
-        static_cast<double>(rs.replica_apply_nanos) * 1e-9;
-    r.pump_cpu_secs = static_cast<double>(rs.pump_cpu_nanos) * 1e-9;
+        static_cast<double>(
+            snap.Value("pd2gl_replication_replica_apply_nanos")) *
+        1e-9;
+    r.pump_cpu_secs =
+        static_cast<double>(snap.Value("pd2gl_replication_pump_cpu_nanos")) *
+        1e-9;
     r.primary_cpu_secs = cpu - r.replica_apply_secs;
     r.lag_p50 = static_cast<double>(lag.PercentileNanos(50));
     r.lag_p99 = static_cast<double>(lag.PercentileNanos(99));
-    r.bytes_shipped = rs.bytes_shipped;
-    r.entries_applied = rs.entries_applied;
-    r.retransmits = rs.rejected_appends + rs.duplicate_entries;
+    r.bytes_shipped = snap.Value("pd2gl_replication_bytes_shipped");
+    r.entries_applied = snap.Value("pd2gl_replication_entries_applied");
+    r.retransmits = snap.Value("pd2gl_replication_rejected_appends") +
+                    snap.Value("pd2gl_replication_duplicate_entries");
   } else {
     r.primary_cpu_secs = cpu;
   }

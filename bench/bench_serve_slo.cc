@@ -203,24 +203,31 @@ RunResult RunLoad(const std::vector<TimedRequest>& workload,
   stop.store(true);
   ingest.join();
 
-  const ServeStats stats = server.Stats();
+  // Read through the server's metric registry — the same page `pd2gl
+  // metrics` exports — so the JSON the perf trajectory tracks is the
+  // exported series, not a parallel bookkeeping path. The latency
+  // percentiles come from the registered pd2gl_serve_latency_nanos
+  // histogram for the same reason.
+  const obs::RegistrySnapshot snap = server.metrics().Snapshot();
+  const HistogramSnapshot lat = snap.Hist("pd2gl_serve_latency_nanos");
   RunResult r;
-  r.p50_us = server.latency().PercentileMicros(50);
-  r.p99_us = server.latency().PercentileMicros(99);
-  r.completed = stats.completed;
-  r.shed = stats.shed;
-  r.rejected = stats.rejected;
-  r.batches = stats.batches;
-  r.mean_batch = stats.batches == 0 ? 0.0
-                                    : static_cast<double>(
-                                          stats.batched_requests) /
-                                          static_cast<double>(stats.batches);
-  r.rpc_rounds = stats.rpc_rounds;
+  r.p50_us = static_cast<double>(lat.PercentileNanos(50)) / 1e3;
+  r.p99_us = static_cast<double>(lat.PercentileNanos(99)) / 1e3;
+  r.completed = snap.Value("pd2gl_serve_completed");
+  r.shed = snap.Value("pd2gl_serve_shed");
+  r.rejected = snap.Value("pd2gl_serve_rejected");
+  r.batches = snap.Value("pd2gl_serve_batches");
+  r.mean_batch =
+      r.batches == 0
+          ? 0.0
+          : static_cast<double>(snap.Value("pd2gl_serve_batched_requests")) /
+                static_cast<double>(r.batches);
+  r.rpc_rounds = snap.Value("pd2gl_serve_rpc_rounds");
   const double virtual_secs =
       static_cast<double>(server.busy_until_us()) / 1e6;
   r.served_per_virtual_sec =
       virtual_secs > 0.0
-          ? static_cast<double>(stats.completed - stats.shed) / virtual_secs
+          ? static_cast<double>(r.completed - r.shed) / virtual_secs
           : 0.0;
   r.ingest_per_sec =
       wall_secs > 0.0

@@ -3,7 +3,14 @@
 namespace platod2gl {
 
 std::uint64_t HistogramSnapshot::PercentileNanos(double pct) const {
+  bool valid = false;
+  return PercentileNanos(pct, &valid);
+}
+
+std::uint64_t HistogramSnapshot::PercentileNanos(double pct,
+                                                 bool* valid) const {
   const std::uint64_t total = Count();
+  *valid = total != 0;
   if (total == 0) return 0;
   std::uint64_t target = static_cast<std::uint64_t>(
       (pct / 100.0) * static_cast<double>(total) + 0.5);

@@ -39,8 +39,20 @@ struct HistogramSnapshot {
   /// interpolation inside the containing power-of-two bucket. 0 when
   /// empty.
   std::uint64_t PercentileNanos(double pct) const;
+  /// Same, but distinguishes "p50 is genuinely 0ns" from "no samples":
+  /// *valid is false (and 0 returned) iff the snapshot is empty. Callers
+  /// aggregating across shards must check it before averaging — an empty
+  /// shard's 0 is not a latency.
+  std::uint64_t PercentileNanos(double pct, bool* valid) const;
   double PercentileMicros(double pct) const {
     return static_cast<double>(PercentileNanos(pct)) / 1e3;
+  }
+
+  /// Cross-shard aggregation: fold another snapshot's buckets in. Exact —
+  /// the merged percentile is the percentile of the combined sample set
+  /// (up to the shared bucket resolution).
+  void Merge(const HistogramSnapshot& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
   }
 
   /// Per-bucket difference against an earlier snapshot of the same

@@ -23,9 +23,67 @@ GraphCluster::GraphCluster(ClusterConfig config)
       partitioner_(config.num_shards),
       pool_(config.num_client_threads),
       injector_(config.fault, config.num_shards) {
+  using S = ClusterStats;
+  counters_.rpcs = metrics_.BindCounter(&binding_, &S::rpcs,
+                                        "pd2gl_cluster_rpcs");
+  counters_.virtual_network_us = metrics_.BindCounter(
+      &binding_, &S::virtual_network_us, "pd2gl_cluster_virtual_network_us");
+  counters_.bytes_sent = metrics_.BindCounter(&binding_, &S::bytes_sent,
+                                              "pd2gl_cluster_bytes_sent");
+  counters_.bytes_received = metrics_.BindCounter(
+      &binding_, &S::bytes_received, "pd2gl_cluster_bytes_received");
+  counters_.retries = metrics_.BindCounter(&binding_, &S::retries,
+                                           "pd2gl_cluster_retries");
+  counters_.transient_faults = metrics_.BindCounter(
+      &binding_, &S::transient_faults, "pd2gl_cluster_transient_faults");
+  counters_.corrupt_responses = metrics_.BindCounter(
+      &binding_, &S::corrupt_responses, "pd2gl_cluster_corrupt_responses");
+  counters_.deadline_hits = metrics_.BindCounter(
+      &binding_, &S::deadline_hits, "pd2gl_cluster_deadline_hits");
+  counters_.crash_rejections = metrics_.BindCounter(
+      &binding_, &S::crash_rejections, "pd2gl_cluster_crash_rejections");
+  counters_.degraded_seeds = metrics_.BindCounter(
+      &binding_, &S::degraded_seeds, "pd2gl_cluster_degraded_seeds");
+  counters_.wal_handoffs = metrics_.BindCounter(
+      &binding_, &S::wal_handoffs, "pd2gl_cluster_wal_handoffs");
+  counters_.lost_updates = metrics_.BindCounter(
+      &binding_, &S::lost_updates, "pd2gl_cluster_lost_updates");
+  counters_.recoveries = metrics_.BindCounter(&binding_, &S::recoveries,
+                                              "pd2gl_cluster_recoveries");
+  counters_.replayed_updates = metrics_.BindCounter(
+      &binding_, &S::replayed_updates, "pd2gl_cluster_replayed_updates");
+  counters_.replica_read_seeds = metrics_.BindCounter(
+      &binding_, &S::replica_read_seeds, "pd2gl_cluster_replica_read_seeds");
+  counters_.stale_replica_seeds = metrics_.BindCounter(
+      &binding_, &S::stale_replica_seeds, "pd2gl_cluster_stale_replica_seeds");
+  counters_.failovers = metrics_.BindCounter(&binding_, &S::failovers,
+                                             "pd2gl_cluster_failovers");
+  counters_.failover_replayed = metrics_.BindCounter(
+      &binding_, &S::failover_replayed, "pd2gl_cluster_failover_replayed");
+  counters_.digest_rounds = metrics_.BindCounter(
+      &binding_, &S::digest_rounds, "pd2gl_cluster_digest_rounds");
+  counters_.digest_mismatches = metrics_.BindCounter(
+      &binding_, &S::digest_mismatches, "pd2gl_cluster_digest_mismatches");
+  counters_.antientropy_repairs = metrics_.BindCounter(
+      &binding_, &S::antientropy_repairs, "pd2gl_cluster_antientropy_repairs");
+  counters_.antientropy_edges = metrics_.BindCounter(
+      &binding_, &S::antientropy_edges, "pd2gl_cluster_antientropy_edges");
+  metrics_.RegisterExternalHistogram("pd2gl_cluster_rpc_compute_nanos", {},
+                                     &rpc_latency_);
+
   shards_.reserve(partitioner_.num_shards());
+  shard_seed_counters_.reserve(partitioner_.num_shards());
+  shard_gather_counters_.reserve(partitioner_.num_shards());
   for (std::size_t i = 0; i < partitioner_.num_shards(); ++i) {
     shards_.push_back(std::make_unique<GraphShard>(config_.shard_config));
+    const obs::Labels shard_label{{"shard", std::to_string(i)}};
+    shard_seed_counters_.push_back(
+        metrics_.RegisterCounter("pd2gl_shard_sample_seeds", shard_label));
+    shard_gather_counters_.push_back(
+        metrics_.RegisterCounter("pd2gl_shard_gather_ids", shard_label));
+    if (SampleCache* cache = shards_.back()->store().sample_cache()) {
+      cache->RegisterWith(&metrics_, shard_label);
+    }
   }
   if (config_.replication.num_replicas > 0) {
     std::vector<GraphShard*> primaries;
@@ -33,16 +91,16 @@ GraphCluster::GraphCluster(ClusterConfig config)
     for (auto& s : shards_) primaries.push_back(s.get());
     replication_ = std::make_unique<ReplicationManager>(
         config_.replication, config_.shard_config, std::move(primaries),
-        &injector_, &cutover_);
+        &injector_, &cutover_, &metrics_);
   }
 }
 
 void GraphCluster::ReplicationHealthCheck() {
   if (!replication_) return;
   const ReplicationManager::HealthReport health =
-      replication_->AdvanceTime(stats_.virtual_network_us);
-  stats_.failovers += health.failovers;
-  stats_.failover_replayed += health.replayed_entries;
+      replication_->AdvanceTime(counters_.virtual_network_us->Value());
+  counters_.failovers->Add(health.failovers);
+  counters_.failover_replayed->Add(health.replayed_entries);
 }
 
 void GraphCluster::PumpReplication() {
@@ -52,7 +110,7 @@ void GraphCluster::PumpReplication() {
 }
 
 void GraphCluster::AdvanceVirtualTime(std::uint64_t us) {
-  stats_.virtual_network_us += us;
+  counters_.virtual_network_us->Add(us);
   ReplicationHealthCheck();
 }
 
@@ -65,10 +123,10 @@ ReplicationManager::AntiEntropyReport GraphCluster::RunAntiEntropy() {
   if (!replication_) return {};
   const ReplicationManager::AntiEntropyReport r =
       replication_->RunAntiEntropyAll();
-  stats_.digest_rounds += r.digest_rounds;
-  stats_.digest_mismatches += r.digest_mismatches;
-  stats_.antientropy_repairs += r.repaired_replicas;
-  stats_.antientropy_edges += r.repaired_edges;
+  counters_.digest_rounds->Add(r.digest_rounds);
+  counters_.digest_mismatches->Add(r.digest_mismatches);
+  counters_.antientropy_repairs->Add(r.repaired_replicas);
+  counters_.antientropy_edges->Add(r.repaired_edges);
   return r;
 }
 
@@ -190,13 +248,13 @@ GraphCluster::RpcOutcome GraphCluster::DeliverUpdates(
 }
 
 void GraphCluster::MergeOutcome(const RpcOutcome& out) {
-  stats_.rpcs += out.attempts;
-  stats_.virtual_network_us += out.virtual_us;
-  stats_.retries += out.attempts - 1;
-  stats_.transient_faults += out.transient_faults;
-  stats_.corrupt_responses += out.corrupt;
-  stats_.crash_rejections += out.crash_rejections;
-  if (out.deadline_hit) ++stats_.deadline_hits;
+  counters_.rpcs->Add(out.attempts);
+  counters_.virtual_network_us->Add(out.virtual_us);
+  counters_.retries->Add(out.attempts - 1);
+  counters_.transient_faults->Add(out.transient_faults);
+  counters_.corrupt_responses->Add(out.corrupt);
+  counters_.crash_rejections->Add(out.crash_rejections);
+  if (out.deadline_hit) counters_.deadline_hits->Add();
 }
 
 Status GraphCluster::Apply(const EdgeUpdate& update) {
@@ -205,12 +263,12 @@ Status GraphCluster::Apply(const EdgeUpdate& update) {
   const RpcOutcome out = DeliverUpdates(s, {update});
   MergeOutcome(out);
   // UpdateBatch wire size (dist/wire.h): tag + count + 29 B per update.
-  stats_.bytes_sent += out.attempts * (5 + 29);
-  stats_.bytes_received += out.resp_bytes;
-  if (handoff) ++stats_.wal_handoffs;
+  counters_.bytes_sent->Add(out.attempts * (5 + 29));
+  counters_.bytes_received->Add(out.resp_bytes);
+  if (handoff) counters_.wal_handoffs->Add();
   PumpReplication();
   if (!out.delivered) {
-    ++stats_.lost_updates;
+    counters_.lost_updates->Add();
     return Status::DeadlineExceeded("update lost: shard " +
                                     std::to_string(s) +
                                     " unreachable past the retry budget");
@@ -237,11 +295,11 @@ Status GraphCluster::ApplyBatch(const std::vector<EdgeUpdate>& batch) {
     const RpcOutcome& out = outcomes[s];
     MergeOutcome(out);
     // UpdateBatch wire size (dist/wire.h): tag + count + 29 B per update.
-    stats_.bytes_sent += out.attempts * (5 + group.size() * 29);
-    stats_.bytes_received += out.resp_bytes;
-    if (handoff[s]) stats_.wal_handoffs += group.size();
+    counters_.bytes_sent->Add(out.attempts * (5 + group.size() * 29));
+    counters_.bytes_received->Add(out.resp_bytes);
+    if (handoff[s]) counters_.wal_handoffs->Add(group.size());
     if (!out.delivered) {
-      stats_.lost_updates += group.size();
+      counters_.lost_updates->Add(group.size());
       if (result.ok()) {
         result = Status::DeadlineExceeded(
             std::to_string(group.size()) + " updates lost: shard " +
@@ -370,9 +428,10 @@ MultiSampleReport GraphCluster::NeighborRound(
     // layout): header + 8 B per seed.
     std::size_t shard_seeds = 0;
     for (const ShardGroup& grp : groups) shard_seeds += grp.positions.size();
-    stats_.bytes_sent +=
-        out.attempts * (14 * groups.size() + shard_seeds * sizeof(VertexId));
-    stats_.bytes_received += out.resp_bytes;
+    counters_.bytes_sent->Add(
+        out.attempts * (14 * groups.size() + shard_seeds * sizeof(VertexId)));
+    shard_seed_counters_[s]->Add(shard_seeds);
+    counters_.bytes_received->Add(out.resp_bytes);
     // The round's virtual wall time is the slowest of the parallel RPCs.
     multi.round_virtual_us = std::max(multi.round_virtual_us, out.virtual_us);
     if (!out.delivered) {
@@ -392,7 +451,7 @@ MultiSampleReport GraphCluster::NeighborRound(
     }
   }
   for (const SampleReport& r : multi.reports) {
-    stats_.degraded_seeds += r.degraded_seeds;
+    counters_.degraded_seeds->Add(r.degraded_seeds);
   }
   // Sampling ships nothing new, but its virtual-time cost does age
   // suspicions — the health monitor runs so a dead primary eventually
@@ -460,8 +519,8 @@ MultiSampleReport GraphCluster::SampleMany(
           (*item_results)[positions[i]] = std::move(serve->neighbors[i]);
           report->seed_status[positions[i]] = SeedStatus::kStale;
         }
-        stats_.replica_read_seeds += positions.size();
-        if (serve->lag > 0) stats_.stale_replica_seeds += positions.size();
+        counters_.replica_read_seeds->Add(positions.size());
+        if (serve->lag > 0) counters_.stale_replica_seeds->Add(positions.size());
         return true;
       });
 }
@@ -570,9 +629,10 @@ MultiGatherReport GraphCluster::GatherMany(
     MergeOutcome(out);
     std::size_t shard_ids = 0;
     for (const ShardGroup& grp : groups) shard_ids += grp.positions.size();
-    stats_.bytes_sent +=
-        out.attempts * (14 * groups.size() + shard_ids * sizeof(VertexId));
-    stats_.bytes_received += out.resp_bytes;
+    counters_.bytes_sent->Add(
+        out.attempts * (14 * groups.size() + shard_ids * sizeof(VertexId)));
+    shard_gather_counters_[s]->Add(shard_ids);
+    counters_.bytes_received->Add(out.resp_bytes);
     multi.round_virtual_us = std::max(multi.round_virtual_us, out.virtual_us);
     if (!out.delivered) {
       for (const ShardGroup& grp : groups) {
@@ -617,8 +677,8 @@ Status GraphCluster::RecoverShard(std::size_t i) {
   Status s = shards_[i]->Recover(&replayed);
   if (!s.ok()) return s;
   injector_.RestoreShard(i);
-  ++stats_.recoveries;
-  stats_.replayed_updates += replayed;
+  counters_.recoveries->Add();
+  counters_.replayed_updates->Add(replayed);
   return Status::Ok();
 }
 

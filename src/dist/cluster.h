@@ -45,6 +45,7 @@
 #include "dist/partitioner.h"
 #include "dist/replication.h"
 #include "dist/shard.h"
+#include "obs/metrics.h"
 #include "pipeline/epoch_coordinator.h"
 #include "sampling/neighbor_sampler.h"
 
@@ -77,6 +78,9 @@ struct ClusterConfig {
   ReplicationConfig replication;
 };
 
+/// Point-in-time snapshot of the cluster's transport counters. Filled
+/// from the pd2gl_cluster_* registry series by GraphCluster::stats() —
+/// the registry (GraphCluster::metrics()) is the live, exportable home.
 struct ClusterStats {
   std::uint64_t rpcs = 0;  ///< attempts, including retried/failed ones
   std::uint64_t virtual_network_us = 0;
@@ -289,7 +293,16 @@ class GraphCluster {
   std::size_t num_shards() const { return shards_.size(); }
 
   const Partitioner& partitioner() const { return partitioner_; }
-  const ClusterStats& stats() const { return stats_; }
+  /// Snapshot of the transport counters (one shared registry fill loop —
+  /// see obs::StatsBinding).
+  ClusterStats stats() const { return binding_.Read(); }
+
+  /// The cluster's metric registry: pd2gl_cluster_* transport counters,
+  /// per-shard load series (pd2gl_shard_*{shard="i"}), the RPC compute
+  /// histogram, pd2gl_replication_* (when replication is on), and
+  /// per-shard sample-cache series (when the cache is on).
+  obs::MetricRegistry& metrics() { return metrics_; }
+  const obs::MetricRegistry& metrics() const { return metrics_; }
 
   /// Per-RPC compute-latency distribution (excludes the virtual network
   /// cost). Thread-safe.
@@ -344,12 +357,51 @@ class GraphCluster {
   /// Health monitor only (read paths: nothing new to ship).
   void ReplicationHealthCheck();
 
+  // Registry-owned transport counters (pd2gl_cluster_*), bound onto
+  // ClusterStats members at construction; stats() is binding_.Read().
+  // All bumps happen in serial sections (outcome merges), exactly like
+  // the plain fields they replace — the registry just makes them named
+  // and exportable.
+  struct Counters {
+    obs::Counter* rpcs = nullptr;
+    obs::Counter* virtual_network_us = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* transient_faults = nullptr;
+    obs::Counter* corrupt_responses = nullptr;
+    obs::Counter* deadline_hits = nullptr;
+    obs::Counter* crash_rejections = nullptr;
+    obs::Counter* degraded_seeds = nullptr;
+    obs::Counter* wal_handoffs = nullptr;
+    obs::Counter* lost_updates = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Counter* replayed_updates = nullptr;
+    obs::Counter* replica_read_seeds = nullptr;
+    obs::Counter* stale_replica_seeds = nullptr;
+    obs::Counter* failovers = nullptr;
+    obs::Counter* failover_replayed = nullptr;
+    obs::Counter* digest_rounds = nullptr;
+    obs::Counter* digest_mismatches = nullptr;
+    obs::Counter* antientropy_repairs = nullptr;
+    obs::Counter* antientropy_edges = nullptr;
+  };
+
   ClusterConfig config_;
   HashBySourcePartitioner partitioner_;
   std::vector<std::unique_ptr<GraphShard>> shards_;
   ThreadPool pool_;
   FaultInjector injector_;
-  ClusterStats stats_;
+  // Declared before replication_ so it outlives the manager's series.
+  obs::MetricRegistry metrics_;
+  obs::StatsBinding<ClusterStats> binding_;
+  Counters counters_;
+  /// Per-shard load series, {shard="i"}-labelled: seeds routed to each
+  /// shard by sampling/traversal rounds and ids by gather rounds. The
+  /// load signal dynamic partitioning (ROADMAP) and `pd2gl serve-bench`'s
+  /// hottest-shard summary read.
+  std::vector<obs::Counter*> shard_seed_counters_;
+  std::vector<obs::Counter*> shard_gather_counters_;
   LatencyHistogram rpc_latency_;
   EpochCoordinator cutover_;
   std::unique_ptr<ReplicationManager> replication_;  // null when disabled

@@ -8,14 +8,11 @@
 
 #include "common/crc32.h"
 #include "io/checkpoint.h"
+#include "obs/profile.h"
 
 namespace platod2gl {
 
 namespace {
-
-// order: stat tally — all counter bumps in this file are pure tallies
-// snapshot by stats(); they never order other memory.
-constexpr auto kTally = std::memory_order_relaxed;
 
 /// RAII meter for work billed to the *replica* machine (decode + apply).
 /// Thread-CPU clock, not wall: on a shared-host simulation the pump and
@@ -23,10 +20,10 @@ constexpr auto kTally = std::memory_order_relaxed;
 /// replica's side should land in replica_apply_nanos.
 class ReplicaCpuMeter {
  public:
-  explicit ReplicaCpuMeter(std::atomic<std::uint64_t>* sink) : sink_(sink) {
+  explicit ReplicaCpuMeter(obs::Counter* sink) : sink_(sink) {
     start_ = Now();
   }
-  ~ReplicaCpuMeter() { sink_->fetch_add(Now() - start_, kTally); }
+  ~ReplicaCpuMeter() { sink_->Add(Now() - start_); }
 
  private:
   static std::uint64_t Now() {
@@ -35,7 +32,7 @@ class ReplicaCpuMeter {
     return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
            static_cast<std::uint64_t>(ts.tv_nsec);
   }
-  std::atomic<std::uint64_t>* sink_;
+  obs::Counter* sink_;
   std::uint64_t start_ = 0;
 };
 
@@ -146,12 +143,51 @@ ReplicationManager::ReplicationManager(const ReplicationConfig& config,
                                        const GraphStoreConfig& store_config,
                                        std::vector<GraphShard*> primaries,
                                        FaultInjector* injector,
-                                       EpochCoordinator* cutover)
+                                       EpochCoordinator* cutover,
+                                       obs::MetricRegistry* metrics)
     : config_(config),
       store_config_(store_config),
       primaries_(std::move(primaries)),
       injector_(injector),
       cutover_(cutover) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  using S = ReplicationStats;
+  counters_.ship_rounds = metrics_->BindCounter(
+      &binding_, &S::ship_rounds, "pd2gl_replication_ship_rounds");
+  counters_.append_messages = metrics_->BindCounter(
+      &binding_, &S::append_messages, "pd2gl_replication_append_messages");
+  counters_.ack_messages = metrics_->BindCounter(
+      &binding_, &S::ack_messages, "pd2gl_replication_ack_messages");
+  counters_.bytes_shipped = metrics_->BindCounter(
+      &binding_, &S::bytes_shipped, "pd2gl_replication_bytes_shipped");
+  counters_.entries_applied = metrics_->BindCounter(
+      &binding_, &S::entries_applied, "pd2gl_replication_entries_applied");
+  counters_.duplicate_entries = metrics_->BindCounter(
+      &binding_, &S::duplicate_entries, "pd2gl_replication_duplicate_entries");
+  counters_.rejected_appends = metrics_->BindCounter(
+      &binding_, &S::rejected_appends, "pd2gl_replication_rejected_appends");
+  counters_.dropped_messages = metrics_->BindCounter(
+      &binding_, &S::dropped_messages, "pd2gl_replication_dropped_messages");
+  counters_.duplicated_messages =
+      metrics_->BindCounter(&binding_, &S::duplicated_messages,
+                            "pd2gl_replication_duplicated_messages");
+  counters_.reordered_messages = metrics_->BindCounter(
+      &binding_, &S::reordered_messages, "pd2gl_replication_reordered_messages");
+  counters_.snapshot_bootstraps =
+      metrics_->BindCounter(&binding_, &S::snapshot_bootstraps,
+                            "pd2gl_replication_snapshot_bootstraps");
+  counters_.unimplemented_peers =
+      metrics_->BindCounter(&binding_, &S::unimplemented_peers,
+                            "pd2gl_replication_unimplemented_peers");
+  counters_.replica_apply_nanos =
+      metrics_->BindCounter(&binding_, &S::replica_apply_nanos,
+                            "pd2gl_replication_replica_apply_nanos");
+  counters_.pump_cpu_nanos = metrics_->BindCounter(
+      &binding_, &S::pump_cpu_nanos, "pd2gl_replication_pump_cpu_nanos");
   if (config_.num_replicas > FaultInjector::kMaxReplicas) {
     config_.num_replicas = FaultInjector::kMaxReplicas;
   }
@@ -205,7 +241,7 @@ void ReplicationManager::PumpLoop() {
     }
     // Meter the whole round: pump_cpu - replica_apply isolates the
     // primary-side ship cost for the bench's cost accounting.
-    ReplicaCpuMeter round_meter(&counters_.pump_cpu_nanos);
+    ReplicaCpuMeter round_meter(counters_.pump_cpu_nanos);
     // Bootstrapping snapshots the primary's *live* store, which may be
     // receiving applies right now — only the client-serial paths (Kick in
     // sync mode, Flush) are allowed to do that.
@@ -235,10 +271,11 @@ void ReplicationManager::Ship(std::size_t shard, bool allow_bootstrap) {
 
 void ReplicationManager::ShipLocked(std::size_t shard, ShardRep& sr,
                                     bool allow_bootstrap) {
+  PD2GL_PROFILE_SCOPE(obs::ProfileSite::kWalShip);
   (void)allow_bootstrap;
   GraphShard* pri = primaries_[shard];
   const std::uint64_t head = pri->wal_seq();
-  counters_.ship_rounds.fetch_add(1, kTally);
+  counters_.ship_rounds->Add();
   for (std::size_t r = 0; r < sr.replicas.size(); ++r) {
     Replica& rep = sr.replicas[r];
     if (rep.incompatible) continue;
@@ -269,18 +306,18 @@ void ReplicationManager::ShipLocked(std::size_t shard, ShardRep& sr,
       while (i < msgs.size() && !rep.incompatible) {
         switch (injector_->NextRepFault(shard, r)) {
           case FaultInjector::RepFault::kDrop:
-            counters_.dropped_messages.fetch_add(1, kTally);
+            counters_.dropped_messages->Add();
             ++i;
             break;
           case FaultInjector::RepFault::kDuplicate:
-            counters_.duplicated_messages.fetch_add(1, kTally);
+            counters_.duplicated_messages->Add();
             DeliverAppend(msgs[i], rep);
             DeliverAppend(msgs[i], rep);
             ++i;
             break;
           case FaultInjector::RepFault::kReorder:
             if (i + 1 < msgs.size()) {
-              counters_.reordered_messages.fetch_add(1, kTally);
+              counters_.reordered_messages->Add();
               DeliverAppend(msgs[i + 1], rep);
               DeliverAppend(msgs[i], rep);
               i += 2;
@@ -306,9 +343,9 @@ void ReplicationManager::ShipLocked(std::size_t shard, ShardRep& sr,
 
 void ReplicationManager::DeliverAppend(const std::string& bytes,
                                        Replica& rep) {
-  counters_.append_messages.fetch_add(1, kTally);
-  counters_.bytes_shipped.fetch_add(bytes.size(), kTally);
-  ReplicaCpuMeter meter(&counters_.replica_apply_nanos);
+  counters_.append_messages->Add();
+  counters_.bytes_shipped->Add(bytes.size());
+  ReplicaCpuMeter meter(counters_.replica_apply_nanos);
   wire::RepLogAppend msg;
   switch (wire::DecodeRepLogAppend(bytes, &msg)) {
     case wire::DecodeResult::kUnsupportedVersion:
@@ -319,7 +356,7 @@ void ReplicationManager::DeliverAppend(const std::string& bytes,
         rep.incompatible = true;
         rep.last_error = Status::Unimplemented(
             "replica rejected replication wire version");
-        counters_.unimplemented_peers.fetch_add(1, kTally);
+        counters_.unimplemented_peers->Add();
       }
       return;
     case wire::DecodeResult::kMalformed:
@@ -331,19 +368,19 @@ void ReplicationManager::DeliverAppend(const std::string& bytes,
   for (const wire::RepLogEntry& e : msg.entries) {
     if (e.seq <= rep.applied_seq) {
       // At-least-once transport: silently skip the duplicate prefix.
-      counters_.duplicate_entries.fetch_add(1, kTally);
+      counters_.duplicate_entries->Add();
       continue;
     }
     if (e.seq != rep.applied_seq + 1) {
       // Gap (a predecessor was dropped or is still in flight behind a
       // reorder): refuse the suffix; the next ship round retransmits
       // from applied_seq + 1.
-      counters_.rejected_appends.fetch_add(1, kTally);
+      counters_.rejected_appends->Add();
       return;
     }
     rep.store->Apply(e.update);
     rep.applied_seq = e.seq;
-    counters_.entries_applied.fetch_add(1, kTally);
+    counters_.entries_applied->Add();
   }
 }
 
@@ -355,14 +392,14 @@ void ReplicationManager::SendAck(std::size_t shard, std::size_t replica,
   ack.replica = static_cast<std::uint32_t>(replica);
   ack.applied_seq = rep.applied_seq;
   const std::string bytes = wire::EncodeRepAck(ack, config_.wire_version);
-  counters_.ack_messages.fetch_add(1, kTally);
-  counters_.bytes_shipped.fetch_add(bytes.size(), kTally);
+  counters_.ack_messages->Add();
+  counters_.bytes_shipped->Add(bytes.size());
   // The reverse channel is just as lossy as the forward one. A dropped
   // ack leaves acked_seq stale; the next round's cumulative ack covers it
   // (and AckWindow waiters are woken then — the lost-ack wakeup path).
   if (injector_->NextRepFault(shard, replica) ==
       FaultInjector::RepFault::kDrop) {
-    counters_.dropped_messages.fetch_add(1, kTally);
+    counters_.dropped_messages->Add();
     return;
   }
   wire::RepAck decoded;
@@ -394,14 +431,14 @@ bool ReplicationManager::BootstrapReplica(std::size_t shard,
   snap.checkpoint = std::move(image);
   const std::string bytes =
       wire::EncodeRepSnapshot(snap, config_.wire_version);
-  counters_.bytes_shipped.fetch_add(bytes.size(), kTally);
+  counters_.bytes_shipped->Add(bytes.size());
   if (injector_->NextRepFault(shard, replica) ==
       FaultInjector::RepFault::kDrop) {
-    counters_.dropped_messages.fetch_add(1, kTally);
+    counters_.dropped_messages->Add();
     return false;  // retried next bootstrap-capable round
   }
   // Decoding and loading the image are the receiving replica's work.
-  ReplicaCpuMeter meter(&counters_.replica_apply_nanos);
+  ReplicaCpuMeter meter(counters_.replica_apply_nanos);
   wire::RepSnapshot decoded;
   switch (wire::DecodeRepSnapshot(bytes, &decoded)) {
     case wire::DecodeResult::kUnsupportedVersion:
@@ -409,7 +446,7 @@ bool ReplicationManager::BootstrapReplica(std::size_t shard,
         rep.incompatible = true;
         rep.last_error = Status::Unimplemented(
             "replica rejected replication wire version");
-        counters_.unimplemented_peers.fetch_add(1, kTally);
+        counters_.unimplemented_peers->Add();
       }
       return false;
     case wire::DecodeResult::kMalformed:
@@ -427,7 +464,7 @@ bool ReplicationManager::BootstrapReplica(std::size_t shard,
   rep.store = std::move(fresh);
   rep.applied_seq = decoded.covered_seq;
   rep.last_error = Status::Ok();
-  counters_.snapshot_bootstraps.fetch_add(1, kTally);
+  counters_.snapshot_bootstraps->Add();
   return true;
 }
 
@@ -605,10 +642,10 @@ ReplicationManager::AntiEntropyReport ReplicationManager::RunAntiEntropy(
     digest.bucket_crcs = pri_crcs;
     const std::string bytes =
         wire::EncodeRepDigest(digest, config_.wire_version);
-    counters_.bytes_shipped.fetch_add(bytes.size(), kTally);
+    counters_.bytes_shipped->Add(bytes.size());
     if (injector_->NextRepFault(shard, r) ==
         FaultInjector::RepFault::kDrop) {
-      counters_.dropped_messages.fetch_add(1, kTally);
+      counters_.dropped_messages->Add();
       report.skipped_replicas += 1;
       continue;
     }
@@ -619,7 +656,7 @@ ReplicationManager::AntiEntropyReport ReplicationManager::RunAntiEntropy(
           rep.incompatible = true;
           rep.last_error = Status::Unimplemented(
               "replica rejected replication wire version");
-          counters_.unimplemented_peers.fetch_add(1, kTally);
+          counters_.unimplemented_peers->Add();
         }
         report.skipped_replicas += 1;
         continue;
@@ -700,24 +737,7 @@ bool ReplicationManager::CorruptReplicaEdgeForTest(std::size_t shard,
   return true;
 }
 
-ReplicationStats ReplicationManager::stats() const {
-  ReplicationStats s;
-  s.ship_rounds = counters_.ship_rounds.load(kTally);
-  s.append_messages = counters_.append_messages.load(kTally);
-  s.ack_messages = counters_.ack_messages.load(kTally);
-  s.bytes_shipped = counters_.bytes_shipped.load(kTally);
-  s.entries_applied = counters_.entries_applied.load(kTally);
-  s.duplicate_entries = counters_.duplicate_entries.load(kTally);
-  s.rejected_appends = counters_.rejected_appends.load(kTally);
-  s.dropped_messages = counters_.dropped_messages.load(kTally);
-  s.duplicated_messages = counters_.duplicated_messages.load(kTally);
-  s.reordered_messages = counters_.reordered_messages.load(kTally);
-  s.snapshot_bootstraps = counters_.snapshot_bootstraps.load(kTally);
-  s.unimplemented_peers = counters_.unimplemented_peers.load(kTally);
-  s.replica_apply_nanos = counters_.replica_apply_nanos.load(kTally);
-  s.pump_cpu_nanos = counters_.pump_cpu_nanos.load(kTally);
-  return s;
-}
+ReplicationStats ReplicationManager::stats() const { return binding_.Read(); }
 
 Status ReplicationManager::SnapshotReplica(std::size_t shard,
                                            std::size_t replica,

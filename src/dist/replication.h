@@ -51,6 +51,7 @@
 #include "dist/fault_injector.h"
 #include "dist/shard.h"
 #include "dist/wire.h"
+#include "obs/metrics.h"
 #include "pipeline/epoch_coordinator.h"
 #include "storage/graph_store.h"
 
@@ -80,7 +81,9 @@ struct ReplicationConfig {
   bool async_ship = false;
 };
 
-/// Transport-level counters (atomic; snapshot via ReplicationManager).
+/// Transport-level counters (registry-backed; snapshot via
+/// ReplicationManager::stats() or the pd2gl_replication_* series of the
+/// bound MetricRegistry).
 struct ReplicationStats {
   std::uint64_t ship_rounds = 0;        ///< Ship() passes over a shard
   std::uint64_t append_messages = 0;    ///< RepLogAppend messages encoded
@@ -161,10 +164,14 @@ class ReplicationManager {
   };
 
   /// `primaries`, `injector` and `cutover` must outlive the manager.
+  /// `metrics` (optional, must outlive the manager when given) is where
+  /// the pd2gl_replication_* series are registered; null means a private
+  /// registry (stats() works either way).
   ReplicationManager(const ReplicationConfig& config,
                      const GraphStoreConfig& store_config,
                      std::vector<GraphShard*> primaries,
-                     FaultInjector* injector, EpochCoordinator* cutover);
+                     FaultInjector* injector, EpochCoordinator* cutover,
+                     obs::MetricRegistry* metrics = nullptr);
   ~ReplicationManager();
   ReplicationManager(const ReplicationManager&) = delete;
   ReplicationManager& operator=(const ReplicationManager&) = delete;
@@ -235,6 +242,9 @@ class ReplicationManager {
                          std::string* out);
   AckWindow& ack_window(std::size_t shard) { return reps_[shard]->acks; }
   const ReplicationConfig& config() const { return config_; }
+  /// The registry the pd2gl_replication_* series live in (the caller's,
+  /// or the private fallback).
+  obs::MetricRegistry& metrics() { return *metrics_; }
 
  private:
   // The per-shard mutex lives behind a unique_ptr in a vector, so callers
@@ -290,24 +300,30 @@ class ReplicationManager {
   EpochCoordinator* cutover_;
   std::vector<std::unique_ptr<ShardRep>> reps_;
 
-  // Transport counters; all relaxed (pure tallies, snapshot via stats()).
+  // Transport counters: registry-owned obs::Counter series
+  // (pd2gl_replication_*), each bound onto its ReplicationStats member at
+  // construction so stats() is the binding's shared fill loop — no
+  // hand-rolled per-field copy.
   struct Counters {
-    std::atomic<std::uint64_t> ship_rounds{0};
-    std::atomic<std::uint64_t> append_messages{0};
-    std::atomic<std::uint64_t> ack_messages{0};
-    std::atomic<std::uint64_t> bytes_shipped{0};
-    std::atomic<std::uint64_t> entries_applied{0};
-    std::atomic<std::uint64_t> duplicate_entries{0};
-    std::atomic<std::uint64_t> rejected_appends{0};
-    std::atomic<std::uint64_t> dropped_messages{0};
-    std::atomic<std::uint64_t> duplicated_messages{0};
-    std::atomic<std::uint64_t> reordered_messages{0};
-    std::atomic<std::uint64_t> snapshot_bootstraps{0};
-    std::atomic<std::uint64_t> unimplemented_peers{0};
-    std::atomic<std::uint64_t> replica_apply_nanos{0};
-    std::atomic<std::uint64_t> pump_cpu_nanos{0};
+    obs::Counter* ship_rounds = nullptr;
+    obs::Counter* append_messages = nullptr;
+    obs::Counter* ack_messages = nullptr;
+    obs::Counter* bytes_shipped = nullptr;
+    obs::Counter* entries_applied = nullptr;
+    obs::Counter* duplicate_entries = nullptr;
+    obs::Counter* rejected_appends = nullptr;
+    obs::Counter* dropped_messages = nullptr;
+    obs::Counter* duplicated_messages = nullptr;
+    obs::Counter* reordered_messages = nullptr;
+    obs::Counter* snapshot_bootstraps = nullptr;
+    obs::Counter* unimplemented_peers = nullptr;
+    obs::Counter* replica_apply_nanos = nullptr;
+    obs::Counter* pump_cpu_nanos = nullptr;
   };
-  mutable Counters counters_;
+  std::unique_ptr<obs::MetricRegistry> owned_metrics_;  ///< when none given
+  obs::MetricRegistry* metrics_;
+  obs::StatsBinding<ReplicationStats> binding_;
+  Counters counters_;
 
   // Async pump (constructed only when config_.async_ship).
   Mutex pump_mu_;

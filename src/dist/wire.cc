@@ -348,12 +348,14 @@ namespace {
 
 /// Shared header check for the versioned serving messages — same
 /// negotiation stance as GetRepHeader: kUnsupportedVersion only once the
-/// tag matched.
+/// tag matched. Unlike the replication protocol, serving clients span a
+/// version RANGE (v1 predates the trace context): the accepted version is
+/// returned so the body decoder can skip the fields that version lacks.
 DecodeResult GetServeHeader(const std::string& bytes, char tag,
-                            std::size_t* pos) {
+                            std::size_t* pos, std::uint8_t* version) {
   if (bytes.size() < 2 || bytes[0] != tag) return DecodeResult::kMalformed;
-  const auto version = static_cast<std::uint8_t>(bytes[1]);
-  if (version != kServeWireVersion) {
+  *version = static_cast<std::uint8_t>(bytes[1]);
+  if (*version < kMinServeWireVersion || *version > kServeWireVersion) {
     return DecodeResult::kUnsupportedVersion;
   }
   *pos = 2;
@@ -365,13 +367,21 @@ DecodeResult GetServeHeader(const std::string& bytes, char tag,
 std::string EncodeQueryRequest(const serve::QueryRequest& req,
                                std::uint8_t version) {
   std::string out;
-  out.reserve(30 + req.seeds.size() * sizeof(VertexId) +
+  out.reserve(43 + req.seeds.size() * sizeof(VertexId) +
               req.plan.ops.size() * 34);
   out.push_back('Q');
   Put(&out, version);
   Put(&out, req.tenant);
   Put(&out, req.request_id);
   Put(&out, req.rng_seed);
+  if (version != 1) {
+    // v2+: the propagated trace context rides between the RNG seed and
+    // the seed array. Encoding at version 1 emits the exact legacy
+    // layout, byte for byte.
+    Put(&out, req.trace.trace_id);
+    Put(&out, req.trace.parent_span);
+    Put(&out, req.trace.flags);
+  }
   Put(&out, static_cast<std::uint32_t>(req.seeds.size()));
   for (VertexId s : req.seeds) Put(&out, s);
   Put(&out, static_cast<std::uint32_t>(req.plan.ops.size()));
@@ -391,13 +401,23 @@ std::string EncodeQueryRequest(const serve::QueryRequest& req,
 DecodeResult DecodeQueryRequest(const std::string& bytes,
                                 serve::QueryRequest* out) {
   std::size_t pos = 0;
-  const DecodeResult head = GetServeHeader(bytes, 'Q', &pos);
+  std::uint8_t version = 0;
+  const DecodeResult head = GetServeHeader(bytes, 'Q', &pos, &version);
   if (head != DecodeResult::kOk) return head;
-  std::uint32_t seed_count;
   if (!Get(bytes, &pos, &out->tenant) || !Get(bytes, &pos, &out->request_id) ||
-      !Get(bytes, &pos, &out->rng_seed) || !Get(bytes, &pos, &seed_count)) {
+      !Get(bytes, &pos, &out->rng_seed)) {
     return DecodeResult::kMalformed;
   }
+  out->trace = obs::TraceContext{};
+  if (version != 1) {
+    if (!Get(bytes, &pos, &out->trace.trace_id) ||
+        !Get(bytes, &pos, &out->trace.parent_span) ||
+        !Get(bytes, &pos, &out->trace.flags)) {
+      return DecodeResult::kMalformed;
+    }
+  }
+  std::uint32_t seed_count;
+  if (!Get(bytes, &pos, &seed_count)) return DecodeResult::kMalformed;
   // The seed array cannot exceed the remaining payload: bounds-check the
   // declared count BEFORE allocating (absurd counts must not drive a
   // resize).
@@ -449,6 +469,7 @@ std::string EncodeQueryResponse(const serve::QueryResponse& resp,
   Put(&out, resp.request_id);
   Put(&out, static_cast<std::uint8_t>(resp.status));
   Put(&out, resp.epoch);
+  if (version != 1) Put(&out, resp.trace_id);
   Put(&out, static_cast<std::uint32_t>(resp.stages.size()));
   for (const serve::StageOutput& stage : resp.stages) {
     Put(&out, static_cast<std::uint32_t>(stage.ids.size()));
@@ -465,15 +486,20 @@ std::string EncodeQueryResponse(const serve::QueryResponse& resp,
 DecodeResult DecodeQueryResponse(const std::string& bytes,
                                  serve::QueryResponse* out) {
   std::size_t pos = 0;
-  const DecodeResult head = GetServeHeader(bytes, 'P', &pos);
+  std::uint8_t version = 0;
+  const DecodeResult head = GetServeHeader(bytes, 'P', &pos, &version);
   if (head != DecodeResult::kOk) return head;
   std::uint8_t status;
   std::uint32_t stage_count;
   if (!Get(bytes, &pos, &out->tenant) || !Get(bytes, &pos, &out->request_id) ||
-      !Get(bytes, &pos, &status) || !Get(bytes, &pos, &out->epoch) ||
-      !Get(bytes, &pos, &stage_count)) {
+      !Get(bytes, &pos, &status) || !Get(bytes, &pos, &out->epoch)) {
     return DecodeResult::kMalformed;
   }
+  out->trace_id = 0;
+  if (version != 1 && !Get(bytes, &pos, &out->trace_id)) {
+    return DecodeResult::kMalformed;
+  }
+  if (!Get(bytes, &pos, &stage_count)) return DecodeResult::kMalformed;
   if (status > static_cast<std::uint8_t>(serve::RequestStatus::kShed)) {
     return DecodeResult::kMalformed;
   }
@@ -548,6 +574,33 @@ DecodeResult DecodeQueryResponse(const std::string& bytes,
       }
     }
     out->stages.push_back(std::move(stage));
+  }
+  return pos == bytes.size() ? DecodeResult::kOk : DecodeResult::kMalformed;
+}
+
+std::string EncodeTraceContext(const obs::TraceContext& ctx,
+                               std::uint8_t version) {
+  std::string out;
+  out.reserve(15);
+  out.push_back('T');
+  Put(&out, version);
+  Put(&out, ctx.trace_id);
+  Put(&out, ctx.parent_span);
+  Put(&out, ctx.flags);
+  return out;
+}
+
+DecodeResult DecodeTraceContext(const std::string& bytes,
+                                obs::TraceContext* out) {
+  std::size_t pos = 0;
+  if (bytes.size() < 2 || bytes[0] != 'T') return DecodeResult::kMalformed;
+  if (static_cast<std::uint8_t>(bytes[1]) != kTraceWireVersion) {
+    return DecodeResult::kUnsupportedVersion;
+  }
+  pos = 2;
+  if (!Get(bytes, &pos, &out->trace_id) ||
+      !Get(bytes, &pos, &out->parent_span) || !Get(bytes, &pos, &out->flags)) {
+    return DecodeResult::kMalformed;
   }
   return pos == bytes.size() ? DecodeResult::kOk : DecodeResult::kMalformed;
 }

@@ -1,0 +1,217 @@
+// MetricRegistry: one canonical, exportable home for every number in the
+// system (DESIGN.md §15, docs/observability.md).
+//
+// Before this layer each subsystem grew its own ad-hoc stats struct
+// (ClusterStats, ReplicationStats, IngestorStats, the serve tallies...)
+// with a hand-rolled load loop per struct and no common export path. The
+// registry replaces those with named, labelled series:
+//
+//  * Counter — a monotone relaxed atomic tally, the histogram.h recording
+//    discipline generalised: Add() is one relaxed fetch_add from any
+//    thread, Value() a relaxed load. Lock-cheap by construction.
+//  * Gauge — a point-in-time value (queue depth, watermark); Set/Value.
+//  * Histogram — the existing LatencyHistogram, registered so its
+//    Snapshot/DeltaSince windows ride the same export path.
+//
+// Series are registered ONCE (startup / subsystem construction; the only
+// mutex in this file guards the series table, never the hot increments)
+// and snapshotted race-free: counters are monotone, so a point-in-time
+// copy is a valid basis for deltas exactly like HistogramSnapshot.
+// Registration is idempotent — the same (name, labels, kind) returns the
+// same instance — and storage is deque-backed so handed-out pointers stay
+// stable for the registry's lifetime.
+//
+// The registry is an instance, not a global: tests and tools construct
+// many clusters/servers side by side, and determinism demands their
+// numbers never bleed into each other. Subsystems own (or borrow) a
+// registry and export through it.
+//
+// StatsBinding<S> is the dedup path for the legacy snapshot structs: a
+// subsystem maps each registered counter onto a member of its public
+// stats struct once, and stats() becomes a single shared fill loop — the
+// per-struct hand-rolled load loops are gone.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace platod2gl::obs {
+
+/// Monotone tally. The ONLY sanctioned way to grow a statistic outside
+/// src/obs/ (tools/pd2gl_lint.py `atomic-tally` rejects new raw atomic
+/// tally members elsewhere).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t delta = 1) {
+    // order: stat tally, read for reporting only
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    // order: stat tally, read for reporting only
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time value (depths, watermarks). Not monotone; snapshots
+/// report the latest Set.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::uint64_t v) {
+    // order: advisory point-in-time value, read for reporting only
+    v_.store(v, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    // order: advisory point-in-time value, read for reporting only
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// One label dimension. Cardinality rules in docs/observability.md: label
+/// values must come from a SMALL, BOUNDED set (shard index, tenant id,
+/// policy name) — never request ids or vertex ids.
+struct Label {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const Label&, const Label&) = default;
+};
+using Labels = std::vector<Label>;
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+/// One series in a snapshot: plain values, safe to copy and export.
+struct MetricPoint {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;      ///< counters and gauges
+  HistogramSnapshot hist;       ///< histograms only
+};
+
+/// A race-free point-in-time copy of every registered series, sorted by
+/// (name, labels) so exports and test expectations are deterministic.
+struct RegistrySnapshot {
+  std::vector<MetricPoint> points;
+
+  const MetricPoint* Find(const std::string& name,
+                          const Labels& labels = {}) const;
+  /// Counter/gauge value; 0 when the series is absent.
+  std::uint64_t Value(const std::string& name, const Labels& labels = {}) const;
+  /// Histogram buckets; empty snapshot when the series is absent.
+  HistogramSnapshot Hist(const std::string& name,
+                         const Labels& labels = {}) const;
+  /// Sum of `name` across every label combination (per-shard totals).
+  std::uint64_t SumAcrossLabels(const std::string& name) const;
+
+  /// Fold another snapshot in: matching (name, labels) series sum their
+  /// counters and merge their histogram buckets (gauges take the other
+  /// side's value); unmatched series are appended. Used to export several
+  /// subsystem registries as one page.
+  void MergeFrom(const RegistrySnapshot& other);
+};
+
+/// Maps registered counters onto the members of a legacy stats struct S,
+/// so the subsystem's stats() is one shared fill loop instead of a
+/// hand-rolled per-struct copy.
+template <typename S>
+class StatsBinding {
+ public:
+  void Map(const Counter* c, std::uint64_t S::*field) {
+    fields_.push_back(Entry{c, field});
+  }
+  S Read() const {
+    S s{};
+    for (const Entry& e : fields_) s.*(e.field) = e.counter->Value();
+    return s;
+  }
+
+ private:
+  struct Entry {
+    const Counter* counter;
+    std::uint64_t S::*field;
+  };
+  std::vector<Entry> fields_;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Register (or find) an owned series. Pointers stay valid for the
+  /// registry's lifetime. Re-registering the same (name, labels) with a
+  /// different kind is a programming error.
+  Counter* RegisterCounter(std::string name, Labels labels = {});
+  Gauge* RegisterGauge(std::string name, Labels labels = {});
+  LatencyHistogram* RegisterHistogram(std::string name, Labels labels = {});
+
+  /// Register a counter AND map it onto a stats-struct member in one
+  /// step — the migration one-liner for legacy stats() structs.
+  template <typename S>
+  Counter* BindCounter(StatsBinding<S>* binding, std::uint64_t S::*field,
+                       std::string name, Labels labels = {}) {
+    Counter* c = RegisterCounter(std::move(name), std::move(labels));
+    binding->Map(c, field);
+    return c;
+  }
+
+  /// Borrowed series: the metric object lives inside a subsystem (e.g.
+  /// SampleCache's tallies) and must outlive the registry entry.
+  void RegisterExternalCounter(std::string name, Labels labels,
+                               const Counter* counter);
+  void RegisterExternalHistogram(std::string name, Labels labels,
+                                 const LatencyHistogram* hist);
+
+  RegistrySnapshot Snapshot() const;
+
+  std::size_t NumSeries() const;
+
+ private:
+  struct Series {
+    std::string name;
+    Labels labels;
+    MetricKind kind = MetricKind::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const LatencyHistogram* hist = nullptr;
+  };
+
+  Series* FindLocked(const std::string& name, const Labels& labels)
+      REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  // Deques: stable addresses for handed-out metric pointers.
+  std::deque<Counter> counters_ GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ GUARDED_BY(mu_);
+  std::deque<LatencyHistogram> hists_ GUARDED_BY(mu_);
+  std::vector<Series> series_ GUARDED_BY(mu_);
+};
+
+/// Canonical label sort (by key, then value) applied at registration so
+/// lookups and exports are order-independent.
+void NormalizeLabels(Labels* labels);
+
+}  // namespace platod2gl::obs

@@ -1,0 +1,52 @@
+#include "obs/profile.h"
+
+#include <array>
+
+namespace platod2gl::obs {
+
+namespace {
+
+std::array<LatencyHistogram,
+           static_cast<std::size_t>(ProfileSite::kNumSites)>&
+SiteHistograms() {
+  static std::array<LatencyHistogram,
+                    static_cast<std::size_t>(ProfileSite::kNumSites)>
+      hists;
+  return hists;
+}
+
+}  // namespace
+
+const char* ProfileSiteName(ProfileSite site) {
+  switch (site) {
+    case ProfileSite::kSamtreeDescent:
+      return "samtree_descent";
+    case ProfileSite::kBatchApply:
+      return "batch_apply";
+    case ProfileSite::kWalShip:
+      return "wal_ship";
+    case ProfileSite::kNumSites:
+      break;
+  }
+  return "unknown";
+}
+
+LatencyHistogram& ProfileHistogram(ProfileSite site) {
+  return SiteHistograms()[static_cast<std::size_t>(site)];
+}
+
+RegistrySnapshot ProfileSnapshot() {
+  RegistrySnapshot snap;
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(ProfileSite::kNumSites); ++i) {
+    MetricPoint p;
+    p.name = std::string("pd2gl_profile_") +
+             ProfileSiteName(static_cast<ProfileSite>(i)) + "_nanos";
+    p.kind = MetricKind::kHistogram;
+    p.hist = SiteHistograms()[i].Snapshot();
+    snap.points.push_back(std::move(p));
+  }
+  return snap;
+}
+
+}  // namespace platod2gl::obs

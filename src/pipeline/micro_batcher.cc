@@ -37,7 +37,8 @@ struct EdgeKeyHash {
 
 MicroBatcher::MicroBatcher(GraphStore* graph, ThreadPool* pool,
                            UpdateIngestor* ingestor, EpochCoordinator* epochs,
-                           TemporalEdgeLog* log, MicroBatcherConfig config)
+                           TemporalEdgeLog* log, MicroBatcherConfig config,
+                           obs::MetricRegistry* metrics)
     : graph_(graph),
       ingestor_(ingestor),
       epochs_(epochs),
@@ -50,6 +51,24 @@ MicroBatcher::MicroBatcher(GraphStore* graph, ThreadPool* pool,
     updaters_.push_back(std::make_unique<BatchUpdater>(
         &graph_->topology(static_cast<EdgeType>(rel)), pool));
   }
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  using S = MicroBatcherStats;
+  counters_.batches_applied = metrics_->BindCounter(
+      &binding_, &S::batches_applied, "pd2gl_micro_batcher_batches_applied");
+  counters_.updates_ingested = metrics_->BindCounter(
+      &binding_, &S::updates_ingested, "pd2gl_micro_batcher_updates_ingested");
+  counters_.updates_applied = metrics_->BindCounter(
+      &binding_, &S::updates_applied, "pd2gl_micro_batcher_updates_applied");
+  counters_.coalesced = metrics_->BindCounter(
+      &binding_, &S::coalesced, "pd2gl_micro_batcher_coalesced");
+  counters_.log_rejected = metrics_->BindCounter(
+      &binding_, &S::log_rejected, "pd2gl_micro_batcher_log_rejected");
+  counters_.invalid_dropped = metrics_->BindCounter(
+      &binding_, &S::invalid_dropped, "pd2gl_micro_batcher_invalid_dropped");
 }
 
 std::size_t MicroBatcher::Coalesce(std::vector<EdgeUpdate>* batch) {
@@ -98,8 +117,7 @@ std::size_t MicroBatcher::PumpOnce(bool force) {
   const std::size_t carried = pending_.size();
   const std::size_t drained = ingestor_->DrainAll(&pending_);
   if (drained > 0) {
-    // order: stat tallies, snapshot for reporting only
-    updates_ingested_.fetch_add(drained, std::memory_order_relaxed);
+    counters_.updates_ingested->Add(drained);
     const auto mid = pending_.begin() + static_cast<std::ptrdiff_t>(carried);
     std::sort(mid, pending_.end(), ByTimeThenSeq);
     std::inplace_merge(pending_.begin(), mid, pending_.end(), ByTimeThenSeq);
@@ -117,8 +135,7 @@ std::size_t MicroBatcher::PumpOnce(bool force) {
   for (std::size_t i = 0; i < take; ++i) {
     const TimedUpdate& u = pending_[i].update;
     if (u.update.edge.type >= graph_->num_relations()) {
-      // order: stat tallies, snapshot for reporting only
-      invalid_dropped_.fetch_add(1, std::memory_order_relaxed);
+      counters_.invalid_dropped->Add(1);
       continue;
     }
     scratch_.push_back(u);
@@ -146,8 +163,7 @@ std::size_t MicroBatcher::PumpOnce(bool force) {
                                               scratch_.size() - first_ok);
   if (log_ != nullptr) {
     log_->AppendBatch(accepted);
-    // order: stat tallies, snapshot for reporting only
-    log_rejected_.fetch_add(first_ok, std::memory_order_relaxed);
+    counters_.log_rejected->Add(first_ok);
   }
   if (accepted.empty()) return take;
 
@@ -157,8 +173,7 @@ std::size_t MicroBatcher::PumpOnce(bool force) {
   folded.reserve(accepted.size());
   for (const TimedUpdate& u : accepted) folded.push_back(u.update);
   if (config_.coalesce) {
-    // order: stat tallies, snapshot for reporting only
-    coalesced_.fetch_add(Coalesce(&folded), std::memory_order_relaxed);
+    counters_.coalesced->Add(Coalesce(&folded));
   }
   std::vector<std::vector<EdgeUpdate>> by_relation(graph_->num_relations());
   if (graph_->num_relations() == 1) {
@@ -179,13 +194,11 @@ std::size_t MicroBatcher::PumpOnce(bool force) {
       applied += by_relation[rel].size();
       updaters_[rel]->ApplyBatch(std::move(by_relation[rel]));
     }
-    // order: stat tallies, snapshot for reporting only
-    updates_applied_.fetch_add(applied, std::memory_order_relaxed);
+    counters_.updates_applied->Add(applied);
     applied_watermark_.store(accepted.back().timestamp,
                              std::memory_order_release);
   }
-  // order: stat tallies, snapshot for reporting only
-  batches_applied_.fetch_add(1, std::memory_order_relaxed);
+  counters_.batches_applied->Add(1);
   return take;
 }
 
@@ -199,14 +212,7 @@ std::size_t MicroBatcher::Flush() {
 }
 
 MicroBatcherStats MicroBatcher::Stats() const {
-  MicroBatcherStats s;
-  // order: stat tallies, snapshot for reporting only
-  s.batches_applied = batches_applied_.load(std::memory_order_relaxed);
-  s.updates_ingested = updates_ingested_.load(std::memory_order_relaxed);
-  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
-  s.coalesced = coalesced_.load(std::memory_order_relaxed);
-  s.log_rejected = log_rejected_.load(std::memory_order_relaxed);
-  s.invalid_dropped = invalid_dropped_.load(std::memory_order_relaxed);
+  MicroBatcherStats s = binding_.Read();
   s.applied_watermark = applied_watermark();
   s.pending = pending_size_.load(std::memory_order_acquire);
   return s;

@@ -30,6 +30,7 @@
 #include "common/thread_pool.h"
 #include "common/types.h"
 #include "concurrency/batch_updater.h"
+#include "obs/metrics.h"
 #include "pipeline/epoch_coordinator.h"
 #include "pipeline/update_ingestor.h"
 #include "storage/graph_store.h"
@@ -43,7 +44,8 @@ struct MicroBatcherConfig {
   bool coalesce = true;          ///< fold per-edge churn before applying
 };
 
-/// Monotonic counters (relaxed atomics mirrored on read).
+/// Monotonic counters (registry-backed, mirrored out via the shared
+/// obs::StatsBinding fill loop) + point-in-time watermark/depth.
 struct MicroBatcherStats {
   std::uint64_t batches_applied = 0;
   std::uint64_t updates_ingested = 0;   ///< raw updates drained
@@ -59,9 +61,12 @@ class MicroBatcher {
  public:
   /// Everything is borrowed and must outlive the batcher. The log may be
   /// null (ephemeral pipeline with no durability/replay requirement).
+  /// `metrics` hosts the pd2gl_micro_batcher_* series (typically the same
+  /// registry the ingestor registered into); null = private registry.
   MicroBatcher(GraphStore* graph, ThreadPool* pool, UpdateIngestor* ingestor,
                EpochCoordinator* epochs, TemporalEdgeLog* log,
-               MicroBatcherConfig config = {});
+               MicroBatcherConfig config = {},
+               obs::MetricRegistry* metrics = nullptr);
 
   /// Drain the ingestor and, if at least min_batch updates are pending
   /// (or `force`), log + coalesce + apply one micro-batch of up to
@@ -91,24 +96,34 @@ class MicroBatcher {
   const MicroBatcherConfig& config() const { return config_; }
 
  private:
+  /// Registry-backed monotone tallies (pd2gl_micro_batcher_*).
+  struct Counters {
+    obs::Counter* batches_applied = nullptr;
+    obs::Counter* updates_ingested = nullptr;
+    obs::Counter* updates_applied = nullptr;
+    obs::Counter* coalesced = nullptr;
+    obs::Counter* log_rejected = nullptr;
+    obs::Counter* invalid_dropped = nullptr;
+  };
+
   GraphStore* graph_;
   UpdateIngestor* ingestor_;
   EpochCoordinator* epochs_;
   TemporalEdgeLog* log_;
   MicroBatcherConfig config_;
   std::vector<std::unique_ptr<BatchUpdater>> updaters_;  // one per relation
+  std::unique_ptr<obs::MetricRegistry> owned_metrics_;
+  obs::MetricRegistry* metrics_ = nullptr;
+  obs::StatsBinding<MicroBatcherStats> binding_;
+  Counters counters_;
 
   // Consumer-thread state: drained-but-unapplied updates in (ts, seq)
   // order, plus the per-pump scratch batch.
   std::vector<IngestedUpdate> pending_;
   std::vector<TimedUpdate> scratch_;
 
-  std::atomic<std::uint64_t> batches_applied_{0};
-  std::atomic<std::uint64_t> updates_ingested_{0};
-  std::atomic<std::uint64_t> updates_applied_{0};
-  std::atomic<std::uint64_t> coalesced_{0};
-  std::atomic<std::uint64_t> log_rejected_{0};
-  std::atomic<std::uint64_t> invalid_dropped_{0};
+  // STATE snapshots (cross-thread watermark/depth reads); tallies live in
+  // the registry counters above.
   std::atomic<std::uint64_t> applied_watermark_{0};
   std::atomic<std::size_t> pending_size_{0};
 };

@@ -4,13 +4,31 @@
 
 namespace platod2gl {
 
-UpdateIngestor::UpdateIngestor(IngestorConfig config) : config_(config) {
+UpdateIngestor::UpdateIngestor(IngestorConfig config,
+                               obs::MetricRegistry* metrics)
+    : config_(config) {
   config_.num_shards = std::max<std::size_t>(1, config_.num_shards);
   config_.shard_capacity = std::max<std::size_t>(1, config_.shard_capacity);
   shards_.reserve(config_.num_shards);
   for (std::size_t i = 0; i < config_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  using S = IngestorStats;
+  counters_.accepted =
+      metrics_->BindCounter(&binding_, &S::accepted, "pd2gl_ingest_accepted");
+  counters_.rejected =
+      metrics_->BindCounter(&binding_, &S::rejected, "pd2gl_ingest_rejected");
+  counters_.dropped =
+      metrics_->BindCounter(&binding_, &S::dropped, "pd2gl_ingest_dropped");
+  counters_.invalid =
+      metrics_->BindCounter(&binding_, &S::invalid, "pd2gl_ingest_invalid");
+  counters_.closed_rejects = metrics_->BindCounter(
+      &binding_, &S::closed_rejects, "pd2gl_ingest_closed_rejects");
 }
 
 UpdateIngestor::~UpdateIngestor() { Close(); }
@@ -26,8 +44,7 @@ UpdateIngestor::Shard& UpdateIngestor::ShardFor(const EdgeUpdate& u) {
 }
 
 void UpdateIngestor::NoteAccepted(std::uint64_t timestamp) {
-  // order: stat tallies, snapshot for reporting only
-  accepted_.fetch_add(1, std::memory_order_relaxed);
+  counters_.accepted->Add(1);
   queued_.fetch_add(1, std::memory_order_release);
   // order: monotonic-max update; the successful CAS publishes with
   // release, the failed order and the initial read only feed a retry.
@@ -43,15 +60,13 @@ void UpdateIngestor::NoteAccepted(std::uint64_t timestamp) {
 Status UpdateIngestor::Offer(const TimedUpdate& u) {
   if (config_.num_relations > 0 &&
       u.update.edge.type >= config_.num_relations) {
-    // order: stat tallies, snapshot for reporting only
-    invalid_.fetch_add(1, std::memory_order_relaxed);
+    counters_.invalid->Add(1);
     return Status::InvalidArgument("edge type " +
                                    std::to_string(u.update.edge.type) +
                                    " out of range");
   }
   if (closed()) {
-    // order: stat tallies, snapshot for reporting only
-    closed_rejects_.fetch_add(1, std::memory_order_relaxed);
+    counters_.closed_rejects->Add(1);
     return Status::Unavailable("ingestor closed");
   }
 
@@ -67,19 +82,16 @@ Status UpdateIngestor::Offer(const TimedUpdate& u) {
             shard.space_cv.wait(shard.mu);
           }
           if (closed()) {
-            // order: stat tallies, snapshot for reporting only
-            closed_rejects_.fetch_add(1, std::memory_order_relaxed);
+            counters_.closed_rejects->Add(1);
             return Status::Unavailable("ingestor closed");
           }
           break;
         case BackpressurePolicy::kReject:
-          // order: stat tallies, snapshot for reporting only
-          rejected_.fetch_add(1, std::memory_order_relaxed);
+          counters_.rejected->Add(1);
           return Status::ResourceExhausted("ingest queue full");
         case BackpressurePolicy::kDropOldest:
           shard.queue.pop_front();
-          // order: stat tallies, snapshot for reporting only
-          dropped_.fetch_add(1, std::memory_order_relaxed);
+          counters_.dropped->Add(1);
           queued_.fetch_sub(1, std::memory_order_release);
           break;
       }
@@ -126,13 +138,7 @@ std::size_t UpdateIngestor::DrainAll(std::vector<IngestedUpdate>* out) {
 }
 
 IngestorStats UpdateIngestor::Stats() const {
-  IngestorStats s;
-  // order: stat tallies, snapshot for reporting only
-  s.accepted = accepted_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.dropped = dropped_.load(std::memory_order_relaxed);
-  s.invalid = invalid_.load(std::memory_order_relaxed);
-  s.closed_rejects = closed_rejects_.load(std::memory_order_relaxed);
+  IngestorStats s = binding_.Read();
   s.watermark = watermark();
   s.queued = QueueDepth();
   return s;

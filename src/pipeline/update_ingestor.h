@@ -24,7 +24,6 @@
 // deterministic (timestamp, seq) order.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -36,6 +35,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "temporal/edge_log.h"
 
 namespace platod2gl {
@@ -77,7 +77,10 @@ struct IngestedUpdate {
 
 class UpdateIngestor {
  public:
-  explicit UpdateIngestor(IngestorConfig config = {});
+  /// `metrics` hosts the pd2gl_ingest_* series so one registry can cover
+  /// the whole pipeline; when null the ingestor owns a private registry.
+  explicit UpdateIngestor(IngestorConfig config = {},
+                          obs::MetricRegistry* metrics = nullptr);
   ~UpdateIngestor();
 
   UpdateIngestor(const UpdateIngestor&) = delete;
@@ -127,24 +130,32 @@ class UpdateIngestor {
     std::deque<IngestedUpdate> queue GUARDED_BY(mu);
   };
 
+  /// Registry-backed monotone tallies (pd2gl_ingest_*).
+  struct Counters {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* invalid = nullptr;
+    obs::Counter* closed_rejects = nullptr;
+  };
+
   Shard& ShardFor(const EdgeUpdate& u);
   void NoteAccepted(std::uint64_t timestamp);
 
   IngestorConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  // sched::Atomic == std::atomic in production builds; under
-  // PD2GL_SCHEDCHECK every access is a schedule point so the checker can
-  // interleave producers, the consumer, and shutdown around them.
+  std::unique_ptr<obs::MetricRegistry> owned_metrics_;
+  obs::MetricRegistry* metrics_ = nullptr;
+  obs::StatsBinding<IngestorStats> binding_;
+  Counters counters_;
+  // STATE atomics stay sched::Atomic (== std::atomic in production;
+  // under PD2GL_SCHEDCHECK every access is a schedule point so the
+  // checker can interleave producers, the consumer, and shutdown around
+  // them). Pure tallies live in the registry counters above.
   sched::Atomic<bool> closed_{false};
   sched::Atomic<std::uint64_t> next_seq_{0};
   sched::Atomic<std::uint64_t> watermark_{0};
   sched::Atomic<std::size_t> queued_{0};
-
-  sched::Atomic<std::uint64_t> accepted_{0};
-  sched::Atomic<std::uint64_t> rejected_{0};
-  sched::Atomic<std::uint64_t> dropped_{0};
-  sched::Atomic<std::uint64_t> invalid_{0};
-  sched::Atomic<std::uint64_t> closed_rejects_{0};
 };
 
 }  // namespace platod2gl

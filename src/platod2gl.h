@@ -58,6 +58,11 @@
 #include "pipeline/micro_batcher.h"       // IWYU pragma: export
 #include "pipeline/update_ingestor.h"     // IWYU pragma: export
 
+#include "obs/export.h"   // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/profile.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export
+
 #include "serve/admission.h"        // IWYU pragma: export
 #include "serve/executor.h"         // IWYU pragma: export
 #include "serve/query_plan.h"       // IWYU pragma: export

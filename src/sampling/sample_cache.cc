@@ -163,33 +163,29 @@ bool SampleCache::Sample(VertexId v, EdgeType type, const Samtree& tree,
   }
 
   if (entry && entry->version == now) {
-    // order: stat tallies, snapshot for reporting only
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.Add();
     entry->Draw(weighted, k, rng, out);
     return true;
   }
 
   if (entry) {
     // Invalidation path: the tree changed since the entry was built.
-    // order: stat tallies, snapshot for reporting only
-    stale_hits_.fetch_add(1, std::memory_order_relaxed);
+    stale_hits_.Add();
     entry = BuildEntry(tree);
     std::size_t evicted;
     {
       SpinlockGuard lock(shard.mu);
       evicted = shard.Put(key, entry, shard_capacity_);
     }
-    // order: stat tallies, snapshot for reporting only
-    rebuilds_.fetch_add(1, std::memory_order_relaxed);
-    if (evicted) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    rebuilds_.Add();
+    if (evicted) evictions_.Add(evicted);
     entry->Draw(weighted, k, rng, out);
     return true;
   }
 
-  // order: stat tallies, snapshot for reporting only
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Add();
   if (tree.size() < config_.min_degree) {
-    cold_rejects_.fetch_add(1, std::memory_order_relaxed);
+    cold_rejects_.Add();
     return false;
   }
 
@@ -206,8 +202,7 @@ bool SampleCache::Sample(VertexId v, EdgeType type, const Samtree& tree,
     }
   }
   if (!admit) {
-    // order: stat tallies, snapshot for reporting only
-    cold_rejects_.fetch_add(1, std::memory_order_relaxed);
+    cold_rejects_.Add();
     return false;
   }
 
@@ -217,9 +212,8 @@ bool SampleCache::Sample(VertexId v, EdgeType type, const Samtree& tree,
     SpinlockGuard lock(shard.mu);
     evicted = shard.Put(key, entry, shard_capacity_);
   }
-  // order: stat tallies, snapshot for reporting only
-  admissions_.fetch_add(1, std::memory_order_relaxed);
-  if (evicted) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  admissions_.Add();
+  if (evicted) evictions_.Add(evicted);
   entry->Draw(weighted, k, rng, out);
   return true;
 }
@@ -257,26 +251,44 @@ std::size_t SampleCache::MemoryUsage() const {
 
 SampleCacheStats SampleCache::Stats() const {
   SampleCacheStats s;
-  // order: stat tallies, snapshot for reporting only
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.stale_hits = stale_hits_.load(std::memory_order_relaxed);
-  s.rebuilds = rebuilds_.load(std::memory_order_relaxed);
-  s.admissions = admissions_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.cold_rejects = cold_rejects_.load(std::memory_order_relaxed);
+  s.hits = hits_.Value() - baseline_.hits;
+  s.misses = misses_.Value() - baseline_.misses;
+  s.stale_hits = stale_hits_.Value() - baseline_.stale_hits;
+  s.rebuilds = rebuilds_.Value() - baseline_.rebuilds;
+  s.admissions = admissions_.Value() - baseline_.admissions;
+  s.evictions = evictions_.Value() - baseline_.evictions;
+  s.cold_rejects = cold_rejects_.Value() - baseline_.cold_rejects;
   return s;
 }
 
 void SampleCache::ResetStats() {
-  // order: stat tallies, snapshot for reporting only
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  stale_hits_.store(0, std::memory_order_relaxed);
-  rebuilds_.store(0, std::memory_order_relaxed);
-  admissions_.store(0, std::memory_order_relaxed);
-  evictions_.store(0, std::memory_order_relaxed);
-  cold_rejects_.store(0, std::memory_order_relaxed);
+  // DeltaSince-style window restart: record the monotone counters as the
+  // new baseline instead of zeroing them, so registry exports never see a
+  // counter go backwards.
+  baseline_.hits = hits_.Value();
+  baseline_.misses = misses_.Value();
+  baseline_.stale_hits = stale_hits_.Value();
+  baseline_.rebuilds = rebuilds_.Value();
+  baseline_.admissions = admissions_.Value();
+  baseline_.evictions = evictions_.Value();
+  baseline_.cold_rejects = cold_rejects_.Value();
+}
+
+void SampleCache::RegisterWith(obs::MetricRegistry* registry,
+                               const obs::Labels& labels) const {
+  registry->RegisterExternalCounter("pd2gl_sample_cache_hits", labels, &hits_);
+  registry->RegisterExternalCounter("pd2gl_sample_cache_misses", labels,
+                                    &misses_);
+  registry->RegisterExternalCounter("pd2gl_sample_cache_stale_hits", labels,
+                                    &stale_hits_);
+  registry->RegisterExternalCounter("pd2gl_sample_cache_rebuilds", labels,
+                                    &rebuilds_);
+  registry->RegisterExternalCounter("pd2gl_sample_cache_admissions", labels,
+                                    &admissions_);
+  registry->RegisterExternalCounter("pd2gl_sample_cache_evictions", labels,
+                                    &evictions_);
+  registry->RegisterExternalCounter("pd2gl_sample_cache_cold_rejects", labels,
+                                    &cold_rejects_);
 }
 
 }  // namespace platod2gl

@@ -24,7 +24,6 @@
 //    entries (draws happen outside the shard lock).
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -33,6 +32,7 @@
 #include "common/random.h"
 #include "common/types.h"
 #include "core/samtree.h"
+#include "obs/metrics.h"
 
 namespace platod2gl {
 
@@ -44,8 +44,10 @@ struct SampleCacheConfig {
   std::uint32_t admit_after_misses = 2;  ///< admission: traffic gate
 };
 
-/// Monotonic counters, mirrored out of the cache's relaxed atomics
+/// Monotonic counters, mirrored out of the cache's obs::Counter tallies
 /// (common/histogram.h-style lock-free recording, snapshot on read).
+/// Stats() subtracts the ResetStats() baseline, so the numbers here are
+/// window deltas while the registry series stay monotone.
 struct SampleCacheStats {
   std::uint64_t hits = 0;          ///< served from a valid entry
   std::uint64_t misses = 0;        ///< no entry for the key
@@ -87,7 +89,16 @@ class SampleCache {
   std::size_t MemoryUsage() const;
 
   SampleCacheStats Stats() const;
+  /// Restart the Stats() window (baseline snapshot — the underlying
+  /// counters stay monotone for registry exports). Not synchronised with
+  /// concurrent samplers; call from the owner's serial sections.
   void ResetStats();
+
+  /// Expose the tallies as pd2gl_sample_cache_* series of `registry`
+  /// (labels identify the owning shard). The cache must outlive the
+  /// registry entries.
+  void RegisterWith(obs::MetricRegistry* registry,
+                    const obs::Labels& labels) const;
 
   const SampleCacheConfig& config() const { return config_; }
 
@@ -103,13 +114,15 @@ class SampleCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t shard_capacity_ = 0;
 
-  mutable std::atomic<std::uint64_t> hits_{0};
-  mutable std::atomic<std::uint64_t> misses_{0};
-  mutable std::atomic<std::uint64_t> stale_hits_{0};
-  mutable std::atomic<std::uint64_t> rebuilds_{0};
-  mutable std::atomic<std::uint64_t> admissions_{0};
-  mutable std::atomic<std::uint64_t> evictions_{0};
-  mutable std::atomic<std::uint64_t> cold_rejects_{0};
+  mutable obs::Counter hits_;
+  mutable obs::Counter misses_;
+  mutable obs::Counter stale_hits_;
+  mutable obs::Counter rebuilds_;
+  mutable obs::Counter admissions_;
+  mutable obs::Counter evictions_;
+  mutable obs::Counter cold_rejects_;
+  /// Counter values at the last ResetStats(); Stats() reports the delta.
+  SampleCacheStats baseline_;
 };
 
 }  // namespace platod2gl

@@ -4,12 +4,29 @@
 
 namespace platod2gl::serve {
 
-AdmissionController::AdmissionController(AdmissionConfig config)
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         obs::MetricRegistry* metrics)
     : config_(config) {
   config_.max_in_flight = std::max<std::size_t>(1, config_.max_in_flight);
   config_.tenant_quota =
       std::min(std::max<std::size_t>(1, config_.tenant_quota),
                config_.max_in_flight);
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  using S = AdmissionStats;
+  counters_.admitted =
+      metrics_->BindCounter(&binding_, &S::admitted, "pd2gl_admission_admitted");
+  counters_.window_rejects = metrics_->BindCounter(
+      &binding_, &S::window_rejects, "pd2gl_admission_window_rejects");
+  counters_.quota_rejects = metrics_->BindCounter(
+      &binding_, &S::quota_rejects, "pd2gl_admission_quota_rejects");
+  counters_.closed_rejects = metrics_->BindCounter(
+      &binding_, &S::closed_rejects, "pd2gl_admission_closed_rejects");
+  counters_.blocked_waits = metrics_->BindCounter(
+      &binding_, &S::blocked_waits, "pd2gl_admission_blocked_waits");
 }
 
 bool AdmissionController::HasRoom(std::uint32_t tenant) const {
@@ -25,30 +42,26 @@ void AdmissionController::AdmitLocked(std::uint32_t tenant) {
   }
   ++tenant_in_flight_[tenant];
   in_flight_snapshot_.store(in_flight_, std::memory_order_release);
-  // order: stat tallies, snapshot for reporting only
-  admitted_.fetch_add(1, std::memory_order_relaxed);
+  counters_.admitted->Add(1);
 }
 
 AdmissionController::Verdict AdmissionController::TryAdmit(
     std::uint32_t tenant, bool count_reject) {
   if (closed()) {
-    // order: stat tallies, snapshot for reporting only
-    closed_rejects_.fetch_add(1, std::memory_order_relaxed);
+    counters_.closed_rejects->Add(1);
     return Verdict::kClosed;
   }
   MutexLock lock(mu_);
   if (in_flight_ >= config_.max_in_flight) {
     if (count_reject) {
-      // order: stat tallies, snapshot for reporting only
-      window_rejects_.fetch_add(1, std::memory_order_relaxed);
+      counters_.window_rejects->Add(1);
     }
     return Verdict::kWindowFull;
   }
   if (tenant < tenant_in_flight_.size() &&
       tenant_in_flight_[tenant] >= config_.tenant_quota) {
     if (count_reject) {
-      // order: stat tallies, snapshot for reporting only
-      quota_rejects_.fetch_add(1, std::memory_order_relaxed);
+      counters_.quota_rejects->Add(1);
     }
     return Verdict::kQuotaFull;
   }
@@ -58,8 +71,7 @@ AdmissionController::Verdict AdmissionController::TryAdmit(
 
 AdmissionController::Verdict AdmissionController::Admit(std::uint32_t tenant) {
   if (closed()) {
-    // order: stat tallies, snapshot for reporting only
-    closed_rejects_.fetch_add(1, std::memory_order_relaxed);
+    counters_.closed_rejects->Add(1);
     return Verdict::kClosed;
   }
   MutexLock lock(mu_);
@@ -67,14 +79,12 @@ AdmissionController::Verdict AdmissionController::Admit(std::uint32_t tenant) {
   while (!HasRoom(tenant) && !closed()) {
     if (!waited) {
       waited = true;
-      // order: stat tallies, snapshot for reporting only
-      blocked_waits_.fetch_add(1, std::memory_order_relaxed);
+      counters_.blocked_waits->Add(1);
     }
     space_cv_.wait(mu_);
   }
   if (closed()) {
-    // order: stat tallies, snapshot for reporting only
-    closed_rejects_.fetch_add(1, std::memory_order_relaxed);
+    counters_.closed_rejects->Add(1);
     return Verdict::kClosed;
   }
   AdmitLocked(tenant);
@@ -107,13 +117,7 @@ void AdmissionController::Close() {
 }
 
 AdmissionStats AdmissionController::Stats() const {
-  AdmissionStats s;
-  // order: stat tallies, snapshot for reporting only
-  s.admitted = admitted_.load(std::memory_order_relaxed);
-  s.window_rejects = window_rejects_.load(std::memory_order_relaxed);
-  s.quota_rejects = quota_rejects_.load(std::memory_order_relaxed);
-  s.closed_rejects = closed_rejects_.load(std::memory_order_relaxed);
-  s.blocked_waits = blocked_waits_.load(std::memory_order_relaxed);
+  AdmissionStats s = binding_.Read();
   s.in_flight = in_flight();
   return s;
 }

@@ -30,11 +30,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/mutex.h"
 #include "common/sched_hooks.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
 
 namespace platod2gl::serve {
 
@@ -70,7 +72,11 @@ class AdmissionController {
     kClosed = 3,
   };
 
-  explicit AdmissionController(AdmissionConfig config = {});
+  /// `metrics` hosts the pd2gl_admission_* series; the GraphServer passes
+  /// its own registry so one snapshot covers the whole serving stack. A
+  /// standalone controller (tests) owns a private registry instead.
+  explicit AdmissionController(AdmissionConfig config = {},
+                               obs::MetricRegistry* metrics = nullptr);
 
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
@@ -105,22 +111,32 @@ class AdmissionController {
   bool HasRoom(std::uint32_t tenant) const REQUIRES(mu_);
   void AdmitLocked(std::uint32_t tenant) REQUIRES(mu_);
 
+  /// Registry-backed monotone tallies (pd2gl_admission_*); Stats() reads
+  /// them back through the shared binding fill loop.
+  struct Counters {
+    obs::Counter* admitted = nullptr;
+    obs::Counter* window_rejects = nullptr;
+    obs::Counter* quota_rejects = nullptr;
+    obs::Counter* closed_rejects = nullptr;
+    obs::Counter* blocked_waits = nullptr;
+  };
+
   AdmissionConfig config_;
+  std::unique_ptr<obs::MetricRegistry> owned_metrics_;
+  obs::MetricRegistry* metrics_ = nullptr;
+  obs::StatsBinding<AdmissionStats> binding_;
+  Counters counters_;
   mutable Mutex mu_;
   CondVar space_cv_;  // kBlock submitters wait here for Release or Close
   std::size_t in_flight_ GUARDED_BY(mu_) = 0;
   std::vector<std::size_t> tenant_in_flight_ GUARDED_BY(mu_);
 
-  // sched::Atomic == std::atomic in production builds; under
-  // PD2GL_SCHEDCHECK every access is a schedule point so the checker can
-  // interleave submitters, the pump's releases, and shutdown around them.
+  // STATE atomics stay sched::Atomic (== std::atomic in production;
+  // schedule points under PD2GL_SCHEDCHECK so the checker can interleave
+  // submitters, the pump's releases, and shutdown around them). Pure
+  // tallies live in the registry counters above.
   sched::Atomic<bool> closed_{false};
   sched::Atomic<std::size_t> in_flight_snapshot_{0};
-  sched::Atomic<std::uint64_t> admitted_{0};
-  sched::Atomic<std::uint64_t> window_rejects_{0};
-  sched::Atomic<std::uint64_t> quota_rejects_{0};
-  sched::Atomic<std::uint64_t> closed_rejects_{0};
-  sched::Atomic<std::uint64_t> blocked_waits_{0};
 };
 
 }  // namespace platod2gl::serve

@@ -23,8 +23,8 @@ bool FillVertexStage(SampleReport&& report, StageOutput* stage,
 
 }  // namespace
 
-ExecOutcome PlanExecutor::ExecuteBatch(
-    const std::vector<PendingRequest>& batch) {
+ExecOutcome PlanExecutor::ExecuteBatch(std::vector<PendingRequest>& batch,
+                                       std::uint64_t start_us) {
   ExecOutcome out;
   out.responses.resize(batch.size());
   if (batch.empty()) return out;
@@ -32,6 +32,40 @@ ExecOutcome PlanExecutor::ExecuteBatch(
   // One consistent snapshot for the whole batch: the MicroBatcher's
   // write barrier waits this guard out, never interleaves with it.
   EpochCoordinator::ReadGuard guard = epochs_->PinRead();
+
+  // The batch's virtual clock: rounds serialize, so each round occupies
+  // [now_us, now_us + round_virtual_us). Span timestamps live on it.
+  std::uint64_t now_us = start_us;
+  const Partitioner& part = cluster_->partitioner();
+
+  // Emit request r's span for step j: the step span under the root, plus
+  // (for RPC-backed kinds) one kRpcShard child per shard r's own input
+  // frontier routes to, in shard order. Everything here is a pure
+  // function of r's plan and frontiers, so batched and solo executions
+  // of the same request build identical trees.
+  auto emit_step_span = [&](std::size_t r, obs::SpanKind kind, std::size_t j,
+                            const std::vector<VertexId>* shard_input,
+                            std::uint64_t items, std::uint64_t span_start,
+                            std::uint64_t span_end) {
+    PendingRequest& req = batch[r];
+    if (!req.trace) return;
+    const std::uint32_t step_span =
+        req.trace->StartSpan(kind, req.root_span, span_start,
+                             static_cast<std::uint32_t>(j), 0, items);
+    if (shard_input != nullptr) {
+      std::vector<std::uint64_t> per_shard(part.num_shards(), 0);
+      for (const VertexId v : *shard_input) ++per_shard[part.ShardOf(v)];
+      for (std::size_t s = 0; s < per_shard.size(); ++s) {
+        if (per_shard[s] == 0) continue;
+        const std::uint32_t rpc = req.trace->StartSpan(
+            obs::SpanKind::kRpcShard, step_span, span_start,
+            static_cast<std::uint32_t>(j), static_cast<std::uint32_t>(s),
+            per_shard[s]);
+        req.trace->EndSpan(rpc, span_end);
+      }
+    }
+    req.trace->EndSpan(step_span, span_end);
+  };
 
   std::size_t max_steps = 0;
   // slots[r][0] = request seeds; slots[r][j + 1] = op j's frontier.
@@ -119,6 +153,10 @@ ExecOutcome PlanExecutor::ExecuteBatch(
           stage.offsets = {0, negatives.size()};
           stage.ids = std::move(negatives);
           slots[r][j + 1] = stage.ids;
+          // Client-side: no RPC round, zero virtual duration.
+          emit_step_span(r, obs::SpanKind::kPlanNegative, j,
+                         /*shard_input=*/nullptr, stage.ids.size(), now_us,
+                         now_us);
           break;
         }
       }
@@ -126,10 +164,15 @@ ExecOutcome PlanExecutor::ExecuteBatch(
 
     if (!traverse_items.empty()) {
       MultiSampleReport multi = cluster_->TraverseMany(traverse_items);
+      const std::uint64_t round_start = now_us;
+      now_us += multi.round_virtual_us;
       out.virtual_us += multi.round_virtual_us;
       ++out.rounds;
       for (std::size_t k = 0; k < traverse_reqs.size(); ++k) {
         const std::size_t r = traverse_reqs[k];
+        emit_step_span(r, obs::SpanKind::kPlanTraverse, j,
+                       traverse_items[k].seeds, traverse_items[k].seeds->size(),
+                       round_start, now_us);
         if (FillVertexStage(std::move(multi.reports[k]),
                             &out.responses[r].stages[j], &slots[r][j + 1])) {
           degraded[r] = true;
@@ -138,10 +181,15 @@ ExecOutcome PlanExecutor::ExecuteBatch(
     }
     if (!sample_items.empty()) {
       MultiSampleReport multi = cluster_->SampleMany(sample_items);
+      const std::uint64_t round_start = now_us;
+      now_us += multi.round_virtual_us;
       out.virtual_us += multi.round_virtual_us;
       ++out.rounds;
       for (std::size_t k = 0; k < sample_reqs.size(); ++k) {
         const std::size_t r = sample_reqs[k];
+        emit_step_span(r, obs::SpanKind::kPlanSample, j,
+                       sample_items[k].seeds, sample_items[k].seeds->size(),
+                       round_start, now_us);
         if (FillVertexStage(std::move(multi.reports[k]),
                             &out.responses[r].stages[j], &slots[r][j + 1])) {
           degraded[r] = true;
@@ -150,10 +198,14 @@ ExecOutcome PlanExecutor::ExecuteBatch(
     }
     if (!gather_items.empty()) {
       MultiGatherReport multi = cluster_->GatherMany(gather_items);
+      const std::uint64_t round_start = now_us;
+      now_us += multi.round_virtual_us;
       out.virtual_us += multi.round_virtual_us;
       ++out.rounds;
       for (std::size_t k = 0; k < gather_reqs.size(); ++k) {
         const std::size_t r = gather_reqs[k];
+        emit_step_span(r, obs::SpanKind::kPlanGather, j, gather_items[k].ids,
+                       gather_items[k].ids->size(), round_start, now_us);
         StageOutput& stage = out.responses[r].stages[j];
         stage.feature_dim = multi.dim;
         stage.features = std::move(multi.reports[k].features);

@@ -22,6 +22,14 @@
 // Cost model: the returned virtual_us sums each round's virtual wall
 // time (the slowest shard RPC of the round, retries included) — the
 // batch's service time on the server's virtual clock (serve/server.h).
+//
+// Tracing: for every request carrying a sampled TraceBuilder, each plan
+// step emits one span (kind by op) under the request's root, and each
+// RPC-backed step emits one kRpcShard child per shard its OWN frontier
+// routes to (partitioner order). Span structure is therefore a pure
+// function of the request's plan and frontiers — identical batched or
+// solo (pinned in tests/test_trace.cc); timestamps advance on the
+// batch's virtual clock from `start_us`, round by round.
 #pragma once
 
 #include <cstdint>
@@ -47,8 +55,11 @@ class PlanExecutor {
   PlanExecutor(GraphCluster* cluster, EpochCoordinator* epochs)
       : cluster_(cluster), epochs_(epochs) {}
 
-  /// Execute every request in `batch` against one pinned epoch.
-  ExecOutcome ExecuteBatch(const std::vector<PendingRequest>& batch);
+  /// Execute every request in `batch` against one pinned epoch. The batch
+  /// is mutable only for its TraceBuilders (span emission); `start_us` is
+  /// the batch's virtual start time, the base for span timestamps.
+  ExecOutcome ExecuteBatch(std::vector<PendingRequest>& batch,
+                           std::uint64_t start_us = 0);
 
  private:
   GraphCluster* cluster_;

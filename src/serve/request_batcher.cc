@@ -5,8 +5,26 @@
 
 namespace platod2gl::serve {
 
-RequestBatcher::RequestBatcher(BatcherConfig config) : config_(config) {
+RequestBatcher::RequestBatcher(BatcherConfig config,
+                               obs::MetricRegistry* metrics)
+    : config_(config) {
   config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  using S = BatcherStats;
+  counters_.enqueued =
+      metrics_->BindCounter(&binding_, &S::enqueued, "pd2gl_batcher_enqueued");
+  counters_.dispatched = metrics_->BindCounter(&binding_, &S::dispatched,
+                                               "pd2gl_batcher_dispatched");
+  counters_.batches =
+      metrics_->BindCounter(&binding_, &S::batches, "pd2gl_batcher_batches");
+  counters_.shed =
+      metrics_->BindCounter(&binding_, &S::shed, "pd2gl_batcher_shed");
+  counters_.closed_rejects = metrics_->BindCounter(
+      &binding_, &S::closed_rejects, "pd2gl_batcher_closed_rejects");
 }
 
 Status RequestBatcher::Enqueue(PendingRequest req, std::uint64_t now_us) {
@@ -16,15 +34,13 @@ Status RequestBatcher::Enqueue(PendingRequest req, std::uint64_t now_us) {
   // BatcherCloseScenario in tests/test_schedcheck_scenarios.cc).
   MutexLock lock(mu_);
   if (closed()) {
-    // order: stat tallies, snapshot for reporting only
-    closed_rejects_.fetch_add(1, std::memory_order_relaxed);
+    counters_.closed_rejects->Add(1);
     return Status::Unavailable("batcher closed");
   }
   req.enqueue_us = now_us;
   queue_.push_back(std::move(req));
   depth_snapshot_.store(queue_.size(), std::memory_order_release);
-  // order: stat tallies, snapshot for reporting only
-  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  counters_.enqueued->Add(1);
   return Status::Ok();
 }
 
@@ -51,10 +67,8 @@ std::vector<PendingRequest> RequestBatcher::FormBatch(std::uint64_t now_us,
     queue_.pop_front();
   }
   depth_snapshot_.store(queue_.size(), std::memory_order_release);
-  // order: stat tallies, snapshot for reporting only
-  dispatched_.fetch_add(n, std::memory_order_relaxed);
-  // order: stat tallies, snapshot for reporting only
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  counters_.dispatched->Add(n);
+  counters_.batches->Add(1);
   return batch;
 }
 
@@ -66,8 +80,7 @@ std::optional<PendingRequest> RequestBatcher::ShedOldest(
     PendingRequest victim = std::move(*it);
     queue_.erase(it);
     depth_snapshot_.store(queue_.size(), std::memory_order_release);
-    // order: stat tallies, snapshot for reporting only
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    counters_.shed->Add(1);
     return victim;
   }
   return std::nullopt;
@@ -87,13 +100,7 @@ void RequestBatcher::Close() {
 }
 
 BatcherStats RequestBatcher::Stats() const {
-  BatcherStats s;
-  // order: stat tallies, snapshot for reporting only
-  s.enqueued = enqueued_.load(std::memory_order_relaxed);
-  s.dispatched = dispatched_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.closed_rejects = closed_rejects_.load(std::memory_order_relaxed);
+  BatcherStats s = binding_.Read();
   s.queued = Depth();
   return s;
 }

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -31,6 +32,8 @@
 #include "common/sched_hooks.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/query_plan.h"
 
 namespace platod2gl::serve {
@@ -42,6 +45,12 @@ struct PendingRequest {
   LoweredPlan plan;
   std::uint64_t arrival_us = 0;  ///< when the client submitted
   std::uint64_t enqueue_us = 0;  ///< when admission let it into the queue
+  /// Span builder when the request's trace context is sampled (null
+  /// otherwise). Rides the request through queue -> batch -> retirement;
+  /// the server finishes it into the TraceSink, and the shed path closes
+  /// every open span so an evicted request never leaks one.
+  std::unique_ptr<obs::TraceBuilder> trace;
+  std::uint32_t root_span = 0;  ///< the kServeRequest span's id
 };
 
 struct BatcherConfig {
@@ -61,7 +70,10 @@ struct BatcherStats {
 
 class RequestBatcher {
  public:
-  explicit RequestBatcher(BatcherConfig config = {});
+  /// `metrics` hosts the pd2gl_batcher_* series; the GraphServer passes
+  /// its own registry. A standalone batcher (tests) owns a private one.
+  explicit RequestBatcher(BatcherConfig config = {},
+                          obs::MetricRegistry* metrics = nullptr);
 
   RequestBatcher(const RequestBatcher&) = delete;
   RequestBatcher& operator=(const RequestBatcher&) = delete;
@@ -102,19 +114,28 @@ class RequestBatcher {
   const BatcherConfig& config() const { return config_; }
 
  private:
+  /// Registry-backed monotone tallies (pd2gl_batcher_*).
+  struct Counters {
+    obs::Counter* enqueued = nullptr;
+    obs::Counter* dispatched = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* closed_rejects = nullptr;
+  };
+
   BatcherConfig config_;
+  std::unique_ptr<obs::MetricRegistry> owned_metrics_;
+  obs::MetricRegistry* metrics_ = nullptr;
+  obs::StatsBinding<BatcherStats> binding_;
+  Counters counters_;
   mutable Mutex mu_;
   std::deque<PendingRequest> queue_ GUARDED_BY(mu_);
 
-  // sched::Atomic == std::atomic in production builds; schedule points
-  // under PD2GL_SCHEDCHECK (close-vs-enqueue scenario).
+  // STATE atomics stay sched::Atomic (schedule points under
+  // PD2GL_SCHEDCHECK — close-vs-enqueue scenario); tallies live in the
+  // registry counters above.
   sched::Atomic<bool> closed_{false};
   sched::Atomic<std::size_t> depth_snapshot_{0};
-  sched::Atomic<std::uint64_t> enqueued_{0};
-  sched::Atomic<std::uint64_t> dispatched_{0};
-  sched::Atomic<std::uint64_t> batches_{0};
-  sched::Atomic<std::uint64_t> shed_{0};
-  sched::Atomic<std::uint64_t> closed_rejects_{0};
 };
 
 }  // namespace platod2gl::serve

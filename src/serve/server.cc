@@ -11,15 +11,47 @@ GraphServer::GraphServer(GraphCluster* cluster, EpochCoordinator* epochs,
                          ServeConfig config)
     : config_(config),
       executor_(cluster, epochs),
-      admission_(config.admission),
-      batcher_(config.batcher) {
+      admission_(config.admission, &metrics_),
+      batcher_(config.batcher, &metrics_),
+      trace_sink_(std::max<std::size_t>(1, config.trace_capacity)) {
   config_.num_tenants = std::max<std::size_t>(1, config_.num_tenants);
   config_.limits.num_relations =
       std::max<std::size_t>(1, config_.limits.num_relations);
   tenant_latency_.reserve(config_.num_tenants);
   for (std::size_t t = 0; t < config_.num_tenants; ++t) {
     tenant_latency_.push_back(std::make_unique<LatencyHistogram>());
+    metrics_.RegisterExternalHistogram("pd2gl_serve_tenant_latency_nanos",
+                                       {{"tenant", std::to_string(t)}},
+                                       tenant_latency_.back().get());
   }
+  metrics_.RegisterExternalHistogram("pd2gl_serve_latency_nanos", {},
+                                     &latency_);
+  using S = ServeStats;
+  counters_.submitted =
+      metrics_.BindCounter(&binding_, &S::submitted, "pd2gl_serve_submitted");
+  counters_.completed =
+      metrics_.BindCounter(&binding_, &S::completed, "pd2gl_serve_completed");
+  counters_.ok = metrics_.BindCounter(&binding_, &S::ok, "pd2gl_serve_ok");
+  counters_.degraded =
+      metrics_.BindCounter(&binding_, &S::degraded, "pd2gl_serve_degraded");
+  counters_.shed =
+      metrics_.BindCounter(&binding_, &S::shed, "pd2gl_serve_shed");
+  counters_.invalid =
+      metrics_.BindCounter(&binding_, &S::invalid, "pd2gl_serve_invalid");
+  counters_.rejected =
+      metrics_.BindCounter(&binding_, &S::rejected, "pd2gl_serve_rejected");
+  counters_.batches =
+      metrics_.BindCounter(&binding_, &S::batches, "pd2gl_serve_batches");
+  counters_.batched_requests = metrics_.BindCounter(
+      &binding_, &S::batched_requests, "pd2gl_serve_batched_requests");
+  counters_.rpc_rounds =
+      metrics_.BindCounter(&binding_, &S::rpc_rounds, "pd2gl_serve_rpc_rounds");
+  counters_.virtual_busy_us = metrics_.BindCounter(
+      &binding_, &S::virtual_busy_us, "pd2gl_serve_virtual_busy_us");
+  counters_.slo_windows = metrics_.BindCounter(&binding_, &S::slo_windows,
+                                               "pd2gl_serve_slo_windows");
+  counters_.slo_violations = metrics_.BindCounter(
+      &binding_, &S::slo_violations, "pd2gl_serve_slo_violations");
 }
 
 void GraphServer::RetireLocked(std::uint64_t now_us, bool all) {
@@ -38,14 +70,26 @@ void GraphServer::RetireLocked(std::uint64_t now_us, bool all) {
       if (resp.tenant < tenant_latency_.size()) {
         tenant_latency_[resp.tenant]->Record(nanos);
       }
-      // order: stat tallies, snapshot for reporting only
-      completed_count_.fetch_add(1, std::memory_order_relaxed);
+      counters_.completed->Add(1);
       if (resp.status == RequestStatus::kDegraded) {
-        // order: stat tallies, snapshot for reporting only
-        degraded_.fetch_add(1, std::memory_order_relaxed);
+        counters_.degraded->Add(1);
       } else {
-        // order: stat tallies, snapshot for reporting only
-        ok_.fetch_add(1, std::memory_order_relaxed);
+        counters_.ok->Add(1);
+      }
+      if (batch.traces[i]) {
+        obs::TraceBuilder& tb = *batch.traces[i];
+        tb.EndSpan(batch.root_spans[i], batch.completion_us);
+        // SLO-exemplar candidate: keep the worst sampled latency of the
+        // current window. ">" takes the first-retired among ties, which
+        // is deterministic under the single-driver pump.
+        if (resp.latency_us > window_worst_us_ ||
+            window_exemplar_trace_ == 0) {
+          window_worst_us_ = resp.latency_us;
+          window_exemplar_trace_ = tb.trace_id();
+        }
+        trace_sink_.Publish(std::move(tb).Finish(
+            resp.tenant, resp.request_id,
+            static_cast<std::uint8_t>(resp.status)));
       }
       completed_.push_back(std::move(resp));
     }
@@ -59,19 +103,25 @@ void GraphServer::CompleteShedLocked(PendingRequest victim,
   resp.tenant = victim.request.tenant;
   resp.request_id = victim.request.request_id;
   resp.status = RequestStatus::kShed;
+  resp.trace_id = victim.request.trace.trace_id;
   resp.latency_us = now_us - victim.arrival_us;
   // Shed latencies are intentionally NOT recorded into the SLO
   // histograms: a shed is its own counted outcome, not a served latency.
-  // order: stat tallies, snapshot for reporting only
-  shed_.fetch_add(1, std::memory_order_relaxed);
-  // order: stat tallies, snapshot for reporting only
-  completed_count_.fetch_add(1, std::memory_order_relaxed);
+  counters_.shed->Add(1);
+  counters_.completed->Add(1);
+  if (victim.trace) {
+    // The victim never executed; CloseAll ends its root (and anything
+    // else still open) so the published trace leaks no open spans.
+    victim.trace->CloseAll(now_us);
+    trace_sink_.Publish(std::move(*victim.trace)
+                            .Finish(resp.tenant, resp.request_id,
+                                    static_cast<std::uint8_t>(resp.status)));
+  }
   completed_.push_back(std::move(resp));
 }
 
 Status GraphServer::Submit(QueryRequest req, std::uint64_t now_us) {
-  // order: stat tallies, snapshot for reporting only
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  counters_.submitted->Add(1);
   {
     // Free any window slots whose virtual completion the clock passed —
     // admission pressure must reflect "now", not the last Pump.
@@ -79,8 +129,7 @@ Status GraphServer::Submit(QueryRequest req, std::uint64_t now_us) {
     RetireLocked(now_us, /*all=*/false);
   }
   if (req.tenant >= config_.num_tenants) {
-    // order: stat tallies, snapshot for reporting only
-    invalid_.fetch_add(1, std::memory_order_relaxed);
+    counters_.invalid->Add(1);
     return Status::InvalidArgument("tenant " + std::to_string(req.tenant) +
                                    " >= num_tenants " +
                                    std::to_string(config_.num_tenants));
@@ -89,8 +138,7 @@ Status GraphServer::Submit(QueryRequest req, std::uint64_t now_us) {
   Status valid = ValidateAndLower(req.plan, req.seeds.size(), config_.limits,
                                   &pending.plan);
   if (!valid.ok()) {
-    // order: stat tallies, snapshot for reporting only
-    invalid_.fetch_add(1, std::memory_order_relaxed);
+    counters_.invalid->Add(1);
     return valid;
   }
 
@@ -109,8 +157,7 @@ Status GraphServer::Submit(QueryRequest req, std::uint64_t now_us) {
         return Status::Unavailable("server closed");
       }
       if (v != AdmissionController::Verdict::kAdmitted) {
-        // order: stat tallies, snapshot for reporting only
-        rejected_.fetch_add(1, std::memory_order_relaxed);
+        counters_.rejected->Add(1);
         return Status::ResourceExhausted(
             v == AdmissionController::Verdict::kWindowFull
                 ? "admission window full"
@@ -137,8 +184,7 @@ Status GraphServer::Submit(QueryRequest req, std::uint64_t now_us) {
         if (!victim.has_value()) {
           // Nothing sheddable (the window is held by executing batches):
           // fall back to a counted reject.
-          // order: stat tallies, snapshot for reporting only
-          rejected_.fetch_add(1, std::memory_order_relaxed);
+          counters_.rejected->Add(1);
           return Status::ResourceExhausted(
               "admission window full of in-flight work");
         }
@@ -150,8 +196,28 @@ Status GraphServer::Submit(QueryRequest req, std::uint64_t now_us) {
   }
 
   const std::uint32_t tenant = req.tenant;
+  // Trace identity: derive a deterministic sampled context at the door
+  // when the caller didn't bring one over wire v2. The id is pure in the
+  // request identity (tenant, request_id, rng_seed) — no global sequence,
+  // no wall clock — so batched/solo/retried executions agree.
+  obs::TraceContext ctx = req.trace;
+  std::uint32_t root_parent = obs::kNoParentSpan;
+  if (ctx.unset()) {
+    ctx.trace_id =
+        obs::DeriveTraceId(req.tenant, req.request_id, req.rng_seed);
+    ctx.flags = obs::TraceContext::kSampled;
+  } else {
+    root_parent = ctx.parent_span;
+  }
+  req.trace = ctx;
   pending.request = std::move(req);
   pending.arrival_us = now_us;
+  if (ctx.sampled()) {
+    pending.trace = std::make_unique<obs::TraceBuilder>(ctx.trace_id);
+    pending.root_span = pending.trace->StartSpan(
+        obs::SpanKind::kServeRequest, root_parent, now_us, 0, 0,
+        pending.request.seeds.size());
+  }
   Status queued = batcher_.Enqueue(std::move(pending), now_us);
   if (!queued.ok()) {
     // Closed between admission and enqueue: hand the slot back.
@@ -167,7 +233,7 @@ std::size_t GraphServer::DispatchLocked(std::uint64_t now_us, bool force) {
     std::vector<PendingRequest> batch = batcher_.FormBatch(now_us, force);
     if (batch.empty()) break;
     const std::uint64_t start = std::max(now_us, busy_until_us_);
-    ExecOutcome exec = executor_.ExecuteBatch(batch);
+    ExecOutcome exec = executor_.ExecuteBatch(batch, start);
     const std::uint64_t completion = start + exec.virtual_us;
     busy_until_us_ = completion;
     busy_until_snapshot_.store(completion, std::memory_order_release);
@@ -176,22 +242,23 @@ std::size_t GraphServer::DispatchLocked(std::uint64_t now_us, bool force) {
     in_flight.completion_us = completion;
     in_flight.seq = next_batch_seq_++;
     in_flight.tenants.reserve(batch.size());
+    in_flight.traces.reserve(batch.size());
+    in_flight.root_spans.reserve(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       exec.responses[i].latency_us = completion - batch[i].arrival_us;
+      exec.responses[i].trace_id = batch[i].request.trace.trace_id;
       in_flight.tenants.push_back(batch[i].request.tenant);
+      in_flight.traces.push_back(std::move(batch[i].trace));
+      in_flight.root_spans.push_back(batch[i].root_span);
     }
     in_flight.responses = std::move(exec.responses);
     in_flight_.push(std::move(in_flight));
 
     dispatched += batch.size();
-    // order: stat tallies, snapshot for reporting only
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    // order: stat tallies, snapshot for reporting only
-    batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
-    // order: stat tallies, snapshot for reporting only
-    rpc_rounds_.fetch_add(exec.rounds, std::memory_order_relaxed);
-    // order: stat tallies, snapshot for reporting only
-    virtual_busy_us_.fetch_add(exec.virtual_us, std::memory_order_relaxed);
+    counters_.batches->Add(1);
+    counters_.batched_requests->Add(batch.size());
+    counters_.rpc_rounds->Add(exec.rounds);
+    counters_.virtual_busy_us->Add(exec.virtual_us);
   }
   return dispatched;
 }
@@ -235,31 +302,21 @@ SloReport GraphServer::EndSloWindow() {
   report.violated = config_.slo_target_p99_us > 0 && report.count > 0 &&
                     report.p99_us >
                         static_cast<double>(config_.slo_target_p99_us);
-  // order: stat tallies, snapshot for reporting only
-  slo_windows_.fetch_add(1, std::memory_order_relaxed);
   if (report.violated) {
-    // order: stat tallies, snapshot for reporting only
-    slo_violations_.fetch_add(1, std::memory_order_relaxed);
+    report.exemplar_trace_id = window_exemplar_trace_;
+  }
+  // The exemplar trackers are per-window: reset at every cut.
+  window_worst_us_ = 0;
+  window_exemplar_trace_ = 0;
+  counters_.slo_windows->Add(1);
+  if (report.violated) {
+    counters_.slo_violations->Add(1);
   }
   return report;
 }
 
 ServeStats GraphServer::Stats() const {
-  ServeStats s;
-  // order: stat tallies, snapshot for reporting only
-  s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.completed = completed_count_.load(std::memory_order_relaxed);
-  s.ok = ok_.load(std::memory_order_relaxed);
-  s.degraded = degraded_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.invalid = invalid_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
-  s.rpc_rounds = rpc_rounds_.load(std::memory_order_relaxed);
-  s.virtual_busy_us = virtual_busy_us_.load(std::memory_order_relaxed);
-  s.slo_windows = slo_windows_.load(std::memory_order_relaxed);
-  s.slo_violations = slo_violations_.load(std::memory_order_relaxed);
+  ServeStats s = binding_.Read();
   s.admission = admission_.Stats();
   s.batcher = batcher_.Stats();
   return s;

@@ -23,6 +23,14 @@
 // Latencies feed one global and per-tenant LatencyHistograms; SLO windows
 // are cut race-free with HistogramSnapshot::DeltaSince (never Reset()).
 //
+// Observability: the server owns an obs::MetricRegistry covering its own
+// counters plus the admission and batcher series, and an obs::TraceSink
+// of completed request traces. Every request gets a deterministic trace
+// context at the door (unless the caller propagated one over wire v2);
+// spans open at Submit, fan out through the executor per plan step and
+// shard, and close at retirement — all on the virtual clock. EndSloWindow
+// attaches the window's worst-latency trace id to a violated report.
+//
 // Threading: Submit may be called from many client threads; Pump/Drain
 // from one driver. Everything deterministic in the tests/bench runs on a
 // single driver thread, which makes admission and shed outcomes a pure
@@ -41,6 +49,8 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "dist/cluster.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/epoch_coordinator.h"
 #include "serve/admission.h"
 #include "serve/executor.h"
@@ -56,6 +66,8 @@ struct ServeConfig {
   std::size_t num_tenants = 4;
   /// p99 target per SLO window in virtual microseconds; 0 = untracked.
   std::uint64_t slo_target_p99_us = 0;
+  /// Completed traces retained in the server's TraceSink ring.
+  std::size_t trace_capacity = 128;
 };
 
 /// One SLO window cut by EndSloWindow(): interval percentiles over the
@@ -65,6 +77,10 @@ struct SloReport {
   double p50_us = 0.0;
   double p99_us = 0.0;
   bool violated = false;  ///< count > 0 and p99 above the configured target
+  /// Attached iff `violated`: the worst-latency sampled trace retired in
+  /// this window — the execution record of (one of) the requests that
+  /// blew the tail. Look it up via traces().Find or `pd2gl trace`.
+  std::uint64_t exemplar_trace_id = 0;
 };
 
 /// Monotonic counters + point-in-time queue/window snapshots; admission
@@ -142,6 +158,15 @@ class GraphServer {
   AdmissionController& admission() { return admission_; }
   RequestBatcher& batcher() { return batcher_; }
 
+  /// The serving stack's registry: pd2gl_serve_* counters, the latency
+  /// histograms (global + {tenant="t"}), and the admission/batcher series
+  /// (registered here, not in private registries).
+  obs::MetricRegistry& metrics() { return metrics_; }
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+  /// Completed traces, newest-`trace_capacity` retained.
+  obs::TraceSink& traces() { return trace_sink_; }
+  const obs::TraceSink& traces() const { return trace_sink_; }
+
  private:
   /// A batch whose virtual execution is still in flight: it holds its
   /// admission slots until the clock passes `completion_us`.
@@ -150,6 +175,10 @@ class GraphServer {
     std::uint64_t seq = 0;  ///< dispatch order, the deterministic tiebreak
     std::vector<QueryResponse> responses;
     std::vector<std::uint32_t> tenants;
+    /// Parallel to `responses`: the still-open trace of each request
+    /// (null when untraced) and its root span, closed at retirement.
+    std::vector<std::unique_ptr<obs::TraceBuilder>> traces;
+    std::vector<std::uint32_t> root_spans;
   };
   struct LaterCompletion {
     bool operator()(const InFlightBatch& a, const InFlightBatch& b) const {
@@ -170,10 +199,33 @@ class GraphServer {
   void CompleteShedLocked(PendingRequest victim, std::uint64_t now_us)
       REQUIRES(mu_);
 
+  /// Registry-backed monotone tallies (pd2gl_serve_*).
+  struct Counters {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* ok = nullptr;
+    obs::Counter* degraded = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* invalid = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* batched_requests = nullptr;
+    obs::Counter* rpc_rounds = nullptr;
+    obs::Counter* virtual_busy_us = nullptr;
+    obs::Counter* slo_windows = nullptr;
+    obs::Counter* slo_violations = nullptr;
+  };
+
   ServeConfig config_;
+  // Declared before admission_/batcher_ so the registry outlives every
+  // series they register into it.
+  obs::MetricRegistry metrics_;
   PlanExecutor executor_;
   AdmissionController admission_;
   RequestBatcher batcher_;
+  obs::TraceSink trace_sink_;
+  obs::StatsBinding<ServeStats> binding_;
+  Counters counters_;
 
   mutable Mutex mu_;
   std::uint64_t busy_until_us_ GUARDED_BY(mu_) = 0;
@@ -183,26 +235,17 @@ class GraphServer {
       in_flight_ GUARDED_BY(mu_);
   std::vector<QueryResponse> completed_ GUARDED_BY(mu_);
   HistogramSnapshot slo_window_base_ GUARDED_BY(mu_);
+  /// SLO-exemplar tracking, reset every EndSloWindow cut: the worst
+  /// retired latency this window and the trace that recorded it.
+  std::uint64_t window_worst_us_ GUARDED_BY(mu_) = 0;
+  std::uint64_t window_exemplar_trace_ GUARDED_BY(mu_) = 0;
 
   LatencyHistogram latency_;
   std::vector<std::unique_ptr<LatencyHistogram>> tenant_latency_;
 
-  // sched::Atomic == std::atomic in production builds; schedule points
-  // under PD2GL_SCHEDCHECK.
+  // STATE atomic (schedule point under PD2GL_SCHEDCHECK); the former
+  // tally atomics live in the registry counters above.
   sched::Atomic<std::uint64_t> busy_until_snapshot_{0};
-  sched::Atomic<std::uint64_t> submitted_{0};
-  sched::Atomic<std::uint64_t> completed_count_{0};
-  sched::Atomic<std::uint64_t> ok_{0};
-  sched::Atomic<std::uint64_t> degraded_{0};
-  sched::Atomic<std::uint64_t> shed_{0};
-  sched::Atomic<std::uint64_t> invalid_{0};
-  sched::Atomic<std::uint64_t> rejected_{0};
-  sched::Atomic<std::uint64_t> batches_{0};
-  sched::Atomic<std::uint64_t> batched_requests_{0};
-  sched::Atomic<std::uint64_t> rpc_rounds_{0};
-  sched::Atomic<std::uint64_t> virtual_busy_us_{0};
-  sched::Atomic<std::uint64_t> slo_windows_{0};
-  sched::Atomic<std::uint64_t> slo_violations_{0};
 };
 
 }  // namespace platod2gl::serve

@@ -8,12 +8,13 @@
 //   * any crash, sanitizer report, or runaway allocation is a real bug
 //     (exact bounds checks before any allocation, full consumption
 //     required);
-//   * every kOk decode must re-encode (at the current wire version) and
-//     re-decode to the identical bytes — decode is a hard reject or a
-//     full parse, never partial;
+//   * every kOk decode must re-encode (at the payload's own accepted
+//     version — the serving protocol spans [kMinServeWireVersion,
+//     kServeWireVersion]) and re-decode to the identical bytes — decode
+//     is a hard reject or a full parse, never partial;
 //   * kUnsupportedVersion may only be reported when the payload actually
-//     contains a version byte under a recognised tag, and never for the
-//     current version.
+//     contains a version byte under a recognised tag, and never for a
+//     version inside the supported range.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -39,19 +40,23 @@ void Exercise(const std::string& payload, DecodeFn decode, EncodeFn encode) {
   const wire::DecodeResult r = decode(payload, &msg);
   if (r == wire::DecodeResult::kUnsupportedVersion) {
     Require(payload.size() >= 2, "version verdict from a tagless stub");
-    Require(payload[1] != static_cast<char>(wire::kServeWireVersion),
-            "current version reported as unsupported");
+    const std::uint8_t v = static_cast<std::uint8_t>(payload[1]);
+    Require(v < wire::kMinServeWireVersion || v > wire::kServeWireVersion,
+            "supported version reported as unsupported");
     return;
   }
   if (r != wire::DecodeResult::kOk) return;
-  const std::string enc = encode(msg, wire::kServeWireVersion);
+  // Re-encode at the version the payload itself carried (v1 payloads are
+  // shorter — they have no trace fields — so re-encoding at the current
+  // version would flag every accepted v1 message as a partial parse).
+  const std::uint8_t version = static_cast<std::uint8_t>(payload[1]);
+  const std::string enc = encode(msg, version);
   Msg again;
   Require(decode(enc, &again) == wire::DecodeResult::kOk, "re-decode");
   // Compare re-encoded bytes, not structs: mutated payloads can carry
   // NaN feature floats, and NaN != NaN would fail a field-wise compare
   // for a perfectly faithful round trip.
-  Require(encode(again, wire::kServeWireVersion) == enc,
-          "round-trip mismatch");
+  Require(encode(again, version) == enc, "round-trip mismatch");
   Require(enc.size() == payload.size(), "partial parse slipped through");
 }
 

@@ -1,0 +1,53 @@
+// Fuzz harness for the trace-context wire codec (dist/wire.cc; libFuzzer
+// ABI — see fuzz_driver.cc for the GCC fallback driver).
+//
+// The whole input is the wire payload (a single 15-byte fixed-layout
+// message — no selector byte needed). The context rides inside every v2
+// QueryRequest and can also be attached out of band, so it crosses the
+// same trust boundary as the serving messages and gets the same oracle:
+//   * any crash, sanitizer report, or runaway allocation is a real bug;
+//   * every kOk decode must re-encode to the identical bytes — the
+//     layout is fixed-size, so a partial parse cannot hide;
+//   * kUnsupportedVersion may only be reported when the payload actually
+//     carries the 'T' tag plus a version byte, and never for the current
+//     version.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dist/wire.h"
+
+namespace {
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_trace oracle failed: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace wire = platod2gl::wire;
+  const std::string payload(reinterpret_cast<const char*>(data), size);
+  platod2gl::obs::TraceContext ctx;
+  const wire::DecodeResult r = wire::DecodeTraceContext(payload, &ctx);
+  if (r == wire::DecodeResult::kUnsupportedVersion) {
+    Require(payload.size() >= 2 && payload[0] == 'T',
+            "version verdict from a tagless stub");
+    Require(payload[1] != static_cast<char>(wire::kTraceWireVersion),
+            "current version reported as unsupported");
+    return 0;
+  }
+  if (r != wire::DecodeResult::kOk) return 0;
+  const std::string enc = wire::EncodeTraceContext(ctx);
+  Require(enc == payload, "round-trip mismatch");
+  platod2gl::obs::TraceContext again;
+  Require(wire::DecodeTraceContext(enc, &again) == wire::DecodeResult::kOk,
+          "re-decode");
+  Require(again == ctx, "re-decode value mismatch");
+  return 0;
+}

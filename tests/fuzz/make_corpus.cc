@@ -173,6 +173,9 @@ void MakeServeCorpus(const std::filesystem::path& dir) {
   req.tenant = 2;
   req.request_id = 77;
   req.rng_seed = 0xBEEF;
+  req.trace.trace_id = 0x5EEDBEEF12345678ULL;
+  req.trace.parent_span = 3;
+  req.trace.flags = platod2gl::obs::TraceContext::kSampled;
   req.seeds = {1, 2, 3, 42};
   req.plan.Sample(/*fanout=*/8, /*weighted=*/true)
       .Sample(/*fanout=*/4, /*weighted=*/false, /*input=*/0)
@@ -182,9 +185,12 @@ void MakeServeCorpus(const std::filesystem::path& dir) {
   WriteFile(dir / "query_request.bin",
             Tagged('\x00', wire::EncodeQueryRequest(req)));
   // Version negotiation is part of the format surface: a "future" client
-  // seeds the boundary between kUnsupportedVersion and kMalformed.
+  // seeds the boundary between kUnsupportedVersion and kMalformed, and a
+  // v1 (pre-trace) client pins the still-supported back-compat layout.
   WriteFile(dir / "query_request_v99.bin",
             Tagged('\x00', wire::EncodeQueryRequest(req, 99)));
+  WriteFile(dir / "query_request_v1.bin",
+            Tagged('\x00', wire::EncodeQueryRequest(req, 1)));
 
   serve::QueryRequest tiny;
   tiny.tenant = 0;
@@ -200,6 +206,7 @@ void MakeServeCorpus(const std::filesystem::path& dir) {
   resp.request_id = 77;
   resp.status = serve::RequestStatus::kOk;
   resp.epoch = 12;
+  resp.trace_id = 0x5EEDBEEF12345678ULL;
   serve::StageOutput frontier;
   frontier.ids = {10, 11, 12, 20, 21};
   frontier.offsets = {0, 3, 5};
@@ -219,8 +226,29 @@ void MakeServeCorpus(const std::filesystem::path& dir) {
   shed.epoch = 0;
   WriteFile(dir / "query_response_shed.bin",
             Tagged('\x01', wire::EncodeQueryResponse(shed)));
+  WriteFile(dir / "query_response_v1.bin",
+            Tagged('\x01', wire::EncodeQueryResponse(resp, 1)));
 
   WriteFile(dir / "empty_payload.bin", "\x01");
+}
+
+void MakeTraceCorpus(const std::filesystem::path& dir) {
+  namespace wire = platod2gl::wire;
+
+  platod2gl::obs::TraceContext ctx;
+  ctx.trace_id = 0x123456789ABCDEF0ULL;
+  ctx.parent_span = 17;
+  ctx.flags = platod2gl::obs::TraceContext::kSampled;
+  WriteFile(dir / "trace_context.bin", wire::EncodeTraceContext(ctx));
+
+  platod2gl::obs::TraceContext unset;
+  WriteFile(dir / "trace_context_unset.bin", wire::EncodeTraceContext(unset));
+
+  // Version negotiation boundary seed (a "future" peer).
+  WriteFile(dir / "trace_context_v99.bin", wire::EncodeTraceContext(ctx, 99));
+
+  WriteFile(dir / "empty_payload.bin", "");
+  WriteFile(dir / "tag_only.bin", "T");
 }
 
 void MakeWalCorpus(const std::filesystem::path& dir) {
@@ -249,7 +277,7 @@ int main(int argc, char** argv) {
   }
   const std::filesystem::path root = argv[1];
   for (const char* sub : {"wire", "replication", "checkpoint", "wal",
-                          "serve"}) {
+                          "serve", "trace"}) {
     std::filesystem::create_directories(root / sub);
   }
   std::printf("wire:\n");
@@ -262,5 +290,7 @@ int main(int argc, char** argv) {
   MakeWalCorpus(root / "wal");
   std::printf("serve:\n");
   MakeServeCorpus(root / "serve");
+  std::printf("trace:\n");
+  MakeTraceCorpus(root / "trace");
   return 0;
 }

@@ -1,0 +1,353 @@
+// MetricRegistry / exporter / profiling tests (DESIGN.md §15,
+// docs/observability.md): idempotent registration with normalized labels,
+// race-free sorted snapshots, StatsBinding as the one shared fill loop,
+// cross-registry MergeFrom, the Prometheus/JSON exporters, the
+// compile-away profiling sites, and the end-to-end contract that every
+// subsystem's legacy Stats() struct mirrors its registry series exactly.
+// Labels: obs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/thread_pool.h"
+#include "dist/cluster.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "pipeline/epoch_coordinator.h"
+#include "pipeline/micro_batcher.h"
+#include "pipeline/update_ingestor.h"
+#include "serve/server.h"
+#include "storage/graph_store.h"
+
+namespace platod2gl {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Label;
+using obs::Labels;
+using obs::MetricKind;
+using obs::MetricPoint;
+using obs::MetricRegistry;
+using obs::RegistrySnapshot;
+using obs::StatsBinding;
+
+// ---------------------------------------------------------------------------
+// Registration semantics.
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, RegistrationIsIdempotent) {
+  MetricRegistry reg;
+  Counter* a = reg.RegisterCounter("pd2gl_test_total");
+  Counter* b = reg.RegisterCounter("pd2gl_test_total");
+  EXPECT_EQ(a, b) << "same (name, labels) must return the same instance";
+  EXPECT_EQ(reg.NumSeries(), 1u);
+
+  Counter* labelled =
+      reg.RegisterCounter("pd2gl_test_total", {{"shard", "0"}});
+  EXPECT_NE(labelled, a) << "labels discriminate series";
+  EXPECT_EQ(reg.NumSeries(), 2u);
+
+  a->Add(3);
+  EXPECT_EQ(b->Value(), 3u);
+  EXPECT_EQ(labelled->Value(), 0u);
+}
+
+TEST(RegistryTest, LabelOrderIsNormalized) {
+  MetricRegistry reg;
+  Counter* x =
+      reg.RegisterCounter("pd2gl_test_x", {{"b", "2"}, {"a", "1"}});
+  Counter* y =
+      reg.RegisterCounter("pd2gl_test_x", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(reg.NumSeries(), 1u);
+
+  // Snapshot lookups are order-independent too.
+  x->Add(7);
+  const RegistrySnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.Value("pd2gl_test_x", {{"b", "2"}, {"a", "1"}}), 7u);
+  EXPECT_EQ(snap.Value("pd2gl_test_x", {{"a", "1"}, {"b", "2"}}), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots: sorted, queryable, race-free copies.
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, SnapshotIsSortedAndQueryable) {
+  MetricRegistry reg;
+  reg.RegisterCounter("pd2gl_b_total")->Add(2);
+  reg.RegisterCounter("pd2gl_a_total")->Add(1);
+  reg.RegisterGauge("pd2gl_depth")->Set(9);
+  reg.RegisterCounter("pd2gl_a_total", {{"shard", "1"}})->Add(4);
+
+  const RegistrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.points.size(), 4u);
+  for (std::size_t i = 1; i < snap.points.size(); ++i) {
+    EXPECT_LE(snap.points[i - 1].name, snap.points[i].name)
+        << "snapshot must sort by name";
+  }
+  EXPECT_EQ(snap.Value("pd2gl_a_total"), 1u);
+  EXPECT_EQ(snap.Value("pd2gl_a_total", {{"shard", "1"}}), 4u);
+  EXPECT_EQ(snap.Value("pd2gl_depth"), 9u);
+  EXPECT_EQ(snap.Value("pd2gl_missing"), 0u) << "absent series reads as 0";
+  EXPECT_EQ(snap.Find("pd2gl_missing"), nullptr);
+
+  // The snapshot is a copy: later increments don't retro-edit it.
+  reg.RegisterCounter("pd2gl_a_total")->Add(100);
+  EXPECT_EQ(snap.Value("pd2gl_a_total"), 1u);
+  EXPECT_EQ(reg.Snapshot().Value("pd2gl_a_total"), 101u);
+}
+
+TEST(RegistryTest, SumAcrossLabelsFoldsPerShardSeries) {
+  MetricRegistry reg;
+  for (int s = 0; s < 3; ++s) {
+    reg.RegisterCounter("pd2gl_shard_work", {{"shard", std::to_string(s)}})
+        ->Add(static_cast<std::uint64_t>(s + 1));
+  }
+  const RegistrySnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.SumAcrossLabels("pd2gl_shard_work"), 6u);
+  EXPECT_EQ(snap.SumAcrossLabels("pd2gl_absent"), 0u);
+}
+
+TEST(RegistryTest, ExternalSeriesRideTheSameExportPath) {
+  // Borrowed series: the metric objects live in the subsystem (the
+  // SampleCache pattern), the registry only exports them.
+  Counter hits;
+  LatencyHistogram lat;
+  MetricRegistry reg;
+  reg.RegisterExternalCounter("pd2gl_ext_hits", {}, &hits);
+  reg.RegisterExternalHistogram("pd2gl_ext_nanos", {}, &lat);
+
+  hits.Add(5);
+  lat.Record(1000);
+  lat.Record(2000);
+
+  const RegistrySnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.Value("pd2gl_ext_hits"), 5u);
+  EXPECT_EQ(snap.Hist("pd2gl_ext_nanos").Count(), 2u);
+}
+
+TEST(RegistryTest, StatsBindingIsTheOneFillLoop) {
+  struct LocalStats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+  };
+  MetricRegistry reg;
+  StatsBinding<LocalStats> binding;
+  Counter* reads =
+      reg.BindCounter(&binding, &LocalStats::reads, "pd2gl_local_reads");
+  Counter* writes =
+      reg.BindCounter(&binding, &LocalStats::writes, "pd2gl_local_writes");
+  reads->Add(11);
+  writes->Add(22);
+  const LocalStats s = binding.Read();
+  EXPECT_EQ(s.reads, 11u);
+  EXPECT_EQ(s.writes, 22u);
+}
+
+// ---------------------------------------------------------------------------
+// MergeFrom: exporting several subsystem registries as one page.
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, MergeFromSumsMatchesAndAppendsRest) {
+  MetricRegistry a, b;
+  a.RegisterCounter("pd2gl_shared_total")->Add(2);
+  b.RegisterCounter("pd2gl_shared_total")->Add(3);
+  a.RegisterHistogram("pd2gl_shared_nanos")->Record(100);
+  b.RegisterHistogram("pd2gl_shared_nanos")->Record(200);
+  a.RegisterGauge("pd2gl_depth")->Set(1);
+  b.RegisterGauge("pd2gl_depth")->Set(8);
+  b.RegisterCounter("pd2gl_only_b_total")->Add(7);
+
+  RegistrySnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  EXPECT_EQ(merged.Value("pd2gl_shared_total"), 5u) << "counters sum";
+  EXPECT_EQ(merged.Hist("pd2gl_shared_nanos").Count(), 2u)
+      << "histogram buckets merge";
+  EXPECT_EQ(merged.Value("pd2gl_depth"), 8u) << "gauges take the other side";
+  EXPECT_EQ(merged.Value("pd2gl_only_b_total"), 7u) << "unmatched appended";
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+// ---------------------------------------------------------------------------
+
+TEST(ExportTest, PrometheusTextRendersFamiliesLabelsAndBuckets) {
+  MetricRegistry reg;
+  reg.RegisterCounter("pd2gl_reqs_total", {{"tenant", "3"}})->Add(9);
+  reg.RegisterGauge("pd2gl_queue_depth")->Set(4);
+  reg.RegisterHistogram("pd2gl_lat_nanos")->Record(1500);
+
+  const std::string text = obs::ToPrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("# TYPE pd2gl_reqs_total counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pd2gl_reqs_total{tenant=\"3\"} 9"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE pd2gl_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("pd2gl_queue_depth 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pd2gl_lat_nanos histogram"), std::string::npos);
+  EXPECT_NE(text.find("pd2gl_lat_nanos_bucket{le=\""), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("pd2gl_lat_nanos_count 1"), std::string::npos);
+}
+
+TEST(ExportTest, JsonCarriesEverySeries) {
+  MetricRegistry reg;
+  reg.RegisterCounter("pd2gl_reqs_total", {{"tenant", "3"}})->Add(9);
+  reg.RegisterHistogram("pd2gl_lat_nanos")->Record(1500);
+
+  const std::string json = obs::ToJson(reg.Snapshot());
+  EXPECT_NE(json.find("\"pd2gl_reqs_total\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tenant\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"pd2gl_lat_nanos\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Profiling sites: present in every build, recording only when enabled.
+// ---------------------------------------------------------------------------
+
+TEST(ProfileTest, SitesAreNamedAndSnapshotExports) {
+  const RegistrySnapshot before = obs::ProfileSnapshot();
+  ASSERT_EQ(before.points.size(),
+            static_cast<std::size_t>(obs::ProfileSite::kNumSites));
+  for (const MetricPoint& p : before.points) {
+    EXPECT_EQ(p.name.rfind("pd2gl_profile_", 0), 0u) << p.name;
+    EXPECT_EQ(p.kind, MetricKind::kHistogram);
+    if (!obs::ProfilingEnabled()) {
+      // Default build: the macro compiles away; nothing in this process
+      // (including the hot paths other tests exercised) may have
+      // recorded into the site histograms.
+      EXPECT_EQ(p.hist.Count(), 0u) << p.name;
+    }
+  }
+  for (std::uint8_t s = 0;
+       s < static_cast<std::uint8_t>(obs::ProfileSite::kNumSites); ++s) {
+    EXPECT_NE(obs::ProfileSiteName(static_cast<obs::ProfileSite>(s)),
+              nullptr);
+  }
+
+  // The histograms themselves are always live (the macro is what
+  // compiles away), so a direct Record shows up in the next snapshot.
+  obs::ProfileHistogram(obs::ProfileSite::kSamtreeDescent).Record(500);
+  const RegistrySnapshot after = obs::ProfileSnapshot();
+  bool saw = false;
+  for (const MetricPoint& p : after.points) {
+    if (p.hist.Count() > 0) saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+// ---------------------------------------------------------------------------
+// Subsystem contract: legacy Stats() structs mirror the registry.
+// ---------------------------------------------------------------------------
+
+TEST(SubsystemRegistryTest, ServerStatsMirrorItsRegistry) {
+  ClusterConfig ccfg;
+  ccfg.num_shards = 2;
+  GraphCluster cluster(ccfg);
+  for (VertexId v = 0; v < 50; ++v) {
+    cluster.Apply({UpdateKind::kInsert, Edge{v, (v + 1) % 50, 1.0, 0}});
+  }
+  EpochCoordinator epochs;
+  serve::ServeConfig cfg;
+  cfg.batcher.max_batch = 2;
+  serve::GraphServer server(&cluster, &epochs, cfg);
+
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    serve::QueryRequest req;
+    req.tenant = i % 2;
+    req.request_id = i;
+    req.rng_seed = 100 + i;
+    req.seeds = {i, i + 1};
+    req.plan.Sample(2);
+    ASSERT_TRUE(server.Submit(req, 0).ok());
+  }
+  server.Drain(0);
+
+  const serve::ServeStats s = server.Stats();
+  const RegistrySnapshot snap = server.metrics().Snapshot();
+  EXPECT_EQ(snap.Value("pd2gl_serve_submitted"), s.submitted);
+  EXPECT_EQ(snap.Value("pd2gl_serve_completed"), s.completed);
+  EXPECT_EQ(snap.Value("pd2gl_serve_batches"), s.batches);
+  EXPECT_EQ(snap.Value("pd2gl_serve_rpc_rounds"), s.rpc_rounds);
+  // The admission and batcher series live in the SAME registry — one
+  // page tells the whole serving story.
+  EXPECT_EQ(snap.Value("pd2gl_admission_admitted"), s.admission.admitted);
+  EXPECT_EQ(snap.Value("pd2gl_batcher_enqueued"), s.batcher.enqueued);
+  EXPECT_EQ(snap.Value("pd2gl_batcher_dispatched"), s.batcher.dispatched);
+  // The latency histograms are registered too (global + per-tenant).
+  EXPECT_EQ(snap.Hist("pd2gl_serve_latency_nanos").Count(),
+            server.latency().Count());
+  EXPECT_EQ(
+      snap.Hist("pd2gl_serve_tenant_latency_nanos", {{"tenant", "0"}})
+          .Count(),
+      server.tenant_latency(0)->Count());
+}
+
+TEST(SubsystemRegistryTest, ClusterPerShardSeriesAccumulate) {
+  ClusterConfig ccfg;
+  ccfg.num_shards = 4;
+  GraphCluster cluster(ccfg);
+  for (VertexId v = 0; v < 100; ++v) {
+    for (std::uint64_t k = 1; k <= 4; ++k) {
+      cluster.Apply(
+          {UpdateKind::kInsert, Edge{v, (v * 3 + k) % 100, 1.0, 0}});
+    }
+  }
+  std::vector<VertexId> seeds(32);
+  for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = i * 3;
+  cluster.SampleNeighbors(seeds, /*fanout=*/4, /*weighted=*/true,
+                          /*rng_seed=*/7);
+
+  const ClusterStats s = cluster.stats();
+  const RegistrySnapshot snap = cluster.metrics().Snapshot();
+  EXPECT_EQ(snap.Value("pd2gl_cluster_rpcs"), s.rpcs);
+  EXPECT_EQ(snap.SumAcrossLabels("pd2gl_shard_sample_seeds"), seeds.size())
+      << "per-shard seed counts fold back to the request total";
+  // Every shard that received seeds has its own labelled series.
+  std::size_t shards_hit = 0;
+  for (const MetricPoint& p : snap.points) {
+    if (p.name == "pd2gl_shard_sample_seeds" && p.value > 0) ++shards_hit;
+  }
+  EXPECT_GT(shards_hit, 1u) << "32 seeds over 4 shards hit several shards";
+}
+
+TEST(SubsystemRegistryTest, PipelineSharesOneRegistry) {
+  // Ingestor and micro-batcher registered into ONE registry: the whole
+  // ingest pipeline exports as a single page.
+  MetricRegistry reg;
+  GraphStore graph;
+  ThreadPool pool(2);
+  EpochCoordinator epochs;
+  UpdateIngestor ingestor(IngestorConfig{}, &reg);
+  MicroBatcher batcher(&graph, &pool, &ingestor, &epochs, /*log=*/nullptr,
+                       MicroBatcherConfig{}, &reg);
+
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        ingestor.OfferInsert(i + 1, Edge{i, i + 1, 1.0, 0}).ok());
+  }
+  batcher.Flush();
+
+  const IngestorStats is = ingestor.Stats();
+  const MicroBatcherStats bs = batcher.Stats();
+  const RegistrySnapshot snap = reg.Snapshot();
+  EXPECT_EQ(is.accepted, 10u);
+  EXPECT_EQ(snap.Value("pd2gl_ingest_accepted"), is.accepted);
+  EXPECT_EQ(snap.Value("pd2gl_micro_batcher_updates_ingested"),
+            bs.updates_ingested);
+  EXPECT_EQ(snap.Value("pd2gl_micro_batcher_updates_applied"),
+            bs.updates_applied);
+  EXPECT_EQ(snap.Value("pd2gl_micro_batcher_batches_applied"),
+            bs.batches_applied);
+  EXPECT_GT(snap.Value("pd2gl_micro_batcher_updates_applied"), 0u);
+}
+
+}  // namespace
+}  // namespace platod2gl

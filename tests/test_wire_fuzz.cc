@@ -478,6 +478,9 @@ serve::QueryRequest MakeQuery() {
   req.tenant = 3;
   req.request_id = 1234;
   req.rng_seed = 0xABCDEF;
+  req.trace.trace_id = 0xDEADBEEFCAFEULL;
+  req.trace.parent_span = 42;
+  req.trace.flags = obs::TraceContext::kSampled;
   req.seeds = {1, 99, 12345678901234ULL};
   req.plan.Sample(/*fanout=*/8, /*weighted=*/true)
       .NegativeSample(/*count=*/16, /*range_lo=*/0, /*range_hi=*/1000,
@@ -492,6 +495,7 @@ serve::QueryResponse MakeQueryResponse() {
   resp.request_id = 1234;
   resp.status = serve::RequestStatus::kDegraded;
   resp.epoch = 7;
+  resp.trace_id = 0xDEADBEEFCAFEULL;
   serve::StageOutput frontier;
   frontier.ids = {5, 6, 7, 100, 101};
   frontier.offsets = {0, 3, 3, 5};  // middle seed empty
@@ -583,8 +587,32 @@ TEST(ServeWireFuzzTest, AbsurdCountsAreRejectedWithoutAllocating) {
   }
 }
 
+TEST(ServeWireFuzzTest, V1MessagesStillDecode) {
+  // Wire v2 added the trace fields; a v1 peer's messages must keep
+  // decoding — with an unset trace context — and the v1 byte layout must
+  // not depend on any trace state the encoder was handed.
+  const serve::QueryRequest traced = MakeQuery();
+  serve::QueryRequest plain = traced;
+  plain.trace = obs::TraceContext{};
+  EXPECT_EQ(EncodeQueryRequest(traced, 1), EncodeQueryRequest(plain, 1));
+  serve::QueryRequest req;
+  ASSERT_EQ(DecodeQueryRequest(EncodeQueryRequest(traced, 1), &req),
+            DecodeResult::kOk);
+  EXPECT_EQ(req, plain);
+
+  serve::QueryResponse traced_resp = MakeQueryResponse();
+  serve::QueryResponse plain_resp = traced_resp;
+  plain_resp.trace_id = 0;
+  EXPECT_EQ(EncodeQueryResponse(traced_resp, 1),
+            EncodeQueryResponse(plain_resp, 1));
+  serve::QueryResponse resp;
+  ASSERT_EQ(DecodeQueryResponse(EncodeQueryResponse(traced_resp, 1), &resp),
+            DecodeResult::kOk);
+  EXPECT_EQ(resp, plain_resp);
+}
+
 TEST(ServeWireFuzzTest, UnknownVersionIsNegotiationFailureNotCorruption) {
-  for (const std::uint8_t v : {std::uint8_t{0}, std::uint8_t{2},
+  for (const std::uint8_t v : {std::uint8_t{0}, std::uint8_t{3},
                                std::uint8_t{99}, std::uint8_t{255}}) {
     EXPECT_EQ(TryQuery(EncodeQueryRequest(MakeQuery(), v)),
               DecodeResult::kUnsupportedVersion)
@@ -652,6 +680,81 @@ TEST(ServeWireFuzzTest, RandomGarbageNeverCrashesDecoders) {
     }
     TryQuery(bytes);
     TryQueryResponse(bytes);
+  }
+}
+
+// --- Trace-context propagation message (obs/trace.h) ------------------------
+
+using wire::DecodeTraceContext;
+using wire::EncodeTraceContext;
+
+obs::TraceContext MakeTrace() {
+  obs::TraceContext ctx;
+  ctx.trace_id = 0x123456789ABCDEF0ULL;
+  ctx.parent_span = 17;
+  ctx.flags = obs::TraceContext::kSampled;
+  return ctx;
+}
+
+DecodeResult TryTrace(const std::string& bytes) {
+  obs::TraceContext out;
+  return DecodeTraceContext(bytes, &out);
+}
+
+TEST(TraceWireFuzzTest, CleanContextRoundTripsExactly) {
+  obs::TraceContext out;
+  ASSERT_EQ(DecodeTraceContext(EncodeTraceContext(MakeTrace()), &out),
+            DecodeResult::kOk);
+  EXPECT_EQ(out, MakeTrace());
+}
+
+TEST(TraceWireFuzzTest, EveryTruncationIsRejected) {
+  const std::string full = EncodeTraceContext(MakeTrace());
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    EXPECT_EQ(TryTrace(full.substr(0, n)), DecodeResult::kMalformed)
+        << "prefix length " << n;
+  }
+  EXPECT_EQ(TryTrace(full), DecodeResult::kOk);
+  EXPECT_EQ(TryTrace(full + '\0'), DecodeResult::kMalformed)
+      << "trailing garbage must be rejected";
+}
+
+TEST(TraceWireFuzzTest, UnknownVersionIsNegotiationFailureNotCorruption) {
+  for (const std::uint8_t v : {std::uint8_t{0}, std::uint8_t{2},
+                               std::uint8_t{99}, std::uint8_t{255}}) {
+    EXPECT_EQ(TryTrace(EncodeTraceContext(MakeTrace(), v)),
+              DecodeResult::kUnsupportedVersion)
+        << "version " << int{v};
+  }
+  // A wrong tag is NOT a version problem.
+  EXPECT_EQ(TryTrace(EncodeQueryRequest(MakeQuery())),
+            DecodeResult::kMalformed);
+  EXPECT_EQ(TryTrace(""), DecodeResult::kMalformed);
+}
+
+TEST(TraceWireFuzzTest, ContextSurvivesFullBitFlipSweep) {
+  obs::TraceContext scratch;
+  VersionedBitFlipSweep(EncodeTraceContext(MakeTrace()), DecodeTraceContext,
+                        EncodeTraceContext, &scratch,
+                        wire::kTraceWireVersion);
+}
+
+TEST(TraceWireFuzzTest, RandomGarbageNeverCrashesDecoder) {
+  SplitMix64 rng(0x7A5CE5EEDULL);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t len = rng.Next() % 32;
+    std::string bytes;
+    bytes.reserve(len + 2);
+    if (rng.Next() & 1) {
+      bytes.push_back('T');
+      if (rng.Next() & 1) {
+        bytes.push_back(static_cast<char>(wire::kTraceWireVersion));
+      }
+    }
+    while (bytes.size() < len) {
+      bytes.push_back(static_cast<char>(rng.Next()));
+    }
+    TryTrace(bytes);
   }
 }
 

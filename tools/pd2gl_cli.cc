@@ -25,12 +25,24 @@
 //       replay an open-loop Zipf query mix (4 tenants) against the
 //       online serving layer over a 4-shard cluster while an ingest
 //       thread churns edges; reports virtual-time p50/p99, throughput,
-//       batching and admission counters (docs/serving.md)
+//       batching and admission counters, and a one-screen registry
+//       summary (hottest shards, cache hit rate, worst trace)
+//   pd2gl metrics [requests] [seed] [prom|json]
+//       run a small deterministic serving workload and export the merged
+//       registry page — serve + cluster + per-shard + sample-cache
+//       series plus the profiling sites — in Prometheus text (default)
+//       or JSON (docs/observability.md)
+//   pd2gl trace <request_id|worst> [requests] [seed]
+//       run the same canned workload and pretty-print one request's span
+//       tree (serve root -> plan steps -> per-shard RPCs) on the virtual
+//       clock; `worst` picks the highest-latency retained trace
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,7 +65,9 @@ int Usage() {
                "  pd2gl stream-train <steps> [producers] [rate] "
                "[block|reject|drop] [seed]\n"
                "  pd2gl serve-bench <requests> [rate] [max_batch] "
-               "[seed]\n");
+               "[seed]\n"
+               "  pd2gl metrics [requests] [seed] [prom|json]\n"
+               "  pd2gl trace <request_id|worst> [requests] [seed]\n");
   return 2;
 }
 
@@ -442,6 +456,172 @@ int CmdStreamTrain(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Observability commands: `pd2gl metrics` and `pd2gl trace` run the same
+// small deterministic serving workload and expose two views of it — the
+// merged registry page and a single request's span tree. Deterministic by
+// construction (virtual clock, fixed seed, no concurrent ingest) so two
+// runs with the same arguments print the same numbers.
+// ---------------------------------------------------------------------------
+
+struct DemoServe {
+  std::unique_ptr<GraphCluster> cluster;
+  std::unique_ptr<EpochCoordinator> epochs;
+  std::unique_ptr<serve::GraphServer> server;
+};
+
+/// Build a 4-shard cluster and serve `requests` mixed-plan queries
+/// through a batching GraphServer. Keeps every completed trace.
+DemoServe RunDemoWorkload(std::size_t requests, std::uint64_t seed) {
+  constexpr std::size_t kVertices = 1000;
+  DemoServe demo;
+  demo.cluster = std::make_unique<GraphCluster>(ClusterConfig{.num_shards = 4});
+  {
+    Xoshiro256 rng(seed);
+    std::vector<EdgeUpdate> batch;
+    for (VertexId v = 0; v < kVertices; ++v) {
+      for (int k = 0; k < 8; ++k) {
+        batch.push_back({UpdateKind::kInsert,
+                         Edge{v, rng.NextUint64(kVertices),
+                              1.0 + static_cast<double>(k), 0}});
+      }
+    }
+    (void)demo.cluster->ApplyBatch(batch);
+    for (VertexId v = 0; v < kVertices; ++v) {
+      const std::size_t s = demo.cluster->partitioner().ShardOf(v);
+      demo.cluster->shard(s).store().attributes().SetFeatures(
+          v, {static_cast<float>(v % 97), static_cast<float>(v % 31)});
+    }
+  }
+  demo.epochs = std::make_unique<EpochCoordinator>();
+  serve::ServeConfig scfg;
+  scfg.batcher.max_batch = 8;
+  scfg.batcher.window_us = 200;
+  scfg.slo_target_p99_us = 5000;
+  scfg.trace_capacity = requests > 0 ? requests : 1;  // keep every trace
+  demo.server = std::make_unique<serve::GraphServer>(demo.cluster.get(),
+                                                     demo.epochs.get(), scfg);
+
+  Xoshiro256 rng(seed + 1);
+  std::uint64_t now_us = 0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    now_us += 50 + rng.NextUint64(200);
+    serve::QueryRequest req;
+    req.tenant = static_cast<std::uint32_t>(rng.NextUint64(4));
+    req.request_id = i;
+    req.rng_seed = seed ^ (i * 0x9E3779B97F4A7C15ULL);
+    const std::size_t num_seeds = 2 + rng.NextUint64(4);
+    for (std::size_t s = 0; s < num_seeds; ++s) {
+      req.seeds.push_back(rng.NextUint64(kVertices));
+    }
+    switch (rng.NextUint64(3)) {
+      case 0:
+        req.plan.Sample(8).Sample(4, true, 0).Gather(1);
+        break;
+      case 1:
+        req.plan.Sample(8).NegativeSample(16, 0, kVertices, 0);
+        break;
+      default:
+        req.plan.Sample(10).Gather(0);
+        break;
+    }
+    (void)demo.server->Submit(req, now_us);
+    demo.server->Pump(now_us);
+  }
+  demo.server->Drain(now_us + 1);
+  return demo;
+}
+
+/// The whole-process registry page: serving + cluster (per-shard, cache,
+/// replication when enabled) + the profiling sites.
+obs::RegistrySnapshot MergedSnapshot(const DemoServe& demo) {
+  obs::RegistrySnapshot merged = demo.server->metrics().Snapshot();
+  merged.MergeFrom(demo.cluster->metrics().Snapshot());
+  merged.MergeFrom(obs::ProfileSnapshot());
+  return merged;
+}
+
+int CmdMetrics(int argc, char** argv) {
+  const std::size_t requests =
+      argc > 0 ? std::strtoull(argv[0], nullptr, 10) : 64;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  const std::string format = argc > 2 ? argv[2] : "prom";
+  if (requests == 0 || (format != "prom" && format != "json")) {
+    return Usage();
+  }
+  const DemoServe demo = RunDemoWorkload(requests, seed);
+  const obs::RegistrySnapshot merged = MergedSnapshot(demo);
+  const std::string page = format == "json" ? obs::ToJson(merged)
+                                            : obs::ToPrometheusText(merged);
+  std::fputs(page.c_str(), stdout);
+  return 0;
+}
+
+void PrintTrace(const obs::Trace& trace) {
+  std::printf("trace %016llx  tenant %u  request %llu  status %u  %llu spans"
+              "  %lluus\n",
+              (unsigned long long)trace.trace_id, trace.tenant,
+              (unsigned long long)trace.request_id, trace.status,
+              (unsigned long long)trace.spans.size(),
+              (unsigned long long)trace.DurationUs());
+  // Spans are in creation order and parents precede children, so one
+  // forward pass computes depths.
+  std::vector<int> depth(trace.spans.size(), 0);
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const obs::Span& s = trace.spans[i];
+    if (s.parent != obs::kNoParentSpan && s.parent < i) {
+      depth[i] = depth[s.parent] + 1;
+    }
+    std::printf("  %*s%-13s [%6llu, %6llu)us", depth[i] * 2, "",
+                obs::SpanKindName(s.kind), (unsigned long long)s.start_us,
+                (unsigned long long)s.end_us);
+    if (s.kind == obs::SpanKind::kRpcShard) {
+      std::printf("  step %u  shard %u", s.step, s.shard);
+    } else if (s.kind != obs::SpanKind::kServeRequest) {
+      std::printf("  step %u", s.step);
+    }
+    std::printf("  items %llu%s\n", (unsigned long long)s.items,
+                s.closed ? "" : "  OPEN");
+  }
+}
+
+int CmdTrace(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::string which = argv[0];
+  const std::size_t requests =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  if (requests == 0) return Usage();
+
+  const DemoServe demo = RunDemoWorkload(requests, seed);
+  const std::vector<obs::Trace> all = demo.server->traces().Snapshot();
+  if (all.empty()) {
+    std::fprintf(stderr, "no traces retained\n");
+    return 1;
+  }
+  const obs::Trace* pick = nullptr;
+  if (which == "worst") {
+    for (const obs::Trace& t : all) {
+      if (pick == nullptr || t.DurationUs() > pick->DurationUs()) pick = &t;
+    }
+  } else {
+    const std::uint64_t request_id = std::strtoull(which.c_str(), nullptr, 10);
+    for (const obs::Trace& t : all) {
+      if (t.request_id == request_id) pick = &t;
+    }
+    if (pick == nullptr) {
+      std::fprintf(stderr, "request %llu has no retained trace "
+                   "(%zu retained; try `worst`)\n",
+                   (unsigned long long)request_id, all.size());
+      return 1;
+    }
+  }
+  PrintTrace(*pick);
+  return 0;
+}
+
 int CmdServeBench(int argc, char** argv) {
   if (argc < 1) return Usage();
   const std::size_t requests = std::strtoull(argv[0], nullptr, 10);
@@ -566,8 +746,57 @@ int CmdServeBench(int argc, char** argv) {
               secs > 0 ? static_cast<double>(ingested.load()) / secs : 0.0);
   for (std::uint32_t t = 0; t < kTenants; ++t) {
     const LatencyHistogram* h = server.tenant_latency(t);
-    std::printf("tenant %u: %llu served, p99 %.1fus\n", t,
-                (unsigned long long)h->Count(), h->PercentileMicros(99));
+    std::printf("tenant %u: %llu served, p50 %.1fus p99 %.1fus\n", t,
+                (unsigned long long)h->Count(), h->PercentileMicros(50),
+                h->PercentileMicros(99));
+  }
+
+  // One-screen registry summary: the same numbers `pd2gl metrics`
+  // exports, folded down to what an operator scans first.
+  {
+    obs::RegistrySnapshot reg = server.metrics().Snapshot();
+    reg.MergeFrom(cluster.metrics().Snapshot());
+    std::printf("--- registry summary ---\n");
+    std::vector<std::pair<std::uint64_t, std::string>> shard_seeds;
+    for (const obs::MetricPoint& p : reg.points) {
+      if (p.name == "pd2gl_shard_sample_seeds" && !p.labels.empty()) {
+        shard_seeds.emplace_back(p.value, p.labels[0].value);
+      }
+    }
+    std::sort(shard_seeds.rbegin(), shard_seeds.rend());
+    std::printf("hottest shards (sample seeds):");
+    for (std::size_t i = 0; i < shard_seeds.size() && i < 4; ++i) {
+      std::printf("  #%s %llu", shard_seeds[i].second.c_str(),
+                  (unsigned long long)shard_seeds[i].first);
+    }
+    std::printf("\n");
+    const std::uint64_t hits = reg.SumAcrossLabels("pd2gl_sample_cache_hits");
+    const std::uint64_t misses =
+        reg.SumAcrossLabels("pd2gl_sample_cache_misses");
+    if (hits + misses > 0) {
+      std::printf("sample cache: %.1f%% hit (%llu/%llu)\n",
+                  100.0 * static_cast<double>(hits) /
+                      static_cast<double>(hits + misses),
+                  (unsigned long long)hits,
+                  (unsigned long long)(hits + misses));
+    }
+    const obs::TraceSink& sink = server.traces();
+    const obs::Trace* worst = nullptr;
+    const std::vector<obs::Trace> retained = sink.Snapshot();
+    for (const obs::Trace& t : retained) {
+      if (worst == nullptr || t.DurationUs() > worst->DurationUs()) {
+        worst = &t;
+      }
+    }
+    std::printf("traces: %llu published, %zu retained",
+                (unsigned long long)sink.published(), retained.size());
+    if (worst != nullptr) {
+      std::printf(", worst %016llx (%lluus, request %llu)",
+                  (unsigned long long)worst->trace_id,
+                  (unsigned long long)worst->DurationUs(),
+                  (unsigned long long)worst->request_id);
+    }
+    std::printf("\n");
   }
 
   // Smoke gate: every submitted request must be accounted for.
@@ -595,5 +824,7 @@ int main(int argc, char** argv) {
   if (cmd == "verify-store") return CmdVerifyStore(argc - 2, argv + 2);
   if (cmd == "stream-train") return CmdStreamTrain(argc - 2, argv + 2);
   if (cmd == "serve-bench") return CmdServeBench(argc - 2, argv + 2);
+  if (cmd == "metrics") return CmdMetrics(argc - 2, argv + 2);
+  if (cmd == "trace") return CmdTrace(argc - 2, argv + 2);
   return Usage();
 }

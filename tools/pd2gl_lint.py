@@ -32,6 +32,14 @@ compiler nor clang-tidy enforces:
                     explaining why the analysis is opted out. An
                     unexplained opt-out is indistinguishable from a
                     silenced bug.
+  atomic-tally      a raw std::atomic / sched::Atomic integer *member*
+                    in src/ whose name reads as an event tally (hits,
+                    rejects, rounds, ...). Monotone statistics belong in
+                    obs::MetricRegistry counters (src/obs/metrics.h) so
+                    they are named, exportable, and covered by the shared
+                    StatsBinding fill loop; raw atomics are for STATE
+                    (watermarks, depths, closed flags, snapshots), which
+                    the name list deliberately does not match.
 
 Comments and string literals are stripped before matching, so prose about
 "new insertions" does not trip the allocator rule. Suppress a single line
@@ -70,6 +78,14 @@ EXEMPT = {
     "raw-lock-guard": {
         "src/schedcheck/sched.cc",  # same reason as unguarded-mutex
     },
+    "atomic-tally": {
+        # The registry's own Counter/Gauge internals.
+        "src/obs/metrics.h",
+        # Shard-local served-request tally predating the cluster registry;
+        # the cluster exports the per-shard pd2gl_shard_* series, and
+        # GraphShard deliberately has no registry dependency.
+        "src/dist/shard.h",
+    },
 }
 
 RE_SUPPRESS = re.compile(r"pd2gl-lint:\s*allow-([a-z-]+)")
@@ -96,6 +112,18 @@ RE_ATOMIC_OP_TARGET = re.compile(
 RE_COUNTER_NAME = re.compile(r"(?:_counts?|_stats?)_?$")
 RE_ORDER_COMMENT = re.compile(r"//\s*order:")
 RE_NTS = re.compile(r"\bNO_THREAD_SAFETY_ANALYSIS\b")
+# An atomic integer member declaration and its name. Arrays (histogram
+# bucket banks) intentionally do not match.
+RE_ATOMIC_INT_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?:static\s+)?(?:std::atomic|sched::Atomic)<\s*"
+    r"std::(?:u?int\d+_t|size_t)\s*>\s+(\w+)\s*(?:\{[^}]*\})?\s*;")
+# Names that read as event tallies — the vocabulary the obs migration
+# moved into registry counters. STATE names (watermark_, queued_,
+# *_snapshot_, next_seq_, epoch_...) deliberately do not match.
+RE_TALLY_NAME = re.compile(
+    r"(?:^|_)(?:requests|hits|misses|drops|dropped|rejects|rejected|"
+    r"accepted|admitted|shed|evicted|published|retries|faults|rounds|"
+    r"batches|totals?|tall(?:y|ies)|counts?)_?$")
 
 
 def strip_comments_and_strings(text):
@@ -187,6 +215,13 @@ def lint_file(path, rel):
                       "memory_order_relaxed on non-counter atomic "
                       f"`{name or '?'}`: add an adjacent `// order:` "
                       "comment justifying the relaxation")
+        if rel.startswith("src/") and not rel.startswith("src/obs/"):
+            m = RE_ATOMIC_INT_MEMBER.match(line)
+            if m and RE_TALLY_NAME.search(m.group(1)):
+                check("atomic-tally", lineno,
+                      f"atomic tally member `{m.group(1)}`: monotone "
+                      "statistics belong in an obs::MetricRegistry "
+                      "Counter (src/obs/metrics.h), not a raw atomic")
         if RE_NTS.search(line) and \
                 not has_nearby_comment(lineno, re.compile(r"//"), 3):
             check("nts-comment", lineno,
